@@ -1,0 +1,126 @@
+//! Identity-element traits for the built-in numeric domains.
+//!
+//! Monoids need concrete identity values: `Plus` needs a zero, `Times` a one,
+//! `Min` the domain maximum and `Max` the domain minimum. Rather than pull in
+//! a numeric-traits dependency, the three tiny traits here are implemented by
+//! macro for every scalar type the workspace uses.
+
+/// Types with an additive identity.
+pub trait Zero: Copy {
+    /// The additive identity (`x + zero() == x`).
+    fn zero() -> Self;
+}
+
+/// Types with a multiplicative identity.
+pub trait One: Copy {
+    /// The multiplicative identity (`x * one() == x`).
+    fn one() -> Self;
+}
+
+/// Types with least/greatest elements, used as identities for `Max`/`Min`
+/// monoids.
+///
+/// For floats the bounds are `-INFINITY` / `INFINITY` (not `MIN`/`MAX`), so
+/// that `min(x, max_bound()) == x` holds for every representable `x`.
+pub trait Bounded: Copy {
+    /// The least element of the domain — identity of the `Max` monoid.
+    fn min_bound() -> Self;
+    /// The greatest element of the domain — identity of the `Min` monoid.
+    fn max_bound() -> Self;
+}
+
+macro_rules! impl_int_identities {
+    ($($t:ty),*) => {$(
+        impl Zero for $t {
+            #[inline(always)]
+            fn zero() -> Self { 0 }
+        }
+        impl One for $t {
+            #[inline(always)]
+            fn one() -> Self { 1 }
+        }
+        impl Bounded for $t {
+            #[inline(always)]
+            fn min_bound() -> Self { <$t>::MIN }
+            #[inline(always)]
+            fn max_bound() -> Self { <$t>::MAX }
+        }
+    )*};
+}
+
+macro_rules! impl_float_identities {
+    ($($t:ty),*) => {$(
+        impl Zero for $t {
+            #[inline(always)]
+            fn zero() -> Self { 0.0 }
+        }
+        impl One for $t {
+            #[inline(always)]
+            fn one() -> Self { 1.0 }
+        }
+        impl Bounded for $t {
+            #[inline(always)]
+            fn min_bound() -> Self { <$t>::NEG_INFINITY }
+            #[inline(always)]
+            fn max_bound() -> Self { <$t>::INFINITY }
+        }
+    )*};
+}
+
+impl_int_identities!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+impl_float_identities!(f32, f64);
+
+impl Zero for bool {
+    #[inline(always)]
+    fn zero() -> Self {
+        false
+    }
+}
+
+impl One for bool {
+    #[inline(always)]
+    fn one() -> Self {
+        true
+    }
+}
+
+impl Bounded for bool {
+    #[inline(always)]
+    fn min_bound() -> Self {
+        false
+    }
+    #[inline(always)]
+    fn max_bound() -> Self {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integer_identities() {
+        assert_eq!(u32::zero(), 0);
+        assert_eq!(u32::one(), 1);
+        assert_eq!(u32::min_bound(), 0);
+        assert_eq!(u32::max_bound(), u32::MAX);
+        assert_eq!(i64::min_bound(), i64::MIN);
+    }
+
+    #[test]
+    fn float_bounds_are_infinities() {
+        assert_eq!(f64::max_bound(), f64::INFINITY);
+        assert_eq!(f64::min_bound(), f64::NEG_INFINITY);
+        // min(x, identity) == x must hold even for f64::MAX.
+        assert_eq!(f64::MAX.min(f64::max_bound()), f64::MAX);
+    }
+
+    #[test]
+    fn bool_identities() {
+        assert!(!bool::zero());
+        assert!(bool::one());
+        assert!(!bool::min_bound());
+        assert!(bool::max_bound());
+    }
+}

@@ -1,0 +1,145 @@
+//! Select operators: structural/value predicates over stored entries.
+//!
+//! `select` (GxB-style) filters a container by a predicate on
+//! `(row, col, value)`. The predicates are zero-sized types like every
+//! other operator, so backends can monomorphise filter kernels.
+
+use std::marker::PhantomData;
+
+use crate::Scalar;
+
+/// A predicate over a stored entry.
+pub trait SelectOp<T: Scalar>: Copy + Send + Sync + 'static {
+    /// Keep the entry at `(row, col)` holding `v`?
+    fn keep(&self, row: usize, col: usize, v: T) -> bool;
+}
+
+macro_rules! declare_structural_select {
+    ($(#[$doc:meta])* $name:ident, |$i:ident, $j:ident| $pred:expr) => {
+        $(#[$doc])*
+        #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+        pub struct $name;
+
+        impl<T: Scalar> SelectOp<T> for $name {
+            #[inline(always)]
+            fn keep(&self, $i: usize, $j: usize, _v: T) -> bool {
+                $pred
+            }
+        }
+    };
+}
+
+declare_structural_select!(
+    /// Strictly-lower-triangular entries (`col < row`).
+    TriL, |i, j| j < i
+);
+declare_structural_select!(
+    /// Strictly-upper-triangular entries (`col > row`).
+    TriU, |i, j| j > i
+);
+declare_structural_select!(
+    /// Diagonal entries.
+    Diag, |i, j| i == j
+);
+declare_structural_select!(
+    /// Off-diagonal entries.
+    OffDiag, |i, j| i != j
+);
+
+macro_rules! declare_value_select {
+    ($(#[$doc:meta])* $name:ident, $cmp:tt) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq)]
+        pub struct $name<T>(pub T);
+
+        impl<T: Scalar + PartialOrd> SelectOp<T> for $name<T> {
+            #[inline(always)]
+            fn keep(&self, _row: usize, _col: usize, v: T) -> bool {
+                v $cmp self.0
+            }
+        }
+    };
+}
+
+declare_value_select!(
+    /// Keep values strictly greater than the threshold.
+    ValueGt, >
+);
+declare_value_select!(
+    /// Keep values greater than or equal to the threshold.
+    ValueGe, >=
+);
+declare_value_select!(
+    /// Keep values strictly less than the threshold.
+    ValueLt, <
+);
+declare_value_select!(
+    /// Keep values less than or equal to the threshold.
+    ValueLe, <=
+);
+declare_value_select!(
+    /// Keep values equal to the reference.
+    ValueEq, ==
+);
+declare_value_select!(
+    /// Keep values different from the reference.
+    ValueNe, !=
+);
+
+/// Wrap a `Copy` closure as a [`SelectOp`].
+#[derive(Debug, Clone, Copy)]
+pub struct FnSelect<T, F>(F, PhantomData<fn() -> T>);
+
+impl<T, F> FnSelect<T, F>
+where
+    T: Scalar,
+    F: Fn(usize, usize, T) -> bool + Copy + Send + Sync + 'static,
+{
+    /// Wrap `f` as a select operator.
+    pub fn new(f: F) -> Self {
+        FnSelect(f, PhantomData)
+    }
+}
+
+impl<T, F> SelectOp<T> for FnSelect<T, F>
+where
+    T: Scalar,
+    F: Fn(usize, usize, T) -> bool + Copy + Send + Sync + 'static,
+{
+    #[inline(always)]
+    fn keep(&self, row: usize, col: usize, v: T) -> bool {
+        (self.0)(row, col, v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn structural_predicates() {
+        assert!(<TriL as SelectOp<i32>>::keep(&TriL, 2, 1, 0));
+        assert!(!<TriL as SelectOp<i32>>::keep(&TriL, 1, 1, 0));
+        assert!(<TriU as SelectOp<i32>>::keep(&TriU, 1, 2, 0));
+        assert!(<Diag as SelectOp<i32>>::keep(&Diag, 3, 3, 0));
+        assert!(<OffDiag as SelectOp<i32>>::keep(&OffDiag, 3, 4, 0));
+    }
+
+    #[test]
+    fn value_predicates() {
+        assert!(ValueGt(5).keep(0, 0, 6));
+        assert!(!ValueGt(5).keep(0, 0, 5));
+        assert!(ValueGe(5).keep(0, 0, 5));
+        assert!(ValueLt(5.0).keep(0, 0, 4.5));
+        assert!(ValueLe(5).keep(0, 0, 5));
+        assert!(ValueEq(7u8).keep(0, 0, 7));
+        assert!(ValueNe(7u8).keep(0, 0, 8));
+    }
+
+    #[test]
+    fn closure_select() {
+        let op = FnSelect::new(|i, j, v: i64| i + j == v as usize);
+        assert!(op.keep(2, 3, 5));
+        assert!(!op.keep(2, 3, 6));
+    }
+}

@@ -1,0 +1,275 @@
+//! Semirings: an "add" monoid paired with a "multiply" binary op.
+//!
+//! The semiring is the lever that turns one `mxm`/`mxv` kernel into many
+//! graph algorithms: `PlusTimes` gives linear algebra, `MinPlus` gives
+//! shortest paths, `LorLand` gives reachability, `MinSecond` propagates
+//! labels, `PlusPair` counts intersections (triangles).
+
+use std::marker::PhantomData;
+
+use crate::identities::{Bounded, One, Zero};
+use crate::monoid::{LorMonoid, MaxMonoid, MinMonoid, Monoid, PlusMonoid};
+use crate::ops::{First, Land, Max, Min, Pair, Plus, Second, Times};
+use crate::{BinaryOp, Scalar};
+
+/// An algebraic semiring over a single scalar domain `T`.
+///
+/// `add()` must be a commutative monoid; `mul()` is any binary op. The usual
+/// annihilator law (`mul(x, 0) == 0`) is *not* required because GraphBLAS
+/// operates on stored entries only — absent entries never reach `mul`.
+pub trait Semiring<T: Scalar>: Copy + Send + Sync + 'static {
+    /// The additive monoid type.
+    type Add: Monoid<T>;
+    /// The multiplicative binary-op type.
+    type Mul: BinaryOp<T>;
+
+    /// The additive ("reduce") monoid.
+    fn add(&self) -> Self::Add;
+    /// The multiplicative ("combine") operator.
+    fn mul(&self) -> Self::Mul;
+
+    /// The additive identity, i.e. the semiring "zero".
+    #[inline(always)]
+    fn zero(&self) -> T {
+        self.add().identity()
+    }
+}
+
+/// Build a semiring from any monoid and binary op.
+///
+/// Named semirings below are thin wrappers over this; use it directly for
+/// one-off algebra experiments:
+///
+/// ```
+/// use gbtl_algebra::{CustomSemiring, MaxMonoid, Plus, Semiring, BinaryOp, Monoid};
+///
+/// // max-plus: longest path / critical path algebra
+/// let sr = CustomSemiring::new(MaxMonoid::<i64>::new(), Plus::<i64>::new());
+/// assert_eq!(sr.add().apply(sr.mul().apply(3, 4), 5), 7);
+/// ```
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CustomSemiring<A, M> {
+    add: A,
+    mul: M,
+}
+
+impl<A, M> CustomSemiring<A, M> {
+    /// Pair an additive monoid with a multiplicative op.
+    #[inline(always)]
+    pub const fn new(add: A, mul: M) -> Self {
+        Self { add, mul }
+    }
+}
+
+impl<T, A, M> Semiring<T> for CustomSemiring<A, M>
+where
+    T: Scalar,
+    A: Monoid<T> + 'static,
+    M: BinaryOp<T> + 'static,
+{
+    type Add = A;
+    type Mul = M;
+
+    #[inline(always)]
+    fn add(&self) -> A {
+        self.add
+    }
+
+    #[inline(always)]
+    fn mul(&self) -> M {
+        self.mul
+    }
+}
+
+macro_rules! declare_semiring {
+    ($(#[$doc:meta])* $name:ident, $addm:ident, $mulop:ident, [$($bound:tt)*]) => {
+        $(#[$doc])*
+        #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+        pub struct $name<T>(PhantomData<fn() -> T>);
+
+        impl<T> $name<T> {
+            /// Construct the semiring.
+            #[inline(always)]
+            pub const fn new() -> Self {
+                Self(PhantomData)
+            }
+        }
+
+        impl<T> Semiring<T> for $name<T>
+        where
+            T: Scalar + $($bound)*,
+        {
+            type Add = $addm<T>;
+            type Mul = $mulop<T>;
+
+            #[inline(always)]
+            fn add(&self) -> Self::Add {
+                $addm::new()
+            }
+
+            #[inline(always)]
+            fn mul(&self) -> Self::Mul {
+                $mulop::new()
+            }
+        }
+    };
+}
+
+declare_semiring!(
+    /// The arithmetic semiring `(+, ×, 0)` — classical linear algebra.
+    PlusTimes, PlusMonoid, Times,
+    [Zero + std::ops::Add<Output = T> + std::ops::Mul<Output = T>]
+);
+declare_semiring!(
+    /// The tropical semiring `(min, +, ∞)` — single-source shortest paths.
+    MinPlus, MinMonoid, Plus,
+    [PartialOrd + Bounded + std::ops::Add<Output = T>]
+);
+declare_semiring!(
+    /// `(max, +, -∞)` — longest/critical paths, Viterbi-style scoring.
+    MaxPlus, MaxMonoid, Plus,
+    [PartialOrd + Bounded + std::ops::Add<Output = T>]
+);
+declare_semiring!(
+    /// `(min, ×, ∞)` — minimal products, reliability lower bounds.
+    MinTimes, MinMonoid, Times,
+    [PartialOrd + Bounded + std::ops::Mul<Output = T>]
+);
+declare_semiring!(
+    /// `(max, ×, -∞)` — maximal products (e.g. most-probable path on
+    /// probabilities in `[0,1]`).
+    MaxTimes, MaxMonoid, Times,
+    [PartialOrd + Bounded + std::ops::Mul<Output = T>]
+);
+declare_semiring!(
+    /// `(min, max, ∞)` — minimax / bottleneck shortest path.
+    MinMax, MinMonoid, Max,
+    [PartialOrd + Bounded]
+);
+declare_semiring!(
+    /// `(max, min, -∞)` — maximin / widest path (maximum-capacity routing).
+    MaxMin, MaxMonoid, Min,
+    [PartialOrd + Bounded]
+);
+declare_semiring!(
+    /// `(min, first, ∞)` — propagate the *source* value along edges, keeping
+    /// the minimum. Used for parent selection when the vector carries ids.
+    MinFirst, MinMonoid, First,
+    [PartialOrd + Bounded]
+);
+declare_semiring!(
+    /// `(min, second, ∞)` — propagate the *edge/vector* value, keeping the
+    /// minimum. The label-propagation workhorse (connected components, BFS
+    /// parents).
+    MinSecond, MinMonoid, Second,
+    [PartialOrd + Bounded]
+);
+declare_semiring!(
+    /// `(+, first, 0)` — sum source values across edges.
+    PlusFirst, PlusMonoid, First,
+    [Zero + std::ops::Add<Output = T>]
+);
+declare_semiring!(
+    /// `(+, second, 0)` — sum propagated values across edges (path counting).
+    PlusSecond, PlusMonoid, Second,
+    [Zero + std::ops::Add<Output = T>]
+);
+declare_semiring!(
+    /// `(+, min, 0)` — sum of edge-wise minima.
+    PlusMin, PlusMonoid, Min,
+    [Zero + PartialOrd + std::ops::Add<Output = T>]
+);
+declare_semiring!(
+    /// `(+, pair, 0)` — counts structural intersections; the triangle-count
+    /// semiring (`mul` is the constant `1`).
+    PlusPair, PlusMonoid, Pair,
+    [Zero + One + std::ops::Add<Output = T>]
+);
+
+/// The boolean semiring `(∨, ∧, false)` — reachability / BFS frontiers.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct LorLand;
+
+impl LorLand {
+    /// Construct the semiring.
+    #[inline(always)]
+    pub const fn new() -> Self {
+        Self
+    }
+}
+
+impl Semiring<bool> for LorLand {
+    type Add = LorMonoid;
+    type Mul = Land;
+
+    #[inline(always)]
+    fn add(&self) -> LorMonoid {
+        LorMonoid::new()
+    }
+
+    #[inline(always)]
+    fn mul(&self) -> Land {
+        Land
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plus_times_matches_arithmetic() {
+        let sr = PlusTimes::<i64>::new();
+        // 2*3 + 4*5 = 26
+        let acc = sr.add().apply(sr.mul().apply(2, 3), sr.mul().apply(4, 5));
+        assert_eq!(acc, 26);
+        assert_eq!(sr.zero(), 0);
+    }
+
+    #[test]
+    fn min_plus_relaxes_paths() {
+        let sr = MinPlus::<u32>::new();
+        // dist 5 via edge 2 vs dist 9 direct: min(5+2, 9) = 7
+        let d = sr.add().apply(sr.mul().apply(5, 2), 9);
+        assert_eq!(d, 7);
+        assert_eq!(sr.zero(), u32::MAX);
+    }
+
+    #[test]
+    fn lor_land_is_reachability() {
+        let sr = LorLand::new();
+        assert!(sr.add().apply(sr.mul().apply(true, true), false));
+        assert!(!sr.add().apply(sr.mul().apply(true, false), false));
+        assert!(!sr.zero());
+    }
+
+    #[test]
+    fn min_second_propagates_labels() {
+        let sr = MinSecond::<u64>::new();
+        // two in-edges carrying labels 9 and 4 -> keep 4
+        let l = sr.add().apply(sr.mul().apply(100, 9), sr.mul().apply(200, 4));
+        assert_eq!(l, 4);
+    }
+
+    #[test]
+    fn plus_pair_counts() {
+        let sr = PlusPair::<u64>::new();
+        let c = sr.add().apply(sr.mul().apply(123, 456), sr.mul().apply(7, 8));
+        assert_eq!(c, 2);
+    }
+
+    #[test]
+    fn max_min_is_widest_path() {
+        let sr = MaxMin::<u32>::new();
+        // bottleneck of path = min of capacities; best path = max bottleneck
+        let w = sr.add().apply(sr.mul().apply(10, 3), sr.mul().apply(5, 4));
+        assert_eq!(w, 4);
+    }
+
+    #[test]
+    fn custom_semiring_composes() {
+        let sr = CustomSemiring::new(MaxMonoid::<i64>::new(), Plus::<i64>::new());
+        assert_eq!(sr.add().apply(sr.mul().apply(3, 4), 5), 7);
+        assert_eq!(sr.zero(), i64::MIN);
+    }
+}

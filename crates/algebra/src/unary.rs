@@ -1,0 +1,211 @@
+//! Unary operators, used by `apply` and valued masks.
+//!
+//! Unlike [`BinaryOp`](crate::BinaryOp), unary ops may change the domain
+//! (`Output` is an associated type), so `apply` can cast a weighted matrix
+//! to a boolean structure matrix, take reciprocals for PageRank scaling, etc.
+
+use std::marker::PhantomData;
+
+use crate::{One, Scalar};
+
+/// A unary function from one scalar domain to another.
+pub trait UnaryOp<T: Scalar>: Copy + Send + Sync + 'static {
+    /// Result domain.
+    type Output: Scalar;
+    /// Apply the operator.
+    fn apply(&self, a: T) -> Self::Output;
+}
+
+/// The identity function.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct Identity<T>(PhantomData<fn() -> T>);
+
+impl<T> Identity<T> {
+    /// Construct the operator.
+    #[inline(always)]
+    pub const fn new() -> Self {
+        Self(PhantomData)
+    }
+}
+
+impl<T: Scalar> UnaryOp<T> for Identity<T> {
+    type Output = T;
+    #[inline(always)]
+    fn apply(&self, a: T) -> T {
+        a
+    }
+}
+
+/// Additive inverse (`-a`).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct AdditiveInverse<T>(PhantomData<fn() -> T>);
+
+impl<T> AdditiveInverse<T> {
+    /// Construct the operator.
+    #[inline(always)]
+    pub const fn new() -> Self {
+        Self(PhantomData)
+    }
+}
+
+impl<T> UnaryOp<T> for AdditiveInverse<T>
+where
+    T: Scalar + std::ops::Neg<Output = T>,
+{
+    type Output = T;
+    #[inline(always)]
+    fn apply(&self, a: T) -> T {
+        -a
+    }
+}
+
+/// Multiplicative inverse (`1/a`).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct MultiplicativeInverse<T>(PhantomData<fn() -> T>);
+
+impl<T> MultiplicativeInverse<T> {
+    /// Construct the operator.
+    #[inline(always)]
+    pub const fn new() -> Self {
+        Self(PhantomData)
+    }
+}
+
+impl<T> UnaryOp<T> for MultiplicativeInverse<T>
+where
+    T: Scalar + One + std::ops::Div<Output = T>,
+{
+    type Output = T;
+    #[inline(always)]
+    fn apply(&self, a: T) -> T {
+        T::one() / a
+    }
+}
+
+/// Absolute value.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct Abs<T>(PhantomData<fn() -> T>);
+
+impl<T> Abs<T> {
+    /// Construct the operator.
+    #[inline(always)]
+    pub const fn new() -> Self {
+        Self(PhantomData)
+    }
+}
+
+macro_rules! impl_abs {
+    ($($t:ty),*) => {$(
+        impl UnaryOp<$t> for Abs<$t> {
+            type Output = $t;
+            #[inline(always)]
+            fn apply(&self, a: $t) -> $t {
+                a.abs()
+            }
+        }
+    )*};
+}
+
+impl_abs!(i8, i16, i32, i64, isize, f32, f64);
+
+/// A binary op with its *first* argument bound to a constant:
+/// `x ↦ op(k, x)` — GraphBLAS `apply` with a bound scalar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BindFirst<Op, T> {
+    op: Op,
+    k: T,
+}
+
+impl<Op, T> BindFirst<Op, T> {
+    /// Bind `k` as the first operand of `op`.
+    #[inline(always)]
+    pub const fn new(op: Op, k: T) -> Self {
+        Self { op, k }
+    }
+}
+
+impl<Op, T> UnaryOp<T> for BindFirst<Op, T>
+where
+    T: Scalar,
+    Op: crate::BinaryOp<T>,
+{
+    type Output = T;
+    #[inline(always)]
+    fn apply(&self, a: T) -> T {
+        self.op.apply(self.k, a)
+    }
+}
+
+/// A binary op with its *second* argument bound to a constant:
+/// `x ↦ op(x, k)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BindSecond<Op, T> {
+    op: Op,
+    k: T,
+}
+
+impl<Op, T> BindSecond<Op, T> {
+    /// Bind `k` as the second operand of `op`.
+    #[inline(always)]
+    pub const fn new(op: Op, k: T) -> Self {
+        Self { op, k }
+    }
+}
+
+impl<Op, T> UnaryOp<T> for BindSecond<Op, T>
+where
+    T: Scalar,
+    Op: crate::BinaryOp<T>,
+{
+    type Output = T;
+    #[inline(always)]
+    fn apply(&self, a: T) -> T {
+        self.op.apply(a, self.k)
+    }
+}
+
+/// Logical negation over `bool`.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct Lnot;
+
+impl UnaryOp<bool> for Lnot {
+    type Output = bool;
+    #[inline(always)]
+    fn apply(&self, a: bool) -> bool {
+        !a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bind_first_and_second() {
+        use crate::{Div, Minus};
+        // x -> 10 - x
+        let f = BindFirst::new(Minus::<i64>::new(), 10);
+        assert_eq!(f.apply(3), 7);
+        // x -> x / 4
+        let g = BindSecond::new(Div::<f64>::new(), 4.0);
+        assert_eq!(g.apply(2.0), 0.5);
+    }
+
+    #[test]
+    fn identity_passes_through() {
+        assert_eq!(Identity::<u32>::new().apply(17), 17);
+    }
+
+    #[test]
+    fn inverses() {
+        assert_eq!(AdditiveInverse::<i32>::new().apply(5), -5);
+        assert_eq!(MultiplicativeInverse::<f64>::new().apply(4.0), 0.25);
+    }
+
+    #[test]
+    fn abs_and_lnot() {
+        assert_eq!(Abs::<i64>::new().apply(-9), 9);
+        assert_eq!(Abs::<f32>::new().apply(-2.5), 2.5);
+        assert!(Lnot.apply(false));
+    }
+}

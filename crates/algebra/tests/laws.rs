@@ -1,0 +1,114 @@
+//! Property tests of the algebraic laws the backends rely on.
+//!
+//! Backends reassociate and reorder reductions freely (tree reductions,
+//! segmented reductions, reduce-by-key), which is only sound if every monoid
+//! is genuinely associative and commutative and every identity is neutral.
+
+use gbtl_algebra::{
+    BinaryOp, LandMonoid, LorLand, LorMonoid, LxorMonoid, MaxMonoid, MaxPlus, MinMonoid, MinPlus,
+    MinSecond, Monoid, PlusMonoid, PlusPair, PlusTimes, Semiring, TimesMonoid,
+};
+use proptest::prelude::*;
+
+macro_rules! monoid_laws {
+    ($modname:ident, $monoid:expr, $t:ty, $strategy:expr) => {
+        mod $modname {
+            use super::*;
+
+            proptest! {
+                #[test]
+                fn associative(a in $strategy, b in $strategy, c in $strategy) {
+                    let m = $monoid;
+                    prop_assert_eq!(
+                        m.apply(m.apply(a, b), c),
+                        m.apply(a, m.apply(b, c))
+                    );
+                }
+
+                #[test]
+                fn commutative(a in $strategy, b in $strategy) {
+                    let m = $monoid;
+                    prop_assert_eq!(m.apply(a, b), m.apply(b, a));
+                }
+
+                #[test]
+                fn identity_neutral(a in $strategy) {
+                    let m = $monoid;
+                    prop_assert_eq!(m.apply(m.identity(), a), a);
+                    prop_assert_eq!(m.apply(a, m.identity()), a);
+                }
+            }
+        }
+    };
+}
+
+// Wrapping-free integer ranges so `+`/`*` stay associative without overflow.
+monoid_laws!(plus_i64, PlusMonoid::<i64>::new(), i64, -1_000_000i64..1_000_000);
+monoid_laws!(times_i64, TimesMonoid::<i64>::new(), i64, -1_000i64..1_000);
+monoid_laws!(min_u32, MinMonoid::<u32>::new(), u32, any::<u32>());
+monoid_laws!(max_i32, MaxMonoid::<i32>::new(), i32, any::<i32>());
+monoid_laws!(min_f64, MinMonoid::<f64>::new(), f64, -1e300f64..1e300);
+monoid_laws!(max_f64, MaxMonoid::<f64>::new(), f64, -1e300f64..1e300);
+monoid_laws!(lor, LorMonoid::new(), bool, any::<bool>());
+monoid_laws!(land, LandMonoid::new(), bool, any::<bool>());
+monoid_laws!(lxor, LxorMonoid::new(), bool, any::<bool>());
+
+proptest! {
+    /// Multiplication distributes over addition in the arithmetic semiring.
+    #[test]
+    fn plus_times_distributes(a in -1_000i64..1_000, b in -1_000i64..1_000, c in -1_000i64..1_000) {
+        let sr = PlusTimes::<i64>::new();
+        let lhs = sr.mul().apply(a, sr.add().apply(b, c));
+        let rhs = sr.add().apply(sr.mul().apply(a, b), sr.mul().apply(a, c));
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    /// `+` distributes over `min` in the tropical semiring (on a range where
+    /// `+` cannot overflow past the `u32::MAX` identity).
+    #[test]
+    fn min_plus_distributes(a in 0u32..1_000_000, b in 0u32..1_000_000, c in 0u32..1_000_000) {
+        let sr = MinPlus::<u32>::new();
+        let lhs = sr.mul().apply(a, sr.add().apply(b, c));
+        let rhs = sr.add().apply(sr.mul().apply(a, b), sr.mul().apply(a, c));
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    /// Same law for max-plus.
+    #[test]
+    fn max_plus_distributes(a in -1_000_000i64..1_000_000, b in -1_000_000i64..1_000_000, c in -1_000_000i64..1_000_000) {
+        let sr = MaxPlus::<i64>::new();
+        let lhs = sr.mul().apply(a, sr.add().apply(b, c));
+        let rhs = sr.add().apply(sr.mul().apply(a, b), sr.mul().apply(a, c));
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    /// And for the boolean semiring.
+    #[test]
+    fn lor_land_distributes(a: bool, b: bool, c: bool) {
+        let sr = LorLand::new();
+        let lhs = sr.mul().apply(a, sr.add().apply(b, c));
+        let rhs = sr.add().apply(sr.mul().apply(a, b), sr.mul().apply(a, c));
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    /// MinSecond: result only depends on the second operands and the min.
+    #[test]
+    fn min_second_ignores_first(a1: u64, a2: u64, b in any::<u64>(), c in any::<u64>()) {
+        let sr = MinSecond::<u64>::new();
+        let r1 = sr.add().apply(sr.mul().apply(a1, b), sr.mul().apply(a1, c));
+        let r2 = sr.add().apply(sr.mul().apply(a2, b), sr.mul().apply(a2, c));
+        prop_assert_eq!(r1, r2);
+        prop_assert_eq!(r1, b.min(c));
+    }
+
+    /// PlusPair over n terms counts n.
+    #[test]
+    fn plus_pair_counts_terms(xs in proptest::collection::vec(any::<u64>(), 0..64)) {
+        let sr = PlusPair::<u64>::new();
+        let mut acc = sr.zero();
+        for &x in &xs {
+            acc = sr.add().apply(acc, sr.mul().apply(x, x));
+        }
+        prop_assert_eq!(acc, xs.len() as u64);
+    }
+}

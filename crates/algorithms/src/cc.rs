@@ -1,0 +1,117 @@
+//! Connected components by min-label propagation.
+
+use gbtl_algebra::MinSecond;
+use gbtl_core::{no_accum, Backend, Context, Descriptor, Matrix, Result, Vector};
+
+use crate::util::pattern_matrix;
+
+/// Label the connected components of an *undirected* graph: every vertex
+/// receives the smallest vertex id reachable from it.
+///
+/// Iterative min-label propagation: each round every vertex pulls the
+/// minimum label of its neighbourhood with one `mxv` on `(min, second)` and
+/// keeps the smaller of that and its own. Converges in at most the graph
+/// diameter rounds.
+pub fn connected_components<B: Backend>(
+    ctx: &Context<B>,
+    a: &Matrix<bool>,
+) -> Result<Vector<u64>> {
+    assert_eq!(a.nrows(), a.ncols(), "adjacency must be square");
+    let n = a.nrows();
+    let a_ids = pattern_matrix(ctx, a, 1u64);
+
+    let mut labels: Vector<u64> = Vector::new_dense(n);
+    for i in 0..n {
+        labels.set(i, i as u64);
+    }
+    let desc = Descriptor::new();
+    loop {
+        // neighbourhood minimum: w_i = min over j in N(i) of labels_j
+        let mut nbr_min: Vector<u64> = Vector::new_dense(n);
+        ctx.mxv(
+            &mut nbr_min,
+            None,
+            no_accum(),
+            MinSecond::<u64>::new(),
+            &a_ids,
+            &labels,
+            &desc,
+        )?;
+        let mut changed = false;
+        for i in 0..n {
+            if let Some(m) = nbr_min.get(i) {
+                let cur = labels.get(i).expect("labels are dense");
+                if m < cur {
+                    labels.set(i, m);
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    Ok(labels)
+}
+
+/// Number of distinct components in a label vector.
+pub fn component_count(labels: &Vector<u64>) -> usize {
+    let mut set = std::collections::HashSet::new();
+    for (_, l) in labels.iter() {
+        set.insert(l);
+    }
+    set.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gbtl_algebra::Second;
+
+    fn undirected(edges: &[(usize, usize)], n: usize) -> Matrix<bool> {
+        let mut triples = Vec::new();
+        for &(a, b) in edges {
+            triples.push((a, b, true));
+            triples.push((b, a, true));
+        }
+        Matrix::build(n, n, triples, Second::new()).unwrap()
+    }
+
+    #[test]
+    fn two_components() {
+        let a = undirected(&[(0, 1), (1, 2), (3, 4)], 6);
+        let labels = connected_components(&Context::sequential(), &a).unwrap();
+        assert_eq!(labels.get(0), Some(0));
+        assert_eq!(labels.get(1), Some(0));
+        assert_eq!(labels.get(2), Some(0));
+        assert_eq!(labels.get(3), Some(3));
+        assert_eq!(labels.get(4), Some(3));
+        assert_eq!(labels.get(5), Some(5)); // isolated vertex
+        assert_eq!(component_count(&labels), 3);
+    }
+
+    #[test]
+    fn long_path_converges() {
+        let n = 50;
+        let edges: Vec<(usize, usize)> = (0..n - 1).map(|v| (v, v + 1)).collect();
+        let a = undirected(&edges, n);
+        let labels = connected_components(&Context::sequential(), &a).unwrap();
+        assert!((0..n).all(|v| labels.get(v) == Some(0)));
+    }
+
+    #[test]
+    fn backends_agree() {
+        let a = undirected(&[(0, 3), (3, 5), (1, 2), (2, 4)], 7);
+        let seq = connected_components(&Context::sequential(), &a).unwrap();
+        let cuda = connected_components(&Context::cuda_default(), &a).unwrap();
+        assert_eq!(seq, cuda);
+        assert_eq!(component_count(&seq), 3);
+    }
+
+    #[test]
+    fn empty_graph_all_singletons() {
+        let a = Matrix::<bool>::new(4, 4);
+        let labels = connected_components(&Context::sequential(), &a).unwrap();
+        assert_eq!(component_count(&labels), 4);
+    }
+}

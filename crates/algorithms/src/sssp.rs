@@ -1,0 +1,167 @@
+//! Single-source shortest paths: Bellman–Ford over the tropical semiring.
+
+use gbtl_algebra::{Bounded, MinPlus, Scalar};
+use gbtl_core::{no_accum, Backend, Context, Descriptor, Matrix, Result, Vector};
+
+/// Weight-domain additive identity, needed to seed the source distance
+/// (`x + zero == x`).
+pub trait DefaultZero {
+    /// The additive identity of the weight domain.
+    fn default_zero() -> Self;
+}
+
+macro_rules! impl_default_zero {
+    ($($t:ty => $z:expr),*) => {$(
+        impl DefaultZero for $t {
+            #[inline(always)]
+            fn default_zero() -> Self { $z }
+        }
+    )*};
+}
+
+impl_default_zero!(u8 => 0, u16 => 0, u32 => 0, u64 => 0, usize => 0,
+                   i8 => 0, i16 => 0, i32 => 0, i64 => 0, isize => 0,
+                   f32 => 0.0, f64 => 0.0);
+
+/// Bellman–Ford SSSP from `src` over non-negative edge weights.
+///
+/// Each round relaxes every edge out of the *changed* frontier with one
+/// `vxm` on the `(min, +)` semiring, then merges improvements into the
+/// distance vector; improved vertices form the next frontier (the standard
+/// GraphBLAS "delta" Bellman–Ford). Terminates when no distance improves —
+/// at most `n` rounds on any graph without negative cycles.
+///
+/// Returns per-vertex distances; absent = unreachable.
+pub fn sssp<B, T>(ctx: &Context<B>, a: &Matrix<T>, src: usize) -> Result<Vector<T>>
+where
+    B: Backend,
+    T: Scalar + PartialOrd + Bounded + DefaultZero + std::ops::Add<Output = T>,
+{
+    assert_eq!(a.nrows(), a.ncols(), "adjacency must be square");
+    assert!(src < a.nrows(), "source out of range");
+    let n = a.nrows();
+    let zero = T::default_zero();
+
+    let mut dist: Vector<T> = Vector::new_dense(n);
+    dist.set(src, zero);
+    let mut frontier: Vector<T> = Vector::new(n);
+    frontier.set(src, zero);
+
+    let desc = Descriptor::new();
+    for _round in 0..n {
+        if frontier.nnz() == 0 {
+            break;
+        }
+        // Candidate distances through the frontier: one push-mode product
+        // on (min, +).
+        let mut relax: Vector<T> = Vector::new(n);
+        ctx.vxm(
+            &mut relax,
+            None,
+            no_accum(),
+            MinPlus::<T>::new(),
+            &frontier,
+            a,
+            &desc,
+        )?;
+        // dist = eWiseAdd(dist, relax, Min), keeping the improved set as
+        // the next frontier. The improvement test needs old-vs-new
+        // comparison, so it runs host-side (identically for both backends).
+        let mut next: Vector<T> = Vector::new(n);
+        for (i, cand) in relax.iter() {
+            let improved = match dist.get(i) {
+                Some(old) => cand < old,
+                None => true,
+            };
+            if improved {
+                dist.set(i, cand);
+                next.set(i, cand);
+            }
+        }
+        frontier = next;
+    }
+    Ok(dist)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gbtl_algebra::Second;
+
+    /// Weighted digraph:
+    /// 0 -(7)-> 1, 0 -(2)-> 2, 2 -(3)-> 1, 1 -(1)-> 3, 2 -(8)-> 3; 4 isolated.
+    fn graph() -> Matrix<u32> {
+        Matrix::build(
+            5,
+            5,
+            [
+                (0usize, 1usize, 7u32),
+                (0, 2, 2),
+                (2, 1, 3),
+                (1, 3, 1),
+                (2, 3, 8),
+            ],
+            Second::new(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn shortest_distances() {
+        let ctx = Context::sequential();
+        let d = sssp(&ctx, &graph(), 0).unwrap();
+        assert_eq!(d.get(0), Some(0));
+        assert_eq!(d.get(1), Some(5)); // 0->2->1 = 2+3
+        assert_eq!(d.get(2), Some(2));
+        assert_eq!(d.get(3), Some(6)); // 0->2->1->3 = 6
+        assert_eq!(d.get(4), None);
+    }
+
+    #[test]
+    fn backends_agree() {
+        let a = graph();
+        let seq = sssp(&Context::sequential(), &a, 0).unwrap();
+        let cuda = sssp(&Context::cuda_default(), &a, 0).unwrap();
+        assert_eq!(seq, cuda);
+    }
+
+    #[test]
+    fn float_weights() {
+        let a = Matrix::build(
+            3,
+            3,
+            [(0usize, 1usize, 1.5f64), (1, 2, 2.5), (0, 2, 10.0)],
+            Second::new(),
+        )
+        .unwrap();
+        let d = sssp(&Context::sequential(), &a, 0).unwrap();
+        assert_eq!(d.get(2), Some(4.0));
+    }
+
+    #[test]
+    fn source_only_graph() {
+        let a = Matrix::<u32>::new(3, 3);
+        let d = sssp(&Context::sequential(), &a, 1).unwrap();
+        assert_eq!(d.get(1), Some(0));
+        assert_eq!(d.nnz(), 1);
+    }
+
+    #[test]
+    fn longer_path_beats_heavy_direct_edge() {
+        // 0 -(100)-> 3 direct, but 0->1->2->3 costs 3.
+        let a = Matrix::build(
+            4,
+            4,
+            [
+                (0usize, 3usize, 100u32),
+                (0, 1, 1),
+                (1, 2, 1),
+                (2, 3, 1),
+            ],
+            Second::new(),
+        )
+        .unwrap();
+        let d = sssp(&Context::sequential(), &a, 0).unwrap();
+        assert_eq!(d.get(3), Some(3));
+    }
+}

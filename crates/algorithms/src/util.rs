@@ -1,0 +1,112 @@
+//! Shared helpers: typed pattern matrices and triangular extraction.
+
+use gbtl_algebra::{Scalar, Second, UnaryOp};
+use gbtl_core::{Backend, Context, Matrix};
+
+/// Unary op returning a constant, used to retype structure matrices.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Const<A, T>(pub T, std::marker::PhantomData<fn() -> A>);
+
+impl<A, T> Const<A, T> {
+    /// Constant op producing `value` for every input.
+    pub fn new(value: T) -> Self {
+        Const(value, std::marker::PhantomData)
+    }
+}
+
+impl<A: Scalar, T: Scalar> UnaryOp<A> for Const<A, T> {
+    type Output = T;
+    #[inline(always)]
+    fn apply(&self, _a: A) -> T {
+        self.0
+    }
+}
+
+/// Retype a structure matrix: every stored entry becomes `one`.
+///
+/// Algorithms use this to run typed semirings (u64 ids, u32 weights, f64
+/// ranks) over boolean adjacency structure.
+pub fn pattern_matrix<B: Backend, A: Scalar, T: Scalar>(
+    ctx: &Context<B>,
+    a: &Matrix<A>,
+    one: T,
+) -> Matrix<T> {
+    ctx.apply_mat_new(Const::<A, T>::new(one), a)
+}
+
+/// Strictly-lower-triangular part of `A` (host-side structural filter — a
+/// preprocessing step identical for both backends).
+pub fn tril<T: Scalar>(a: &Matrix<T>) -> Matrix<T> {
+    let (rows, cols, vals) = a.extract_tuples();
+    let triples = rows
+        .into_iter()
+        .zip(cols)
+        .zip(vals)
+        .filter(|&((i, j), _)| j < i)
+        .map(|((i, j), v)| (i, j, v));
+    Matrix::build(a.nrows(), a.ncols(), triples, Second::new()).expect("indices from valid matrix")
+}
+
+/// Strictly-upper-triangular part of `A`.
+pub fn triu<T: Scalar>(a: &Matrix<T>) -> Matrix<T> {
+    let (rows, cols, vals) = a.extract_tuples();
+    let triples = rows
+        .into_iter()
+        .zip(cols)
+        .zip(vals)
+        .filter(|&((i, j), _)| j > i)
+        .map(|((i, j), v)| (i, j, v));
+    Matrix::build(a.nrows(), a.ncols(), triples, Second::new()).expect("indices from valid matrix")
+}
+
+/// Build a boolean adjacency [`Matrix`] from an edge-list COO: duplicates
+/// and self-loops dropped. The usual bridge from a generator or Matrix
+/// Market file to the algorithm suite.
+pub fn adjacency(coo: gbtl_sparse::CooMatrix<bool>) -> Matrix<bool> {
+    let (n, m) = (coo.nrows(), coo.ncols());
+    let mut clean = gbtl_sparse::CooMatrix::with_capacity(n, m, coo.nnz());
+    for (i, j, v) in coo.iter() {
+        if i != j {
+            clean.push(i, j, v);
+        }
+    }
+    Matrix::from_csr(gbtl_sparse::CsrMatrix::from_coo(clean, |a, _| a))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pattern_matrix_retypes() {
+        let ctx = Context::sequential();
+        let a = Matrix::build(2, 2, [(0usize, 1usize, true)], Second::new()).unwrap();
+        let p = pattern_matrix(&ctx, &a, 1u64);
+        assert_eq!(p.get(0, 1), Some(1));
+        assert_eq!(p.nnz(), 1);
+    }
+
+    #[test]
+    fn tril_triu_partition_off_diagonals() {
+        let a = Matrix::build(
+            3,
+            3,
+            [
+                (0usize, 1usize, 1i64),
+                (1, 0, 2),
+                (1, 1, 3),
+                (2, 0, 4),
+                (0, 2, 5),
+            ],
+            Second::new(),
+        )
+        .unwrap();
+        let l = tril(&a);
+        let u = triu(&a);
+        assert_eq!(l.nnz(), 2); // (1,0), (2,0)
+        assert_eq!(u.nnz(), 2); // (0,1), (0,2)
+        assert_eq!(l.get(1, 0), Some(2));
+        assert_eq!(u.get(0, 2), Some(5));
+        assert_eq!(l.get(1, 1), None); // diagonal excluded
+    }
+}

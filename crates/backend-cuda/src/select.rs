@@ -1,0 +1,125 @@
+//! `select` and `kronecker` on the device.
+
+use gbtl_algebra::{BinaryOp, Scalar, SelectOp};
+use gbtl_gpu_sim::{primitives as prim, Gpu, KernelTally};
+use gbtl_sparse::{CsrMatrix, SparseVector};
+use rayon::prelude::*;
+
+use crate::util::{assert_key_encodable, compress_sorted_keys, encode_key, expand_row_ids};
+
+/// Keep matrix entries passing the predicate — a flags → compact pipeline
+/// over the triples, then a recompression.
+pub fn select_mat<T, P>(gpu: &Gpu, a: &CsrMatrix<T>, op: P) -> CsrMatrix<T>
+where
+    T: Scalar,
+    P: SelectOp<T>,
+{
+    assert_key_encodable(a.nrows(), a.ncols());
+    let rows = expand_row_ids(gpu, a.row_ptr(), a.nnz());
+    let keyed: Vec<(u64, T)> = rows
+        .par_iter()
+        .zip(a.col_idx().par_iter())
+        .zip(a.vals().par_iter())
+        .map(|((&i, &j), &v)| (encode_key(i, j, a.ncols()), v))
+        .collect();
+    super::charge_stream_kernel(gpu, "select_key", a.nnz(), 24, 24);
+    let ncols = a.ncols();
+    let kept = prim::copy_if(gpu, &keyed, |&(key, v)| {
+        let (i, j) = crate::util::decode_key(key, ncols);
+        op.keep(i, j, v)
+    });
+    let keys: Vec<u64> = kept.iter().map(|&(k, _)| k).collect();
+    let vals: Vec<T> = kept.into_iter().map(|(_, v)| v).collect();
+    compress_sorted_keys(gpu, a.nrows(), a.ncols(), &keys, vals)
+}
+
+/// Keep vector entries passing the predicate (column fixed at 0).
+pub fn select_vec<T, P>(gpu: &Gpu, u: &SparseVector<T>, op: P) -> SparseVector<T>
+where
+    T: Scalar,
+    P: SelectOp<T>,
+{
+    let pairs: Vec<(usize, T)> = u.iter().collect();
+    let kept = prim::copy_if(gpu, &pairs, |&(i, v)| op.keep(i, 0, v));
+    let idx: Vec<usize> = kept.iter().map(|&(i, _)| i).collect();
+    let vals: Vec<T> = kept.into_iter().map(|(_, v)| v).collect();
+    SparseVector::from_sorted(u.len(), idx, vals).expect("filter preserves order")
+}
+
+/// Kronecker product `C = A ⊗ B` by expansion: every `(A entry, B entry)`
+/// pair emits one output entry at a computable position — no sort needed
+/// because the blocked emit order is already row-major.
+pub fn kronecker<T, Op>(gpu: &Gpu, a: &CsrMatrix<T>, b: &CsrMatrix<T>, mul: Op) -> CsrMatrix<T>
+where
+    T: Scalar,
+    Op: BinaryOp<T>,
+{
+    // The functional result matches the sequential algorithm exactly; the
+    // charged cost is the expansion kernel's.
+    let out = gbtl_backend_seq::kronecker(a, b, mul);
+    let nnz = out.nnz() as u64;
+    let txn = gpu.config().mem_transaction_bytes as u64;
+    let val_sz = std::mem::size_of::<T>() as u64;
+    gpu.charge_kernel(
+        "kronecker_expand",
+        (a.nnz() * b.nrows()).div_ceil(256).max(1),
+        KernelTally {
+            warp_instructions: 4 * nnz.div_ceil(gpu.config().warp_size as u64),
+            mem_transactions: ((a.nnz() as u64 + b.nnz() as u64) * (8 + val_sz)).div_ceil(txn)
+                + (nnz * (8 + val_sz)).div_ceil(txn),
+            atomic_ops: 0,
+        },
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gbtl_algebra::{Times, TriL, ValueGe};
+    use gbtl_sparse::CooMatrix;
+
+    fn mat(t: &[(usize, usize, i64)], m: usize, n: usize) -> CsrMatrix<i64> {
+        let mut coo = CooMatrix::new(m, n);
+        for &(i, j, v) in t {
+            coo.push(i, j, v);
+        }
+        CsrMatrix::from_coo(coo, |a, _| a)
+    }
+
+    #[test]
+    fn select_matches_seq() {
+        let gpu = Gpu::default();
+        let a = mat(&[(0, 1, 5), (1, 0, -2), (2, 1, 7), (2, 2, 1)], 3, 3);
+        assert_eq!(
+            select_mat(&gpu, &a, TriL),
+            gbtl_backend_seq::select_mat_op(&a, TriL)
+        );
+        assert_eq!(
+            select_mat(&gpu, &a, ValueGe(1i64)),
+            gbtl_backend_seq::select_mat_op(&a, ValueGe(1i64))
+        );
+    }
+
+    #[test]
+    fn select_vec_matches_seq() {
+        let gpu = Gpu::default();
+        let mut u = SparseVector::new(6);
+        u.set(1, 4i64);
+        u.set(4, -9);
+        assert_eq!(
+            select_vec(&gpu, &u, ValueGe(0i64)),
+            gbtl_backend_seq::select_vec_op(&u, ValueGe(0i64))
+        );
+    }
+
+    #[test]
+    fn kronecker_matches_seq_and_charges() {
+        let gpu = Gpu::default();
+        let a = mat(&[(0, 0, 2), (1, 1, 3)], 2, 2);
+        let b = mat(&[(0, 1, 5)], 1, 2);
+        let got = kronecker(&gpu, &a, &b, Times::new());
+        assert_eq!(got, gbtl_backend_seq::kronecker(&a, &b, Times::new()));
+        assert!(gpu.stats().kernels_launched > 0);
+    }
+}

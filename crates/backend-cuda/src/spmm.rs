@@ -1,0 +1,263 @@
+//! Sparse matrix–matrix multiply on the device.
+//!
+//! * [`mxm`] — CUSP's **ESC** (expand, sort, compress) SpGEMM: expand every
+//!   `A(i,k)·B(k,:)` product into a candidate triple, radix-sort the
+//!   candidates by `(i,j)`, and compress duplicates with `reduce_by_key`.
+//!   This is exactly the algorithm the GBTL-CUDA backend inherits from
+//!   CUSP.
+//! * [`mxm_masked`] — the dot-product formulation for structurally-masked
+//!   products (`C<M> = A·B`): one merge-join of `A(i,:)` with `B(:,j)` per
+//!   mask entry. This is the triangle-counting shape, where ESC's
+//!   expansion would materialise every wedge.
+
+use gbtl_algebra::{BinaryOp, Scalar, Semiring};
+use gbtl_gpu_sim::{primitives as prim, Gpu, KernelTally};
+use gbtl_sparse::{CscMatrix, CsrMatrix};
+use rayon::prelude::*;
+
+use crate::util::{assert_key_encodable, compress_sorted_keys, encode_key, expand_row_ids};
+
+/// `C = A ⊕.⊗ B` by expand–sort–compress.
+pub fn mxm<T, S>(gpu: &Gpu, a: &CsrMatrix<T>, b: &CsrMatrix<T>, sr: S) -> CsrMatrix<T>
+where
+    T: Scalar,
+    S: Semiring<T>,
+{
+    assert_eq!(a.ncols(), b.nrows(), "mxm inner dimension mismatch");
+    assert_key_encodable(a.nrows(), b.ncols());
+    let (add, mul) = (sr.add(), sr.mul());
+    let (m, n) = (a.nrows(), b.ncols());
+    let b_row_ptr = b.row_ptr();
+    let b_col_idx = b.col_idx();
+    let b_vals = b.vals();
+
+    // --- Expand ---------------------------------------------------------
+    // Per-A-entry expansion size = nnz of the referenced B row.
+    let a_rows = expand_row_ids(gpu, a.row_ptr(), a.nnz());
+    let starts = prim::gather(gpu, a.col_idx(), b_row_ptr);
+    let ends = {
+        let next: Vec<usize> = a.col_idx().iter().map(|&k| k + 1).collect();
+        prim::gather(gpu, &next, b_row_ptr)
+    };
+    let sizes: Vec<usize> = prim::zip_transform(gpu, &ends, &starts, |e, s| e - s);
+    let (offsets, total) = prim::scan::exclusive_scan_total(gpu, &sizes, |x, y| x + y);
+    let _ = &offsets;
+
+    // Candidate (key, value) pairs in expansion order.
+    let candidates: Vec<(u64, T)> = (0..a.nnz())
+        .into_par_iter()
+        .flat_map_iter(|e| {
+            let i = a_rows[e];
+            let aik = a.vals()[e];
+            let lo = starts[e];
+            (0..sizes[e]).map(move |t| {
+                let j = b_col_idx[lo + t];
+                (encode_key(i, j, n), mul.apply(aik, b_vals[lo + t]))
+            })
+        })
+        .collect();
+    debug_assert_eq!(candidates.len(), total);
+    let txn = gpu.config().mem_transaction_bytes as u64;
+    let val_sz = std::mem::size_of::<T>() as u64;
+    gpu.charge_kernel(
+        "spgemm_expand",
+        a.nnz().div_ceil(256).max(1),
+        KernelTally {
+            warp_instructions: 6 * (total as u64).div_ceil(gpu.config().warp_size as u64),
+            mem_transactions: prim::gather_cost(gpu, &starts, 8)
+                + (total as u64 * (8 + val_sz)).div_ceil(txn)   // B-row payload reads
+                + (total as u64 * (8 + val_sz)).div_ceil(txn), // candidate writes
+            atomic_ops: 0,
+        },
+    );
+
+    // --- Sort ------------------------------------------------------------
+    let keys: Vec<u64> = candidates.iter().map(|&(k, _)| k).collect();
+    let cvals: Vec<T> = candidates.into_iter().map(|(_, v)| v).collect();
+    let (sorted_keys, sorted_vals) = prim::sort_pairs(gpu, &keys, &cvals);
+
+    // --- Compress ----------------------------------------------------------
+    let (out_keys, out_vals) =
+        prim::reduce_by_key(gpu, &sorted_keys, &sorted_vals, |x, y| add.apply(x, y));
+    compress_sorted_keys(gpu, m, n, &out_keys, out_vals)
+}
+
+/// `C<M> = A ⊕.⊗ B` computed per mask entry by merging `A(i,:)` against
+/// `B(:,j)` (the latter supplied as CSC so column access is contiguous).
+pub fn mxm_masked<T, S>(
+    gpu: &Gpu,
+    mask: &CsrMatrix<bool>,
+    a: &CsrMatrix<T>,
+    b_csc: &CscMatrix<T>,
+    sr: S,
+) -> CsrMatrix<T>
+where
+    T: Scalar,
+    S: Semiring<T>,
+{
+    assert_eq!(a.ncols(), b_csc.nrows(), "mxm inner dimension mismatch");
+    assert_eq!(
+        (mask.nrows(), mask.ncols()),
+        (a.nrows(), b_csc.ncols()),
+        "mask shape must equal output shape"
+    );
+    let (add, mul) = (sr.add(), sr.mul());
+    let m_rows = expand_row_ids(gpu, mask.row_ptr(), mask.nnz());
+    let m_cols = mask.col_idx();
+
+    // One warp per mask entry: merge-join of two sorted index lists.
+    let results: Vec<Option<T>> = (0..mask.nnz())
+        .into_par_iter()
+        .map(|e| {
+            let (i, j) = (m_rows[e], m_cols[e]);
+            let (ac, av) = a.row(i);
+            let (bc, bv) = b_csc.col(j);
+            let (mut p, mut q) = (0usize, 0usize);
+            let mut acc: Option<T> = None;
+            while p < ac.len() && q < bc.len() {
+                match ac[p].cmp(&bc[q]) {
+                    std::cmp::Ordering::Equal => {
+                        let term = mul.apply(av[p], bv[q]);
+                        acc = Some(match acc {
+                            Some(v) => add.apply(v, term),
+                            None => term,
+                        });
+                        p += 1;
+                        q += 1;
+                    }
+                    std::cmp::Ordering::Less => p += 1,
+                    std::cmp::Ordering::Greater => q += 1,
+                }
+            }
+            acc
+        })
+        .collect();
+
+    // Cost: each entry streams both lists once (contiguous runs).
+    let txn = gpu.config().mem_transaction_bytes as u64;
+    let val_sz = std::mem::size_of::<T>() as u64;
+    let merged_elems: u64 = (0..mask.nnz())
+        .into_par_iter()
+        .map(|e| (a.row_nnz(m_rows[e]) + {
+            let j = m_cols[e];
+            b_csc.col_ptr()[j + 1] - b_csc.col_ptr()[j]
+        }) as u64)
+        .sum();
+    gpu.charge_kernel(
+        "spgemm_masked_dot",
+        mask.nnz().div_ceil(256).max(1),
+        KernelTally {
+            warp_instructions: 2 * merged_elems.div_ceil(gpu.config().warp_size as u64)
+                + mask.nnz() as u64,
+            mem_transactions: (merged_elems * (8 + val_sz)).div_ceil(txn)
+                + merged_elems / 8 // per-row/col start overhead, amortised
+                + ((mask.nnz() * (8 + val_sz as usize)) as u64).div_ceil(txn),
+            atomic_ops: 0,
+        },
+    );
+
+    // Assemble CSR keeping only entries that produced a value.
+    let mut row_ptr = Vec::with_capacity(mask.nrows() + 1);
+    row_ptr.push(0usize);
+    let mut col_idx = Vec::new();
+    let mut vals = Vec::new();
+    let mut e = 0usize;
+    for i in 0..mask.nrows() {
+        let row_end = mask.row_ptr()[i + 1];
+        while e < row_end {
+            if let Some(v) = results[e] {
+                col_idx.push(m_cols[e]);
+                vals.push(v);
+            }
+            e += 1;
+        }
+        row_ptr.push(col_idx.len());
+    }
+    CsrMatrix::from_parts_unchecked(mask.nrows(), mask.ncols(), row_ptr, col_idx, vals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gbtl_algebra::{MinPlus, PlusTimes};
+    use gbtl_sparse::CooMatrix;
+
+    fn mat(entries: &[(usize, usize, i64)], m: usize, n: usize) -> CsrMatrix<i64> {
+        let mut coo = CooMatrix::new(m, n);
+        for &(i, j, v) in entries {
+            coo.push(i, j, v);
+        }
+        CsrMatrix::from_coo(coo, |a, _| a)
+    }
+
+    #[test]
+    fn esc_matches_gustavson() {
+        let gpu = Gpu::default();
+        let a = mat(&[(0, 0, 1), (0, 1, 2), (1, 2, 3)], 2, 3);
+        let b = mat(&[(0, 0, 1), (1, 0, 1), (1, 1, 1), (2, 1, 2)], 3, 2);
+        let expected = gbtl_backend_seq::mxm(&a, &b, PlusTimes::<i64>::new());
+        let got = mxm(&gpu, &a, &b, PlusTimes::<i64>::new());
+        assert_eq!(got, expected);
+        got.validate().unwrap();
+    }
+
+    #[test]
+    fn esc_with_min_plus() {
+        let gpu = Gpu::default();
+        let a = mat(&[(0, 1, 5), (1, 2, 7), (0, 2, 100)], 3, 3);
+        let expected = gbtl_backend_seq::mxm(&a, &a, MinPlus::<i64>::new());
+        let got = mxm(&gpu, &a, &a, MinPlus::<i64>::new());
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn esc_empty_operands() {
+        let gpu = Gpu::default();
+        let a = CsrMatrix::<i64>::new(3, 3);
+        let got = mxm(&gpu, &a, &a, PlusTimes::<i64>::new());
+        assert_eq!(got.nnz(), 0);
+        assert_eq!((got.nrows(), got.ncols()), (3, 3));
+    }
+
+    #[test]
+    fn masked_dot_matches_seq_masked() {
+        let gpu = Gpu::default();
+        let a = mat(
+            &[(0, 0, 1), (0, 1, 2), (1, 0, 3), (1, 2, 4), (2, 1, 5), (2, 2, 6)],
+            3,
+            3,
+        );
+        let b = mat(&[(0, 0, 7), (1, 1, 8), (1, 2, 1), (2, 0, 9)], 3, 3);
+        let mut mcoo = CooMatrix::new(3, 3);
+        for &(i, j) in &[(0, 0), (0, 2), (1, 0), (2, 1), (2, 2)] {
+            mcoo.push(i, j, true);
+        }
+        let mask = CsrMatrix::from_coo(mcoo, |x, _| x);
+
+        let expected = gbtl_backend_seq::mxm_masked(&mask, &a, &b, PlusTimes::<i64>::new());
+        let got = mxm_masked(&gpu, &mask, &a, &b.to_csc(), PlusTimes::<i64>::new());
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn masked_dot_empty_mask() {
+        let gpu = Gpu::default();
+        let a = mat(&[(0, 0, 1)], 2, 2);
+        let mask = CsrMatrix::<bool>::new(2, 2);
+        let got = mxm_masked(&gpu, &mask, &a, &a.to_csc(), PlusTimes::<i64>::new());
+        assert_eq!(got.nnz(), 0);
+    }
+
+    #[test]
+    fn esc_charges_expand_sort_compress_kernels() {
+        let gpu = Gpu::default();
+        let a = mat(&[(0, 0, 1), (0, 1, 1), (1, 0, 1)], 2, 2);
+        let _ = mxm(&gpu, &a, &a, PlusTimes::<i64>::new());
+        let names: Vec<&str> = vec![];
+        let _ = names;
+        let s = gpu.stats();
+        // expand + 4 radix passes + reduce_by_key + compress pieces, at least
+        assert!(s.kernels_launched >= 7, "launched {}", s.kernels_launched);
+        assert!(s.mem_transactions > 0);
+    }
+}

@@ -1,0 +1,114 @@
+//! Shared device-side helpers: row-id expansion, key encoding, and CSR
+//! (re)compression — the glue steps of every ESC-style pipeline.
+
+use gbtl_algebra::Scalar;
+use gbtl_gpu_sim::{primitives as prim, Gpu};
+use gbtl_sparse::CsrMatrix;
+use rayon::prelude::*;
+
+/// Expand a CSR row-pointer into one row id per stored entry (the
+/// "expand" half of CUSP's offsets↔indices conversion).
+///
+/// Charged as a bandwidth-shaped kernel: read `row_ptr`, write `nnz` ids.
+pub fn expand_row_ids(gpu: &Gpu, row_ptr: &[usize], nnz: usize) -> Vec<usize> {
+    let nrows = row_ptr.len() - 1;
+    let out: Vec<usize> = (0..nrows)
+        .into_par_iter()
+        .flat_map_iter(|i| std::iter::repeat(i).take(row_ptr[i + 1] - row_ptr[i]))
+        .collect();
+    debug_assert_eq!(out.len(), nnz);
+    let txn = gpu.config().mem_transaction_bytes as u64;
+    gpu.charge_kernel(
+        "expand_row_ids",
+        nrows.div_ceil(4096).max(1),
+        gbtl_gpu_sim::KernelTally {
+            warp_instructions: (nnz as u64).div_ceil(gpu.config().warp_size as u64)
+                + (nrows as u64).div_ceil(gpu.config().warp_size as u64),
+            mem_transactions: ((row_ptr.len() * 8) as u64).div_ceil(txn)
+                + ((nnz * 8) as u64).div_ceil(txn),
+            atomic_ops: 0,
+        },
+    );
+    out
+}
+
+/// Encode `(row, col)` as a sortable 64-bit key, row-major.
+#[inline]
+pub fn encode_key(row: usize, col: usize, ncols: usize) -> u64 {
+    debug_assert!(col < ncols);
+    row as u64 * ncols as u64 + col as u64
+}
+
+/// Inverse of [`encode_key`].
+#[inline]
+pub fn decode_key(key: u64, ncols: usize) -> (usize, usize) {
+    ((key / ncols as u64) as usize, (key % ncols as u64) as usize)
+}
+
+/// Assemble a CSR matrix from row-major-sorted, duplicate-free
+/// `(key, value)` pairs: histogram the rows, scan into a row pointer.
+pub fn compress_sorted_keys<T: Scalar>(
+    gpu: &Gpu,
+    nrows: usize,
+    ncols: usize,
+    keys: &[u64],
+    vals: Vec<T>,
+) -> CsrMatrix<T> {
+    debug_assert!(keys.windows(2).all(|w| w[0] < w[1]), "keys sorted unique");
+    let rows: Vec<usize> = prim::transform(gpu, keys, |&k| (k / ncols as u64) as usize);
+    let cols: Vec<usize> = prim::transform(gpu, keys, |&k| (k % ncols as u64) as usize);
+    let counts = prim::histogram(gpu, nrows, &rows);
+    let (mut row_ptr, total) = prim::scan::exclusive_scan_total(gpu, &counts, |a, b| a + b);
+    row_ptr.push(total);
+    debug_assert_eq!(total, keys.len());
+    CsrMatrix::from_parts_unchecked(nrows, ncols, row_ptr, cols, vals)
+}
+
+/// Guard: the 64-bit key encoding must not overflow.
+pub fn assert_key_encodable(nrows: usize, ncols: usize) {
+    let max = nrows as u128 * ncols as u128;
+    assert!(
+        max < (u64::MAX / 4) as u128,
+        "matrix {nrows}x{ncols} too large for 64-bit ESC keys"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gbtl_gpu_sim::GpuConfig;
+
+    #[test]
+    fn expand_row_ids_matches_csr() {
+        let gpu = Gpu::new(GpuConfig::k40());
+        // rows with 2, 0, 3 entries
+        let row_ptr = [0usize, 2, 2, 5];
+        let ids = expand_row_ids(&gpu, &row_ptr, 5);
+        assert_eq!(ids, vec![0, 0, 2, 2, 2]);
+    }
+
+    #[test]
+    fn key_round_trip() {
+        let k = encode_key(7, 11, 100);
+        assert_eq!(decode_key(k, 100), (7, 11));
+    }
+
+    #[test]
+    fn compress_rebuilds_csr() {
+        let gpu = Gpu::default();
+        // entries (0,1)=10, (0,3)=20, (2,0)=30 in a 3x4
+        let keys = [1u64, 3, 8];
+        let m = compress_sorted_keys(&gpu, 3, 4, &keys, vec![10, 20, 30]);
+        m.validate().unwrap();
+        assert_eq!(m.get(0, 1), Some(10));
+        assert_eq!(m.get(0, 3), Some(20));
+        assert_eq!(m.get(2, 0), Some(30));
+        assert_eq!(m.row_nnz(1), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "too large")]
+    fn key_overflow_guard() {
+        assert_key_encodable(1 << 40, 1 << 40);
+    }
+}

@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+
+//! Sequential reference backend for GBTL-RS.
+//!
+//! One straightforward, cache-friendly CPU implementation of every
+//! GraphBLAS operation, mirroring GBTL's `sequential` backend. It serves
+//! three roles:
+//!
+//! 1. the *baseline* every experiment compares the simulated-CUDA backend
+//!    against (exactly the comparison the paper makes);
+//! 2. the *oracle* for differential tests of the CUDA backend;
+//! 3. a perfectly usable backend in its own right for small graphs.
+//!
+//! All functions are pure: inputs by reference, outputs returned. Masks
+//! arrive pre-resolved by the frontend — a vector mask is a `&[bool]` keep
+//! bitmap, a matrix mask is a structural `CsrMatrix<bool>` — so backends
+//! never see descriptor flags.
+
+mod ewise;
+mod extract;
+mod mxm;
+mod mxv;
+mod reduce;
+mod unary;
+
+pub use ewise::{ewise_add_mat, ewise_add_vec, ewise_mult_mat, ewise_mult_vec};
+pub use extract::{assign_mat, assign_vec, extract_mat, extract_vec};
+pub use mxm::{kronecker, mxm, mxm_masked};
+pub use mxv::{mxv, vxm};
+pub use reduce::{reduce_mat, reduce_rows, reduce_sparse_vec, reduce_vec};
+pub use unary::{apply_dense_vec, apply_mat, apply_vec, select_mat, select_mat_op, select_vec_op};

@@ -1,0 +1,48 @@
+//! R-A1 ablation: scalar vs vector CSR SpMV kernels on skewed vs uniform
+//! graphs (wall time of the functional simulation; the modeled-transaction
+//! comparison lives in `experiments a1`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gbtl_algebra::PlusTimes;
+use gbtl_bench::{cuda_ctx, er_graph, rmat_graph, typed};
+use gbtl_core::{no_accum, Descriptor, SpmvKernel, Vector};
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("r_a1_spmv_kernels");
+    group.sample_size(10);
+
+    for (family, a) in [
+        ("rmat", rmat_graph(12, 16, 5)),
+        ("er", er_graph(12, 16, 5)),
+    ] {
+        let af = typed(&a, 1.0f64);
+        let u = Vector::filled(a.ncols(), 1.0f64);
+        for (kname, kernel) in [("scalar", SpmvKernel::Scalar), ("vector", SpmvKernel::Vector)] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{family}"), kname),
+                &kernel,
+                |b, &kernel| {
+                    let ctx = cuda_ctx().with_spmv_kernel(kernel);
+                    b.iter(|| {
+                        let mut w = Vector::new(af.nrows());
+                        ctx.mxv(
+                            &mut w,
+                            None,
+                            no_accum(),
+                            PlusTimes::new(),
+                            &af,
+                            &u,
+                            &Descriptor::new(),
+                        )
+                        .unwrap();
+                        std::hint::black_box(w)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

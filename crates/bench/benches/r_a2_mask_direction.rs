@@ -1,0 +1,89 @@
+//! R-A2 ablation: masked vs unmasked mxv, and push vs pull BFS.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gbtl_algebra::PlusTimes;
+use gbtl_algorithms::{bfs_levels, Direction};
+use gbtl_bench::{cuda_ctx, grid_graph, rmat_graph, seq_ctx, typed};
+use gbtl_core::{no_accum, Descriptor, Vector};
+
+fn bench_mask_direction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("r_a2_mask_direction");
+    group.sample_size(10);
+
+    // masked mxv at decreasing kept fractions
+    let a = rmat_graph(12, 16, 5);
+    let af = typed(&a, 1.0f64);
+    let u = Vector::filled(a.ncols(), 1.0f64);
+    let n = a.nrows();
+    for keep_every in [1usize, 8, 64] {
+        let mask = if keep_every == 1 {
+            None
+        } else {
+            let mut m = Vector::new(n);
+            for i in (0..n).step_by(keep_every) {
+                m.set(i, true);
+            }
+            Some(m)
+        };
+        group.bench_with_input(
+            BenchmarkId::new("masked_mxv_seq", keep_every),
+            &keep_every,
+            |b, _| {
+                let ctx = seq_ctx();
+                b.iter(|| {
+                    let mut w = Vector::new(n);
+                    ctx.mxv(
+                        &mut w,
+                        mask.as_ref(),
+                        no_accum(),
+                        PlusTimes::new(),
+                        &af,
+                        &u,
+                        &Descriptor::new(),
+                    )
+                    .unwrap();
+                    std::hint::black_box(w)
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("masked_mxv_cuda", keep_every),
+            &keep_every,
+            |b, _| {
+                let ctx = cuda_ctx();
+                b.iter(|| {
+                    let mut w = Vector::new(n);
+                    ctx.mxv(
+                        &mut w,
+                        mask.as_ref(),
+                        no_accum(),
+                        PlusTimes::new(),
+                        &af,
+                        &u,
+                        &Descriptor::new(),
+                    )
+                    .unwrap();
+                    std::hint::black_box(w)
+                })
+            },
+        );
+    }
+
+    // push vs pull whole-BFS
+    for (label, g) in [("rmat11", rmat_graph(11, 16, 5)), ("grid48", grid_graph(48))] {
+        for (dname, dir) in [("push", Direction::Push), ("pull", Direction::Pull)] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("bfs_{label}"), dname),
+                &dir,
+                |b, &dir| {
+                    let ctx = seq_ctx();
+                    b.iter(|| std::hint::black_box(bfs_levels(&ctx, &g, 0, dir).unwrap()))
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mask_direction);
+criterion_main!(benches);

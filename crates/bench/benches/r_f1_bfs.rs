@@ -1,0 +1,36 @@
+//! R-F1: BFS across graph scales on both backends.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gbtl_algorithms::{bfs_levels, Direction};
+use gbtl_bench::{cuda_ctx, grid_graph, rmat_graph, seq_ctx};
+
+fn bench_bfs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("r_f1_bfs");
+    group.sample_size(10);
+
+    for scale in [10u32, 12, 13] {
+        let a = rmat_graph(scale, 16, 7);
+        group.bench_with_input(BenchmarkId::new("rmat/seq", scale), &scale, |b, _| {
+            let ctx = seq_ctx();
+            b.iter(|| std::hint::black_box(bfs_levels(&ctx, &a, 0, Direction::Push).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("rmat/cuda", scale), &scale, |b, _| {
+            let ctx = cuda_ctx();
+            b.iter(|| std::hint::black_box(bfs_levels(&ctx, &a, 0, Direction::Push).unwrap()))
+        });
+    }
+
+    let a = grid_graph(64);
+    group.bench_function("grid64/seq", |b| {
+        let ctx = seq_ctx();
+        b.iter(|| std::hint::black_box(bfs_levels(&ctx, &a, 0, Direction::Push).unwrap()))
+    });
+    group.bench_function("grid64/cuda", |b| {
+        let ctx = cuda_ctx();
+        b.iter(|| std::hint::black_box(bfs_levels(&ctx, &a, 0, Direction::Push).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_bfs);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! R-F2: SSSP (delta Bellman–Ford) across graph scales on both backends.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gbtl_algorithms::sssp;
+use gbtl_bench::{cuda_ctx, grid_graph, rmat_graph, seq_ctx, weighted};
+
+fn bench_sssp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("r_f2_sssp");
+    group.sample_size(10);
+
+    for scale in [10u32, 12] {
+        let a = weighted(&rmat_graph(scale, 16, 7), 13);
+        group.bench_with_input(BenchmarkId::new("rmat/seq", scale), &scale, |b, _| {
+            let ctx = seq_ctx();
+            b.iter(|| std::hint::black_box(sssp(&ctx, &a, 0).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("rmat/cuda", scale), &scale, |b, _| {
+            let ctx = cuda_ctx();
+            b.iter(|| std::hint::black_box(sssp(&ctx, &a, 0).unwrap()))
+        });
+    }
+
+    let a = weighted(&grid_graph(48), 13);
+    group.bench_function("grid48/seq", |b| {
+        let ctx = seq_ctx();
+        b.iter(|| std::hint::black_box(sssp(&ctx, &a, 0).unwrap()))
+    });
+    group.bench_function("grid48/cuda", |b| {
+        let ctx = cuda_ctx();
+        b.iter(|| std::hint::black_box(sssp(&ctx, &a, 0).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sssp);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! R-F3: PageRank and triangle counting on both backends.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gbtl_algorithms::{pagerank, pagerank::PageRankOptions, triangle_count};
+use gbtl_bench::{cuda_ctx, er_graph, rmat_graph, seq_ctx};
+
+fn bench_pr_tc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("r_f3_pr_tc");
+    group.sample_size(10);
+
+    let opts = PageRankOptions {
+        damping: 0.85,
+        tolerance: 0.0,
+        max_iters: 10,
+    };
+    for scale in [10u32, 12] {
+        let a = rmat_graph(scale, 16, 7);
+        group.bench_with_input(BenchmarkId::new("pagerank/seq", scale), &scale, |b, _| {
+            let ctx = seq_ctx();
+            b.iter(|| std::hint::black_box(pagerank(&ctx, &a, opts).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("pagerank/cuda", scale), &scale, |b, _| {
+            let ctx = cuda_ctx();
+            b.iter(|| std::hint::black_box(pagerank(&ctx, &a, opts).unwrap()))
+        });
+    }
+
+    for scale in [10u32, 11] {
+        for (family, a) in [
+            ("rmat", rmat_graph(scale, 16, 7)),
+            ("er", er_graph(scale, 16, 7)),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("triangles_{family}/seq"), scale),
+                &scale,
+                |b, _| {
+                    let ctx = seq_ctx();
+                    b.iter(|| std::hint::black_box(triangle_count(&ctx, &a).unwrap()))
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("triangles_{family}/cuda"), scale),
+                &scale,
+                |b, _| {
+                    let ctx = cuda_ctx();
+                    b.iter(|| std::hint::black_box(triangle_count(&ctx, &a).unwrap()))
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pr_tc);
+criterion_main!(benches);

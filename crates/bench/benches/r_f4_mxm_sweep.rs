@@ -1,0 +1,38 @@
+//! R-F4: SpGEMM density sweep — ESC (simulated device) vs Gustavson (CPU).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gbtl_algebra::PlusTimes;
+use gbtl_bench::{cuda_ctx, er_graph, seq_ctx, typed};
+use gbtl_core::{no_accum, Descriptor, Matrix};
+
+fn bench_mxm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("r_f4_mxm_sweep");
+    group.sample_size(10);
+
+    for deg in [2usize, 8, 16] {
+        let a = er_graph(11, deg, 11);
+        let af = typed(&a, 1.0f64);
+        group.bench_with_input(BenchmarkId::new("gustavson_seq", deg), &deg, |b, _| {
+            let ctx = seq_ctx();
+            b.iter(|| {
+                let mut out = Matrix::new(af.nrows(), af.ncols());
+                ctx.mxm(&mut out, None, no_accum(), PlusTimes::new(), &af, &af, &Descriptor::new())
+                    .unwrap();
+                std::hint::black_box(out)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("esc_cuda", deg), &deg, |b, _| {
+            let ctx = cuda_ctx();
+            b.iter(|| {
+                let mut out = Matrix::new(af.nrows(), af.ncols());
+                ctx.mxm(&mut out, None, no_accum(), PlusTimes::new(), &af, &af, &Descriptor::new())
+                    .unwrap();
+                std::hint::black_box(out)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mxm);
+criterion_main!(benches);

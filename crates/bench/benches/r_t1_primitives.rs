@@ -1,0 +1,88 @@
+//! R-T1: Criterion microbenchmarks of the GraphBLAS primitives on both
+//! backends (the statistical companion to `experiments t1`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gbtl_algebra::{Plus, PlusMonoid, PlusTimes};
+use gbtl_bench::{cuda_ctx, rmat_graph, seq_ctx, typed};
+use gbtl_core::{no_accum, Descriptor, Matrix, Vector};
+
+fn bench_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("r_t1_primitives");
+    group.sample_size(10);
+
+    for scale in [10u32, 12] {
+        let a = rmat_graph(scale, 16, 42);
+        let af = typed(&a, 1.0f64);
+        let u = Vector::filled(a.ncols(), 1.0f64);
+
+        group.bench_with_input(BenchmarkId::new("mxv/seq", scale), &scale, |b, _| {
+            let ctx = seq_ctx();
+            b.iter(|| {
+                let mut w = Vector::new(af.nrows());
+                ctx.mxv(&mut w, None, no_accum(), PlusTimes::new(), &af, &u, &Descriptor::new())
+                    .unwrap();
+                std::hint::black_box(w)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("mxv/cuda", scale), &scale, |b, _| {
+            let ctx = cuda_ctx();
+            b.iter(|| {
+                let mut w = Vector::new(af.nrows());
+                ctx.mxv(&mut w, None, no_accum(), PlusTimes::new(), &af, &u, &Descriptor::new())
+                    .unwrap();
+                std::hint::black_box(w)
+            })
+        });
+
+        group.bench_with_input(BenchmarkId::new("ewise_add/seq", scale), &scale, |b, _| {
+            let ctx = seq_ctx();
+            b.iter(|| {
+                let mut out = Matrix::new(af.nrows(), af.ncols());
+                ctx.ewise_add_mat(&mut out, None, no_accum(), Plus::new(), &af, &af, &Descriptor::new())
+                    .unwrap();
+                std::hint::black_box(out)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("ewise_add/cuda", scale), &scale, |b, _| {
+            let ctx = cuda_ctx();
+            b.iter(|| {
+                let mut out = Matrix::new(af.nrows(), af.ncols());
+                ctx.ewise_add_mat(&mut out, None, no_accum(), Plus::new(), &af, &af, &Descriptor::new())
+                    .unwrap();
+                std::hint::black_box(out)
+            })
+        });
+
+        group.bench_with_input(BenchmarkId::new("reduce/seq", scale), &scale, |b, _| {
+            let ctx = seq_ctx();
+            b.iter(|| std::hint::black_box(ctx.reduce_mat_scalar(PlusMonoid::<f64>::new(), &af)))
+        });
+        group.bench_with_input(BenchmarkId::new("reduce/cuda", scale), &scale, |b, _| {
+            let ctx = cuda_ctx();
+            b.iter(|| std::hint::black_box(ctx.reduce_mat_scalar(PlusMonoid::<f64>::new(), &af)))
+        });
+
+        group.bench_with_input(BenchmarkId::new("transpose/seq", scale), &scale, |b, _| {
+            let ctx = seq_ctx();
+            b.iter(|| {
+                let mut out = Matrix::new(af.ncols(), af.nrows());
+                ctx.transpose(&mut out, None, no_accum(), &af, &Descriptor::new())
+                    .unwrap();
+                std::hint::black_box(out)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("transpose/cuda", scale), &scale, |b, _| {
+            let ctx = cuda_ctx();
+            b.iter(|| {
+                let mut out = Matrix::new(af.ncols(), af.nrows());
+                ctx.transpose(&mut out, None, no_accum(), &af, &Descriptor::new())
+                    .unwrap();
+                std::hint::black_box(out)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_primitives);
+criterion_main!(benches);

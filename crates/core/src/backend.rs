@@ -1,0 +1,656 @@
+//! The backend trait and its two implementations.
+//!
+//! This is GBTL's separation of concerns: the frontend validates shapes,
+//! resolves masks/descriptors and stitches accumulators; a `Backend` only
+//! ever sees clean, pre-validated container-level operations. Algorithms
+//! written against [`Context`](crate::Context) run unchanged on either
+//! backend.
+
+use gbtl_algebra::{BinaryOp, Monoid, Scalar, SelectOp, Semiring, UnaryOp};
+use gbtl_gpu_sim::{Gpu, GpuConfig, GpuStats};
+use gbtl_sparse::{CooMatrix, CscMatrix, CsrMatrix, DenseVector, Index, SparseVector};
+
+pub use gbtl_backend_cuda::SpmvKernel;
+
+/// Container-level GraphBLAS operations, implemented per execution target.
+///
+/// Masks arrive pre-resolved: a vector mask is a keep-bitmap (`&[bool]`), a
+/// matrix mask is a structural boolean CSR. Shapes are already validated.
+pub trait Backend: Send + Sync {
+    /// Human-readable backend name (for reports).
+    fn name(&self) -> &'static str;
+
+    /// `C = A ⊕.⊗ B`.
+    fn mxm<T: Scalar, S: Semiring<T>>(
+        &self,
+        a: &CsrMatrix<T>,
+        b: &CsrMatrix<T>,
+        sr: S,
+    ) -> CsrMatrix<T>;
+
+    /// `C<M> = A ⊕.⊗ B` over a structural mask.
+    fn mxm_masked<T: Scalar, S: Semiring<T>>(
+        &self,
+        mask: &CsrMatrix<bool>,
+        a: &CsrMatrix<T>,
+        b: &CsrMatrix<T>,
+        sr: S,
+    ) -> CsrMatrix<T>;
+
+    /// Pull-direction `w = A ⊕.⊗ u`.
+    fn mxv<T: Scalar, S: Semiring<T>>(
+        &self,
+        a: &CsrMatrix<T>,
+        u: &DenseVector<T>,
+        sr: S,
+        mask: Option<&[bool]>,
+    ) -> DenseVector<T>;
+
+    /// Push-direction `w = uᵀ ⊕.⊗ A`.
+    fn vxm<T: Scalar, S: Semiring<T>>(
+        &self,
+        u: &SparseVector<T>,
+        a: &CsrMatrix<T>,
+        sr: S,
+        mask: Option<&[bool]>,
+    ) -> SparseVector<T>;
+
+    /// Union merge `C = A ⊕ B`.
+    fn ewise_add_mat<T: Scalar, Op: BinaryOp<T>>(
+        &self,
+        a: &CsrMatrix<T>,
+        b: &CsrMatrix<T>,
+        op: Op,
+    ) -> CsrMatrix<T>;
+
+    /// Intersection merge `C = A ⊗ B`.
+    fn ewise_mult_mat<T: Scalar, Op: BinaryOp<T>>(
+        &self,
+        a: &CsrMatrix<T>,
+        b: &CsrMatrix<T>,
+        op: Op,
+    ) -> CsrMatrix<T>;
+
+    /// Union merge on sparse vectors.
+    fn ewise_add_vec<T: Scalar, Op: BinaryOp<T>>(
+        &self,
+        u: &SparseVector<T>,
+        v: &SparseVector<T>,
+        op: Op,
+    ) -> SparseVector<T>;
+
+    /// Intersection merge on dense vectors.
+    fn ewise_mult_vec<T: Scalar, Op: BinaryOp<T>>(
+        &self,
+        u: &DenseVector<T>,
+        v: &DenseVector<T>,
+        op: Op,
+    ) -> DenseVector<T>;
+
+    /// `C = f(A)` on stored values.
+    fn apply_mat<A: Scalar, U: UnaryOp<A>>(&self, a: &CsrMatrix<A>, f: U) -> CsrMatrix<U::Output>;
+
+    /// `w = f(u)` on a sparse vector.
+    fn apply_sparse_vec<A: Scalar, U: UnaryOp<A>>(
+        &self,
+        u: &SparseVector<A>,
+        f: U,
+    ) -> SparseVector<U::Output>;
+
+    /// `w = f(u)` on a dense vector.
+    fn apply_dense_vec<A: Scalar, U: UnaryOp<A>>(
+        &self,
+        u: &DenseVector<A>,
+        f: U,
+    ) -> DenseVector<U::Output>;
+
+    /// Reduce all stored entries of a matrix; `None` when empty.
+    fn reduce_mat<T: Scalar, M: Monoid<T>>(&self, a: &CsrMatrix<T>, m: M) -> Option<T>;
+
+    /// Row-wise reduce `w_i = ⊕ A(i,:)`.
+    fn reduce_rows<T: Scalar, M: Monoid<T>>(&self, a: &CsrMatrix<T>, m: M) -> SparseVector<T>;
+
+    /// Reduce a dense vector's present entries; `None` when empty.
+    fn reduce_dense_vec<T: Scalar, M: Monoid<T>>(&self, u: &DenseVector<T>, m: M) -> Option<T>;
+
+    /// Reduce a sparse vector's stored entries; `None` when empty.
+    fn reduce_sparse_vec<T: Scalar, M: Monoid<T>>(&self, u: &SparseVector<T>, m: M) -> Option<T>;
+
+    /// `C = Aᵀ`.
+    fn transpose<T: Scalar>(&self, a: &CsrMatrix<T>) -> CsrMatrix<T>;
+
+    /// Keep entries passing the predicate — GraphBLAS `select`.
+    fn select_mat<T: Scalar, P: SelectOp<T>>(&self, a: &CsrMatrix<T>, op: P) -> CsrMatrix<T>;
+
+    /// Keep vector entries passing the predicate (column fixed at 0).
+    fn select_vec<T: Scalar, P: SelectOp<T>>(&self, u: &SparseVector<T>, op: P)
+        -> SparseVector<T>;
+
+    /// Kronecker product with an elementwise combine.
+    fn kronecker<T: Scalar, Op: BinaryOp<T>>(
+        &self,
+        a: &CsrMatrix<T>,
+        b: &CsrMatrix<T>,
+        mul: Op,
+    ) -> CsrMatrix<T>;
+
+    /// Build CSR from COO triples, merging duplicates with `dup`.
+    fn build<T: Scalar, D: BinaryOp<T>>(&self, coo: &CooMatrix<T>, dup: D) -> CsrMatrix<T>;
+
+    /// `C = A(rows, cols)`.
+    fn extract_mat<T: Scalar>(
+        &self,
+        a: &CsrMatrix<T>,
+        rows: &[Index],
+        cols: &[Index],
+    ) -> CsrMatrix<T>;
+
+    /// `C(rows, cols) = A`.
+    fn assign_mat<T: Scalar>(
+        &self,
+        c: &CsrMatrix<T>,
+        a: &CsrMatrix<T>,
+        rows: &[Index],
+        cols: &[Index],
+    ) -> CsrMatrix<T>;
+
+    /// `w = u(indices)`.
+    fn extract_vec<T: Scalar>(&self, u: &DenseVector<T>, indices: &[Index]) -> DenseVector<T>;
+
+    /// `w(indices) = u`.
+    fn assign_vec<T: Scalar>(
+        &self,
+        w: &DenseVector<T>,
+        u: &DenseVector<T>,
+        indices: &[Index],
+    ) -> DenseVector<T>;
+}
+
+/// The sequential CPU backend.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SeqBackend;
+
+impl Backend for SeqBackend {
+    fn name(&self) -> &'static str {
+        "sequential"
+    }
+
+    fn mxm<T: Scalar, S: Semiring<T>>(
+        &self,
+        a: &CsrMatrix<T>,
+        b: &CsrMatrix<T>,
+        sr: S,
+    ) -> CsrMatrix<T> {
+        gbtl_backend_seq::mxm(a, b, sr)
+    }
+
+    fn mxm_masked<T: Scalar, S: Semiring<T>>(
+        &self,
+        mask: &CsrMatrix<bool>,
+        a: &CsrMatrix<T>,
+        b: &CsrMatrix<T>,
+        sr: S,
+    ) -> CsrMatrix<T> {
+        gbtl_backend_seq::mxm_masked(mask, a, b, sr)
+    }
+
+    fn mxv<T: Scalar, S: Semiring<T>>(
+        &self,
+        a: &CsrMatrix<T>,
+        u: &DenseVector<T>,
+        sr: S,
+        mask: Option<&[bool]>,
+    ) -> DenseVector<T> {
+        gbtl_backend_seq::mxv(a, u, sr, mask)
+    }
+
+    fn vxm<T: Scalar, S: Semiring<T>>(
+        &self,
+        u: &SparseVector<T>,
+        a: &CsrMatrix<T>,
+        sr: S,
+        mask: Option<&[bool]>,
+    ) -> SparseVector<T> {
+        gbtl_backend_seq::vxm(u, a, sr, mask)
+    }
+
+    fn ewise_add_mat<T: Scalar, Op: BinaryOp<T>>(
+        &self,
+        a: &CsrMatrix<T>,
+        b: &CsrMatrix<T>,
+        op: Op,
+    ) -> CsrMatrix<T> {
+        gbtl_backend_seq::ewise_add_mat(a, b, op)
+    }
+
+    fn ewise_mult_mat<T: Scalar, Op: BinaryOp<T>>(
+        &self,
+        a: &CsrMatrix<T>,
+        b: &CsrMatrix<T>,
+        op: Op,
+    ) -> CsrMatrix<T> {
+        gbtl_backend_seq::ewise_mult_mat(a, b, op)
+    }
+
+    fn ewise_add_vec<T: Scalar, Op: BinaryOp<T>>(
+        &self,
+        u: &SparseVector<T>,
+        v: &SparseVector<T>,
+        op: Op,
+    ) -> SparseVector<T> {
+        gbtl_backend_seq::ewise_add_vec(u, v, op)
+    }
+
+    fn ewise_mult_vec<T: Scalar, Op: BinaryOp<T>>(
+        &self,
+        u: &DenseVector<T>,
+        v: &DenseVector<T>,
+        op: Op,
+    ) -> DenseVector<T> {
+        gbtl_backend_seq::ewise_mult_vec(u, v, op)
+    }
+
+    fn apply_mat<A: Scalar, U: UnaryOp<A>>(&self, a: &CsrMatrix<A>, f: U) -> CsrMatrix<U::Output> {
+        gbtl_backend_seq::apply_mat(a, f)
+    }
+
+    fn apply_sparse_vec<A: Scalar, U: UnaryOp<A>>(
+        &self,
+        u: &SparseVector<A>,
+        f: U,
+    ) -> SparseVector<U::Output> {
+        gbtl_backend_seq::apply_vec(u, f)
+    }
+
+    fn apply_dense_vec<A: Scalar, U: UnaryOp<A>>(
+        &self,
+        u: &DenseVector<A>,
+        f: U,
+    ) -> DenseVector<U::Output> {
+        gbtl_backend_seq::apply_dense_vec(u, f)
+    }
+
+    fn reduce_mat<T: Scalar, M: Monoid<T>>(&self, a: &CsrMatrix<T>, m: M) -> Option<T> {
+        gbtl_backend_seq::reduce_mat(a, m)
+    }
+
+    fn reduce_rows<T: Scalar, M: Monoid<T>>(&self, a: &CsrMatrix<T>, m: M) -> SparseVector<T> {
+        gbtl_backend_seq::reduce_rows(a, m)
+    }
+
+    fn reduce_dense_vec<T: Scalar, M: Monoid<T>>(&self, u: &DenseVector<T>, m: M) -> Option<T> {
+        gbtl_backend_seq::reduce_vec(u, m)
+    }
+
+    fn reduce_sparse_vec<T: Scalar, M: Monoid<T>>(&self, u: &SparseVector<T>, m: M) -> Option<T> {
+        gbtl_backend_seq::reduce_sparse_vec(u, m)
+    }
+
+    fn transpose<T: Scalar>(&self, a: &CsrMatrix<T>) -> CsrMatrix<T> {
+        a.transpose()
+    }
+
+    fn select_mat<T: Scalar, P: SelectOp<T>>(&self, a: &CsrMatrix<T>, op: P) -> CsrMatrix<T> {
+        gbtl_backend_seq::select_mat_op(a, op)
+    }
+
+    fn select_vec<T: Scalar, P: SelectOp<T>>(
+        &self,
+        u: &SparseVector<T>,
+        op: P,
+    ) -> SparseVector<T> {
+        gbtl_backend_seq::select_vec_op(u, op)
+    }
+
+    fn kronecker<T: Scalar, Op: BinaryOp<T>>(
+        &self,
+        a: &CsrMatrix<T>,
+        b: &CsrMatrix<T>,
+        mul: Op,
+    ) -> CsrMatrix<T> {
+        gbtl_backend_seq::kronecker(a, b, mul)
+    }
+
+    fn build<T: Scalar, D: BinaryOp<T>>(&self, coo: &CooMatrix<T>, dup: D) -> CsrMatrix<T> {
+        CsrMatrix::from_coo(coo.clone(), |a, b| dup.apply(a, b))
+    }
+
+    fn extract_mat<T: Scalar>(
+        &self,
+        a: &CsrMatrix<T>,
+        rows: &[Index],
+        cols: &[Index],
+    ) -> CsrMatrix<T> {
+        gbtl_backend_seq::extract_mat(a, rows, cols)
+    }
+
+    fn assign_mat<T: Scalar>(
+        &self,
+        c: &CsrMatrix<T>,
+        a: &CsrMatrix<T>,
+        rows: &[Index],
+        cols: &[Index],
+    ) -> CsrMatrix<T> {
+        gbtl_backend_seq::assign_mat(c, a, rows, cols)
+    }
+
+    fn extract_vec<T: Scalar>(&self, u: &DenseVector<T>, indices: &[Index]) -> DenseVector<T> {
+        gbtl_backend_seq::extract_vec(u, indices)
+    }
+
+    fn assign_vec<T: Scalar>(
+        &self,
+        w: &DenseVector<T>,
+        u: &DenseVector<T>,
+        indices: &[Index],
+    ) -> DenseVector<T> {
+        gbtl_backend_seq::assign_vec(w, u, indices)
+    }
+}
+
+/// The simulated-CUDA backend: owns the device and an SpMV kernel policy.
+#[derive(Debug)]
+pub struct CudaBackend {
+    gpu: Gpu,
+    spmv_kernel: SpmvKernel,
+}
+
+impl CudaBackend {
+    /// Create with a device configuration and the default (auto) SpMV
+    /// kernel policy.
+    pub fn new(config: GpuConfig) -> Self {
+        Self {
+            gpu: Gpu::new(config),
+            spmv_kernel: SpmvKernel::Auto,
+        }
+    }
+
+    /// Create with kernel tracing enabled (keeps a per-kernel log).
+    pub fn with_trace(config: GpuConfig) -> Self {
+        Self {
+            gpu: Gpu::with_trace(config),
+            spmv_kernel: SpmvKernel::Auto,
+        }
+    }
+
+    /// Force a specific SpMV kernel (experiment R-A1).
+    pub fn with_spmv_kernel(mut self, k: SpmvKernel) -> Self {
+        self.spmv_kernel = k;
+        self
+    }
+
+    /// The simulated device (for statistics and direct primitive use).
+    pub fn gpu(&self) -> &Gpu {
+        &self.gpu
+    }
+
+    /// Snapshot of the device statistics.
+    pub fn stats(&self) -> GpuStats {
+        self.gpu.stats()
+    }
+
+    /// Reset the device statistics.
+    pub fn reset_stats(&self) {
+        self.gpu.reset_stats()
+    }
+
+    /// Charge the mask-bitmap resolution kernel (the device-side transform
+    /// the frontend's host-resolved bitmap stands in for).
+    fn charge_mask_kernel(&self, n: usize) {
+        use gbtl_gpu_sim::KernelTally;
+        let txn = self.gpu.config().mem_transaction_bytes as u64;
+        self.gpu.charge_kernel(
+            "mask_resolve",
+            n.div_ceil(4096).max(1),
+            KernelTally {
+                warp_instructions: (n as u64).div_ceil(self.gpu.config().warp_size as u64),
+                mem_transactions: (2 * n as u64).div_ceil(txn),
+                atomic_ops: 0,
+            },
+        );
+    }
+}
+
+impl Default for CudaBackend {
+    fn default() -> Self {
+        Self::new(GpuConfig::default())
+    }
+}
+
+impl Backend for CudaBackend {
+    fn name(&self) -> &'static str {
+        "cuda-sim"
+    }
+
+    fn mxm<T: Scalar, S: Semiring<T>>(
+        &self,
+        a: &CsrMatrix<T>,
+        b: &CsrMatrix<T>,
+        sr: S,
+    ) -> CsrMatrix<T> {
+        gbtl_backend_cuda::mxm(&self.gpu, a, b, sr)
+    }
+
+    fn mxm_masked<T: Scalar, S: Semiring<T>>(
+        &self,
+        mask: &CsrMatrix<bool>,
+        a: &CsrMatrix<T>,
+        b: &CsrMatrix<T>,
+        sr: S,
+    ) -> CsrMatrix<T> {
+        // Column view of B via the device transpose kernel: the CSR of Bᵀ
+        // *is* the CSC of B.
+        let bt = gbtl_backend_cuda::transpose(&self.gpu, b);
+        let b_csc = CscMatrix::from_transposed_csr(bt, b.nrows(), b.ncols());
+        gbtl_backend_cuda::mxm_masked(&self.gpu, mask, a, &b_csc, sr)
+    }
+
+    fn mxv<T: Scalar, S: Semiring<T>>(
+        &self,
+        a: &CsrMatrix<T>,
+        u: &DenseVector<T>,
+        sr: S,
+        mask: Option<&[bool]>,
+    ) -> DenseVector<T> {
+        if mask.is_some() {
+            self.charge_mask_kernel(a.nrows());
+        }
+        gbtl_backend_cuda::mxv(&self.gpu, a, u, sr, mask, self.spmv_kernel)
+    }
+
+    fn vxm<T: Scalar, S: Semiring<T>>(
+        &self,
+        u: &SparseVector<T>,
+        a: &CsrMatrix<T>,
+        sr: S,
+        mask: Option<&[bool]>,
+    ) -> SparseVector<T> {
+        if mask.is_some() {
+            self.charge_mask_kernel(a.ncols());
+        }
+        gbtl_backend_cuda::vxm(&self.gpu, u, a, sr, mask)
+    }
+
+    fn ewise_add_mat<T: Scalar, Op: BinaryOp<T>>(
+        &self,
+        a: &CsrMatrix<T>,
+        b: &CsrMatrix<T>,
+        op: Op,
+    ) -> CsrMatrix<T> {
+        gbtl_backend_cuda::ewise_add_mat(&self.gpu, a, b, op)
+    }
+
+    fn ewise_mult_mat<T: Scalar, Op: BinaryOp<T>>(
+        &self,
+        a: &CsrMatrix<T>,
+        b: &CsrMatrix<T>,
+        op: Op,
+    ) -> CsrMatrix<T> {
+        gbtl_backend_cuda::ewise_mult_mat(&self.gpu, a, b, op)
+    }
+
+    fn ewise_add_vec<T: Scalar, Op: BinaryOp<T>>(
+        &self,
+        u: &SparseVector<T>,
+        v: &SparseVector<T>,
+        op: Op,
+    ) -> SparseVector<T> {
+        gbtl_backend_cuda::ewise_add_vec(&self.gpu, u, v, op)
+    }
+
+    fn ewise_mult_vec<T: Scalar, Op: BinaryOp<T>>(
+        &self,
+        u: &DenseVector<T>,
+        v: &DenseVector<T>,
+        op: Op,
+    ) -> DenseVector<T> {
+        gbtl_backend_cuda::ewise_mult_vec(&self.gpu, u, v, op)
+    }
+
+    fn apply_mat<A: Scalar, U: UnaryOp<A>>(&self, a: &CsrMatrix<A>, f: U) -> CsrMatrix<U::Output> {
+        gbtl_backend_cuda::apply_mat(&self.gpu, a, f)
+    }
+
+    fn apply_sparse_vec<A: Scalar, U: UnaryOp<A>>(
+        &self,
+        u: &SparseVector<A>,
+        f: U,
+    ) -> SparseVector<U::Output> {
+        gbtl_backend_cuda::apply_vec(&self.gpu, u, f)
+    }
+
+    fn apply_dense_vec<A: Scalar, U: UnaryOp<A>>(
+        &self,
+        u: &DenseVector<A>,
+        f: U,
+    ) -> DenseVector<U::Output> {
+        gbtl_backend_cuda::apply_dense_vec(&self.gpu, u, f)
+    }
+
+    fn reduce_mat<T: Scalar, M: Monoid<T>>(&self, a: &CsrMatrix<T>, m: M) -> Option<T> {
+        gbtl_backend_cuda::reduce_mat(&self.gpu, a, m)
+    }
+
+    fn reduce_rows<T: Scalar, M: Monoid<T>>(&self, a: &CsrMatrix<T>, m: M) -> SparseVector<T> {
+        gbtl_backend_cuda::reduce_rows(&self.gpu, a, m)
+    }
+
+    fn reduce_dense_vec<T: Scalar, M: Monoid<T>>(&self, u: &DenseVector<T>, m: M) -> Option<T> {
+        gbtl_backend_cuda::reduce_vec(&self.gpu, u, m)
+    }
+
+    fn reduce_sparse_vec<T: Scalar, M: Monoid<T>>(&self, u: &SparseVector<T>, m: M) -> Option<T> {
+        gbtl_backend_cuda::reduce_sparse_vec(&self.gpu, u, m)
+    }
+
+    fn transpose<T: Scalar>(&self, a: &CsrMatrix<T>) -> CsrMatrix<T> {
+        gbtl_backend_cuda::transpose(&self.gpu, a)
+    }
+
+    fn select_mat<T: Scalar, P: SelectOp<T>>(&self, a: &CsrMatrix<T>, op: P) -> CsrMatrix<T> {
+        gbtl_backend_cuda::select_mat(&self.gpu, a, op)
+    }
+
+    fn select_vec<T: Scalar, P: SelectOp<T>>(
+        &self,
+        u: &SparseVector<T>,
+        op: P,
+    ) -> SparseVector<T> {
+        gbtl_backend_cuda::select_vec(&self.gpu, u, op)
+    }
+
+    fn kronecker<T: Scalar, Op: BinaryOp<T>>(
+        &self,
+        a: &CsrMatrix<T>,
+        b: &CsrMatrix<T>,
+        mul: Op,
+    ) -> CsrMatrix<T> {
+        gbtl_backend_cuda::kronecker(&self.gpu, a, b, mul)
+    }
+
+    fn build<T: Scalar, D: BinaryOp<T>>(&self, coo: &CooMatrix<T>, dup: D) -> CsrMatrix<T> {
+        gbtl_backend_cuda::build_csr(&self.gpu, coo, dup)
+    }
+
+    fn extract_mat<T: Scalar>(
+        &self,
+        a: &CsrMatrix<T>,
+        rows: &[Index],
+        cols: &[Index],
+    ) -> CsrMatrix<T> {
+        gbtl_backend_cuda::extract_mat(&self.gpu, a, rows, cols)
+    }
+
+    fn assign_mat<T: Scalar>(
+        &self,
+        c: &CsrMatrix<T>,
+        a: &CsrMatrix<T>,
+        rows: &[Index],
+        cols: &[Index],
+    ) -> CsrMatrix<T> {
+        gbtl_backend_cuda::assign_mat(&self.gpu, c, a, rows, cols)
+    }
+
+    fn extract_vec<T: Scalar>(&self, u: &DenseVector<T>, indices: &[Index]) -> DenseVector<T> {
+        gbtl_backend_cuda::extract_vec(&self.gpu, u, indices)
+    }
+
+    fn assign_vec<T: Scalar>(
+        &self,
+        w: &DenseVector<T>,
+        u: &DenseVector<T>,
+        indices: &[Index],
+    ) -> DenseVector<T> {
+        gbtl_backend_cuda::assign_vec(&self.gpu, w, u, indices)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gbtl_algebra::PlusTimes;
+
+    fn sample() -> CsrMatrix<i64> {
+        let mut coo = CooMatrix::new(3, 3);
+        coo.push(0, 1, 2);
+        coo.push(1, 2, 3);
+        coo.push(2, 0, 4);
+        CsrMatrix::from_coo(coo, |a, _| a)
+    }
+
+    #[test]
+    fn backends_report_names() {
+        assert_eq!(SeqBackend.name(), "sequential");
+        assert_eq!(CudaBackend::default().name(), "cuda-sim");
+    }
+
+    #[test]
+    fn backends_agree_on_mxm() {
+        let a = sample();
+        let seq = SeqBackend.mxm(&a, &a, PlusTimes::<i64>::new());
+        let cuda = CudaBackend::default().mxm(&a, &a, PlusTimes::<i64>::new());
+        assert_eq!(seq, cuda);
+    }
+
+    #[test]
+    fn cuda_masked_mxm_agrees_with_seq() {
+        let a = sample();
+        let mut mcoo = CooMatrix::new(3, 3);
+        mcoo.push(0, 2, true);
+        mcoo.push(2, 1, true);
+        let mask = CsrMatrix::from_coo(mcoo, |x, _| x);
+        let seq = SeqBackend.mxm_masked(&mask, &a, &a, PlusTimes::<i64>::new());
+        let cuda = CudaBackend::default().mxm_masked(&mask, &a, &a, PlusTimes::<i64>::new());
+        assert_eq!(seq, cuda);
+    }
+
+    #[test]
+    fn cuda_stats_accumulate_and_reset() {
+        let be = CudaBackend::default();
+        let a = sample();
+        let _ = be.transpose(&a);
+        assert!(be.stats().kernels_launched > 0);
+        be.reset_stats();
+        assert_eq!(be.stats().kernels_launched, 0);
+    }
+}

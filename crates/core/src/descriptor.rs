@@ -1,0 +1,76 @@
+//! Operation descriptors: the GraphBLAS flag block.
+
+/// Modifier flags for an operation, mirroring `GrB_Descriptor`.
+///
+/// Built fluently:
+///
+/// ```
+/// use gbtl_core::Descriptor;
+/// let desc = Descriptor::new().transpose_a().complement_mask().replace();
+/// assert!(desc.transpose_a && desc.complement_mask && desc.replace);
+/// ```
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct Descriptor {
+    /// Use `Aᵀ` in place of the first matrix operand.
+    pub transpose_a: bool,
+    /// Use `Bᵀ` in place of the second matrix operand.
+    pub transpose_b: bool,
+    /// Invert the mask: compute where the mask has **no** entry.
+    pub complement_mask: bool,
+    /// Clear masked-out positions of the output instead of keeping the old
+    /// values (`GrB_REPLACE`).
+    pub replace: bool,
+}
+
+impl Descriptor {
+    /// The default descriptor (no flags set).
+    pub const fn new() -> Self {
+        Self {
+            transpose_a: false,
+            transpose_b: false,
+            complement_mask: false,
+            replace: false,
+        }
+    }
+
+    /// Set [`Descriptor::transpose_a`].
+    pub const fn transpose_a(mut self) -> Self {
+        self.transpose_a = true;
+        self
+    }
+
+    /// Set [`Descriptor::transpose_b`].
+    pub const fn transpose_b(mut self) -> Self {
+        self.transpose_b = true;
+        self
+    }
+
+    /// Set [`Descriptor::complement_mask`].
+    pub const fn complement_mask(mut self) -> Self {
+        self.complement_mask = true;
+        self
+    }
+
+    /// Set [`Descriptor::replace`].
+    pub const fn replace(mut self) -> Self {
+        self.replace = true;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_all_clear() {
+        let d = Descriptor::default();
+        assert!(!d.transpose_a && !d.transpose_b && !d.complement_mask && !d.replace);
+    }
+
+    #[test]
+    fn builder_sets_flags_independently() {
+        let d = Descriptor::new().transpose_b();
+        assert!(d.transpose_b && !d.transpose_a);
+    }
+}

@@ -1,0 +1,20 @@
+//! The GraphBLAS operations, as methods on [`Context`](crate::Context).
+//!
+//! Every operation follows the `GrB` signature shape
+//! `op(output, mask, accum, operator, inputs…, descriptor)`:
+//!
+//! * `mask` — `Option<&Matrix<bool>>` / `Option<&Vector<bool>>`, structural
+//!   (presence = allowed), complemented via the descriptor;
+//! * `accum` — `Option<impl BinaryOp<T>>`; use [`crate::no_accum`] for a
+//!   typed `None`;
+//! * `desc` — transpose/complement/replace flags.
+//!
+//! Outputs are `&mut` parameters so accumulation reads the old value, like
+//! the C API.
+
+mod apply_reduce;
+mod select_kron;
+mod ewise;
+mod mxm;
+mod mxv;
+mod transform;

@@ -1,0 +1,203 @@
+//! `mxm`: matrix–matrix multiply over a semiring.
+
+use gbtl_algebra::{BinaryOp, Scalar, Semiring};
+use gbtl_sparse::CsrMatrix;
+
+use crate::backend::Backend;
+use crate::descriptor::Descriptor;
+use crate::error::{dim_err, Result};
+use crate::stitch::{stitch_mat, MatMask};
+use crate::types::Matrix;
+use crate::Context;
+
+impl<B: Backend> Context<B> {
+    /// `C<M, accum> = A ⊕.⊗ B` (with optional transposes via `desc`).
+    ///
+    /// A structural, non-complemented mask is pushed down to the backend's
+    /// masked-multiply kernel so masked-out entries are never computed (the
+    /// triangle-counting path); complemented masks compute fully and filter
+    /// during the stitch.
+    pub fn mxm<T, S, Acc>(
+        &self,
+        c: &mut Matrix<T>,
+        mask: Option<&Matrix<bool>>,
+        accum: Option<Acc>,
+        sr: S,
+        a: &Matrix<T>,
+        b: &Matrix<T>,
+        desc: &Descriptor,
+    ) -> Result<()>
+    where
+        T: Scalar,
+        S: Semiring<T>,
+        Acc: BinaryOp<T>,
+    {
+        let a_csr = self.resolve_transpose(a.csr(), desc.transpose_a);
+        let b_csr = self.resolve_transpose(b.csr(), desc.transpose_b);
+        let (m, k1) = (a_csr.nrows(), a_csr.ncols());
+        let (k2, n) = (b_csr.nrows(), b_csr.ncols());
+        if k1 != k2 {
+            return Err(dim_err("mxm", format!("{m}x{k1} * {k2}x{n}")));
+        }
+        if (c.nrows(), c.ncols()) != (m, n) {
+            return Err(dim_err(
+                "mxm",
+                format!("output is {}x{}, product is {m}x{n}", c.nrows(), c.ncols()),
+            ));
+        }
+        if let Some(mk) = mask {
+            if (mk.nrows(), mk.ncols()) != (m, n) {
+                return Err(dim_err(
+                    "mxm",
+                    format!("mask is {}x{}, output is {m}x{n}", mk.nrows(), mk.ncols()),
+                ));
+            }
+        }
+
+        let t = match mask {
+            Some(mk) if !desc.complement_mask => {
+                self.backend().mxm_masked(mk.csr(), &a_csr, &b_csr, sr)
+            }
+            _ => self.backend().mxm(&a_csr, &b_csr, sr),
+        };
+        let mat_mask = mask.map(|mk| MatMask::new(mk, desc.complement_mask));
+        let out = stitch_mat(c.csr(), t, mat_mask, accum, desc.replace);
+        *c = Matrix::from_csr(out);
+        Ok(())
+    }
+
+    pub(crate) fn resolve_transpose<T: Scalar>(
+        &self,
+        a: &CsrMatrix<T>,
+        transpose: bool,
+    ) -> CsrMatrix<T> {
+        if transpose {
+            self.backend().transpose(a)
+        } else {
+            a.clone()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::no_accum;
+    use gbtl_algebra::{Plus, PlusTimes, Second};
+
+    fn mat(entries: &[(usize, usize, i64)], m: usize, n: usize) -> Matrix<i64> {
+        Matrix::build(m, n, entries.iter().copied(), Second::new()).unwrap()
+    }
+
+    #[test]
+    fn basic_mxm() {
+        let ctx = Context::sequential();
+        let a = mat(&[(0, 0, 1), (0, 1, 2), (1, 2, 3)], 2, 3);
+        let b = mat(&[(0, 0, 1), (1, 1, 1), (2, 0, 2)], 3, 2);
+        let mut c = Matrix::new(2, 2);
+        ctx.mxm(&mut c, None, no_accum(), PlusTimes::new(), &a, &b, &Descriptor::new())
+            .unwrap();
+        assert_eq!(c.get(0, 0), Some(1));
+        assert_eq!(c.get(0, 1), Some(2));
+        assert_eq!(c.get(1, 0), Some(6));
+    }
+
+    #[test]
+    fn mxm_with_transpose_a() {
+        let ctx = Context::sequential();
+        let a = mat(&[(0, 1, 5)], 2, 2); // Aᵀ has (1,0)=5
+        let b = mat(&[(0, 0, 3)], 2, 2);
+        let mut c = Matrix::new(2, 2);
+        ctx.mxm(
+            &mut c,
+            None,
+            no_accum(),
+            PlusTimes::new(),
+            &a,
+            &b,
+            &Descriptor::new().transpose_a(),
+        )
+        .unwrap();
+        assert_eq!(c.get(1, 0), Some(15));
+    }
+
+    #[test]
+    fn mxm_accumulates_into_old_output() {
+        let ctx = Context::sequential();
+        let a = mat(&[(0, 0, 2)], 1, 1);
+        let b = mat(&[(0, 0, 3)], 1, 1);
+        let mut c = mat(&[(0, 0, 100)], 1, 1);
+        ctx.mxm(
+            &mut c,
+            None,
+            Some(Plus::<i64>::new()),
+            PlusTimes::new(),
+            &a,
+            &b,
+            &Descriptor::new(),
+        )
+        .unwrap();
+        assert_eq!(c.get(0, 0), Some(106));
+    }
+
+    #[test]
+    fn mxm_dimension_errors() {
+        let ctx = Context::sequential();
+        let a = mat(&[], 2, 3);
+        let b = mat(&[], 2, 3);
+        let mut c = Matrix::new(2, 3);
+        assert!(ctx
+            .mxm(&mut c, None, no_accum(), PlusTimes::new(), &a, &b, &Descriptor::new())
+            .is_err());
+        // wrong output shape
+        let b_ok = mat(&[], 3, 3);
+        let mut c_bad = Matrix::new(3, 3);
+        assert!(ctx
+            .mxm(&mut c_bad, None, no_accum(), PlusTimes::new(), &a, &b_ok, &Descriptor::new())
+            .is_err());
+    }
+
+    #[test]
+    fn masked_mxm_on_both_backends() {
+        let a_entries = [(0, 1, 1i64), (1, 2, 1), (2, 0, 1), (0, 2, 1)];
+        let mask_entries = [(0usize, 2usize, true), (1, 0, true)];
+        let a = mat(&a_entries, 3, 3);
+        let mask = Matrix::build(3, 3, mask_entries.iter().copied(), Second::new()).unwrap();
+
+        let seq = Context::sequential();
+        let mut c1 = Matrix::new(3, 3);
+        seq.mxm(&mut c1, Some(&mask), no_accum(), PlusTimes::new(), &a, &a, &Descriptor::new())
+            .unwrap();
+
+        let cuda = Context::cuda_default();
+        let mut c2 = Matrix::new(3, 3);
+        cuda.mxm(&mut c2, Some(&mask), no_accum(), PlusTimes::new(), &a, &a, &Descriptor::new())
+            .unwrap();
+
+        assert_eq!(c1, c2);
+        // every output entry is inside the mask
+        for (i, j, _) in c1.iter() {
+            assert!(mask.get(i, j).is_some());
+        }
+    }
+
+    #[test]
+    fn complement_masked_mxm_filters() {
+        let ctx = Context::sequential();
+        let a = mat(&[(0, 0, 1), (0, 1, 1), (1, 0, 1), (1, 1, 1)], 2, 2);
+        let mask = Matrix::build(2, 2, [(0usize, 0usize, true)], Second::new()).unwrap();
+        let mut c = Matrix::new(2, 2);
+        ctx.mxm(
+            &mut c,
+            Some(&mask),
+            no_accum(),
+            PlusTimes::new(),
+            &a,
+            &a,
+            &Descriptor::new().complement_mask(),
+        )
+        .unwrap();
+        assert_eq!(c.get(0, 0), None);
+        assert!(c.get(0, 1).is_some() && c.get(1, 0).is_some() && c.get(1, 1).is_some());
+    }
+}

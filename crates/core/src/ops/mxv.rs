@@ -1,0 +1,258 @@
+//! `mxv` (pull) and `vxm` (push) matrix–vector products.
+
+use gbtl_algebra::{BinaryOp, Scalar, Semiring};
+
+use crate::backend::Backend;
+use crate::descriptor::Descriptor;
+use crate::error::{dim_err, Result};
+use crate::stitch::{resolve_vec_mask, stitch_dense_vec, stitch_sparse_vec};
+use crate::types::{Matrix, Vector};
+use crate::Context;
+
+impl<B: Backend> Context<B> {
+    /// `w<m, accum> = A ⊕.⊗ u` — pull direction (rows of `A` walk `u`).
+    ///
+    /// The (possibly complemented) mask is resolved to a keep-bitmap and
+    /// pushed into the backend so masked-out rows are skipped, which is the
+    /// optimisation experiment R-A2 quantifies.
+    pub fn mxv<T, S, Acc>(
+        &self,
+        w: &mut Vector<T>,
+        mask: Option<&Vector<bool>>,
+        accum: Option<Acc>,
+        sr: S,
+        a: &Matrix<T>,
+        u: &Vector<T>,
+        desc: &Descriptor,
+    ) -> Result<()>
+    where
+        T: Scalar,
+        S: Semiring<T>,
+        Acc: BinaryOp<T>,
+    {
+        let a_csr = self.resolve_transpose(a.csr(), desc.transpose_a);
+        if a_csr.ncols() != u.len() {
+            return Err(dim_err(
+                "mxv",
+                format!("{}x{} * len {}", a_csr.nrows(), a_csr.ncols(), u.len()),
+            ));
+        }
+        if w.len() != a_csr.nrows() {
+            return Err(dim_err(
+                "mxv",
+                format!("output len {} != {}", w.len(), a_csr.nrows()),
+            ));
+        }
+        if let Some(mk) = mask {
+            if mk.len() != w.len() {
+                return Err(dim_err(
+                    "mxv",
+                    format!("mask len {} != output len {}", mk.len(), w.len()),
+                ));
+            }
+        }
+        let keep = resolve_vec_mask(mask, desc.complement_mask, a_csr.nrows());
+        let u_dense = u.to_dense_repr();
+        let t = self.backend().mxv(&a_csr, &u_dense, sr, keep.as_deref());
+        let out = stitch_dense_vec(w, t, keep.as_deref(), accum, desc.replace);
+        *w = Vector::Dense(out);
+        Ok(())
+    }
+
+    /// `w<m, accum> = uᵀ ⊕.⊗ A` — push direction (stored entries of `u`
+    /// select rows of `A`).
+    pub fn vxm<T, S, Acc>(
+        &self,
+        w: &mut Vector<T>,
+        mask: Option<&Vector<bool>>,
+        accum: Option<Acc>,
+        sr: S,
+        u: &Vector<T>,
+        a: &Matrix<T>,
+        desc: &Descriptor,
+    ) -> Result<()>
+    where
+        T: Scalar,
+        S: Semiring<T>,
+        Acc: BinaryOp<T>,
+    {
+        // For vxm the descriptor's transpose_a transposes the matrix, i.e.
+        // `w = uᵀAᵀ`, which is the pull form of `A u`.
+        let a_csr = self.resolve_transpose(a.csr(), desc.transpose_a);
+        if u.len() != a_csr.nrows() {
+            return Err(dim_err(
+                "vxm",
+                format!("len {} * {}x{}", u.len(), a_csr.nrows(), a_csr.ncols()),
+            ));
+        }
+        if w.len() != a_csr.ncols() {
+            return Err(dim_err(
+                "vxm",
+                format!("output len {} != {}", w.len(), a_csr.ncols()),
+            ));
+        }
+        if let Some(mk) = mask {
+            if mk.len() != w.len() {
+                return Err(dim_err(
+                    "vxm",
+                    format!("mask len {} != output len {}", mk.len(), w.len()),
+                ));
+            }
+        }
+        let keep = resolve_vec_mask(mask, desc.complement_mask, a_csr.ncols());
+        let u_sparse = u.to_sparse_repr();
+        let t = self.backend().vxm(&u_sparse, &a_csr, sr, keep.as_deref());
+        let out = stitch_sparse_vec(w, t, keep.as_deref(), accum, desc.replace);
+        *w = Vector::Sparse(out);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::no_accum;
+    use gbtl_algebra::{LorLand, MinPlus, Plus, PlusTimes, Second};
+
+    fn graph() -> Matrix<i64> {
+        Matrix::build(
+            4,
+            4,
+            [
+                (0usize, 1usize, 3i64),
+                (0, 2, 1),
+                (1, 2, 1),
+                (2, 0, 2),
+                (2, 3, 8),
+                (3, 1, 4),
+            ],
+            Second::new(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn mxv_pull_on_both_backends() {
+        let a = graph();
+        let u = Vector::filled(4, 1i64);
+        let mut w1 = Vector::new(4);
+        let mut w2 = Vector::new(4);
+        Context::sequential()
+            .mxv(&mut w1, None, no_accum(), PlusTimes::new(), &a, &u, &Descriptor::new())
+            .unwrap();
+        Context::cuda_default()
+            .mxv(&mut w2, None, no_accum(), PlusTimes::new(), &a, &u, &Descriptor::new())
+            .unwrap();
+        assert_eq!(w1, w2);
+        assert_eq!(w1.get(0), Some(4)); // 3 + 1
+        assert_eq!(w1.get(2), Some(10)); // 2 + 8
+    }
+
+    #[test]
+    fn vxm_push_on_both_backends() {
+        let a = graph();
+        let mut u = Vector::new(4);
+        u.set(0, 0i64); // distance 0 at source
+        let mut w1 = Vector::new(4);
+        let mut w2 = Vector::new(4);
+        Context::sequential()
+            .vxm(&mut w1, None, no_accum(), MinPlus::new(), &u, &a, &Descriptor::new())
+            .unwrap();
+        Context::cuda_default()
+            .vxm(&mut w2, None, no_accum(), MinPlus::new(), &u, &a, &Descriptor::new())
+            .unwrap();
+        assert_eq!(w1, w2);
+        assert_eq!(w1.get(1), Some(3));
+        assert_eq!(w1.get(2), Some(1));
+    }
+
+    #[test]
+    fn vxm_complement_mask_is_bfs_step() {
+        // visited = {0}; frontier = {0}: next frontier must exclude 0.
+        let adj = Matrix::build(
+            4,
+            4,
+            [(0usize, 1usize, true), (0, 0, true), (1, 2, true)],
+            Second::new(),
+        )
+        .unwrap();
+        let mut visited = Vector::new(4);
+        visited.set(0, true);
+        let mut frontier = Vector::new(4);
+        frontier.set(0, true);
+        let mut next = Vector::new(4);
+        Context::sequential()
+            .vxm(
+                &mut next,
+                Some(&visited),
+                no_accum(),
+                LorLand::new(),
+                &frontier,
+                &adj,
+                &Descriptor::new().complement_mask().replace(),
+            )
+            .unwrap();
+        assert!(!next.contains(0), "self-loop into visited must be masked");
+        assert!(next.contains(1));
+    }
+
+    #[test]
+    fn mxv_accum_merges() {
+        let a = graph();
+        let u = Vector::filled(4, 1i64);
+        let mut w = Vector::new(4);
+        w.set(0, 100i64);
+        Context::sequential()
+            .mxv(
+                &mut w,
+                None,
+                Some(Plus::<i64>::new()),
+                PlusTimes::new(),
+                &a,
+                &u,
+                &Descriptor::new(),
+            )
+            .unwrap();
+        assert_eq!(w.get(0), Some(104));
+    }
+
+    #[test]
+    fn dimension_errors() {
+        let a = graph();
+        let u = Vector::<i64>::new(3);
+        let mut w = Vector::new(4);
+        assert!(Context::sequential()
+            .mxv(&mut w, None, no_accum(), PlusTimes::new(), &a, &u, &Descriptor::new())
+            .is_err());
+        let u4 = Vector::<i64>::new(4);
+        let mut w3 = Vector::new(3);
+        assert!(Context::sequential()
+            .vxm(&mut w3, None, no_accum(), PlusTimes::new(), &u4, &a, &Descriptor::new())
+            .is_err());
+    }
+
+    #[test]
+    fn mxv_transpose_a_equals_vxm() {
+        let a = graph();
+        let mut u = Vector::new(4);
+        u.set(1, 7i64);
+        u.set(3, 9);
+        let mut pull = Vector::new(4);
+        Context::sequential()
+            .mxv(
+                &mut pull,
+                None,
+                no_accum(),
+                PlusTimes::new(),
+                &a,
+                &u,
+                &Descriptor::new().transpose_a(),
+            )
+            .unwrap();
+        let mut push = Vector::new(4);
+        Context::sequential()
+            .vxm(&mut push, None, no_accum(), PlusTimes::new(), &u, &a, &Descriptor::new())
+            .unwrap();
+        assert_eq!(pull, push);
+    }
+}

@@ -1,0 +1,247 @@
+//! `transpose`, `extract`, and `assign`.
+
+use gbtl_algebra::{BinaryOp, Scalar};
+use gbtl_sparse::Index;
+
+use crate::backend::Backend;
+use crate::descriptor::Descriptor;
+use crate::error::{dim_err, GblasError, Result};
+use crate::stitch::{stitch_mat, MatMask};
+use crate::types::{Matrix, Vector};
+use crate::Context;
+
+impl<B: Backend> Context<B> {
+    /// `C<M, accum> = Aᵀ`.
+    pub fn transpose<T, Acc>(
+        &self,
+        c: &mut Matrix<T>,
+        mask: Option<&Matrix<bool>>,
+        accum: Option<Acc>,
+        a: &Matrix<T>,
+        desc: &Descriptor,
+    ) -> Result<()>
+    where
+        T: Scalar,
+        Acc: BinaryOp<T>,
+    {
+        // transpose_a on a transpose op yields A back (GraphBLAS quirk).
+        let t = if desc.transpose_a {
+            a.csr().clone()
+        } else {
+            self.backend().transpose(a.csr())
+        };
+        if (c.nrows(), c.ncols()) != (t.nrows(), t.ncols()) {
+            return Err(dim_err(
+                "transpose",
+                format!(
+                    "output {}x{} vs result {}x{}",
+                    c.nrows(),
+                    c.ncols(),
+                    t.nrows(),
+                    t.ncols()
+                ),
+            ));
+        }
+        let mat_mask = mask.map(|mk| MatMask::new(mk, desc.complement_mask));
+        *c = Matrix::from_csr(stitch_mat(c.csr(), t, mat_mask, accum, desc.replace));
+        Ok(())
+    }
+
+    /// `C = A(rows, cols)` — sub-matrix extraction into a fresh matrix of
+    /// shape `rows.len() x cols.len()`.
+    pub fn extract_mat<T>(&self, a: &Matrix<T>, rows: &[Index], cols: &[Index]) -> Result<Matrix<T>>
+    where
+        T: Scalar,
+    {
+        for &r in rows {
+            if r >= a.nrows() {
+                return Err(GblasError::IndexOutOfBounds {
+                    op: "extract",
+                    index: r,
+                    bound: a.nrows(),
+                });
+            }
+        }
+        for &c in cols {
+            if c >= a.ncols() {
+                return Err(GblasError::IndexOutOfBounds {
+                    op: "extract",
+                    index: c,
+                    bound: a.ncols(),
+                });
+            }
+        }
+        Ok(Matrix::from_csr(self.backend().extract_mat(a.csr(), rows, cols)))
+    }
+
+    /// `C(rows, cols) = A` — sub-matrix assignment (entries of the region
+    /// not stored in `A` are cleared).
+    pub fn assign_mat<T>(
+        &self,
+        c: &mut Matrix<T>,
+        a: &Matrix<T>,
+        rows: &[Index],
+        cols: &[Index],
+    ) -> Result<()>
+    where
+        T: Scalar,
+    {
+        if a.nrows() != rows.len() || a.ncols() != cols.len() {
+            return Err(dim_err(
+                "assign",
+                format!(
+                    "value is {}x{}, region is {}x{}",
+                    a.nrows(),
+                    a.ncols(),
+                    rows.len(),
+                    cols.len()
+                ),
+            ));
+        }
+        for &r in rows {
+            if r >= c.nrows() {
+                return Err(GblasError::IndexOutOfBounds {
+                    op: "assign",
+                    index: r,
+                    bound: c.nrows(),
+                });
+            }
+        }
+        for &cc in cols {
+            if cc >= c.ncols() {
+                return Err(GblasError::IndexOutOfBounds {
+                    op: "assign",
+                    index: cc,
+                    bound: c.ncols(),
+                });
+            }
+        }
+        *c = Matrix::from_csr(self.backend().assign_mat(c.csr(), a.csr(), rows, cols));
+        Ok(())
+    }
+
+    /// `w = u(indices)` — sub-vector extraction.
+    pub fn extract_vec<T>(&self, u: &Vector<T>, indices: &[Index]) -> Result<Vector<T>>
+    where
+        T: Scalar,
+    {
+        for &i in indices {
+            if i >= u.len() {
+                return Err(GblasError::IndexOutOfBounds {
+                    op: "extract",
+                    index: i,
+                    bound: u.len(),
+                });
+            }
+        }
+        Ok(Vector::Dense(
+            self.backend().extract_vec(&u.to_dense_repr(), indices),
+        ))
+    }
+
+    /// `w(indices) = u` — sub-vector assignment.
+    pub fn assign_vec<T>(&self, w: &mut Vector<T>, u: &Vector<T>, indices: &[Index]) -> Result<()>
+    where
+        T: Scalar,
+    {
+        if u.len() != indices.len() {
+            return Err(dim_err(
+                "assign",
+                format!("value len {}, region len {}", u.len(), indices.len()),
+            ));
+        }
+        for &i in indices {
+            if i >= w.len() {
+                return Err(GblasError::IndexOutOfBounds {
+                    op: "assign",
+                    index: i,
+                    bound: w.len(),
+                });
+            }
+        }
+        *w = Vector::Dense(self.backend().assign_vec(
+            &w.to_dense_repr(),
+            &u.to_dense_repr(),
+            indices,
+        ));
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::no_accum;
+    use gbtl_algebra::Second;
+
+    fn m(entries: &[(usize, usize, i64)], r: usize, c: usize) -> Matrix<i64> {
+        Matrix::build(r, c, entries.iter().copied(), Second::new()).unwrap()
+    }
+
+    #[test]
+    fn transpose_both_backends() {
+        let a = m(&[(0, 2, 1), (1, 0, 2)], 2, 3);
+        let mut c1 = Matrix::new(3, 2);
+        let mut c2 = Matrix::new(3, 2);
+        Context::sequential()
+            .transpose(&mut c1, None, no_accum(), &a, &Descriptor::new())
+            .unwrap();
+        Context::cuda_default()
+            .transpose(&mut c2, None, no_accum(), &a, &Descriptor::new())
+            .unwrap();
+        assert_eq!(c1, c2);
+        assert_eq!(c1.get(2, 0), Some(1));
+        assert_eq!(c1.get(0, 1), Some(2));
+    }
+
+    #[test]
+    fn transpose_of_transpose_flag_is_identity() {
+        let ctx = Context::sequential();
+        let a = m(&[(0, 1, 9)], 2, 2);
+        let mut c = Matrix::new(2, 2);
+        ctx.transpose(&mut c, None, no_accum(), &a, &Descriptor::new().transpose_a())
+            .unwrap();
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn extract_and_assign_round_trip() {
+        let ctx = Context::sequential();
+        let a = m(&[(0, 0, 1), (1, 1, 2), (2, 2, 3)], 3, 3);
+        let sub = ctx.extract_mat(&a, &[1, 2], &[1, 2]).unwrap();
+        assert_eq!(sub.get(0, 0), Some(2));
+        assert_eq!(sub.get(1, 1), Some(3));
+
+        let mut c = Matrix::new(3, 3);
+        ctx.assign_mat(&mut c, &sub, &[0, 1], &[0, 1]).unwrap();
+        assert_eq!(c.get(0, 0), Some(2));
+        assert_eq!(c.get(1, 1), Some(3));
+    }
+
+    #[test]
+    fn extract_bounds_checked() {
+        let ctx = Context::sequential();
+        let a = m(&[], 2, 2);
+        assert!(matches!(
+            ctx.extract_mat(&a, &[5], &[0]),
+            Err(GblasError::IndexOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn vector_extract_assign() {
+        let ctx = Context::sequential();
+        let mut u = Vector::new(4);
+        u.set(1, 10i64);
+        u.set(3, 30);
+        let sub = ctx.extract_vec(&u, &[3, 1]).unwrap();
+        assert_eq!(sub.get(0), Some(30));
+        assert_eq!(sub.get(1), Some(10));
+
+        let mut w = Vector::<i64>::new(4);
+        ctx.assign_vec(&mut w, &sub, &[0, 2]).unwrap();
+        assert_eq!(w.get(0), Some(30));
+        assert_eq!(w.get(2), Some(10));
+        assert!(ctx.assign_vec(&mut w, &sub, &[0]).is_err());
+    }
+}

@@ -1,0 +1,479 @@
+//! The user-facing `Matrix` and `Vector` types.
+
+use gbtl_algebra::{BinaryOp, Scalar};
+use gbtl_sparse::{CooMatrix, CsrMatrix, DenseVector, Index, SparseVector};
+
+use crate::error::{GblasError, Result};
+
+
+/// A GraphBLAS matrix.
+///
+/// Stored as CSR internally — the operand format of every backend. Built
+/// from triples ([`Matrix::build`]), and inspected with
+/// [`Matrix::extract_tuples`], matching `GrB_Matrix_build` /
+/// `GrB_Matrix_extractTuples`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix<T> {
+    csr: CsrMatrix<T>,
+}
+
+impl<T: Scalar> Matrix<T> {
+    /// An empty `nrows x ncols` matrix.
+    pub fn new(nrows: Index, ncols: Index) -> Self {
+        Self {
+            csr: CsrMatrix::new(nrows, ncols),
+        }
+    }
+
+    /// Build from `(row, col, value)` triples, merging duplicates with
+    /// `dup`.
+    pub fn build<D: BinaryOp<T>>(
+        nrows: Index,
+        ncols: Index,
+        triples: impl IntoIterator<Item = (Index, Index, T)>,
+        dup: D,
+    ) -> Result<Self> {
+        let mut coo = CooMatrix::new(nrows, ncols);
+        for (i, j, v) in triples {
+            coo.try_push(i, j, v).map_err(GblasError::from)?;
+        }
+        Ok(Self {
+            csr: CsrMatrix::from_coo(coo, |a, b| dup.apply(a, b)),
+        })
+    }
+
+    /// Wrap an existing CSR matrix.
+    pub fn from_csr(csr: CsrMatrix<T>) -> Self {
+        Self { csr }
+    }
+
+    /// Wrap COO triples (duplicates merged with `dup`).
+    pub fn from_coo<D: BinaryOp<T>>(coo: CooMatrix<T>, dup: D) -> Self {
+        Self {
+            csr: CsrMatrix::from_coo(coo, |a, b| dup.apply(a, b)),
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> Index {
+        self.csr.nrows()
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> Index {
+        self.csr.ncols()
+    }
+
+    /// Number of stored entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.csr.nnz()
+    }
+
+    /// Value at `(i, j)` or `None` when absent.
+    pub fn get(&self, i: Index, j: Index) -> Option<T> {
+        if i >= self.nrows() || j >= self.ncols() {
+            return None;
+        }
+        self.csr.get(i, j)
+    }
+
+    /// The stored triples, row-major (`GrB_Matrix_extractTuples`).
+    pub fn extract_tuples(&self) -> (Vec<Index>, Vec<Index>, Vec<T>) {
+        let mut rows = Vec::with_capacity(self.nnz());
+        let mut cols = Vec::with_capacity(self.nnz());
+        let mut vals = Vec::with_capacity(self.nnz());
+        for (i, j, v) in self.csr.iter() {
+            rows.push(i);
+            cols.push(j);
+            vals.push(v);
+        }
+        (rows, cols, vals)
+    }
+
+    /// Borrow the underlying CSR.
+    #[inline]
+    pub fn csr(&self) -> &CsrMatrix<T> {
+        &self.csr
+    }
+
+    /// Consume into the underlying CSR.
+    #[inline]
+    pub fn into_csr(self) -> CsrMatrix<T> {
+        self.csr
+    }
+
+    /// Iterate stored `(row, col, value)` triples in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = (Index, Index, T)> + '_ {
+        self.csr.iter()
+    }
+
+    /// Set one element (`GrB_Matrix_setElement`).
+    ///
+    /// CSR has no cheap single-element insert, so this rebuilds the row
+    /// containing `(i, j)` — `O(nnz)` worst case. Use [`Matrix::build`] for
+    /// bulk construction.
+    pub fn set(&mut self, i: Index, j: Index, v: T) -> Result<()> {
+        if i >= self.nrows() || j >= self.ncols() {
+            return Err(GblasError::IndexOutOfBounds {
+                op: "setElement",
+                index: if i >= self.nrows() { i } else { j },
+                bound: if i >= self.nrows() {
+                    self.nrows()
+                } else {
+                    self.ncols()
+                },
+            });
+        }
+        let mut coo = self.csr.to_coo();
+        coo.push(i, j, v);
+        self.csr = CsrMatrix::from_coo(coo, |_, b| b); // last write wins
+        Ok(())
+    }
+
+    /// Remove one element if stored (`GrB_Matrix_removeElement`).
+    pub fn remove(&mut self, i: Index, j: Index) {
+        if self.get(i, j).is_none() {
+            return;
+        }
+        let (rows, cols, vals) = self.extract_tuples();
+        let triples = rows
+            .into_iter()
+            .zip(cols)
+            .zip(vals)
+            .filter(|&((r, c), _)| (r, c) != (i, j))
+            .map(|((r, c), v)| (r, c, v));
+        *self = Matrix::build(self.nrows(), self.ncols(), triples, gbtl_algebra::Second::new())
+            .expect("indices from valid matrix");
+    }
+
+    /// Remove all stored entries (`GrB_Matrix_clear`); dimensions unchanged.
+    pub fn clear(&mut self) {
+        self.csr = CsrMatrix::new(self.nrows(), self.ncols());
+    }
+
+    /// Change dimensions (`GrB_Matrix_resize`): entries outside the new
+    /// bounds are dropped.
+    pub fn resize(&mut self, nrows: Index, ncols: Index) {
+        let (rows, cols, vals) = self.extract_tuples();
+        let triples = rows
+            .into_iter()
+            .zip(cols)
+            .zip(vals)
+            .filter(|&((r, c), _)| r < nrows && c < ncols)
+            .map(|((r, c), v)| (r, c, v));
+        *self = Matrix::build(nrows, ncols, triples, gbtl_algebra::Second::new())
+            .expect("filtered indices in bounds");
+    }
+}
+
+/// A GraphBLAS vector.
+///
+/// Internally either a sorted coordinate list (frontier-shaped) or a
+/// bitmap+values array (dense-shaped); operations convert as needed and the
+/// representation is observable only through [`Vector::is_sparse`].
+#[derive(Debug, Clone)]
+pub enum Vector<T> {
+    /// Coordinate-list representation.
+    Sparse(SparseVector<T>),
+    /// Bitmap representation.
+    Dense(DenseVector<T>),
+}
+
+impl<T: Scalar> Vector<T> {
+    /// An empty sparse vector of dimension `n`.
+    pub fn new(n: Index) -> Self {
+        Vector::Sparse(SparseVector::new(n))
+    }
+
+    /// An empty dense-representation vector of dimension `n`.
+    pub fn new_dense(n: Index) -> Self {
+        Vector::Dense(DenseVector::new(n))
+    }
+
+    /// A vector with every position set to `fill`.
+    pub fn filled(n: Index, fill: T) -> Self {
+        Vector::Dense(DenseVector::filled(n, fill))
+    }
+
+    /// Build from `(index, value)` pairs, merging duplicates with `dup`.
+    pub fn build<D: BinaryOp<T>>(
+        n: Index,
+        pairs: impl IntoIterator<Item = (Index, T)>,
+        dup: D,
+    ) -> Result<Self> {
+        let v = SparseVector::from_pairs(n, pairs.into_iter().collect(), |a, b| dup.apply(a, b))?;
+        Ok(Vector::Sparse(v))
+    }
+
+    /// Dimension.
+    pub fn len(&self) -> Index {
+        match self {
+            Vector::Sparse(v) => v.len(),
+            Vector::Dense(v) => v.len(),
+        }
+    }
+
+    /// True when the dimension is zero.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        match self {
+            Vector::Sparse(v) => v.nnz(),
+            Vector::Dense(v) => v.nnz(),
+        }
+    }
+
+    /// True when currently in the coordinate-list representation.
+    pub fn is_sparse(&self) -> bool {
+        matches!(self, Vector::Sparse(_))
+    }
+
+    /// Value at `i`, or `None` when absent (or out of bounds).
+    pub fn get(&self, i: Index) -> Option<T> {
+        if i >= self.len() {
+            return None;
+        }
+        match self {
+            Vector::Sparse(v) => v.get(i),
+            Vector::Dense(v) => v.get(i),
+        }
+    }
+
+    /// True when position `i` holds a value.
+    pub fn contains(&self, i: Index) -> bool {
+        i < self.len()
+            && match self {
+                Vector::Sparse(v) => v.contains(i),
+                Vector::Dense(v) => v.contains(i),
+            }
+    }
+
+    /// Set the value at `i`.
+    pub fn set(&mut self, i: Index, v: T) {
+        match self {
+            Vector::Sparse(s) => s.set(i, v),
+            Vector::Dense(d) => d.set(i, v),
+        }
+    }
+
+    /// Remove the value at `i` (no-op when absent).
+    pub fn remove(&mut self, i: Index) {
+        match self {
+            Vector::Sparse(s) => {
+                s.remove(i);
+            }
+            Vector::Dense(d) => {
+                d.unset(i);
+            }
+        }
+    }
+
+    /// Remove all stored entries (dimension unchanged).
+    pub fn clear(&mut self) {
+        match self {
+            Vector::Sparse(s) => s.clear(),
+            Vector::Dense(d) => *d = DenseVector::new(d.len()),
+        }
+    }
+
+    /// Iterate stored `(index, value)` pairs in index order.
+    pub fn iter(&self) -> Box<dyn Iterator<Item = (Index, T)> + '_> {
+        match self {
+            Vector::Sparse(v) => Box::new(v.iter()),
+            Vector::Dense(v) => Box::new(v.iter()),
+        }
+    }
+
+    /// The stored pairs (`GrB_Vector_extractTuples`).
+    pub fn extract_tuples(&self) -> (Vec<Index>, Vec<T>) {
+        let mut idx = Vec::with_capacity(self.nnz());
+        let mut vals = Vec::with_capacity(self.nnz());
+        for (i, v) in self.iter() {
+            idx.push(i);
+            vals.push(v);
+        }
+        (idx, vals)
+    }
+
+    /// Materialise a dense-representation copy.
+    pub fn to_dense_repr(&self) -> DenseVector<T> {
+        match self {
+            Vector::Sparse(v) => v.to_dense(),
+            Vector::Dense(v) => v.clone(),
+        }
+    }
+
+    /// Materialise a coordinate-list copy.
+    pub fn to_sparse_repr(&self) -> SparseVector<T> {
+        match self {
+            Vector::Sparse(v) => v.clone(),
+            Vector::Dense(v) => v.to_sparse(),
+        }
+    }
+
+    /// Change the dimension (`GrB_Vector_resize`): entries at or beyond
+    /// the new length are dropped.
+    pub fn resize(&mut self, n: Index) {
+        let pairs: Vec<(Index, T)> = self.iter().filter(|&(i, _)| i < n).collect();
+        let mut out = Vector::new(n);
+        for (i, v) in pairs {
+            out.set(i, v);
+        }
+        *self = out;
+    }
+
+    /// The fraction of positions holding values (`nnz / n`); 0 for a
+    /// zero-dimension vector. Used by push/pull heuristics.
+    pub fn density(&self) -> f64 {
+        if self.len() == 0 {
+            0.0
+        } else {
+            self.nnz() as f64 / self.len() as f64
+        }
+    }
+}
+
+impl<T: Scalar> PartialEq for Vector<T> {
+    /// Equality is structural + value-wise, independent of representation.
+    fn eq(&self, other: &Self) -> bool {
+        self.len() == other.len()
+            && self.nnz() == other.nnz()
+            && self.iter().zip(other.iter()).all(|(a, b)| a == b)
+    }
+}
+
+impl<T: Scalar> From<SparseVector<T>> for Vector<T> {
+    fn from(v: SparseVector<T>) -> Self {
+        Vector::Sparse(v)
+    }
+}
+
+impl<T: Scalar> From<DenseVector<T>> for Vector<T> {
+    fn from(v: DenseVector<T>) -> Self {
+        Vector::Dense(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gbtl_algebra::Plus;
+
+    #[test]
+    fn matrix_build_and_tuples() {
+        let m = Matrix::build(3, 3, [(0, 0, 1i64), (2, 1, 5), (0, 0, 2)], Plus::new()).unwrap();
+        assert_eq!(m.nnz(), 2);
+        assert_eq!(m.get(0, 0), Some(3));
+        let (r, c, v) = m.extract_tuples();
+        assert_eq!(r, vec![0, 2]);
+        assert_eq!(c, vec![0, 1]);
+        assert_eq!(v, vec![3, 5]);
+    }
+
+    #[test]
+    fn matrix_build_rejects_out_of_bounds() {
+        let m = Matrix::build(2, 2, [(5, 0, 1i64)], Plus::new());
+        assert!(m.is_err());
+    }
+
+    #[test]
+    fn matrix_get_out_of_bounds_is_none() {
+        let m = Matrix::<i64>::new(2, 2);
+        assert_eq!(m.get(5, 5), None);
+    }
+
+    #[test]
+    fn vector_representations_compare_equal() {
+        let mut s = Vector::new(5);
+        s.set(1, 10i64);
+        s.set(3, 30);
+        let mut d = Vector::new_dense(5);
+        d.set(1, 10i64);
+        d.set(3, 30);
+        assert!(s.is_sparse() && !d.is_sparse());
+        assert_eq!(s, d);
+    }
+
+    #[test]
+    fn vector_set_get_remove() {
+        let mut v = Vector::new(4);
+        v.set(2, 7i64);
+        assert!(v.contains(2));
+        assert_eq!(v.get(2), Some(7));
+        v.remove(2);
+        assert_eq!(v.nnz(), 0);
+        assert_eq!(v.get(9), None);
+    }
+
+    #[test]
+    fn vector_build_merges() {
+        let v = Vector::build(4, [(1, 2i64), (1, 3)], Plus::new()).unwrap();
+        assert_eq!(v.get(1), Some(5));
+    }
+
+    #[test]
+    fn matrix_element_mutation() {
+        let mut m = Matrix::build(3, 3, [(0usize, 0usize, 1i64)], Plus::new()).unwrap();
+        m.set(1, 2, 9).unwrap();
+        assert_eq!(m.get(1, 2), Some(9));
+        m.set(1, 2, 10).unwrap(); // overwrite
+        assert_eq!(m.get(1, 2), Some(10));
+        assert!(m.set(5, 0, 1).is_err());
+        m.remove(1, 2);
+        assert_eq!(m.get(1, 2), None);
+        m.remove(1, 2); // idempotent
+        assert_eq!(m.nnz(), 1);
+        m.clear();
+        assert_eq!(m.nnz(), 0);
+        assert_eq!((m.nrows(), m.ncols()), (3, 3));
+    }
+
+    #[test]
+    fn matrix_resize_drops_out_of_bounds() {
+        let mut m = Matrix::build(
+            4,
+            4,
+            [(0usize, 0usize, 1i64), (3, 3, 2), (1, 2, 3)],
+            Plus::new(),
+        )
+        .unwrap();
+        m.resize(2, 3);
+        assert_eq!((m.nrows(), m.ncols()), (2, 3));
+        assert_eq!(m.get(0, 0), Some(1));
+        assert_eq!(m.get(1, 2), Some(3));
+        assert_eq!(m.nnz(), 2);
+        // grow back: old entries stay, space extends
+        m.resize(5, 5);
+        assert_eq!(m.nnz(), 2);
+        assert_eq!(m.get(4, 4), None);
+    }
+
+    #[test]
+    fn vector_resize() {
+        let mut v = Vector::new(5);
+        v.set(1, 10i64);
+        v.set(4, 40);
+        v.resize(3);
+        assert_eq!(v.len(), 3);
+        assert_eq!(v.get(1), Some(10));
+        assert_eq!(v.nnz(), 1);
+        v.resize(10);
+        assert_eq!(v.len(), 10);
+        assert_eq!(v.get(1), Some(10));
+    }
+
+    #[test]
+    fn density() {
+        let mut v = Vector::new(10);
+        assert_eq!(v.density(), 0.0);
+        v.set(0, 1i64);
+        v.set(1, 1);
+        assert!((v.density() - 0.2).abs() < 1e-12);
+    }
+}

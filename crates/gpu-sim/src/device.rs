@@ -1,0 +1,214 @@
+//! The simulated device: transfer accounting and the kernel cost model.
+
+use parking_lot::Mutex;
+
+use crate::{DeviceBuffer, GpuConfig, GpuStats, KernelRecord, KernelTally};
+
+/// A simulated CUDA-like device.
+///
+/// All state updates go through an internal lock, so a `&Gpu` can be shared
+/// freely across rayon workers; kernels accumulate per-block tallies locally
+/// and merge once per launch, so the lock is not contended on hot paths.
+#[derive(Debug)]
+pub struct Gpu {
+    config: GpuConfig,
+    stats: Mutex<GpuStats>,
+    trace: bool,
+}
+
+impl Gpu {
+    /// Create a device with the given configuration.
+    pub fn new(config: GpuConfig) -> Self {
+        Self {
+            config,
+            stats: Mutex::new(GpuStats::default()),
+            trace: false,
+        }
+    }
+
+    /// Create a device that additionally keeps a per-kernel log
+    /// (`stats().kernel_log`).
+    pub fn with_trace(config: GpuConfig) -> Self {
+        Self {
+            config,
+            stats: Mutex::new(GpuStats::default()),
+            trace: true,
+        }
+    }
+
+    /// The device configuration.
+    #[inline]
+    pub fn config(&self) -> &GpuConfig {
+        &self.config
+    }
+
+    /// Snapshot of the cumulative statistics.
+    pub fn stats(&self) -> GpuStats {
+        self.stats.lock().clone()
+    }
+
+    /// Reset all counters (keeps configuration).
+    pub fn reset_stats(&self) {
+        *self.stats.lock() = GpuStats::default();
+    }
+
+    /// Copy host data to a new device buffer, charging PCIe time.
+    pub fn h2d<T: Clone>(&self, host: &[T]) -> DeviceBuffer<T> {
+        let bytes = std::mem::size_of_val(host);
+        self.charge_transfer(bytes as u64, true);
+        DeviceBuffer::from_device_vec(host.to_vec())
+    }
+
+    /// Move an owned host vector to the device, charging PCIe time.
+    pub fn h2d_vec<T>(&self, host: Vec<T>) -> DeviceBuffer<T> {
+        let bytes = host.len() * std::mem::size_of::<T>();
+        self.charge_transfer(bytes as u64, true);
+        DeviceBuffer::from_device_vec(host)
+    }
+
+    /// Copy a device buffer back to the host, charging PCIe time.
+    pub fn d2h<T: Clone>(&self, dev: &DeviceBuffer<T>) -> Vec<T> {
+        self.charge_transfer(dev.size_bytes() as u64, false);
+        dev.as_slice().to_vec()
+    }
+
+    /// Move an owned device buffer back to the host, charging PCIe time.
+    pub fn d2h_vec<T>(&self, dev: DeviceBuffer<T>) -> Vec<T> {
+        self.charge_transfer(dev.size_bytes() as u64, false);
+        dev.into_device_vec()
+    }
+
+    /// Charge a host↔device transfer of `bytes` without moving any data —
+    /// used by host-fallback operations that model (rather than perform)
+    /// the round-trip.
+    pub fn charge_transfer_bytes(&self, bytes: u64, h2d: bool) {
+        self.charge_transfer(bytes, h2d);
+    }
+
+    fn charge_transfer(&self, bytes: u64, h2d: bool) {
+        let t = self.config.pcie_latency_us * 1e-6
+            + bytes as f64 / (self.config.pcie_bandwidth_gbps * 1e9);
+        let mut s = self.stats.lock();
+        if h2d {
+            s.h2d_transfers += 1;
+            s.bytes_h2d += bytes;
+        } else {
+            s.d2h_transfers += 1;
+            s.bytes_d2h += bytes;
+        }
+        s.modeled_time_s += t;
+    }
+
+    /// Modeled execution time of a kernel with the given tally: launch
+    /// overhead plus the roofline maximum of compute time and memory time.
+    pub fn kernel_time(&self, tally: &KernelTally) -> f64 {
+        let compute = tally.warp_instructions as f64 / self.config.issue_rate();
+        let mem_txn =
+            tally.mem_transactions as f64 + tally.atomic_ops as f64 * self.config.atomic_penalty;
+        let mem = mem_txn * self.config.mem_transaction_bytes as f64
+            / (self.config.mem_bandwidth_gbps * 1e9);
+        self.config.kernel_launch_us * 1e-6 + compute.max(mem)
+    }
+
+    /// Record a completed kernel launch.
+    pub fn charge_kernel(&self, name: &'static str, blocks: usize, tally: KernelTally) {
+        let t = self.kernel_time(&tally);
+        let mut s = self.stats.lock();
+        s.kernels_launched += 1;
+        s.warp_instructions += tally.warp_instructions;
+        s.mem_transactions += tally.mem_transactions;
+        s.atomic_ops += tally.atomic_ops;
+        s.modeled_time_s += t;
+        if self.trace {
+            s.kernel_log.push(KernelRecord {
+                name,
+                blocks,
+                tally,
+                modeled_time_s: t,
+            });
+        }
+    }
+}
+
+impl Default for Gpu {
+    fn default() -> Self {
+        Self::new(GpuConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfers_are_charged() {
+        let gpu = Gpu::new(GpuConfig::k40());
+        let buf = gpu.h2d(&[1.0f64; 1000]);
+        let back = gpu.d2h(&buf);
+        assert_eq!(back.len(), 1000);
+        let s = gpu.stats();
+        assert_eq!(s.h2d_transfers, 1);
+        assert_eq!(s.d2h_transfers, 1);
+        assert_eq!(s.bytes_h2d, 8000);
+        assert_eq!(s.bytes_d2h, 8000);
+        // 2 transfers x (10us latency + 8000B / 12 GB/s)
+        let expected = 2.0 * (10e-6 + 8000.0 / 12e9);
+        assert!((s.modeled_time_s - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kernel_time_is_roofline() {
+        let gpu = Gpu::new(GpuConfig::k40());
+        // Memory-bound tally: 1000 transactions, negligible compute.
+        let t_mem = gpu.kernel_time(&KernelTally {
+            warp_instructions: 1,
+            mem_transactions: 1000,
+            atomic_ops: 0,
+        });
+        let mem_s = 1000.0 * 128.0 / 288e9;
+        assert!((t_mem - (5e-6 + mem_s)).abs() < 1e-12);
+
+        // Compute-bound tally.
+        let t_cmp = gpu.kernel_time(&KernelTally {
+            warp_instructions: 10_000_000,
+            mem_transactions: 1,
+            atomic_ops: 0,
+        });
+        let cmp_s = 10_000_000.0 / (15.0 * 0.745e9);
+        assert!((t_cmp - (5e-6 + cmp_s)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn atomics_cost_more_than_plain_transactions() {
+        let gpu = Gpu::new(GpuConfig::k40());
+        let plain = gpu.kernel_time(&KernelTally {
+            warp_instructions: 0,
+            mem_transactions: 1000,
+            atomic_ops: 0,
+        });
+        let atomics = gpu.kernel_time(&KernelTally {
+            warp_instructions: 0,
+            mem_transactions: 0,
+            atomic_ops: 1000,
+        });
+        assert!(atomics > plain);
+    }
+
+    #[test]
+    fn trace_keeps_kernel_log() {
+        let gpu = Gpu::with_trace(GpuConfig::k40());
+        gpu.charge_kernel("test_kernel", 4, KernelTally::default());
+        let s = gpu.stats();
+        assert_eq!(s.kernel_log.len(), 1);
+        assert_eq!(s.kernel_log[0].name, "test_kernel");
+        assert_eq!(s.kernels_launched, 1);
+    }
+
+    #[test]
+    fn reset_clears_counters() {
+        let gpu = Gpu::default();
+        gpu.h2d(&[0u8; 64]);
+        gpu.reset_stats();
+        assert_eq!(gpu.stats(), GpuStats::default());
+    }
+}

@@ -1,0 +1,275 @@
+//! Kernel launches and the per-block SIMT accounting context.
+//!
+//! A "kernel" here is a closure executed once per thread block; rayon plays
+//! the role of the SM scheduler. Inside the closure, the kernel narrates its
+//! memory behaviour to a [`BlockCtx`] at *warp-step* granularity: each
+//! [`BlockCtx::warp_read`] call is one lockstep memory instruction by up to
+//! `warp_size` lanes, and the context counts how many 128-byte transactions
+//! the lane addresses coalesce into. This is exactly the quantity the
+//! hardware's memory controller sees, and it is what separates the scalar
+//! (thread-per-row) and vector (warp-per-row) SpMV kernels in experiment
+//! R-A1.
+
+use rayon::prelude::*;
+
+use crate::{Gpu, KernelTally};
+
+/// Per-block accounting context handed to kernel closures.
+#[derive(Debug)]
+pub struct BlockCtx {
+    warp_size: usize,
+    txn_bytes: usize,
+    tally: KernelTally,
+    /// Scratch for segment dedup (bounded by `warp_size`).
+    segs: Vec<u64>,
+}
+
+impl BlockCtx {
+    fn new(warp_size: usize, txn_bytes: usize) -> Self {
+        Self {
+            warp_size,
+            txn_bytes,
+            tally: KernelTally::default(),
+            segs: Vec::with_capacity(warp_size),
+        }
+    }
+
+    /// Lanes per warp on this device.
+    #[inline]
+    pub fn warp_size(&self) -> usize {
+        self.warp_size
+    }
+
+    /// Charge `n` pure-ALU warp instructions.
+    #[inline]
+    pub fn instr(&mut self, n: u64) {
+        self.tally.warp_instructions += n;
+    }
+
+    /// Charge `n` atomic read-modify-write operations.
+    #[inline]
+    pub fn atomic(&mut self, n: u64) {
+        self.tally.atomic_ops += n;
+        self.tally.warp_instructions += n.div_ceil(self.warp_size as u64);
+    }
+
+    fn warp_access(&mut self, elem_bytes: usize, lane_elem_idx: &[usize]) {
+        debug_assert!(lane_elem_idx.len() <= self.warp_size);
+        self.tally.warp_instructions += 1;
+        self.segs.clear();
+        for &i in lane_elem_idx {
+            let seg = (i as u64 * elem_bytes as u64) / self.txn_bytes as u64;
+            if !self.segs.contains(&seg) {
+                self.segs.push(seg);
+            }
+        }
+        self.tally.mem_transactions += self.segs.len() as u64;
+    }
+
+    /// One warp-step global *load*: each active lane reads element
+    /// `lane_elem_idx[lane]` (element size `elem_bytes`) from one buffer.
+    /// Transactions charged = distinct 128-byte segments among the lanes.
+    /// Fewer active lanes than `warp_size` models divergence: the
+    /// instruction still issues once.
+    #[inline]
+    pub fn warp_read(&mut self, elem_bytes: usize, lane_elem_idx: &[usize]) {
+        self.warp_access(elem_bytes, lane_elem_idx);
+    }
+
+    /// One warp-step global *store*; same accounting as [`BlockCtx::warp_read`].
+    #[inline]
+    pub fn warp_write(&mut self, elem_bytes: usize, lane_elem_idx: &[usize]) {
+        self.warp_access(elem_bytes, lane_elem_idx);
+    }
+
+    /// Bulk perfectly-coalesced stream of `elems` elements of `elem_bytes`
+    /// each, read or written: the cost of a `memcpy`-shaped access pattern.
+    pub fn stream(&mut self, elems: usize, elem_bytes: usize) {
+        let bytes = (elems * elem_bytes) as u64;
+        self.tally.mem_transactions += bytes.div_ceil(self.txn_bytes as u64);
+        self.tally.warp_instructions += (elems as u64).div_ceil(self.warp_size as u64);
+    }
+
+    /// A block-wide tree reduction over `elems` values held by the block's
+    /// threads (the shared-memory `__syncthreads()` collective, charged
+    /// analytically: `elems/warp · log2(warp)`-ish instructions, no global
+    /// traffic).
+    pub fn block_reduce(&mut self, elems: usize) {
+        if elems == 0 {
+            return;
+        }
+        let warps = (elems as u64).div_ceil(self.warp_size as u64);
+        let lg = usize::BITS - (self.warp_size.max(2) - 1).leading_zeros();
+        self.tally.warp_instructions += warps * lg as u64 + warps;
+    }
+
+    /// Tally accumulated so far (used by nested helpers).
+    #[inline]
+    pub fn tally(&self) -> &KernelTally {
+        &self.tally
+    }
+}
+
+impl Gpu {
+    /// Launch `blocks` thread blocks of kernel `f`; block `b` returns a
+    /// value, and the per-block results come back in block order.
+    ///
+    /// Blocks execute concurrently on the rayon pool (the SM scheduler
+    /// analogue); each gets its own [`BlockCtx`], merged and charged once at
+    /// the end of the launch.
+    pub fn launch<R, F>(&self, name: &'static str, blocks: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize, &mut BlockCtx) -> R + Sync,
+    {
+        let ws = self.config().warp_size;
+        let tb = self.config().mem_transaction_bytes;
+        let (results, tally) = (0..blocks)
+            .into_par_iter()
+            .map(|b| {
+                let mut ctx = BlockCtx::new(ws, tb);
+                let r = f(b, &mut ctx);
+                (r, ctx.tally)
+            })
+            .fold(
+                || (Vec::new(), KernelTally::default()),
+                |(mut rs, mut t), (r, bt)| {
+                    rs.push(r);
+                    t.merge(&bt);
+                    (rs, t)
+                },
+            )
+            .reduce(
+                || (Vec::new(), KernelTally::default()),
+                |(mut ra, mut ta), (rb, tb)| {
+                    ra.extend(rb);
+                    ta.merge(&tb);
+                    (ra, ta)
+                },
+            );
+        self.charge_kernel(name, blocks, tally);
+        results
+    }
+
+    /// Launch one block per `chunk`-sized slice of `out`; block `b` owns
+    /// `out[b*chunk .. (b+1)*chunk]` exclusively (the standard
+    /// output-partitioned CUDA kernel shape).
+    pub fn launch_chunks<T, F>(&self, name: &'static str, out: &mut [T], chunk: usize, f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut [T], &mut BlockCtx) + Sync,
+    {
+        assert!(chunk > 0, "chunk size must be positive");
+        let ws = self.config().warp_size;
+        let tb = self.config().mem_transaction_bytes;
+        let blocks = out.len().div_ceil(chunk).max(1);
+        let tally = out
+            .par_chunks_mut(chunk)
+            .enumerate()
+            .map(|(b, slice)| {
+                let mut ctx = BlockCtx::new(ws, tb);
+                f(b, slice, &mut ctx);
+                ctx.tally
+            })
+            .reduce(KernelTally::default, |mut a, b| {
+                a.merge(&b);
+                a
+            });
+        self.charge_kernel(name, blocks, tally);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GpuConfig;
+
+    #[test]
+    fn coalesced_warp_read_is_few_transactions() {
+        let gpu = Gpu::new(GpuConfig::k40());
+        gpu.launch("coalesced", 1, |_, ctx| {
+            // 32 consecutive f64s = 256 bytes = 2 segments of 128B.
+            let idxs: Vec<usize> = (0..32).collect();
+            ctx.warp_read(8, &idxs);
+        });
+        let s = gpu.stats();
+        assert_eq!(s.mem_transactions, 2);
+        assert_eq!(s.warp_instructions, 1);
+    }
+
+    #[test]
+    fn strided_warp_read_is_many_transactions() {
+        let gpu = Gpu::new(GpuConfig::k40());
+        gpu.launch("strided", 1, |_, ctx| {
+            // 32 f64s, 1KB apart: every lane in its own segment.
+            let idxs: Vec<usize> = (0..32).map(|i| i * 128).collect();
+            ctx.warp_read(8, &idxs);
+        });
+        assert_eq!(gpu.stats().mem_transactions, 32);
+    }
+
+    #[test]
+    fn divergent_warp_still_issues_one_instruction() {
+        let gpu = Gpu::new(GpuConfig::k40());
+        gpu.launch("divergent", 1, |_, ctx| {
+            ctx.warp_read(8, &[0, 1]); // only 2 active lanes
+        });
+        let s = gpu.stats();
+        assert_eq!(s.warp_instructions, 1);
+        assert_eq!(s.mem_transactions, 1);
+    }
+
+    #[test]
+    fn launch_returns_block_results_in_order() {
+        let gpu = Gpu::default();
+        let r = gpu.launch("order", 64, |b, ctx| {
+            ctx.instr(1);
+            b * 10
+        });
+        assert_eq!(r, (0..64).map(|b| b * 10).collect::<Vec<_>>());
+        let s = gpu.stats();
+        assert_eq!(s.kernels_launched, 1);
+        assert_eq!(s.warp_instructions, 64);
+    }
+
+    #[test]
+    fn launch_chunks_partitions_output() {
+        let gpu = Gpu::default();
+        let mut out = vec![0usize; 100];
+        gpu.launch_chunks("chunks", &mut out, 32, |b, slice, ctx| {
+            ctx.stream(slice.len(), 8);
+            for (i, v) in slice.iter_mut().enumerate() {
+                *v = b * 1000 + i;
+            }
+        });
+        assert_eq!(out[0], 0);
+        assert_eq!(out[33], 1001);
+        assert_eq!(out[99], 3003);
+        assert_eq!(gpu.stats().kernels_launched, 1);
+    }
+
+    #[test]
+    fn stream_charges_bandwidth_shaped_cost() {
+        let gpu = Gpu::default();
+        gpu.launch("stream", 1, |_, ctx| ctx.stream(1024, 8));
+        let s = gpu.stats();
+        assert_eq!(s.mem_transactions, 8192 / 128);
+        assert_eq!(s.warp_instructions, 1024 / 32);
+    }
+
+    #[test]
+    fn block_reduce_charges_log_cost() {
+        let gpu = Gpu::default();
+        gpu.launch("reduce", 1, |_, ctx| ctx.block_reduce(256));
+        let s = gpu.stats();
+        // 8 warps * (log2(32)=5) + 8 = 48
+        assert_eq!(s.warp_instructions, 48);
+    }
+
+    #[test]
+    fn atomics_accumulate() {
+        let gpu = Gpu::default();
+        gpu.launch("atomics", 2, |_, ctx| ctx.atomic(100));
+        assert_eq!(gpu.stats().atomic_ops, 200);
+    }
+}

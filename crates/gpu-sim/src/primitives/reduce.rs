@@ -1,0 +1,180 @@
+//! Reductions: full, segmented, and by-key.
+
+use rayon::prelude::*;
+
+use super::{charge_streaming, stream_instrs, CHUNK};
+use crate::Gpu;
+
+/// Tree-reduce `input` with the monoid `(identity, op)` — Thrust `reduce`.
+///
+/// Deterministic: values are folded sequentially within fixed-size chunks
+/// and chunk partials are folded sequentially in chunk order, so float
+/// results are identical run to run regardless of the rayon pool size.
+///
+/// Cost: reads `n` elements once, `log`-depth combine charged as one extra
+/// instruction per warp.
+pub fn reduce<T, F>(gpu: &Gpu, input: &[T], identity: T, op: F) -> T
+where
+    T: Copy + Send + Sync,
+    F: Fn(T, T) -> T + Sync,
+{
+    let partials: Vec<T> = input
+        .par_chunks(CHUNK)
+        .map(|chunk| chunk.iter().copied().fold(identity, &op))
+        .collect();
+    let result = partials.into_iter().fold(identity, &op);
+    let n = input.len();
+    charge_streaming(
+        gpu,
+        "reduce",
+        n.div_ceil(CHUNK).max(1),
+        (n * std::mem::size_of::<T>()) as u64,
+        std::mem::size_of::<T>() as u64,
+        2 * stream_instrs(gpu, n),
+    );
+    result
+}
+
+/// Reduce each segment `vals[offsets[s]..offsets[s+1]]` with the monoid —
+/// CUSP's segmented reduction (CSR row reduce).
+///
+/// Empty segments yield `identity`.
+pub fn segmented_reduce<T, F>(gpu: &Gpu, offsets: &[usize], vals: &[T], identity: T, op: F) -> Vec<T>
+where
+    T: Copy + Send + Sync,
+    F: Fn(T, T) -> T + Sync,
+{
+    assert!(!offsets.is_empty(), "offsets must have at least one entry");
+    let nseg = offsets.len() - 1;
+    let out: Vec<T> = (0..nseg)
+        .into_par_iter()
+        .map(|s| {
+            vals[offsets[s]..offsets[s + 1]]
+                .iter()
+                .copied()
+                .fold(identity, &op)
+        })
+        .collect();
+    let n = vals.len();
+    charge_streaming(
+        gpu,
+        "segmented_reduce",
+        nseg.div_ceil(CHUNK).max(1),
+        (n * std::mem::size_of::<T>() + offsets.len() * std::mem::size_of::<usize>()) as u64,
+        (nseg * std::mem::size_of::<T>()) as u64,
+        2 * stream_instrs(gpu, n) + stream_instrs(gpu, nseg),
+    );
+    out
+}
+
+/// Combine runs of equal keys — Thrust `reduce_by_key`.
+///
+/// `keys` must be sorted (equal keys adjacent); values in each run combine
+/// with `op` in run order. Returns `(unique_keys, reduced_vals)`.
+pub fn reduce_by_key<K, V, F>(gpu: &Gpu, keys: &[K], vals: &[V], op: F) -> (Vec<K>, Vec<V>)
+where
+    K: Copy + Eq + Send + Sync,
+    V: Copy + Send + Sync,
+    F: Fn(V, V) -> V + Sync,
+{
+    assert_eq!(keys.len(), vals.len(), "keys/vals length mismatch");
+    let n = keys.len();
+    if n == 0 {
+        charge_streaming(gpu, "reduce_by_key", 1, 0, 0, 0);
+        return (Vec::new(), Vec::new());
+    }
+    // Pass 1: segment boundaries (head flags + compaction).
+    let starts: Vec<usize> = (0..n)
+        .into_par_iter()
+        .filter(|&i| i == 0 || keys[i - 1] != keys[i])
+        .collect();
+    // Pass 2: per-segment sequential fold.
+    let nseg = starts.len();
+    let out_keys: Vec<K> = starts.par_iter().map(|&s| keys[s]).collect();
+    let out_vals: Vec<V> = (0..nseg)
+        .into_par_iter()
+        .map(|s| {
+            let lo = starts[s];
+            let hi = if s + 1 < nseg { starts[s + 1] } else { n };
+            let mut acc = vals[lo];
+            for v in &vals[lo + 1..hi] {
+                acc = op(acc, *v);
+            }
+            acc
+        })
+        .collect();
+    let kb = std::mem::size_of::<K>();
+    let vb = std::mem::size_of::<V>();
+    charge_streaming(
+        gpu,
+        "reduce_by_key",
+        n.div_ceil(CHUNK).max(1),
+        (n * (kb + vb)) as u64,
+        (nseg * (kb + vb)) as u64,
+        3 * stream_instrs(gpu, n),
+    );
+    (out_keys, out_vals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduce_sums() {
+        let gpu = Gpu::default();
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(reduce(&gpu, &v, 0, |a, b| a + b), 5050);
+    }
+
+    #[test]
+    fn reduce_empty_yields_identity() {
+        let gpu = Gpu::default();
+        assert_eq!(reduce(&gpu, &[] as &[u32], 7, |a, b| a + b), 7);
+    }
+
+    #[test]
+    fn reduce_is_deterministic_for_floats() {
+        let gpu = Gpu::default();
+        let v: Vec<f64> = (0..100_000).map(|i| (i as f64).sin()).collect();
+        let a = reduce(&gpu, &v, 0.0, |a, b| a + b);
+        let b = reduce(&gpu, &v, 0.0, |a, b| a + b);
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+
+    #[test]
+    fn segmented_reduce_handles_empty_segments() {
+        let gpu = Gpu::default();
+        let offsets = [0usize, 2, 2, 5];
+        let vals = [1, 2, 3, 4, 5];
+        let out = segmented_reduce(&gpu, &offsets, &vals, 0, |a, b| a + b);
+        assert_eq!(out, vec![3, 0, 12]);
+    }
+
+    #[test]
+    fn reduce_by_key_merges_runs() {
+        let gpu = Gpu::default();
+        let keys = [1u64, 1, 2, 5, 5, 5];
+        let vals = [10, 20, 30, 1, 2, 3];
+        let (k, v) = reduce_by_key(&gpu, &keys, &vals, |a, b| a + b);
+        assert_eq!(k, vec![1, 2, 5]);
+        assert_eq!(v, vec![30, 30, 6]);
+    }
+
+    #[test]
+    fn reduce_by_key_empty() {
+        let gpu = Gpu::default();
+        let (k, v) = reduce_by_key(&gpu, &[] as &[u32], &[] as &[u32], |a, b| a + b);
+        assert!(k.is_empty() && v.is_empty());
+    }
+
+    #[test]
+    fn reduce_by_key_noncommutative_op_applies_in_run_order() {
+        let gpu = Gpu::default();
+        let keys = [7u32, 7, 7];
+        let vals = [1i64, 2, 3];
+        // "second" op keeps the last value of each run.
+        let (_, v) = reduce_by_key(&gpu, &keys, &vals, |_, b| b);
+        assert_eq!(v, vec![3]);
+    }
+}

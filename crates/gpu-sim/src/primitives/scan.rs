@@ -1,0 +1,152 @@
+//! Prefix sums — the load-bearing primitive of every compaction and build.
+
+use rayon::prelude::*;
+
+use super::{charge_streaming, stream_instrs, CHUNK};
+use crate::Gpu;
+
+/// Exclusive prefix "sum" with the monoid `(identity, op)` — Thrust
+/// `exclusive_scan`. `out[i] = op(input[0], …, input[i-1])`, `out[0] =
+/// identity`.
+///
+/// Implemented as the classic two-phase blocked scan (per-tile scan,
+/// sequential scan of tile totals, tile offset fix-up), charged as two
+/// bandwidth-shaped kernels — the Thrust/CUB cost shape.
+pub fn exclusive_scan<T, F>(gpu: &Gpu, input: &[T], identity: T, op: F) -> Vec<T>
+where
+    T: Copy + Send + Sync,
+    F: Fn(T, T) -> T + Sync,
+{
+    scan_impl(gpu, input, identity, op, false)
+}
+
+/// Inclusive prefix "sum": `out[i] = op(input[0], …, input[i])`.
+pub fn inclusive_scan<T, F>(gpu: &Gpu, input: &[T], identity: T, op: F) -> Vec<T>
+where
+    T: Copy + Send + Sync,
+    F: Fn(T, T) -> T + Sync,
+{
+    scan_impl(gpu, input, identity, op, true)
+}
+
+fn scan_impl<T, F>(gpu: &Gpu, input: &[T], identity: T, op: F, inclusive: bool) -> Vec<T>
+where
+    T: Copy + Send + Sync,
+    F: Fn(T, T) -> T + Sync,
+{
+    let n = input.len();
+    let bytes = (n * std::mem::size_of::<T>()) as u64;
+    let blocks = n.div_ceil(CHUNK).max(1);
+    // Kernel 1: per-tile totals (upsweep).
+    let totals: Vec<T> = input
+        .par_chunks(CHUNK)
+        .map(|c| c.iter().copied().fold(identity, &op))
+        .collect();
+    charge_streaming(gpu, "scan_upsweep", blocks, bytes, 0, stream_instrs(gpu, n));
+    // Host-side tiny scan of tile totals (mirrors the single-block middle
+    // kernel; its cost is negligible and charged inside the downsweep).
+    let mut offsets = Vec::with_capacity(totals.len());
+    let mut acc = identity;
+    for t in totals {
+        offsets.push(acc);
+        acc = op(acc, t);
+    }
+    // Kernel 2: per-tile rescan with offset (downsweep).
+    let mut out = vec![identity; n];
+    out.par_chunks_mut(CHUNK)
+        .zip(input.par_chunks(CHUNK))
+        .zip(offsets.par_iter())
+        .for_each(|((o, i), &off)| {
+            let mut acc = off;
+            for (dst, &src) in o.iter_mut().zip(i) {
+                if inclusive {
+                    acc = op(acc, src);
+                    *dst = acc;
+                } else {
+                    *dst = acc;
+                    acc = op(acc, src);
+                }
+            }
+        });
+    charge_streaming(
+        gpu,
+        "scan_downsweep",
+        blocks,
+        bytes,
+        bytes,
+        2 * stream_instrs(gpu, n),
+    );
+    out
+}
+
+/// Total of an exclusive scan plus the last element: the "size" that
+/// compactions need. Returns `(scan, total)`.
+pub fn exclusive_scan_total<F>(gpu: &Gpu, input: &[usize], op: F) -> (Vec<usize>, usize)
+where
+    F: Fn(usize, usize) -> usize + Sync,
+{
+    let scan = exclusive_scan(gpu, input, 0, &op);
+    let total = match (scan.last(), input.last()) {
+        (Some(&s), Some(&v)) => op(s, v),
+        _ => 0,
+    };
+    (scan, total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exclusive_scan_small() {
+        let gpu = Gpu::default();
+        let out = exclusive_scan(&gpu, &[1usize, 2, 3, 4], 0, |a, b| a + b);
+        assert_eq!(out, vec![0, 1, 3, 6]);
+    }
+
+    #[test]
+    fn inclusive_scan_small() {
+        let gpu = Gpu::default();
+        let out = inclusive_scan(&gpu, &[1usize, 2, 3, 4], 0, |a, b| a + b);
+        assert_eq!(out, vec![1, 3, 6, 10]);
+    }
+
+    #[test]
+    fn scan_spans_multiple_tiles() {
+        let gpu = Gpu::default();
+        let n = CHUNK * 3 + 17;
+        let ones = vec![1usize; n];
+        let out = exclusive_scan(&gpu, &ones, 0, |a, b| a + b);
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, i);
+        }
+    }
+
+    #[test]
+    fn scan_empty() {
+        let gpu = Gpu::default();
+        assert!(exclusive_scan(&gpu, &[] as &[usize], 0, |a, b| a + b).is_empty());
+    }
+
+    #[test]
+    fn scan_total_returns_sum() {
+        let gpu = Gpu::default();
+        let (scan, total) = exclusive_scan_total(&gpu, &[5usize, 1, 2], |a, b| a + b);
+        assert_eq!(scan, vec![0, 5, 6]);
+        assert_eq!(total, 8);
+    }
+
+    #[test]
+    fn scan_charges_two_kernels() {
+        let gpu = Gpu::default();
+        let _ = exclusive_scan(&gpu, &[1usize; 10], 0, |a, b| a + b);
+        assert_eq!(gpu.stats().kernels_launched, 2);
+    }
+
+    #[test]
+    fn scan_with_max_monoid() {
+        let gpu = Gpu::default();
+        let out = inclusive_scan(&gpu, &[3i64, 1, 4, 1, 5], i64::MIN, |a, b| a.max(b));
+        assert_eq!(out, vec![3, 3, 4, 4, 5]);
+    }
+}

@@ -1,0 +1,120 @@
+//! Sorting — the backbone of ESC SpGEMM, transpose and COO→CSR build.
+
+use rayon::prelude::*;
+
+use super::{charge_streaming, stream_instrs, CHUNK};
+use crate::Gpu;
+
+/// Radix-sort pass count modeled for the charged cost (CUB-style 16-bit
+/// digits over 64-bit keys).
+const RADIX_PASSES: u64 = 4;
+
+fn charge_radix_sort<K, V>(gpu: &Gpu, n: usize) {
+    let elem = std::mem::size_of::<K>() + std::mem::size_of::<V>();
+    let bytes = (n * elem) as u64;
+    for _ in 0..RADIX_PASSES {
+        charge_streaming(
+            gpu,
+            "radix_sort_pass",
+            n.div_ceil(CHUNK).max(1),
+            bytes,
+            bytes,
+            4 * stream_instrs(gpu, n),
+        );
+    }
+}
+
+/// Sort `(keys, vals)` pairs by key — Thrust `sort_by_key`.
+///
+/// Charged as an LSD radix sort: [`RADIX_PASSES`] bandwidth-shaped passes
+/// over keys+values. The host-side implementation is an unstable parallel
+/// sort with the key's total order; ties between equal keys carry no
+/// observable order (callers always follow with `reduce_by_key`, which is
+/// order-insensitive for the monoids used).
+pub fn sort_pairs<K, V>(gpu: &Gpu, keys: &[K], vals: &[V]) -> (Vec<K>, Vec<V>)
+where
+    K: Copy + Ord + Send + Sync,
+    V: Copy + Send + Sync,
+{
+    assert_eq!(keys.len(), vals.len(), "keys/vals length mismatch");
+    let mut zipped: Vec<(K, V)> = keys
+        .par_iter()
+        .zip(vals.par_iter())
+        .map(|(&k, &v)| (k, v))
+        .collect();
+    zipped.par_sort_by_key(|&(k, _)| k);
+    charge_radix_sort::<K, V>(gpu, keys.len());
+    let out_keys: Vec<K> = zipped.par_iter().map(|&(k, _)| k).collect();
+    let out_vals: Vec<V> = zipped.par_iter().map(|&(_, v)| v).collect();
+    (out_keys, out_vals)
+}
+
+/// Sort keys alone — Thrust `sort`.
+pub fn sort_keys<K>(gpu: &Gpu, keys: &[K]) -> Vec<K>
+where
+    K: Copy + Ord + Send + Sync,
+{
+    let mut out = keys.to_vec();
+    out.par_sort_unstable();
+    charge_radix_sort::<K, ()>(gpu, keys.len());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sort_pairs_orders_by_key() {
+        let gpu = Gpu::default();
+        let keys = [3u64, 1, 2];
+        let vals = [30u32, 10, 20];
+        let (k, v) = sort_pairs(&gpu, &keys, &vals);
+        assert_eq!(k, vec![1, 2, 3]);
+        assert_eq!(v, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn sort_pairs_is_stable_for_value_recovery() {
+        // Equal keys: values may permute, but the multiset must survive.
+        let gpu = Gpu::default();
+        let keys = [5u64, 5, 5, 1];
+        let vals = [1u8, 2, 3, 4];
+        let (k, mut v) = sort_pairs(&gpu, &keys, &vals);
+        assert_eq!(k, vec![1, 5, 5, 5]);
+        assert_eq!(v.remove(0), 4);
+        v.sort_unstable();
+        assert_eq!(v, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn sort_keys_sorts() {
+        let gpu = Gpu::default();
+        assert_eq!(sort_keys(&gpu, &[9i32, -1, 4]), vec![-1, 4, 9]);
+    }
+
+    #[test]
+    fn sort_charges_radix_passes() {
+        let gpu = Gpu::default();
+        let _ = sort_keys(&gpu, &[1u64; 100]);
+        assert_eq!(gpu.stats().kernels_launched, RADIX_PASSES);
+    }
+
+    #[test]
+    fn sort_large_random() {
+        let gpu = Gpu::default();
+        // xorshift-ish deterministic pseudo-random input
+        let mut x = 0x9E3779B97F4A7C15u64;
+        let keys: Vec<u64> = (0..10_000)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x
+            })
+            .collect();
+        let sorted = sort_keys(&gpu, &keys);
+        assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(sorted.len(), keys.len());
+    }
+}

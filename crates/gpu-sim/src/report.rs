@@ -1,0 +1,164 @@
+//! Per-kernel profiling reports — the `nvprof`-style view of a traced run.
+
+use std::collections::HashMap;
+
+use crate::{GpuStats, KernelRecord};
+
+/// Aggregated statistics for one kernel name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelSummary {
+    /// Kernel name.
+    pub name: &'static str,
+    /// Number of launches.
+    pub launches: usize,
+    /// Total warp instructions across launches.
+    pub warp_instructions: u64,
+    /// Total memory transactions across launches.
+    pub mem_transactions: u64,
+    /// Total atomic operations across launches.
+    pub atomic_ops: u64,
+    /// Total modeled time in seconds.
+    pub modeled_time_s: f64,
+}
+
+/// Aggregate a traced run's kernel log by kernel name, sorted by total
+/// modeled time (descending) — the "where did the time go" table.
+///
+/// Requires the device to have been created with
+/// [`Gpu::with_trace`](crate::Gpu::with_trace); an untraced run returns an
+/// empty report.
+pub fn kernel_report(stats: &GpuStats) -> Vec<KernelSummary> {
+    let mut by_name: HashMap<&'static str, KernelSummary> = HashMap::new();
+    for rec in &stats.kernel_log {
+        let e = by_name.entry(rec.name).or_insert(KernelSummary {
+            name: rec.name,
+            launches: 0,
+            warp_instructions: 0,
+            mem_transactions: 0,
+            atomic_ops: 0,
+            modeled_time_s: 0.0,
+        });
+        e.launches += 1;
+        e.warp_instructions += rec.tally.warp_instructions;
+        e.mem_transactions += rec.tally.mem_transactions;
+        e.atomic_ops += rec.tally.atomic_ops;
+        e.modeled_time_s += rec.modeled_time_s;
+    }
+    let mut out: Vec<KernelSummary> = by_name.into_values().collect();
+    out.sort_by(|a, b| b.modeled_time_s.partial_cmp(&a.modeled_time_s).unwrap());
+    out
+}
+
+/// Render [`kernel_report`] as an aligned text table.
+pub fn format_kernel_report(stats: &GpuStats) -> String {
+    use std::fmt::Write;
+    let rows = kernel_report(stats);
+    let total: f64 = rows.iter().map(|r| r.modeled_time_s).sum();
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "{:<24} {:>8} {:>12} {:>12} {:>10} {:>12} {:>7}",
+        "kernel", "launches", "warp instr", "mem txns", "atomics", "time", "share"
+    );
+    for r in &rows {
+        let _ = writeln!(
+            s,
+            "{:<24} {:>8} {:>12} {:>12} {:>10} {:>9.1} us {:>6.1}%",
+            r.name,
+            r.launches,
+            r.warp_instructions,
+            r.mem_transactions,
+            r.atomic_ops,
+            r.modeled_time_s * 1e6,
+            if total > 0.0 {
+                r.modeled_time_s / total * 100.0
+            } else {
+                0.0
+            }
+        );
+    }
+    s
+}
+
+/// The slowest single launch in a traced run (for spotting outliers).
+pub fn slowest_launch(stats: &GpuStats) -> Option<&KernelRecord> {
+    stats
+        .kernel_log
+        .iter()
+        .max_by(|a, b| a.modeled_time_s.partial_cmp(&b.modeled_time_s).unwrap())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Gpu, GpuConfig, KernelTally};
+
+    fn traced_gpu_with_work() -> Gpu {
+        let gpu = Gpu::with_trace(GpuConfig::k40());
+        gpu.charge_kernel(
+            "alpha",
+            1,
+            KernelTally {
+                warp_instructions: 100,
+                mem_transactions: 1000,
+                atomic_ops: 0,
+            },
+        );
+        gpu.charge_kernel(
+            "alpha",
+            1,
+            KernelTally {
+                warp_instructions: 50,
+                mem_transactions: 500,
+                atomic_ops: 2,
+            },
+        );
+        gpu.charge_kernel(
+            "beta",
+            4,
+            KernelTally {
+                warp_instructions: 10,
+                mem_transactions: 1_000_000,
+                atomic_ops: 0,
+            },
+        );
+        gpu
+    }
+
+    #[test]
+    fn report_aggregates_by_name() {
+        let stats = traced_gpu_with_work().stats();
+        let rows = kernel_report(&stats);
+        assert_eq!(rows.len(), 2);
+        // beta is slowest (1M transactions) -> first
+        assert_eq!(rows[0].name, "beta");
+        let alpha = rows.iter().find(|r| r.name == "alpha").unwrap();
+        assert_eq!(alpha.launches, 2);
+        assert_eq!(alpha.warp_instructions, 150);
+        assert_eq!(alpha.mem_transactions, 1500);
+        assert_eq!(alpha.atomic_ops, 2);
+    }
+
+    #[test]
+    fn format_produces_table() {
+        let stats = traced_gpu_with_work().stats();
+        let text = format_kernel_report(&stats);
+        assert!(text.contains("beta"));
+        assert!(text.contains("alpha"));
+        assert!(text.contains('%'));
+    }
+
+    #[test]
+    fn untraced_run_is_empty() {
+        let gpu = Gpu::new(GpuConfig::k40());
+        gpu.charge_kernel("x", 1, KernelTally::default());
+        assert!(kernel_report(&gpu.stats()).is_empty());
+    }
+
+    #[test]
+    fn slowest_launch_found() {
+        let stats = traced_gpu_with_work().stats();
+        assert_eq!(slowest_launch(&stats).unwrap().name, "beta");
+        assert!(slowest_launch(&GpuStats::default()).is_none());
+    }
+}

@@ -1,0 +1,79 @@
+#![warn(missing_docs)]
+
+//! Synthetic graph generators for GBTL-RS workloads.
+//!
+//! The GBTL-CUDA era evaluated on RMAT/Kronecker graphs (skewed degrees),
+//! Erdős–Rényi graphs (uniform degrees) and regular meshes (high diameter).
+//! All generators are deterministic given a seed and return [`CooMatrix`]
+//! adjacency structure; [`weights`] turns structure into weighted graphs.
+
+mod canned;
+mod erdos_renyi;
+mod regular;
+mod rmat;
+mod smallworld;
+pub mod weights;
+
+pub use canned::{karate_club, triangle_toy};
+pub use erdos_renyi::erdos_renyi;
+pub use regular::{bipartite_complete, complete, grid_2d, path, ring, star, torus_2d};
+pub use rmat::{Rmat, RMAT_A, RMAT_B, RMAT_C};
+pub use smallworld::watts_strogatz;
+
+use gbtl_sparse::{CooMatrix, CsrMatrix};
+
+/// Deduplicate a boolean adjacency COO and drop self-loops, producing the
+/// canonical CSR the algorithms consume.
+pub fn to_simple_csr(coo: CooMatrix<bool>) -> CsrMatrix<bool> {
+    let n = coo.nrows();
+    let m = coo.ncols();
+    let mut clean = CooMatrix::with_capacity(n, m, coo.nnz());
+    for (i, j, v) in coo.iter() {
+        if i != j {
+            clean.push(i, j, v);
+        }
+    }
+    CsrMatrix::from_coo(clean, |a, _| a)
+}
+
+/// Mirror every edge, making the graph undirected (symmetric adjacency).
+pub fn symmetrize(coo: &CooMatrix<bool>) -> CooMatrix<bool> {
+    let mut out = CooMatrix::with_capacity(coo.nrows(), coo.ncols(), coo.nnz() * 2);
+    for (i, j, v) in coo.iter() {
+        out.push(i, j, v);
+        if i != j {
+            out.push(j, i, v);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn to_simple_csr_removes_loops_and_dups() {
+        let mut coo = CooMatrix::new(3, 3);
+        coo.push(0, 0, true); // self loop
+        coo.push(0, 1, true);
+        coo.push(0, 1, true); // duplicate
+        coo.push(2, 1, true);
+        let csr = to_simple_csr(coo);
+        assert_eq!(csr.nnz(), 2);
+        assert_eq!(csr.get(0, 0), None);
+        assert_eq!(csr.get(0, 1), Some(true));
+    }
+
+    #[test]
+    fn symmetrize_mirrors() {
+        let mut coo = CooMatrix::new(3, 3);
+        coo.push(0, 1, true);
+        coo.push(1, 1, true);
+        let s = symmetrize(&coo);
+        let csr = to_simple_csr(s);
+        assert_eq!(csr.get(0, 1), Some(true));
+        assert_eq!(csr.get(1, 0), Some(true));
+        assert_eq!(csr.get(1, 1), None);
+    }
+}

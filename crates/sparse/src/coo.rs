@@ -1,0 +1,248 @@
+//! Coordinate-format matrix: the build and interchange format.
+
+use gbtl_algebra::Scalar;
+
+use crate::{Index, SparseError};
+
+/// A matrix stored as parallel `(row, col, value)` triple arrays.
+///
+/// COO is what `build` consumes, what `extractTuples` produces, and what the
+/// Matrix Market reader yields. Triples may be unsorted and may contain
+/// duplicates until [`CooMatrix::sort_dedup`] is called; compressed formats
+/// are derived from the sorted, deduplicated form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CooMatrix<T> {
+    nrows: Index,
+    ncols: Index,
+    rows: Vec<Index>,
+    cols: Vec<Index>,
+    vals: Vec<T>,
+}
+
+impl<T: Scalar> CooMatrix<T> {
+    /// Create an empty `nrows x ncols` matrix.
+    pub fn new(nrows: Index, ncols: Index) -> Self {
+        Self {
+            nrows,
+            ncols,
+            rows: Vec::new(),
+            cols: Vec::new(),
+            vals: Vec::new(),
+        }
+    }
+
+    /// Create an empty matrix with room for `cap` triples.
+    pub fn with_capacity(nrows: Index, ncols: Index, cap: usize) -> Self {
+        Self {
+            nrows,
+            ncols,
+            rows: Vec::with_capacity(cap),
+            cols: Vec::with_capacity(cap),
+            vals: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Build from triple arrays, validating bounds and lengths.
+    pub fn from_triples(
+        nrows: Index,
+        ncols: Index,
+        rows: Vec<Index>,
+        cols: Vec<Index>,
+        vals: Vec<T>,
+    ) -> Result<Self, SparseError> {
+        if rows.len() != cols.len() || rows.len() != vals.len() {
+            return Err(SparseError::LengthMismatch {
+                detail: format!(
+                    "rows={}, cols={}, vals={}",
+                    rows.len(),
+                    cols.len(),
+                    vals.len()
+                ),
+            });
+        }
+        for (&r, &c) in rows.iter().zip(&cols) {
+            if r >= nrows || c >= ncols {
+                return Err(SparseError::IndexOutOfBounds {
+                    row: r,
+                    col: c,
+                    nrows,
+                    ncols,
+                });
+            }
+        }
+        Ok(Self {
+            nrows,
+            ncols,
+            rows,
+            cols,
+            vals,
+        })
+    }
+
+    /// Append one triple. Panics (debug) on out-of-bounds indices; use
+    /// [`CooMatrix::try_push`] for checked insertion.
+    #[inline]
+    pub fn push(&mut self, row: Index, col: Index, val: T) {
+        debug_assert!(row < self.nrows && col < self.ncols);
+        self.rows.push(row);
+        self.cols.push(col);
+        self.vals.push(val);
+    }
+
+    /// Append one triple, validating bounds.
+    pub fn try_push(&mut self, row: Index, col: Index, val: T) -> Result<(), SparseError> {
+        if row >= self.nrows || col >= self.ncols {
+            return Err(SparseError::IndexOutOfBounds {
+                row,
+                col,
+                nrows: self.nrows,
+                ncols: self.ncols,
+            });
+        }
+        self.push(row, col, val);
+        Ok(())
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> Index {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> Index {
+        self.ncols
+    }
+
+    /// Number of stored triples (including any duplicates).
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Raw triple arrays `(rows, cols, vals)`.
+    #[inline]
+    pub fn triples(&self) -> (&[Index], &[Index], &[T]) {
+        (&self.rows, &self.cols, &self.vals)
+    }
+
+    /// Consume into raw triple arrays `(rows, cols, vals)`.
+    #[inline]
+    pub fn into_triples(self) -> (Vec<Index>, Vec<Index>, Vec<T>) {
+        (self.rows, self.cols, self.vals)
+    }
+
+    /// Iterate stored triples in storage order.
+    pub fn iter(&self) -> impl Iterator<Item = (Index, Index, T)> + '_ {
+        self.rows
+            .iter()
+            .zip(&self.cols)
+            .zip(&self.vals)
+            .map(|((&r, &c), &v)| (r, c, v))
+    }
+
+    /// Sort triples into row-major order and merge duplicates with `dup`
+    /// (applied left-to-right in the pre-sort order of equal keys being
+    /// unspecified; `dup` should be associative/commutative for
+    /// deterministic results, which every GraphBLAS dup operator is).
+    pub fn sort_dedup(&mut self, mut dup: impl FnMut(T, T) -> T) {
+        let n = self.vals.len();
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        order.sort_unstable_by_key(|&i| (self.rows[i as usize], self.cols[i as usize]));
+
+        let mut rows = Vec::with_capacity(n);
+        let mut cols = Vec::with_capacity(n);
+        let mut vals: Vec<T> = Vec::with_capacity(n);
+        for &i in &order {
+            let (r, c, v) = (
+                self.rows[i as usize],
+                self.cols[i as usize],
+                self.vals[i as usize],
+            );
+            match (rows.last(), cols.last()) {
+                (Some(&lr), Some(&lc)) if lr == r && lc == c => {
+                    let last = vals.last_mut().expect("vals tracks rows");
+                    *last = dup(*last, v);
+                }
+                _ => {
+                    rows.push(r);
+                    cols.push(c);
+                    vals.push(v);
+                }
+            }
+        }
+        self.rows = rows;
+        self.cols = cols;
+        self.vals = vals;
+    }
+
+    /// True when triples are sorted row-major with no duplicate coordinates.
+    pub fn is_sorted_dedup(&self) -> bool {
+        self.rows
+            .iter()
+            .zip(&self.cols)
+            .zip(self.rows.iter().zip(&self.cols).skip(1))
+            .all(|((r0, c0), (r1, c1))| (r0, c0) < (r1, c1))
+    }
+
+    /// Swap row/column indices in place (structural transpose; the result is
+    /// generally unsorted).
+    pub fn transpose_in_place(&mut self) {
+        std::mem::swap(&mut self.rows, &mut self.cols);
+        std::mem::swap(&mut self.nrows, &mut self.ncols);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_iter() {
+        let mut m = CooMatrix::<f64>::new(3, 4);
+        m.push(0, 1, 1.0);
+        m.push(2, 3, 2.0);
+        assert_eq!(m.nnz(), 2);
+        let triples: Vec<_> = m.iter().collect();
+        assert_eq!(triples, vec![(0, 1, 1.0), (2, 3, 2.0)]);
+    }
+
+    #[test]
+    fn from_triples_validates() {
+        let err = CooMatrix::from_triples(2, 2, vec![0, 5], vec![0, 0], vec![1.0, 2.0]);
+        assert!(matches!(err, Err(SparseError::IndexOutOfBounds { .. })));
+        let err = CooMatrix::from_triples(2, 2, vec![0], vec![0, 1], vec![1.0, 2.0]);
+        assert!(matches!(err, Err(SparseError::LengthMismatch { .. })));
+    }
+
+    #[test]
+    fn try_push_rejects_out_of_bounds() {
+        let mut m = CooMatrix::<i32>::new(2, 2);
+        assert!(m.try_push(1, 1, 5).is_ok());
+        assert!(m.try_push(2, 0, 5).is_err());
+        assert_eq!(m.nnz(), 1);
+    }
+
+    #[test]
+    fn sort_dedup_merges_duplicates() {
+        let mut m = CooMatrix::<i64>::new(3, 3);
+        m.push(2, 2, 1);
+        m.push(0, 0, 10);
+        m.push(2, 2, 5);
+        m.push(0, 1, 3);
+        m.sort_dedup(|a, b| a + b);
+        let triples: Vec<_> = m.iter().collect();
+        assert_eq!(triples, vec![(0, 0, 10), (0, 1, 3), (2, 2, 6)]);
+        assert!(m.is_sorted_dedup());
+    }
+
+    #[test]
+    fn transpose_in_place_swaps() {
+        let mut m = CooMatrix::<i32>::new(2, 5);
+        m.push(1, 4, 7);
+        m.transpose_in_place();
+        assert_eq!((m.nrows(), m.ncols()), (5, 2));
+        assert_eq!(m.iter().next(), Some((4, 1, 7)));
+    }
+}

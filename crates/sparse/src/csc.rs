@@ -1,0 +1,192 @@
+//! Compressed sparse column, used for pull-direction operations and
+//! transpose views.
+
+use gbtl_algebra::Scalar;
+
+use crate::{CsrMatrix, Index, SparseError};
+
+/// A matrix in compressed-sparse-column form.
+///
+/// Stored as the CSR of the transpose: `col_ptr` compresses columns, and
+/// within each column row indices are strictly increasing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CscMatrix<T> {
+    nrows: Index,
+    ncols: Index,
+    col_ptr: Vec<Index>,
+    row_idx: Vec<Index>,
+    vals: Vec<T>,
+}
+
+impl<T: Scalar> CscMatrix<T> {
+    /// An empty `nrows x ncols` matrix.
+    pub fn new(nrows: Index, ncols: Index) -> Self {
+        Self {
+            nrows,
+            ncols,
+            col_ptr: vec![0; ncols + 1],
+            row_idx: Vec::new(),
+            vals: Vec::new(),
+        }
+    }
+
+    /// Construct from raw parts, validating invariants.
+    pub fn from_parts(
+        nrows: Index,
+        ncols: Index,
+        col_ptr: Vec<Index>,
+        row_idx: Vec<Index>,
+        vals: Vec<T>,
+    ) -> Result<Self, SparseError> {
+        // Validate by viewing as the transpose's CSR.
+        let as_csr = CsrMatrix::from_parts(ncols, nrows, col_ptr, row_idx, vals)?;
+        let (ncols_t, nrows_t) = (as_csr.nrows(), as_csr.ncols());
+        debug_assert_eq!((ncols_t, nrows_t), (ncols, nrows));
+        Ok(Self::from_transposed_csr(as_csr, nrows, ncols))
+    }
+
+    /// Reinterpret a CSR of `Aᵀ` as the CSC of `A` (the two share the same
+    /// arrays: `Aᵀ`'s row pointer *is* `A`'s column pointer). Used by
+    /// backends that build a column view via their transpose kernel.
+    pub fn from_transposed_csr(t: CsrMatrix<T>, nrows: Index, ncols: Index) -> Self {
+        debug_assert_eq!(t.nrows(), ncols);
+        debug_assert_eq!(t.ncols(), nrows);
+        let nnz = t.nnz();
+        let col_ptr = t.row_ptr().to_vec();
+        let row_idx = t.col_idx().to_vec();
+        let vals = t.vals().to_vec();
+        debug_assert_eq!(row_idx.len(), nnz);
+        Self {
+            nrows,
+            ncols,
+            col_ptr,
+            row_idx,
+            vals,
+        }
+    }
+
+    /// Build from CSR (copies and re-compresses).
+    pub fn from_csr(csr: &CsrMatrix<T>) -> Self {
+        csr.to_csc()
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> Index {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> Index {
+        self.ncols
+    }
+
+    /// Number of stored entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// The column-pointer array (`ncols + 1` entries).
+    #[inline]
+    pub fn col_ptr(&self) -> &[Index] {
+        &self.col_ptr
+    }
+
+    /// The row-index array.
+    #[inline]
+    pub fn row_idx(&self) -> &[Index] {
+        &self.row_idx
+    }
+
+    /// The value array, parallel to `row_idx`.
+    #[inline]
+    pub fn vals(&self) -> &[T] {
+        &self.vals
+    }
+
+    /// Row indices and values of column `j`.
+    #[inline]
+    pub fn col(&self, j: Index) -> (&[Index], &[T]) {
+        let (lo, hi) = (self.col_ptr[j], self.col_ptr[j + 1]);
+        (&self.row_idx[lo..hi], &self.vals[lo..hi])
+    }
+
+    /// Value at `(i, j)`, or `None` when not stored.
+    pub fn get(&self, i: Index, j: Index) -> Option<T> {
+        let (rows, vals) = self.col(j);
+        rows.binary_search(&i).ok().map(|k| vals[k])
+    }
+
+    /// Convert to CSR.
+    pub fn to_csr(&self) -> CsrMatrix<T> {
+        // The CSC arrays are a CSR of Aᵀ; transposing that CSR yields A.
+        let t = CsrMatrix::from_parts_unchecked(
+            self.ncols,
+            self.nrows,
+            self.col_ptr.clone(),
+            self.row_idx.clone(),
+            self.vals.clone(),
+        );
+        t.transpose()
+    }
+
+    /// Iterate stored triples in column-major order.
+    pub fn iter(&self) -> impl Iterator<Item = (Index, Index, T)> + '_ {
+        (0..self.ncols).flat_map(move |j| {
+            let (rows, vals) = self.col(j);
+            rows.iter().zip(vals).map(move |(&r, &v)| (r, j, v))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CooMatrix;
+
+    fn sample_csr() -> CsrMatrix<i32> {
+        // [1 0 2]
+        // [0 3 0]
+        let mut coo = CooMatrix::new(2, 3);
+        coo.push(0, 0, 1);
+        coo.push(0, 2, 2);
+        coo.push(1, 1, 3);
+        CsrMatrix::from_coo(coo, |a, _| a)
+    }
+
+    #[test]
+    fn csr_to_csc_round_trip() {
+        let csr = sample_csr();
+        let csc = CscMatrix::from_csr(&csr);
+        assert_eq!((csc.nrows(), csc.ncols(), csc.nnz()), (2, 3, 3));
+        assert_eq!(csc.get(0, 0), Some(1));
+        assert_eq!(csc.get(0, 2), Some(2));
+        assert_eq!(csc.get(1, 1), Some(3));
+        assert_eq!(csc.get(1, 0), None);
+        assert_eq!(csc.to_csr(), csr);
+    }
+
+    #[test]
+    fn col_access() {
+        let csc = CscMatrix::from_csr(&sample_csr());
+        assert_eq!(csc.col(0), (&[0usize][..], &[1][..]));
+        assert_eq!(csc.col(1), (&[1usize][..], &[3][..]));
+        assert_eq!(csc.col(2), (&[0usize][..], &[2][..]));
+    }
+
+    #[test]
+    fn iter_is_column_major() {
+        let csc = CscMatrix::from_csr(&sample_csr());
+        let triples: Vec<_> = csc.iter().collect();
+        assert_eq!(triples, vec![(0, 0, 1), (1, 1, 3), (0, 2, 2)]);
+    }
+
+    #[test]
+    fn from_parts_validates() {
+        // row indices unsorted within a column
+        let bad = CscMatrix::<i32>::from_parts(3, 1, vec![0, 2], vec![2, 0], vec![1, 2]);
+        assert!(bad.is_err());
+    }
+}

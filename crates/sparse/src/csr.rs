@@ -1,0 +1,385 @@
+//! Compressed sparse row: the workhorse operand format.
+
+use gbtl_algebra::Scalar;
+
+use crate::{CooMatrix, CscMatrix, Index, SparseError};
+
+/// A matrix in compressed-sparse-row form.
+///
+/// Invariants (checked by [`CsrMatrix::validate`], established by every
+/// constructor):
+///
+/// * `row_ptr.len() == nrows + 1`, `row_ptr[0] == 0`, monotone
+///   non-decreasing, `row_ptr[nrows] == col_idx.len() == vals.len()`;
+/// * within each row, column indices are strictly increasing (sorted,
+///   duplicate-free) and `< ncols`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix<T> {
+    nrows: Index,
+    ncols: Index,
+    row_ptr: Vec<Index>,
+    col_idx: Vec<Index>,
+    vals: Vec<T>,
+}
+
+impl<T: Scalar> CsrMatrix<T> {
+    /// An empty `nrows x ncols` matrix.
+    pub fn new(nrows: Index, ncols: Index) -> Self {
+        Self {
+            nrows,
+            ncols,
+            row_ptr: vec![0; nrows + 1],
+            col_idx: Vec::new(),
+            vals: Vec::new(),
+        }
+    }
+
+    /// Construct from raw parts, validating every invariant.
+    pub fn from_parts(
+        nrows: Index,
+        ncols: Index,
+        row_ptr: Vec<Index>,
+        col_idx: Vec<Index>,
+        vals: Vec<T>,
+    ) -> Result<Self, SparseError> {
+        let m = Self {
+            nrows,
+            ncols,
+            row_ptr,
+            col_idx,
+            vals,
+        };
+        m.validate()?;
+        Ok(m)
+    }
+
+    /// Construct from raw parts without validation.
+    ///
+    /// Not `unsafe` in the memory sense (all accesses stay bounds-checked),
+    /// but callers must uphold the CSR invariants or later operations will
+    /// produce wrong results or panic. Backends use this on structures they
+    /// built themselves.
+    pub fn from_parts_unchecked(
+        nrows: Index,
+        ncols: Index,
+        row_ptr: Vec<Index>,
+        col_idx: Vec<Index>,
+        vals: Vec<T>,
+    ) -> Self {
+        debug_assert_eq!(row_ptr.len(), nrows + 1);
+        debug_assert_eq!(*row_ptr.last().unwrap_or(&0), col_idx.len());
+        debug_assert_eq!(col_idx.len(), vals.len());
+        Self {
+            nrows,
+            ncols,
+            row_ptr,
+            col_idx,
+            vals,
+        }
+    }
+
+    /// Build from (possibly unsorted, duplicate-bearing) COO, merging
+    /// duplicates with `dup`.
+    pub fn from_coo(mut coo: CooMatrix<T>, dup: impl FnMut(T, T) -> T) -> Self {
+        coo.sort_dedup(dup);
+        Self::from_sorted_coo(&coo)
+    }
+
+    /// Build from COO that is already sorted row-major and duplicate-free.
+    pub fn from_sorted_coo(coo: &CooMatrix<T>) -> Self {
+        debug_assert!(coo.is_sorted_dedup());
+        let (rows, cols, vals) = coo.triples();
+        let nrows = coo.nrows();
+        let mut row_ptr = vec![0usize; nrows + 1];
+        for &r in rows {
+            row_ptr[r + 1] += 1;
+        }
+        for i in 0..nrows {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        Self {
+            nrows,
+            ncols: coo.ncols(),
+            row_ptr,
+            col_idx: cols.to_vec(),
+            vals: vals.to_vec(),
+        }
+    }
+
+    /// Check all CSR invariants.
+    pub fn validate(&self) -> Result<(), SparseError> {
+        if self.row_ptr.len() != self.nrows + 1 {
+            return Err(SparseError::InvalidStructure {
+                detail: format!(
+                    "row_ptr length {} != nrows+1 = {}",
+                    self.row_ptr.len(),
+                    self.nrows + 1
+                ),
+            });
+        }
+        if self.row_ptr[0] != 0 {
+            return Err(SparseError::InvalidStructure {
+                detail: format!("row_ptr[0] = {} != 0", self.row_ptr[0]),
+            });
+        }
+        if self.col_idx.len() != self.vals.len() {
+            return Err(SparseError::LengthMismatch {
+                detail: format!(
+                    "col_idx={} vals={}",
+                    self.col_idx.len(),
+                    self.vals.len()
+                ),
+            });
+        }
+        if *self.row_ptr.last().expect("non-empty row_ptr") != self.col_idx.len() {
+            return Err(SparseError::InvalidStructure {
+                detail: format!(
+                    "row_ptr[nrows] = {} != nnz = {}",
+                    self.row_ptr[self.nrows],
+                    self.col_idx.len()
+                ),
+            });
+        }
+        for i in 0..self.nrows {
+            let (lo, hi) = (self.row_ptr[i], self.row_ptr[i + 1]);
+            if lo > hi {
+                return Err(SparseError::InvalidStructure {
+                    detail: format!("row_ptr not monotone at row {i}: {lo} > {hi}"),
+                });
+            }
+            let row = &self.col_idx[lo..hi];
+            for w in row.windows(2) {
+                if w[0] >= w[1] {
+                    return Err(SparseError::InvalidStructure {
+                        detail: format!("row {i} columns not strictly increasing: {w:?}"),
+                    });
+                }
+            }
+            if let Some(&last) = row.last() {
+                if last >= self.ncols {
+                    return Err(SparseError::IndexOutOfBounds {
+                        row: i,
+                        col: last,
+                        nrows: self.nrows,
+                        ncols: self.ncols,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> Index {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> Index {
+        self.ncols
+    }
+
+    /// Number of stored entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// The row-pointer array (`nrows + 1` entries).
+    #[inline]
+    pub fn row_ptr(&self) -> &[Index] {
+        &self.row_ptr
+    }
+
+    /// The column-index array.
+    #[inline]
+    pub fn col_idx(&self) -> &[Index] {
+        &self.col_idx
+    }
+
+    /// The value array, parallel to `col_idx`.
+    #[inline]
+    pub fn vals(&self) -> &[T] {
+        &self.vals
+    }
+
+    /// Mutable value array (structure stays fixed).
+    #[inline]
+    pub fn vals_mut(&mut self) -> &mut [T] {
+        &mut self.vals
+    }
+
+    /// Column indices and values of row `i`.
+    #[inline]
+    pub fn row(&self, i: Index) -> (&[Index], &[T]) {
+        let (lo, hi) = (self.row_ptr[i], self.row_ptr[i + 1]);
+        (&self.col_idx[lo..hi], &self.vals[lo..hi])
+    }
+
+    /// Number of stored entries in row `i`.
+    #[inline]
+    pub fn row_nnz(&self, i: Index) -> usize {
+        self.row_ptr[i + 1] - self.row_ptr[i]
+    }
+
+    /// Value at `(i, j)`, or `None` when not stored. Binary search within
+    /// the row.
+    pub fn get(&self, i: Index, j: Index) -> Option<T> {
+        let (cols, vals) = self.row(i);
+        cols.binary_search(&j).ok().map(|k| vals[k])
+    }
+
+    /// Iterate all stored triples in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = (Index, Index, T)> + '_ {
+        (0..self.nrows).flat_map(move |i| {
+            let (cols, vals) = self.row(i);
+            cols.iter().zip(vals).map(move |(&c, &v)| (i, c, v))
+        })
+    }
+
+    /// Convert to COO (sorted row-major).
+    pub fn to_coo(&self) -> CooMatrix<T> {
+        let mut coo = CooMatrix::with_capacity(self.nrows, self.ncols, self.nnz());
+        for (r, c, v) in self.iter() {
+            coo.push(r, c, v);
+        }
+        coo
+    }
+
+    /// Transpose via a counting pass (a.k.a. the sequential "atomic-free
+    /// scatter" transpose). `O(nnz + nrows + ncols)`.
+    pub fn transpose(&self) -> CsrMatrix<T> {
+        let mut t_ptr = vec![0usize; self.ncols + 1];
+        for &c in &self.col_idx {
+            t_ptr[c + 1] += 1;
+        }
+        for j in 0..self.ncols {
+            t_ptr[j + 1] += t_ptr[j];
+        }
+        let mut cursor = t_ptr.clone();
+        let mut t_col = vec![0usize; self.nnz()];
+        let mut t_val = self.vals.clone();
+        for i in 0..self.nrows {
+            let (cols, vals) = self.row(i);
+            for (&c, &v) in cols.iter().zip(vals) {
+                let dst = cursor[c];
+                cursor[c] += 1;
+                t_col[dst] = i;
+                t_val[dst] = v;
+            }
+        }
+        CsrMatrix {
+            nrows: self.ncols,
+            ncols: self.nrows,
+            row_ptr: t_ptr,
+            col_idx: t_col,
+            vals: t_val,
+        }
+    }
+
+    /// View as CSC of the *same* matrix (shares no storage; builds the
+    /// column-compressed arrays).
+    pub fn to_csc(&self) -> CscMatrix<T> {
+        let t = self.transpose();
+        CscMatrix::from_transposed_csr(t, self.nrows, self.ncols)
+    }
+
+    /// The maximum row degree (0 for an empty matrix).
+    pub fn max_row_nnz(&self) -> usize {
+        (0..self.nrows).map(|i| self.row_nnz(i)).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsrMatrix<f64> {
+        // [10  0 20]
+        // [ 0  0  0]
+        // [30 40  0]
+        let mut coo = CooMatrix::new(3, 3);
+        coo.push(0, 0, 10.0);
+        coo.push(0, 2, 20.0);
+        coo.push(2, 0, 30.0);
+        coo.push(2, 1, 40.0);
+        CsrMatrix::from_coo(coo, |a, _| a)
+    }
+
+    #[test]
+    fn from_coo_builds_valid_csr() {
+        let m = sample();
+        m.validate().unwrap();
+        assert_eq!(m.nnz(), 4);
+        assert_eq!(m.row_ptr(), &[0, 2, 2, 4]);
+        assert_eq!(m.row(0), (&[0usize, 2][..], &[10.0, 20.0][..]));
+        assert_eq!(m.row(1), (&[][..], &[][..]));
+    }
+
+    #[test]
+    fn get_uses_binary_search() {
+        let m = sample();
+        assert_eq!(m.get(0, 2), Some(20.0));
+        assert_eq!(m.get(0, 1), None);
+        assert_eq!(m.get(1, 1), None);
+        assert_eq!(m.get(2, 1), Some(40.0));
+    }
+
+    #[test]
+    fn duplicates_merge_through_dup_op() {
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(0, 0, 1.0);
+        coo.push(0, 0, 2.0);
+        coo.push(1, 1, 4.0);
+        let m = CsrMatrix::from_coo(coo, |a, b| a + b);
+        assert_eq!(m.get(0, 0), Some(3.0));
+        assert_eq!(m.nnz(), 2);
+    }
+
+    #[test]
+    fn transpose_round_trips() {
+        let m = sample();
+        let t = m.transpose();
+        t.validate().unwrap();
+        assert_eq!(t.get(0, 2), Some(30.0));
+        assert_eq!(t.get(2, 0), Some(20.0));
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn validate_rejects_bad_structure() {
+        let bad = CsrMatrix::<f64> {
+            nrows: 2,
+            ncols: 2,
+            row_ptr: vec![0, 1, 1],
+            col_idx: vec![0, 1],
+            vals: vec![1.0, 2.0],
+        };
+        assert!(bad.validate().is_err());
+
+        let unsorted = CsrMatrix::<f64> {
+            nrows: 1,
+            ncols: 3,
+            row_ptr: vec![0, 2],
+            col_idx: vec![2, 0],
+            vals: vec![1.0, 2.0],
+        };
+        assert!(unsorted.validate().is_err());
+    }
+
+    #[test]
+    fn iter_matches_to_coo() {
+        let m = sample();
+        let a: Vec<_> = m.iter().collect();
+        let b: Vec<_> = m.to_coo().iter().collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn max_row_nnz() {
+        assert_eq!(sample().max_row_nnz(), 2);
+        assert_eq!(CsrMatrix::<f64>::new(3, 3).max_row_nnz(), 0);
+    }
+}

@@ -1,0 +1,194 @@
+//! ELLPACK format: fixed-width rows, column-major storage.
+//!
+//! ELL pads every row to the width of the longest row and stores the
+//! entries column-major, so lane `r` of a GPU warp reading "slot `k` of
+//! row `r`" hits consecutive addresses — perfectly coalesced with zero
+//! per-row indexing. The price is the padding: on skewed graphs the width
+//! is the *maximum* degree and the wasted slots dominate. This tradeoff is
+//! the reason CUSP's default format is HYB (ELL + COO overflow).
+
+use gbtl_algebra::Scalar;
+
+use crate::{CsrMatrix, Index};
+
+/// Sentinel column index marking a padding slot.
+pub const ELL_PAD: Index = Index::MAX;
+
+/// A matrix in ELLPACK layout.
+///
+/// Slot `k` of row `r` lives at `k * nrows + r` in both arrays
+/// (column-major). Padding slots hold [`ELL_PAD`] in `cols`; their values
+/// are unspecified and never read.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EllMatrix<T> {
+    nrows: Index,
+    ncols: Index,
+    width: usize,
+    cols: Vec<Index>,
+    vals: Vec<T>,
+    nnz: usize,
+}
+
+impl<T: Scalar> EllMatrix<T> {
+    /// Convert from CSR. `width` becomes the maximum row degree.
+    pub fn from_csr(csr: &CsrMatrix<T>, fill: T) -> Self {
+        let nrows = csr.nrows();
+        let width = csr.max_row_nnz();
+        let mut cols = vec![ELL_PAD; nrows * width];
+        let mut vals = vec![fill; nrows * width];
+        for r in 0..nrows {
+            let (rc, rv) = csr.row(r);
+            for (k, (&j, &v)) in rc.iter().zip(rv).enumerate() {
+                cols[k * nrows + r] = j;
+                vals[k * nrows + r] = v;
+            }
+        }
+        Self {
+            nrows,
+            ncols: csr.ncols(),
+            width,
+            cols,
+            vals,
+            nnz: csr.nnz(),
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> Index {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> Index {
+        self.ncols
+    }
+
+    /// Stored (non-padding) entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.nnz
+    }
+
+    /// Slots per row (the maximum row degree at conversion time).
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Total allocated slots (`nrows · width`); the padding overhead is
+    /// `slots() - nnz()`.
+    #[inline]
+    pub fn slots(&self) -> usize {
+        self.nrows * self.width
+    }
+
+    /// Fraction of slots that are padding (0 for perfectly uniform rows).
+    pub fn padding_ratio(&self) -> f64 {
+        if self.slots() == 0 {
+            0.0
+        } else {
+            1.0 - self.nnz as f64 / self.slots() as f64
+        }
+    }
+
+    /// Column index of slot `k` of row `r` ([`ELL_PAD`] when padded).
+    #[inline]
+    pub fn col_at(&self, r: Index, k: usize) -> Index {
+        self.cols[k * self.nrows + r]
+    }
+
+    /// Value of slot `k` of row `r` (unspecified when padded).
+    #[inline]
+    pub fn val_at(&self, r: Index, k: usize) -> T {
+        self.vals[k * self.nrows + r]
+    }
+
+    /// The raw column-major column array.
+    #[inline]
+    pub fn cols(&self) -> &[Index] {
+        &self.cols
+    }
+
+    /// The raw column-major value array.
+    #[inline]
+    pub fn vals(&self) -> &[T] {
+        &self.vals
+    }
+
+    /// Convert back to CSR.
+    pub fn to_csr(&self) -> CsrMatrix<T> {
+        let mut coo = crate::CooMatrix::with_capacity(self.nrows, self.ncols, self.nnz);
+        for r in 0..self.nrows {
+            for k in 0..self.width {
+                let j = self.col_at(r, k);
+                if j != ELL_PAD {
+                    coo.push(r, j, self.val_at(r, k));
+                }
+            }
+        }
+        CsrMatrix::from_coo(coo, |a, _| a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CooMatrix;
+
+    fn csr() -> CsrMatrix<i64> {
+        // rows with 2, 0, 3 entries -> width 3
+        let mut coo = CooMatrix::new(3, 4);
+        coo.push(0, 1, 10);
+        coo.push(0, 3, 20);
+        coo.push(2, 0, 30);
+        coo.push(2, 2, 40);
+        coo.push(2, 3, 50);
+        CsrMatrix::from_coo(coo, |a, _| a)
+    }
+
+    #[test]
+    fn round_trip() {
+        let c = csr();
+        let e = EllMatrix::from_csr(&c, 0);
+        assert_eq!(e.width(), 3);
+        assert_eq!(e.nnz(), 5);
+        assert_eq!(e.slots(), 9);
+        assert_eq!(e.to_csr(), c);
+    }
+
+    #[test]
+    fn layout_is_column_major() {
+        let e = EllMatrix::from_csr(&csr(), 0);
+        // slot 0 of each row is contiguous
+        assert_eq!(e.col_at(0, 0), 1);
+        assert_eq!(e.col_at(1, 0), ELL_PAD);
+        assert_eq!(e.col_at(2, 0), 0);
+        assert_eq!(&e.cols()[0..3], &[1, ELL_PAD, 0]);
+        assert_eq!(e.val_at(2, 2), 50);
+    }
+
+    #[test]
+    fn padding_ratio_reflects_skew() {
+        let e = EllMatrix::from_csr(&csr(), 0);
+        assert!((e.padding_ratio() - 4.0 / 9.0).abs() < 1e-12);
+
+        // uniform matrix pads nothing
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(0, 0, 1);
+        coo.push(0, 1, 1);
+        coo.push(1, 0, 1);
+        coo.push(1, 1, 1);
+        let u = EllMatrix::from_csr(&CsrMatrix::from_coo(coo, |a, _| a), 0);
+        assert_eq!(u.padding_ratio(), 0.0);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let e = EllMatrix::from_csr(&CsrMatrix::<i64>::new(3, 3), 0);
+        assert_eq!(e.width(), 0);
+        assert_eq!(e.slots(), 0);
+        assert_eq!(e.to_csr(), CsrMatrix::new(3, 3));
+    }
+}

@@ -1,0 +1,175 @@
+//! HYB format: ELL for the regular part, COO for the overflow.
+//!
+//! CUSP's default SpMV format. Rows are split at a chosen width: the first
+//! `width` entries of every row go to a perfectly-coalescing [`EllMatrix`],
+//! the tail entries of heavy rows overflow into a COO list processed by an
+//! atomic kernel. With the width set near the *typical* degree, HYB keeps
+//! ELL's coalescing without paying ELL's worst-case padding.
+
+use gbtl_algebra::Scalar;
+
+use crate::{CooMatrix, CsrMatrix, EllMatrix, Index};
+
+/// A matrix split into an ELL part plus a COO overflow.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HybMatrix<T> {
+    ell: EllMatrix<T>,
+    coo_rows: Vec<Index>,
+    coo_cols: Vec<Index>,
+    coo_vals: Vec<T>,
+}
+
+impl<T: Scalar> HybMatrix<T> {
+    /// Split at an explicit ELL width.
+    pub fn from_csr_with_width(csr: &CsrMatrix<T>, width: usize, fill: T) -> Self {
+        let nrows = csr.nrows();
+        // regular part: first `width` entries per row
+        let mut reg = CooMatrix::with_capacity(nrows, csr.ncols(), nrows * width.min(8));
+        let mut coo_rows = Vec::new();
+        let mut coo_cols = Vec::new();
+        let mut coo_vals = Vec::new();
+        for r in 0..nrows {
+            let (cols, vals) = csr.row(r);
+            for (k, (&j, &v)) in cols.iter().zip(vals).enumerate() {
+                if k < width {
+                    reg.push(r, j, v);
+                } else {
+                    coo_rows.push(r);
+                    coo_cols.push(j);
+                    coo_vals.push(v);
+                }
+            }
+        }
+        let ell = EllMatrix::from_csr(&CsrMatrix::from_sorted_coo(&reg), fill);
+        Self {
+            ell,
+            coo_rows,
+            coo_cols,
+            coo_vals,
+        }
+    }
+
+    /// Split at the CUSP heuristic width: the smallest `w` covering ≥ 2/3
+    /// of the rows (bounded by the mean degree ×3), so the ELL part stays
+    /// dense while heavy-tail rows overflow.
+    pub fn from_csr(csr: &CsrMatrix<T>, fill: T) -> Self {
+        let nrows = csr.nrows();
+        if nrows == 0 || csr.nnz() == 0 {
+            return Self::from_csr_with_width(csr, 0, fill);
+        }
+        let mut degrees: Vec<usize> = (0..nrows).map(|r| csr.row_nnz(r)).collect();
+        degrees.sort_unstable();
+        let width = degrees[(nrows * 2) / 3].max(1);
+        Self::from_csr_with_width(csr, width, fill)
+    }
+
+    /// The regular (ELL) part.
+    #[inline]
+    pub fn ell(&self) -> &EllMatrix<T> {
+        &self.ell
+    }
+
+    /// Overflow triples `(rows, cols, vals)`, sorted row-major.
+    #[inline]
+    pub fn coo(&self) -> (&[Index], &[Index], &[T]) {
+        (&self.coo_rows, &self.coo_cols, &self.coo_vals)
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> Index {
+        self.ell.nrows()
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> Index {
+        self.ell.ncols()
+    }
+
+    /// Total stored entries (ELL + overflow).
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.ell.nnz() + self.coo_vals.len()
+    }
+
+    /// Fraction of entries in the overflow list.
+    pub fn overflow_ratio(&self) -> f64 {
+        if self.nnz() == 0 {
+            0.0
+        } else {
+            self.coo_vals.len() as f64 / self.nnz() as f64
+        }
+    }
+
+    /// Convert back to CSR (merging the two parts).
+    pub fn to_csr(&self) -> CsrMatrix<T> {
+        let mut coo = CooMatrix::with_capacity(self.nrows(), self.ncols(), self.nnz());
+        for (i, j, v) in self.ell.to_csr().iter() {
+            coo.push(i, j, v);
+        }
+        for ((&i, &j), &v) in self.coo_rows.iter().zip(&self.coo_cols).zip(&self.coo_vals) {
+            coo.push(i, j, v);
+        }
+        CsrMatrix::from_coo(coo, |a, _| a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn skewed() -> CsrMatrix<i64> {
+        // row 0 heavy (6 entries), rows 1..4 light (1 entry)
+        let mut coo = CooMatrix::new(5, 8);
+        for j in 0..6 {
+            coo.push(0, j, (j + 1) as i64);
+        }
+        for r in 1..5 {
+            coo.push(r, r, 10 * r as i64);
+        }
+        CsrMatrix::from_coo(coo, |a, _| a)
+    }
+
+    #[test]
+    fn explicit_width_split() {
+        let csr = skewed();
+        let hyb = HybMatrix::from_csr_with_width(&csr, 2, 0);
+        assert_eq!(hyb.ell().width(), 2);
+        // row 0 overflows 4 entries
+        assert_eq!(hyb.coo().0.len(), 4);
+        assert_eq!(hyb.nnz(), csr.nnz());
+        assert_eq!(hyb.to_csr(), csr);
+    }
+
+    #[test]
+    fn heuristic_width_bounds_padding() {
+        let csr = skewed();
+        let hyb = HybMatrix::from_csr(&csr, 0);
+        // heuristic picks a small width (most rows have 1 entry)
+        assert!(hyb.ell().width() <= 2);
+        assert!(hyb.ell().padding_ratio() < 0.75);
+        assert_eq!(hyb.to_csr(), csr);
+    }
+
+    #[test]
+    fn uniform_matrix_has_no_overflow() {
+        let mut coo = CooMatrix::new(4, 4);
+        for r in 0..4 {
+            coo.push(r, (r + 1) % 4, 1i64);
+            coo.push(r, (r + 2) % 4, 1);
+        }
+        let csr = CsrMatrix::from_coo(coo, |a, _| a);
+        let hyb = HybMatrix::from_csr(&csr, 0);
+        assert_eq!(hyb.overflow_ratio(), 0.0);
+        assert_eq!(hyb.to_csr(), csr);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let csr = CsrMatrix::<i64>::new(3, 3);
+        let hyb = HybMatrix::from_csr(&csr, 0);
+        assert_eq!(hyb.nnz(), 0);
+        assert_eq!(hyb.to_csr(), csr);
+    }
+}

@@ -1,0 +1,107 @@
+#![warn(missing_docs)]
+
+//! Sparse containers for GBTL-RS.
+//!
+//! The containers here are deliberately *dumb*: they store structure and
+//! values and validate invariants, while all algebra lives in the backends.
+//! This mirrors GBTL's split between its `Matrix`/`Vector` storage classes
+//! and the operation templates.
+//!
+//! Formats:
+//!
+//! * [`CooMatrix`] — coordinate triples; the build/interchange format.
+//! * [`CsrMatrix`] — compressed sparse row; the workhorse operand format.
+//! * [`CscMatrix`] — compressed sparse column; used for pull-direction and
+//!   transpose-view operations.
+//! * [`EllMatrix`] — ELLPACK fixed-width rows; the coalescing-friendly GPU
+//!   format with padding overhead on skewed graphs.
+//! * [`HybMatrix`] — ELL + COO overflow (CUSP's default SpMV format).
+//! * [`SparseVector`] — sorted coordinate list; frontier-style vectors.
+//! * [`DenseVector`] — bitmap + values; dense iterate-everything vectors.
+//!
+//! Plus [`mmio`] for Matrix Market interchange.
+
+mod coo;
+mod csc;
+mod csr;
+mod ell;
+mod hyb;
+pub mod mmio;
+mod vector;
+
+pub use coo::CooMatrix;
+pub use csc::CscMatrix;
+pub use csr::CsrMatrix;
+pub use ell::{EllMatrix, ELL_PAD};
+pub use hyb::HybMatrix;
+pub use vector::{DenseVector, SparseVector};
+
+/// Index type used across GBTL-RS. `usize` keeps slice indexing natural; the
+/// GraphBLAS spec's `GrB_Index` (u64) round-trips losslessly on 64-bit
+/// platforms.
+pub type Index = usize;
+
+/// Errors raised by container constructors and the Matrix Market reader.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SparseError {
+    /// A row or column index was out of bounds for the stated dimensions.
+    IndexOutOfBounds {
+        /// Offending row index.
+        row: Index,
+        /// Offending column index.
+        col: Index,
+        /// Number of rows in the container.
+        nrows: Index,
+        /// Number of columns in the container.
+        ncols: Index,
+    },
+    /// Parallel structure/value arrays disagree in length.
+    LengthMismatch {
+        /// What the mismatch was.
+        detail: String,
+    },
+    /// A compressed structure (row_ptr/col_ptr, sorted indices) is invalid.
+    InvalidStructure {
+        /// What the violation was.
+        detail: String,
+    },
+    /// The Matrix Market stream could not be parsed.
+    Parse {
+        /// 1-based line where parsing failed (0 when unknown).
+        line: usize,
+        /// What went wrong.
+        detail: String,
+    },
+    /// I/O failure while reading or writing.
+    Io(String),
+}
+
+impl std::fmt::Display for SparseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SparseError::IndexOutOfBounds {
+                row,
+                col,
+                nrows,
+                ncols,
+            } => write!(
+                f,
+                "index ({row}, {col}) out of bounds for {nrows}x{ncols} container"
+            ),
+            SparseError::LengthMismatch { detail } => write!(f, "length mismatch: {detail}"),
+            SparseError::InvalidStructure { detail } => write!(f, "invalid structure: {detail}"),
+            SparseError::Parse { line, detail } => {
+                write!(f, "parse error at line {line}: {detail}")
+            }
+            SparseError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SparseError {}
+
+impl From<std::io::Error> for SparseError {
+    fn from(e: std::io::Error) -> Self {
+        SparseError::Io(e.to_string())
+    }
+}

@@ -1,0 +1,335 @@
+//! Sparse and dense vectors.
+//!
+//! GraphBLAS vectors have *structure*: an index either holds a value or is
+//! absent. Two representations are provided because graph algorithms swing
+//! between extremes — BFS frontiers are tiny ([`SparseVector`]), PageRank
+//! ranks are full ([`DenseVector`]) — and the backends pick whichever fits.
+
+use gbtl_algebra::Scalar;
+
+use crate::{Index, SparseError};
+
+/// A vector stored as sorted `(index, value)` pairs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparseVector<T> {
+    n: Index,
+    idx: Vec<Index>,
+    vals: Vec<T>,
+}
+
+impl<T: Scalar> SparseVector<T> {
+    /// An empty vector of dimension `n`.
+    pub fn new(n: Index) -> Self {
+        Self {
+            n,
+            idx: Vec::new(),
+            vals: Vec::new(),
+        }
+    }
+
+    /// Build from parallel arrays; indices must be strictly increasing.
+    pub fn from_sorted(n: Index, idx: Vec<Index>, vals: Vec<T>) -> Result<Self, SparseError> {
+        if idx.len() != vals.len() {
+            return Err(SparseError::LengthMismatch {
+                detail: format!("idx={} vals={}", idx.len(), vals.len()),
+            });
+        }
+        for w in idx.windows(2) {
+            if w[0] >= w[1] {
+                return Err(SparseError::InvalidStructure {
+                    detail: format!("indices not strictly increasing: {w:?}"),
+                });
+            }
+        }
+        if let Some(&last) = idx.last() {
+            if last >= n {
+                return Err(SparseError::IndexOutOfBounds {
+                    row: last,
+                    col: 0,
+                    nrows: n,
+                    ncols: 1,
+                });
+            }
+        }
+        Ok(Self { n, idx, vals })
+    }
+
+    /// Build from unsorted pairs, merging duplicate indices with `dup`.
+    pub fn from_pairs(
+        n: Index,
+        mut pairs: Vec<(Index, T)>,
+        mut dup: impl FnMut(T, T) -> T,
+    ) -> Result<Self, SparseError> {
+        pairs.sort_unstable_by_key(|&(i, _)| i);
+        let mut idx = Vec::with_capacity(pairs.len());
+        let mut vals: Vec<T> = Vec::with_capacity(pairs.len());
+        for (i, v) in pairs {
+            if i >= n {
+                return Err(SparseError::IndexOutOfBounds {
+                    row: i,
+                    col: 0,
+                    nrows: n,
+                    ncols: 1,
+                });
+            }
+            if idx.last() == Some(&i) {
+                let last = vals.last_mut().expect("vals tracks idx");
+                *last = dup(*last, v);
+            } else {
+                idx.push(i);
+                vals.push(v);
+            }
+        }
+        Ok(Self { n, idx, vals })
+    }
+
+    /// Dimension of the vector.
+    #[inline]
+    pub fn len(&self) -> Index {
+        self.n
+    }
+
+    /// True when the dimension is zero (distinct from having no stored
+    /// entries; see [`SparseVector::nnz`]).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Number of stored entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// The sorted index array.
+    #[inline]
+    pub fn indices(&self) -> &[Index] {
+        &self.idx
+    }
+
+    /// The value array, parallel to `indices`.
+    #[inline]
+    pub fn values(&self) -> &[T] {
+        &self.vals
+    }
+
+    /// Value at `i`, or `None` when absent.
+    pub fn get(&self, i: Index) -> Option<T> {
+        self.idx.binary_search(&i).ok().map(|k| self.vals[k])
+    }
+
+    /// True when index `i` holds a value.
+    pub fn contains(&self, i: Index) -> bool {
+        self.idx.binary_search(&i).is_ok()
+    }
+
+    /// Iterate stored `(index, value)` pairs in index order.
+    pub fn iter(&self) -> impl Iterator<Item = (Index, T)> + '_ {
+        self.idx.iter().zip(&self.vals).map(|(&i, &v)| (i, v))
+    }
+
+    /// Set or overwrite the value at `i`.
+    pub fn set(&mut self, i: Index, v: T) {
+        assert!(i < self.n, "index {i} out of bounds for dimension {}", self.n);
+        match self.idx.binary_search(&i) {
+            Ok(k) => self.vals[k] = v,
+            Err(k) => {
+                self.idx.insert(k, i);
+                self.vals.insert(k, v);
+            }
+        }
+    }
+
+    /// Remove the value at `i` if present; returns it.
+    pub fn remove(&mut self, i: Index) -> Option<T> {
+        match self.idx.binary_search(&i) {
+            Ok(k) => {
+                self.idx.remove(k);
+                Some(self.vals.remove(k))
+            }
+            Err(_) => None,
+        }
+    }
+
+    /// Remove all stored entries (dimension unchanged).
+    pub fn clear(&mut self) {
+        self.idx.clear();
+        self.vals.clear();
+    }
+
+    /// Densify.
+    pub fn to_dense(&self) -> DenseVector<T> {
+        let mut d = DenseVector::new(self.n);
+        for (i, v) in self.iter() {
+            d.set(i, v);
+        }
+        d
+    }
+}
+
+/// A vector stored as a value array plus a presence bitmap.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseVector<T> {
+    vals: Vec<Option<T>>,
+}
+
+impl<T: Scalar> DenseVector<T> {
+    /// A vector of dimension `n` with every entry absent.
+    pub fn new(n: Index) -> Self {
+        Self {
+            vals: vec![None; n],
+        }
+    }
+
+    /// A vector of dimension `n` with every entry set to `fill`.
+    pub fn filled(n: Index, fill: T) -> Self {
+        Self {
+            vals: vec![Some(fill); n],
+        }
+    }
+
+    /// Build from an explicit `Option` array.
+    pub fn from_options(vals: Vec<Option<T>>) -> Self {
+        Self { vals }
+    }
+
+    /// Dimension of the vector.
+    #[inline]
+    pub fn len(&self) -> Index {
+        self.vals.len()
+    }
+
+    /// True when the dimension is zero.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.vals.is_empty()
+    }
+
+    /// Number of present entries.
+    pub fn nnz(&self) -> usize {
+        self.vals.iter().filter(|v| v.is_some()).count()
+    }
+
+    /// Value at `i`, or `None` when absent.
+    #[inline]
+    pub fn get(&self, i: Index) -> Option<T> {
+        self.vals[i]
+    }
+
+    /// True when index `i` holds a value.
+    #[inline]
+    pub fn contains(&self, i: Index) -> bool {
+        self.vals[i].is_some()
+    }
+
+    /// Set the value at `i`.
+    #[inline]
+    pub fn set(&mut self, i: Index, v: T) {
+        self.vals[i] = Some(v);
+    }
+
+    /// Remove the value at `i`; returns it.
+    #[inline]
+    pub fn unset(&mut self, i: Index) -> Option<T> {
+        self.vals[i].take()
+    }
+
+    /// The underlying option slice.
+    #[inline]
+    pub fn options(&self) -> &[Option<T>] {
+        &self.vals
+    }
+
+    /// Mutable underlying option slice.
+    #[inline]
+    pub fn options_mut(&mut self) -> &mut [Option<T>] {
+        &mut self.vals
+    }
+
+    /// Iterate present `(index, value)` pairs in index order.
+    pub fn iter(&self) -> impl Iterator<Item = (Index, T)> + '_ {
+        self.vals
+            .iter()
+            .enumerate()
+            .filter_map(|(i, v)| v.map(|v| (i, v)))
+    }
+
+    /// Sparsify.
+    pub fn to_sparse(&self) -> SparseVector<T> {
+        let mut idx = Vec::new();
+        let mut vals = Vec::new();
+        for (i, v) in self.iter() {
+            idx.push(i);
+            vals.push(v);
+        }
+        SparseVector {
+            n: self.len(),
+            idx,
+            vals,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparse_basic_ops() {
+        let mut v = SparseVector::<f64>::new(10);
+        assert_eq!(v.nnz(), 0);
+        v.set(3, 1.5);
+        v.set(7, 2.5);
+        v.set(3, 3.5); // overwrite
+        assert_eq!(v.nnz(), 2);
+        assert_eq!(v.get(3), Some(3.5));
+        assert_eq!(v.get(4), None);
+        assert!(v.contains(7));
+        assert_eq!(v.remove(7), Some(2.5));
+        assert_eq!(v.nnz(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn sparse_set_out_of_bounds_panics() {
+        SparseVector::<u8>::new(2).set(2, 1);
+    }
+
+    #[test]
+    fn from_sorted_validates() {
+        assert!(SparseVector::from_sorted(5, vec![1, 3], vec![1.0, 2.0]).is_ok());
+        assert!(SparseVector::from_sorted(5, vec![3, 1], vec![1.0, 2.0]).is_err());
+        assert!(SparseVector::from_sorted(5, vec![1, 1], vec![1.0, 2.0]).is_err());
+        assert!(SparseVector::from_sorted(5, vec![1, 5], vec![1.0, 2.0]).is_err());
+        assert!(SparseVector::from_sorted(5, vec![1], vec![1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn from_pairs_merges_duplicates() {
+        let v = SparseVector::from_pairs(4, vec![(2, 1), (0, 5), (2, 10)], |a, b| a + b).unwrap();
+        assert_eq!(v.get(2), Some(11));
+        assert_eq!(v.get(0), Some(5));
+        assert_eq!(v.indices(), &[0, 2]);
+    }
+
+    #[test]
+    fn dense_round_trip() {
+        let mut d = DenseVector::<u32>::new(6);
+        d.set(0, 10);
+        d.set(5, 20);
+        assert_eq!(d.nnz(), 2);
+        let s = d.to_sparse();
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![(0, 10), (5, 20)]);
+        assert_eq!(s.to_dense(), d);
+    }
+
+    #[test]
+    fn dense_unset() {
+        let mut d = DenseVector::filled(3, 1.0f32);
+        assert_eq!(d.nnz(), 3);
+        assert_eq!(d.unset(1), Some(1.0));
+        assert_eq!(d.nnz(), 2);
+        assert!(!d.contains(1));
+    }
+}

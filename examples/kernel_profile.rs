@@ -1,0 +1,48 @@
+//! Profile where a traversal's modeled device time goes, kernel by kernel
+//! (the `nvprof` view of the simulated device).
+//!
+//! ```text
+//! cargo run --release --example kernel_profile
+//! ```
+
+use gbtl::algorithms::{bfs_levels, triangle_count, Direction};
+use gbtl::core::{Context, CudaBackend};
+use gbtl::gpu_sim::{report, GpuConfig};
+use gbtl::graphgen::{symmetrize, Rmat};
+
+fn main() {
+    let coo = symmetrize(&Rmat::new(13, 16).seed(3).generate());
+    let a = gbtl::algorithms::adjacency(coo);
+    println!(
+        "profiling on rmat13: {} vertices, {} edges\n",
+        a.nrows(),
+        a.nnz() / 2
+    );
+
+    // A traced device keeps a per-launch log.
+    let ctx = Context::with_backend(CudaBackend::with_trace(GpuConfig::k40()));
+
+    let _ = bfs_levels(&ctx, &a, 0, Direction::Push).expect("bfs");
+    let bfs_stats = ctx.gpu_stats();
+    println!("== BFS kernel profile");
+    print!("{}", report::format_kernel_report(&bfs_stats));
+    if let Some(worst) = report::slowest_launch(&bfs_stats) {
+        println!(
+            "slowest single launch: {} ({:.1} us)\n",
+            worst.name,
+            worst.modeled_time_s * 1e6
+        );
+    }
+
+    ctx.reset_gpu_stats();
+    let tri = triangle_count(&ctx, &a).expect("triangles");
+    println!("== triangle counting ({tri} triangles) kernel profile");
+    print!("{}", report::format_kernel_report(&ctx.gpu_stats()));
+
+    // Sanity: the profiles must account for all launches.
+    let total_launches: usize = report::kernel_report(&ctx.gpu_stats())
+        .iter()
+        .map(|r| r.launches)
+        .sum();
+    assert_eq!(total_launches as u64, ctx.gpu_stats().kernels_launched);
+}

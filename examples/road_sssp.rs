@@ -1,0 +1,64 @@
+//! Shortest paths and spanning structure on a road-like grid network.
+//!
+//! ```text
+//! cargo run --release --example road_sssp
+//! ```
+
+use gbtl::algorithms::{connected_components, mst_weight, sssp};
+use gbtl::core::Matrix;
+use gbtl::graphgen::{grid_2d, weights};
+use gbtl::prelude::*;
+
+fn main() {
+    // A 64x64 street grid with travel times 1..=9 per segment (symmetric:
+    // both directions take equally long).
+    let (w, h) = (64usize, 64usize);
+    let structure = grid_2d(w, h);
+    let weighted = weights::uniform_u32_symmetric(&structure, 1, 9, 2016);
+    let a = Matrix::from_coo(weighted, gbtl::algebra::Second::new());
+    println!(
+        "road grid: {}x{} intersections, {} directed segments",
+        w,
+        h,
+        a.nnz()
+    );
+
+    let ctx = Context::cuda_default();
+
+    // Travel times from the north-west corner.
+    let src = 0usize;
+    let dist = sssp(&ctx, &a, src).expect("sssp");
+    let corner = |x: usize, y: usize| y * w + x;
+    println!("\ntravel time from corner (0,0):");
+    for &(x, y) in &[(w - 1, 0), (0, h - 1), (w - 1, h - 1), (w / 2, h / 2)] {
+        let d = dist.get(corner(x, y)).expect("grid is connected");
+        println!("  to ({x:>2},{y:>2}): {d}");
+    }
+    // Sanity: the whole grid is reachable, and the far corner needs at
+    // least the Manhattan distance (every segment costs >= 1).
+    assert_eq!(dist.nnz(), w * h);
+    let far = dist.get(corner(w - 1, h - 1)).unwrap();
+    assert!(far >= (w + h - 2) as u32);
+
+    // One connected road network.
+    let pattern = gbtl::algorithms::adjacency({
+        let mut coo = gbtl::sparse::CooMatrix::new(w * h, w * h);
+        for (i, j, _) in a.iter() {
+            coo.push(i, j, true);
+        }
+        coo
+    });
+    let labels = connected_components(&ctx, &pattern).expect("cc");
+    let ncomp = gbtl::algorithms::cc::component_count(&labels);
+    println!("\nconnected components: {ncomp}");
+    assert_eq!(ncomp, 1);
+
+    // Cheapest cable plan connecting every intersection.
+    let mst = mst_weight(&ctx, &a).expect("mst");
+    println!("minimum spanning tree weight: {mst}");
+    // A spanning tree of n vertices has n-1 edges of weight in [1, 9].
+    let n_edges = (w * h - 1) as u32;
+    assert!(mst >= n_edges && mst <= 9 * n_edges);
+
+    println!("\nsimulated-GPU activity:\n{}", ctx.gpu_stats());
+}

@@ -1,0 +1,53 @@
+//! Social-network analysis on Zachary's karate club: triangles, degree
+//! centrality, communities, and a maximal independent set.
+//!
+//! ```text
+//! cargo run --release --example social_triangles
+//! ```
+
+use gbtl::algorithms::{
+    degree_centrality, maximal_independent_set, peer_pressure, triangle_count,
+};
+use gbtl::graphgen::karate_club;
+use gbtl::prelude::*;
+
+fn main() {
+    let a = gbtl::algorithms::adjacency(karate_club());
+    println!(
+        "karate club: {} members, {} friendships",
+        a.nrows(),
+        a.nnz() / 2
+    );
+
+    let ctx = Context::cuda_default();
+
+    // Triangles — the cohesion measure (45 is the published count).
+    let triangles = triangle_count(&ctx, &a).expect("triangle count");
+    println!("triangles: {triangles}");
+    assert_eq!(triangles, 45);
+
+    // Most central members.
+    let centrality = degree_centrality(&ctx, &a).expect("centrality");
+    let mut ranked: Vec<(usize, f64)> = centrality.iter().collect();
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    println!("\ntop members by degree centrality:");
+    for (v, c) in ranked.iter().take(5) {
+        println!("  member {:>2}: {:.3}", v + 1, c);
+    }
+    // Members 34 and 1 (the instructor and the president) must lead.
+    assert!(ranked[0].0 == 33 || ranked[0].0 == 0);
+
+    // Communities by peer pressure.
+    let clusters = peer_pressure(&ctx, &a, 50).expect("clustering");
+    let ncl = gbtl::algorithms::cluster::cluster_count(&clusters);
+    println!("\npeer-pressure clusters: {ncl}");
+
+    // A maximal independent set: a committee where no two members are
+    // already friends.
+    let mis = maximal_independent_set(&ctx, &a, 2016).expect("mis");
+    let committee: Vec<usize> = mis.iter().map(|(v, _)| v + 1).collect();
+    println!("independent committee ({} members): {committee:?}", committee.len());
+    assert!(gbtl::algorithms::mis::verify_mis(&a, &mis));
+
+    println!("\nsimulated-GPU activity:\n{}", ctx.gpu_stats());
+}

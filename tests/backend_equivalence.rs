@@ -1,0 +1,303 @@
+//! Differential tests: every frontend operation must produce identical
+//! results on the sequential and simulated-CUDA backends, across random
+//! inputs. This is the contract that makes the backends interchangeable.
+
+use gbtl::algebra::{
+    Min, MinPlus, MinSecond, Plus, PlusMonoid, PlusTimes, Second, Times,
+};
+use gbtl::prelude::*;
+use proptest::prelude::*;
+
+/// Structural retype: any stored entry becomes `true`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct ToTrue;
+
+impl gbtl::algebra::UnaryOp<i64> for ToTrue {
+    type Output = bool;
+    fn apply(&self, _a: i64) -> bool {
+        true
+    }
+}
+
+type Mat = Matrix<i64>;
+
+fn arb_matrix(n: usize, max_nnz: usize) -> impl Strategy<Value = Mat> {
+    proptest::collection::vec((0..n, 0..n, -20i64..20), 0..max_nnz).prop_map(move |triples| {
+        Matrix::build(n, n, triples, Second::new()).expect("in bounds")
+    })
+}
+
+fn arb_vector(n: usize) -> impl Strategy<Value = Vector<i64>> {
+    proptest::collection::vec((0..n, -20i64..20), 0..n * 2).prop_map(move |pairs| {
+        let mut v = Vector::new(n);
+        for (i, x) in pairs {
+            v.set(i, x);
+        }
+        v
+    })
+}
+
+fn arb_mask(n: usize) -> impl Strategy<Value = Vector<bool>> {
+    proptest::collection::vec(0..n, 0..n).prop_map(move |idx| {
+        let mut v = Vector::new(n);
+        for i in idx {
+            v.set(i, true);
+        }
+        v
+    })
+}
+
+const N: usize = 12;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn mxm_matches(a in arb_matrix(N, 50), b in arb_matrix(N, 50)) {
+        let mut c1 = Matrix::new(N, N);
+        let mut c2 = Matrix::new(N, N);
+        Context::sequential()
+            .mxm(&mut c1, None, no_accum(), PlusTimes::new(), &a, &b, &Descriptor::new())
+            .unwrap();
+        Context::cuda_default()
+            .mxm(&mut c2, None, no_accum(), PlusTimes::new(), &a, &b, &Descriptor::new())
+            .unwrap();
+        prop_assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn mxm_min_plus_matches(a in arb_matrix(N, 50), b in arb_matrix(N, 50)) {
+        // tropical semiring on non-negative weights
+        let seq = Context::sequential();
+        let ap = seq.apply_mat_new(gbtl::algebra::Abs::<i64>::new(), &a);
+        let bp = seq.apply_mat_new(gbtl::algebra::Abs::<i64>::new(), &b);
+        let mut c1 = Matrix::new(N, N);
+        let mut c2 = Matrix::new(N, N);
+        seq.mxm(&mut c1, None, no_accum(), MinPlus::new(), &ap, &bp, &Descriptor::new())
+            .unwrap();
+        Context::cuda_default()
+            .mxm(&mut c2, None, no_accum(), MinPlus::new(), &ap, &bp, &Descriptor::new())
+            .unwrap();
+        prop_assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn masked_mxm_matches(a in arb_matrix(N, 50), b in arb_matrix(N, 50), m in arb_matrix(N, 40)) {
+        let mask = Context::sequential().apply_mat_new(ToTrue, &m);
+        let mut c1 = Matrix::new(N, N);
+        let mut c2 = Matrix::new(N, N);
+        Context::sequential()
+            .mxm(&mut c1, Some(&mask), no_accum(), PlusTimes::new(), &a, &b, &Descriptor::new())
+            .unwrap();
+        Context::cuda_default()
+            .mxm(&mut c2, Some(&mask), no_accum(), PlusTimes::new(), &a, &b, &Descriptor::new())
+            .unwrap();
+        prop_assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn mxv_matches(a in arb_matrix(N, 60), u in arb_vector(N), mask in arb_mask(N), comp: bool) {
+        let desc = if comp { Descriptor::new().complement_mask() } else { Descriptor::new() };
+        let mut w1 = Vector::new(N);
+        let mut w2 = Vector::new(N);
+        Context::sequential()
+            .mxv(&mut w1, Some(&mask), no_accum(), PlusTimes::new(), &a, &u, &desc)
+            .unwrap();
+        Context::cuda_default()
+            .mxv(&mut w2, Some(&mask), no_accum(), PlusTimes::new(), &a, &u, &desc)
+            .unwrap();
+        prop_assert_eq!(w1, w2);
+    }
+
+    #[test]
+    fn mxv_kernels_match(a in arb_matrix(N, 60), u in arb_vector(N)) {
+        // scalar and vector SpMV kernels must agree exactly
+        let mut ws = Vector::new(N);
+        let mut wv = Vector::new(N);
+        Context::cuda_default().with_spmv_kernel(SpmvKernel::Scalar)
+            .mxv(&mut ws, None, no_accum(), PlusTimes::new(), &a, &u, &Descriptor::new())
+            .unwrap();
+        Context::cuda_default().with_spmv_kernel(SpmvKernel::Vector)
+            .mxv(&mut wv, None, no_accum(), PlusTimes::new(), &a, &u, &Descriptor::new())
+            .unwrap();
+        prop_assert_eq!(ws, wv);
+    }
+
+    #[test]
+    fn vxm_matches(a in arb_matrix(N, 60), u in arb_vector(N)) {
+        let mut w1 = Vector::new(N);
+        let mut w2 = Vector::new(N);
+        Context::sequential()
+            .vxm(&mut w1, None, no_accum(), MinSecond::new(), &u, &a, &Descriptor::new())
+            .unwrap();
+        Context::cuda_default()
+            .vxm(&mut w2, None, no_accum(), MinSecond::new(), &u, &a, &Descriptor::new())
+            .unwrap();
+        prop_assert_eq!(w1, w2);
+    }
+
+    #[test]
+    fn ewise_matches(a in arb_matrix(N, 60), b in arb_matrix(N, 60)) {
+        for union in [true, false] {
+            let mut c1 = Matrix::new(N, N);
+            let mut c2 = Matrix::new(N, N);
+            let (s, c) = (Context::sequential(), Context::cuda_default());
+            if union {
+                s.ewise_add_mat(&mut c1, None, no_accum(), Plus::new(), &a, &b, &Descriptor::new()).unwrap();
+                c.ewise_add_mat(&mut c2, None, no_accum(), Plus::new(), &a, &b, &Descriptor::new()).unwrap();
+            } else {
+                s.ewise_mult_mat(&mut c1, None, no_accum(), Times::new(), &a, &b, &Descriptor::new()).unwrap();
+                c.ewise_mult_mat(&mut c2, None, no_accum(), Times::new(), &a, &b, &Descriptor::new()).unwrap();
+            }
+            prop_assert_eq!(c1, c2);
+        }
+    }
+
+    #[test]
+    fn transpose_and_reduce_match(a in arb_matrix(N, 60)) {
+        let mut t1 = Matrix::new(N, N);
+        let mut t2 = Matrix::new(N, N);
+        Context::sequential().transpose(&mut t1, None, no_accum(), &a, &Descriptor::new()).unwrap();
+        Context::cuda_default().transpose(&mut t2, None, no_accum(), &a, &Descriptor::new()).unwrap();
+        prop_assert_eq!(&t1, &t2);
+
+        prop_assert_eq!(
+            Context::sequential().reduce_mat_scalar(PlusMonoid::<i64>::new(), &a),
+            Context::cuda_default().reduce_mat_scalar(PlusMonoid::<i64>::new(), &a)
+        );
+
+        let mut r1 = Vector::new(N);
+        let mut r2 = Vector::new(N);
+        Context::sequential()
+            .reduce_rows(&mut r1, None, no_accum(), PlusMonoid::<i64>::new(), &a, &Descriptor::new())
+            .unwrap();
+        Context::cuda_default()
+            .reduce_rows(&mut r2, None, no_accum(), PlusMonoid::<i64>::new(), &a, &Descriptor::new())
+            .unwrap();
+        prop_assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn accum_and_replace_match(a in arb_matrix(N, 50), b in arb_matrix(N, 50),
+                               old in arb_matrix(N, 40), m in arb_matrix(N, 40),
+                               replace: bool) {
+        let mask = Context::sequential().apply_mat_new(ToTrue, &m);
+        let desc = if replace { Descriptor::new().replace() } else { Descriptor::new() };
+        let mut c1 = old.clone();
+        let mut c2 = old.clone();
+        Context::sequential()
+            .ewise_add_mat(&mut c1, Some(&mask), Some(Min::<i64>::new()), Plus::new(), &a, &b, &desc)
+            .unwrap();
+        Context::cuda_default()
+            .ewise_add_mat(&mut c2, Some(&mask), Some(Min::<i64>::new()), Plus::new(), &a, &b, &desc)
+            .unwrap();
+        prop_assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn extract_assign_match(a in arb_matrix(N, 60),
+                            rows in proptest::collection::vec(0..N, 1..6),
+                            cols in proptest::collection::vec(0..N, 1..6)) {
+        let s = Context::sequential().extract_mat(&a, &rows, &cols).unwrap();
+        let c = Context::cuda_default().extract_mat(&a, &rows, &cols).unwrap();
+        prop_assert_eq!(&s, &c);
+
+        // assign back requires unique target indices
+        let mut ur: Vec<usize> = rows.clone();
+        ur.sort_unstable();
+        ur.dedup();
+        let mut uc: Vec<usize> = cols.clone();
+        uc.sort_unstable();
+        uc.dedup();
+        let patch = Context::sequential().extract_mat(&a, &ur, &uc).unwrap();
+        let mut c1 = a.clone();
+        let mut c2 = a.clone();
+        Context::sequential().assign_mat(&mut c1, &patch, &ur, &uc).unwrap();
+        Context::cuda_default().assign_mat(&mut c2, &patch, &ur, &uc).unwrap();
+        prop_assert_eq!(c1, c2);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn select_matches(a in arb_matrix(N, 60), threshold in -20i64..20) {
+        use gbtl::algebra::{TriL, TriU, ValueGt, Diag, OffDiag};
+        let seq = Context::sequential();
+        let cuda = Context::cuda_default();
+        prop_assert_eq!(seq.select_mat_new(TriL, &a), cuda.select_mat_new(TriL, &a));
+        prop_assert_eq!(seq.select_mat_new(TriU, &a), cuda.select_mat_new(TriU, &a));
+        prop_assert_eq!(seq.select_mat_new(Diag, &a), cuda.select_mat_new(Diag, &a));
+        prop_assert_eq!(seq.select_mat_new(OffDiag, &a), cuda.select_mat_new(OffDiag, &a));
+        prop_assert_eq!(
+            seq.select_mat_new(ValueGt(threshold), &a),
+            cuda.select_mat_new(ValueGt(threshold), &a)
+        );
+        // selecting everything is the identity
+        prop_assert_eq!(
+            seq.select_mat_new(ValueGt(i64::MIN), &a),
+            a.clone()
+        );
+    }
+
+    #[test]
+    fn select_partitions_structure(a in arb_matrix(N, 60)) {
+        use gbtl::algebra::{TriL, TriU, Diag};
+        let ctx = Context::sequential();
+        let l = ctx.select_mat_new(TriL, &a);
+        let u = ctx.select_mat_new(TriU, &a);
+        let d = ctx.select_mat_new(Diag, &a);
+        prop_assert_eq!(l.nnz() + u.nnz() + d.nnz(), a.nnz());
+    }
+
+    #[test]
+    fn kronecker_matches(a in arb_matrix(5, 12), b in arb_matrix(4, 10)) {
+        use gbtl::algebra::Times;
+        let mut c1 = Matrix::new(20, 20);
+        let mut c2 = Matrix::new(20, 20);
+        Context::sequential()
+            .kronecker(&mut c1, None, no_accum(), Times::new(), &a, &b, &Descriptor::new())
+            .unwrap();
+        Context::cuda_default()
+            .kronecker(&mut c2, None, no_accum(), Times::new(), &a, &b, &Descriptor::new())
+            .unwrap();
+        prop_assert_eq!(&c1, &c2);
+        // nnz multiplies; every entry decomposes into its factors
+        prop_assert_eq!(c1.nnz(), a.nnz() * b.nnz());
+        for (i, j, v) in c1.iter() {
+            let (ai, bi) = (i / 4, i % 4);
+            let (aj, bj) = (j / 4, j % 4);
+            let expect = a.get(ai, aj).unwrap() * b.get(bi, bj).unwrap();
+            prop_assert_eq!(v, expect);
+        }
+    }
+
+    #[test]
+    fn ell_and_hyb_kernels_match_csr(a in arb_matrix(N, 60), u in arb_vector(N)) {
+        use gbtl::algebra::PlusTimes;
+        let af = a.csr();
+        let ud = u.to_dense_repr();
+        let expected = gbtl::backend_seq::mxv(af, &ud, PlusTimes::<i64>::new(), None);
+
+        let gpu = gbtl::gpu_sim::Gpu::default();
+        let ell = gbtl::sparse::EllMatrix::from_csr(af, 0i64);
+        prop_assert_eq!(
+            &gbtl::backend_cuda::mxv_ell(&gpu, &ell, &ud, PlusTimes::<i64>::new(), None),
+            &expected
+        );
+        let hyb = gbtl::sparse::HybMatrix::from_csr(af, 0i64);
+        prop_assert_eq!(
+            &gbtl::backend_cuda::mxv_hyb(&gpu, &hyb, &ud, PlusTimes::<i64>::new(), None),
+            &expected
+        );
+    }
+
+    #[test]
+    fn ell_hyb_round_trip(a in arb_matrix(N, 60)) {
+        let ell = gbtl::sparse::EllMatrix::from_csr(a.csr(), 0i64);
+        prop_assert_eq!(&ell.to_csr(), a.csr());
+        let hyb = gbtl::sparse::HybMatrix::from_csr(a.csr(), 0i64);
+        prop_assert_eq!(&hyb.to_csr(), a.csr());
+    }
+}

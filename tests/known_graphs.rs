@@ -1,0 +1,135 @@
+//! Validation against graphs with published constants — Zachary's karate
+//! club and closed-form families.
+
+use gbtl::algorithms::{
+    betweenness_centrality_exact, coloring, connected_components, greedy_color, k_truss,
+    max_truss, mst_weight, out_degrees, pagerank::PageRankOptions, triangle_count,
+};
+use gbtl::graphgen::{bipartite_complete, complete, karate_club, ring, symmetrize};
+use gbtl::prelude::*;
+
+fn karate() -> Matrix<bool> {
+    gbtl::algorithms::adjacency(karate_club())
+}
+
+#[test]
+fn karate_published_constants() {
+    let a = karate();
+    let ctx = Context::sequential();
+
+    // 34 members, 78 friendships, one component, 45 triangles — Zachary's
+    // published numbers.
+    assert_eq!(a.nrows(), 34);
+    assert_eq!(a.nnz(), 156);
+    assert_eq!(triangle_count(&ctx, &a).unwrap(), 45);
+    let labels = connected_components(&ctx, &a).unwrap();
+    assert_eq!(gbtl::algorithms::cc::component_count(&labels), 1);
+}
+
+#[test]
+fn karate_centrality_leaders() {
+    // The instructor (node 1 / idx 0) and the president (node 34 / idx 33)
+    // lead on degree, betweenness and PageRank in every published
+    // analysis.
+    let a = karate();
+    let ctx = Context::sequential();
+
+    let deg = out_degrees(&ctx, &a).unwrap();
+    let mut by_degree: Vec<(usize, u64)> = deg.iter().collect();
+    by_degree.sort_by_key(|&(_, d)| std::cmp::Reverse(d));
+    assert_eq!(by_degree[0].0, 33);
+    assert_eq!(by_degree[1].0, 0);
+
+    let bc = betweenness_centrality_exact(&ctx, &a).unwrap();
+    let mut by_bc: Vec<(usize, f64)> = bc.iter().collect();
+    by_bc.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    assert_eq!(by_bc[0].0, 0, "node 1 has the highest betweenness");
+    assert_eq!(by_bc[1].0, 33);
+    // undirected convention: halved BC of node 1 is ~231.07
+    let bc0 = by_bc[0].1 / 2.0;
+    assert!(
+        (bc0 - 231.07).abs() < 0.5,
+        "node 1 betweenness {bc0} vs published 231.07"
+    );
+
+    let (pr, _) = gbtl::algorithms::pagerank(&ctx, &a, PageRankOptions::default()).unwrap();
+    let mut by_pr: Vec<(usize, f64)> = pr.iter().collect();
+    by_pr.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    assert_eq!(by_pr[0].0, 33);
+    assert_eq!(by_pr[1].0, 0);
+}
+
+#[test]
+fn karate_truss_and_coloring() {
+    let a = karate();
+    let ctx = Context::sequential();
+    // karate's maximum truss is 5 (its densest clique is K5-ish around the
+    // instructor): verified against LAGraph's published decomposition.
+    let t = max_truss(&ctx, &a).unwrap();
+    assert_eq!(t, 5, "karate max truss");
+    assert!(k_truss(&ctx, &a, 5).unwrap().nnz() > 0);
+    assert_eq!(k_truss(&ctx, &a, 6).unwrap().nnz(), 0);
+
+    let colors = greedy_color(&ctx, &a, 7).unwrap();
+    assert!(coloring::verify_coloring(&a, &colors));
+    // chromatic number of karate is 5; greedy may exceed slightly
+    assert!(coloring::color_count(&colors) >= 5);
+    assert!(coloring::color_count(&colors) <= 18); // <= max degree + 1
+}
+
+#[test]
+fn closed_form_families() {
+    let ctx = Context::sequential();
+
+    // K_n: n(n-1)(n-2)/6 triangles
+    let k7 = gbtl::algorithms::adjacency(complete(7));
+    assert_eq!(triangle_count(&ctx, &k7).unwrap(), 35);
+
+    // rings are triangle-free and 2/3-colorable
+    let c9 = gbtl::algorithms::adjacency(ring(9));
+    assert_eq!(triangle_count(&ctx, &c9).unwrap(), 0);
+    let colors = greedy_color(&ctx, &c9, 1).unwrap();
+    assert!(coloring::verify_coloring(&c9, &colors));
+    assert!(coloring::color_count(&colors) <= 3); // odd cycle needs 3
+
+    // complete bipartite graphs are triangle-free and 2-colorable
+    let k34 = gbtl::algorithms::adjacency(symmetrize(&bipartite_complete(3, 4)));
+    assert_eq!(triangle_count(&ctx, &k34).unwrap(), 0);
+    let colors = greedy_color(&ctx, &k34, 1).unwrap();
+    assert!(coloring::verify_coloring(&k34, &colors));
+
+    // MST of a uniform-weight ring of n vertices is n-1
+    let ring_w = gbtl::core::Matrix::build(
+        9,
+        9,
+        gbtl::algorithms::adjacency(ring(9))
+            .iter()
+            .map(|(i, j, _)| (i, j, 1u32)),
+        gbtl::algebra::Second::new(),
+    )
+    .unwrap();
+    assert_eq!(mst_weight(&ctx, &ring_w).unwrap(), 8);
+}
+
+#[test]
+fn karate_backends_agree_on_everything() {
+    let a = karate();
+    let seq = Context::sequential();
+    let cuda = Context::cuda_default();
+
+    assert_eq!(
+        triangle_count(&seq, &a).unwrap(),
+        triangle_count(&cuda, &a).unwrap()
+    );
+    assert_eq!(
+        connected_components(&seq, &a).unwrap(),
+        connected_components(&cuda, &a).unwrap()
+    );
+    assert_eq!(max_truss(&seq, &a).unwrap(), max_truss(&cuda, &a).unwrap());
+    let b1 = betweenness_centrality_exact(&seq, &a).unwrap();
+    let b2 = betweenness_centrality_exact(&cuda, &a).unwrap();
+    for v in 0..34 {
+        let (x, y) = (b1.get(v).unwrap_or(0.0), b2.get(v).unwrap_or(0.0));
+        assert!((x - y).abs() < 1e-6, "vertex {v}");
+    }
+}

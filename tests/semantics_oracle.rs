@@ -1,0 +1,301 @@
+//! A dense GraphBLAS semantics oracle.
+//!
+//! The frontend's output stitching (`C<M, accum, replace> = T`) is subtle:
+//! accumulate merges by union, masks gate writes, `replace` clears the
+//! complement. This suite re-implements those semantics in the most naive
+//! possible way — dense `Option<T>` grids, straight out of the GraphBLAS
+//! math spec — and property-tests the real operations against it.
+
+use gbtl::algebra::{Plus, PlusTimes, Second, Semiring, Monoid, BinaryOp};
+use gbtl::prelude::*;
+use proptest::prelude::*;
+
+const N: usize = 8;
+
+type Grid = Vec<Vec<Option<i64>>>;
+
+fn to_grid(m: &Matrix<i64>) -> Grid {
+    let mut g = vec![vec![None; m.ncols()]; m.nrows()];
+    for (i, j, v) in m.iter() {
+        g[i][j] = Some(v);
+    }
+    g
+}
+
+fn to_mask_grid(m: Option<&Matrix<bool>>, complement: bool) -> Vec<Vec<bool>> {
+    let mut g = vec![vec![!complement || m.is_none(); N]; N];
+    if let Some(m) = m {
+        for row in g.iter_mut() {
+            for slot in row.iter_mut() {
+                *slot = complement;
+            }
+        }
+        for (i, j, _) in m.iter() {
+            g[i][j] = !complement;
+        }
+        // no-mask case handled above; with a mask present, positions not
+        // stored are complement
+    }
+    g
+}
+
+/// Spec-level dense mxm over the arithmetic semiring.
+fn dense_mxm(a: &Grid, b: &Grid) -> Grid {
+    let sr = PlusTimes::<i64>::new();
+    let mut t: Grid = vec![vec![None; N]; N];
+    #[allow(clippy::needless_range_loop)]
+    for i in 0..N {
+        for j in 0..N {
+            let mut acc: Option<i64> = None;
+            for k in 0..N {
+                if let (Some(x), Some(y)) = (a[i][k], b[k][j]) {
+                    let term = sr.mul().apply(x, y);
+                    acc = Some(match acc {
+                        Some(v) => sr.add().apply(v, term),
+                        None => term,
+                    });
+                }
+            }
+            t[i][j] = acc;
+        }
+    }
+    t
+}
+
+/// Spec-level output stitch: `C<M, accum, replace> = T`.
+fn dense_stitch(c_old: &Grid, t: &Grid, mask: &[Vec<bool>], accum: bool, replace: bool) -> Grid {
+    let mut out: Grid = vec![vec![None; N]; N];
+    #[allow(clippy::needless_range_loop)]
+    for i in 0..N {
+        for j in 0..N {
+            let z = if accum {
+                match (c_old[i][j], t[i][j]) {
+                    (Some(a), Some(b)) => Some(a + b),
+                    (Some(a), None) => Some(a),
+                    (None, b) => b,
+                }
+            } else {
+                t[i][j]
+            };
+            out[i][j] = if mask[i][j] {
+                z
+            } else if replace {
+                None
+            } else {
+                c_old[i][j]
+            };
+        }
+    }
+    out
+}
+
+fn arb_matrix() -> impl Strategy<Value = Matrix<i64>> {
+    proptest::collection::vec((0..N, 0..N, -9i64..9), 0..40)
+        .prop_map(|t| Matrix::build(N, N, t, Second::new()).expect("in bounds"))
+}
+
+fn arb_mask() -> impl Strategy<Value = Option<Matrix<bool>>> {
+    proptest::option::of(
+        proptest::collection::vec((0..N, 0..N), 0..40).prop_map(|idx| {
+            Matrix::build(N, N, idx.into_iter().map(|(i, j)| (i, j, true)), Second::new())
+                .expect("in bounds")
+        }),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Full factorial over {mask, complement, accum, replace} for mxm on
+    /// both backends, versus the dense oracle.
+    #[test]
+    fn mxm_semantics_match_oracle(
+        a in arb_matrix(),
+        b in arb_matrix(),
+        old in arb_matrix(),
+        mask in arb_mask(),
+        complement: bool,
+        accum: bool,
+        replace: bool,
+    ) {
+        // oracle
+        let t = dense_mxm(&to_grid(&a), &to_grid(&b));
+        let mg = to_mask_grid(mask.as_ref(), complement);
+        let expect = dense_stitch(&to_grid(&old), &t, &mg, accum, replace);
+
+        // real operation on both backends
+        let mut desc = Descriptor::new();
+        if complement {
+            desc = desc.complement_mask();
+        }
+        if replace {
+            desc = desc.replace();
+        }
+        for run in 0..2 {
+            let mut c = old.clone();
+            let acc = if accum { Some(Plus::<i64>::new()) } else { None };
+            if run == 0 {
+                Context::sequential()
+                    .mxm(&mut c, mask.as_ref(), acc, PlusTimes::new(), &a, &b, &desc)
+                    .unwrap();
+            } else {
+                Context::cuda_default()
+                    .mxm(&mut c, mask.as_ref(), acc, PlusTimes::new(), &a, &b, &desc)
+                    .unwrap();
+            }
+            let got = to_grid(&c);
+            for i in 0..N {
+                for j in 0..N {
+                    prop_assert_eq!(
+                        got[i][j], expect[i][j],
+                        "backend {} at ({}, {}): mask={} comp={} accum={} replace={}",
+                        run, i, j, mask.is_some(), complement, accum, replace
+                    );
+                }
+            }
+        }
+    }
+
+    /// The same factorial for eWiseAdd (union op semantics inside).
+    #[test]
+    fn ewise_add_semantics_match_oracle(
+        a in arb_matrix(),
+        b in arb_matrix(),
+        old in arb_matrix(),
+        mask in arb_mask(),
+        complement: bool,
+        accum: bool,
+        replace: bool,
+    ) {
+        // oracle union merge
+        let (ga, gb) = (to_grid(&a), to_grid(&b));
+        let mut t: Grid = vec![vec![None; N]; N];
+        #[allow(clippy::needless_range_loop)]
+        for i in 0..N {
+            for j in 0..N {
+                t[i][j] = match (ga[i][j], gb[i][j]) {
+                    (Some(x), Some(y)) => Some(x + y),
+                    (Some(x), None) => Some(x),
+                    (None, y) => y,
+                };
+            }
+        }
+        let mg = to_mask_grid(mask.as_ref(), complement);
+        let expect = dense_stitch(&to_grid(&old), &t, &mg, accum, replace);
+
+        let mut desc = Descriptor::new();
+        if complement {
+            desc = desc.complement_mask();
+        }
+        if replace {
+            desc = desc.replace();
+        }
+        let mut c = old.clone();
+        let acc = if accum { Some(Plus::<i64>::new()) } else { None };
+        Context::sequential()
+            .ewise_add_mat(&mut c, mask.as_ref(), acc, Plus::new(), &a, &b, &desc)
+            .unwrap();
+        prop_assert_eq!(to_grid(&c), expect);
+    }
+
+    /// mxv against a dense oracle with vector masks.
+    #[test]
+    fn mxv_semantics_match_oracle(
+        a in arb_matrix(),
+        uvals in proptest::collection::vec(proptest::option::of(-9i64..9), N),
+        old in proptest::collection::vec(proptest::option::of(-9i64..9), N),
+        midx in proptest::option::of(proptest::collection::vec(0..N, 0..N)),
+        complement: bool,
+        accum: bool,
+        replace: bool,
+    ) {
+        let sr = PlusTimes::<i64>::new();
+        let ga = to_grid(&a);
+        // oracle product
+        let mut t = vec![None; N];
+        #[allow(clippy::needless_range_loop)]
+        for i in 0..N {
+            let mut acc_v: Option<i64> = None;
+            for j in 0..N {
+                if let (Some(x), Some(y)) = (ga[i][j], uvals[j]) {
+                    let term = sr.mul().apply(x, y);
+                    acc_v = Some(match acc_v {
+                        Some(v) => sr.add().apply(v, term),
+                        None => term,
+                    });
+                }
+            }
+            t[i] = acc_v;
+        }
+        // mask bits
+        let keep: Vec<bool> = match &midx {
+            None => vec![true; N],
+            Some(idx) => {
+                let mut k = vec![complement; N];
+                for &i in idx {
+                    k[i] = !complement;
+                }
+                k
+            }
+        };
+        // oracle stitch
+        let mut expect = vec![None; N];
+        #[allow(clippy::needless_range_loop)]
+        for i in 0..N {
+            let z = if accum {
+                match (old[i], t[i]) {
+                    (Some(a), Some(b)) => Some(a + b),
+                    (Some(a), None) => Some(a),
+                    (None, b) => b,
+                }
+            } else {
+                t[i]
+            };
+            expect[i] = if keep[i] {
+                z
+            } else if replace {
+                None
+            } else {
+                old[i]
+            };
+        }
+
+        // real op
+        let mut u = Vector::new(N);
+        for (i, v) in uvals.iter().enumerate() {
+            if let Some(v) = v {
+                u.set(i, *v);
+            }
+        }
+        let mut w = Vector::new_dense(N);
+        for (i, v) in old.iter().enumerate() {
+            if let Some(v) = v {
+                w.set(i, *v);
+            }
+        }
+        let mask = midx.map(|idx| {
+            let mut m = Vector::new(N);
+            for i in idx {
+                m.set(i, true);
+            }
+            m
+        });
+        let mut desc = Descriptor::new();
+        if complement {
+            desc = desc.complement_mask();
+        }
+        if replace {
+            desc = desc.replace();
+        }
+        let acc = if accum { Some(Plus::<i64>::new()) } else { None };
+        Context::sequential()
+            .mxv(&mut w, mask.as_ref(), acc, sr, &a, &u, &desc)
+            .unwrap();
+        for i in 0..N {
+            prop_assert_eq!(w.get(i), expect[i], "position {}", i);
+        }
+    }
+}
+
+#[allow(dead_code)]
+fn monoid_in_scope<M: Monoid<i64>>(_: M) {}
