@@ -40,8 +40,8 @@
 //! ```
 
 mod identities;
-mod ops;
 mod monoid;
+mod ops;
 mod select;
 mod semiring;
 mod unary;
@@ -51,16 +51,15 @@ pub use monoid::{
     LandMonoid, LorMonoid, LxorMonoid, MaxMonoid, MinMonoid, Monoid, PlusMonoid, TimesMonoid,
 };
 pub use ops::{
-    BinaryOp, Div, First, Land, Lor, Lxor, Max, Min, Minus, Pair, Plus, RDiv, RMinus, Second,
-    Times,
-};
-pub use semiring::{
-    CustomSemiring, LorLand, MaxMin, MaxPlus, MaxTimes, MinFirst, MinMax, MinPlus, MinSecond,
-    MinTimes, PlusFirst, PlusMin, PlusPair, PlusSecond, PlusTimes, Semiring,
+    BinaryOp, Div, First, Land, Lor, Lxor, Max, Min, Minus, Pair, Plus, RDiv, RMinus, Second, Times,
 };
 pub use select::{
     Diag, FnSelect, OffDiag, SelectOp, TriL, TriU, ValueEq, ValueGe, ValueGt, ValueLe, ValueLt,
     ValueNe,
+};
+pub use semiring::{
+    CustomSemiring, LorLand, MaxMin, MaxPlus, MaxTimes, MinFirst, MinMax, MinPlus, MinSecond,
+    MinTimes, PlusFirst, PlusMin, PlusPair, PlusSecond, PlusTimes, Semiring,
 };
 pub use unary::{
     Abs, AdditiveInverse, BindFirst, BindSecond, Identity, Lnot, MultiplicativeInverse, UnaryOp,

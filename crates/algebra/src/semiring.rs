@@ -247,14 +247,18 @@ mod tests {
     fn min_second_propagates_labels() {
         let sr = MinSecond::<u64>::new();
         // two in-edges carrying labels 9 and 4 -> keep 4
-        let l = sr.add().apply(sr.mul().apply(100, 9), sr.mul().apply(200, 4));
+        let l = sr
+            .add()
+            .apply(sr.mul().apply(100, 9), sr.mul().apply(200, 4));
         assert_eq!(l, 4);
     }
 
     #[test]
     fn plus_pair_counts() {
         let sr = PlusPair::<u64>::new();
-        let c = sr.add().apply(sr.mul().apply(123, 456), sr.mul().apply(7, 8));
+        let c = sr
+            .add()
+            .apply(sr.mul().apply(123, 456), sr.mul().apply(7, 8));
         assert_eq!(c, 2);
     }
 

@@ -43,7 +43,12 @@ macro_rules! monoid_laws {
 }
 
 // Wrapping-free integer ranges so `+`/`*` stay associative without overflow.
-monoid_laws!(plus_i64, PlusMonoid::<i64>::new(), i64, -1_000_000i64..1_000_000);
+monoid_laws!(
+    plus_i64,
+    PlusMonoid::<i64>::new(),
+    i64,
+    -1_000_000i64..1_000_000
+);
 monoid_laws!(times_i64, TimesMonoid::<i64>::new(), i64, -1_000i64..1_000);
 monoid_laws!(min_u32, MinMonoid::<u32>::new(), u32, any::<u32>());
 monoid_laws!(max_i32, MaxMonoid::<i32>::new(), i32, any::<i32>());

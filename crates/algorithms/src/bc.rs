@@ -188,18 +188,14 @@ mod tests {
 
     #[test]
     fn matches_reference_brandes() {
-        let a = undirected(
-            &[(0, 1), (0, 2), (1, 2), (1, 3), (2, 4), (3, 4), (4, 5)],
-            6,
-        );
+        let a = undirected(&[(0, 1), (0, 2), (1, 2), (1, 3), (2, 4), (3, 4), (4, 5)], 6);
         let got = betweenness_centrality_exact(&Context::sequential(), &a).unwrap();
         let expect = reference_bc(&a);
-        for v in 0..6 {
+        for (v, &want) in expect.iter().enumerate() {
             let g = got.get(v).unwrap_or(0.0);
             assert!(
-                (g - expect[v]).abs() < 1e-9,
-                "vertex {v}: got {g}, expected {}",
-                expect[v]
+                (g - want).abs() < 1e-9,
+                "vertex {v}: got {g}, expected {want}"
             );
         }
     }

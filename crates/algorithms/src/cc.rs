@@ -12,10 +12,7 @@ use crate::util::pattern_matrix;
 /// minimum label of its neighbourhood with one `mxv` on `(min, second)` and
 /// keeps the smaller of that and its own. Converges in at most the graph
 /// diameter rounds.
-pub fn connected_components<B: Backend>(
-    ctx: &Context<B>,
-    a: &Matrix<bool>,
-) -> Result<Vector<u64>> {
+pub fn connected_components<B: Backend>(ctx: &Context<B>, a: &Matrix<bool>) -> Result<Vector<u64>> {
     assert_eq!(a.nrows(), a.ncols(), "adjacency must be square");
     let n = a.nrows();
     let a_ids = pattern_matrix(ctx, a, 1u64);

@@ -94,10 +94,7 @@ mod tests {
     #[test]
     fn two_cliques_with_a_bridge() {
         // cliques {0,1,2} and {3,4,5}, bridge 2-3
-        let a = undirected(
-            &[(0, 1), (0, 2), (1, 2), (3, 4), (3, 5), (4, 5), (2, 3)],
-            6,
-        );
+        let a = undirected(&[(0, 1), (0, 2), (1, 2), (3, 4), (3, 5), (4, 5), (2, 3)], 6);
         let labels = peer_pressure(&Context::sequential(), &a, 50).unwrap();
         // each clique should be internally consistent
         assert_eq!(labels.get(0), labels.get(1));

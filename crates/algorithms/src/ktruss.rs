@@ -134,7 +134,16 @@ mod tests {
     #[test]
     fn backends_agree() {
         let a = undirected(
-            &[(0, 1), (0, 2), (1, 2), (1, 3), (2, 3), (2, 4), (3, 4), (0, 4)],
+            &[
+                (0, 1),
+                (0, 2),
+                (1, 2),
+                (1, 3),
+                (2, 3),
+                (2, 4),
+                (3, 4),
+                (0, 4),
+            ],
             5,
         );
         let seq = k_truss(&Context::sequential(), &a, 3).unwrap();

@@ -56,8 +56,8 @@ pub mod mst;
 pub mod pagerank;
 pub mod sssp;
 pub mod triangle;
-pub mod widest;
 mod util;
+pub mod widest;
 
 pub use bc::{betweenness_centrality, betweenness_centrality_exact};
 pub use bfs::{bfs_levels, bfs_parents, Direction};
@@ -71,5 +71,5 @@ pub use mst::mst_weight;
 pub use pagerank::pagerank;
 pub use sssp::sssp;
 pub use triangle::triangle_count;
-pub use widest::widest_path;
 pub use util::{adjacency, pattern_matrix, tril, triu};
+pub use widest::widest_path;

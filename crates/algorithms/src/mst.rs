@@ -20,7 +20,7 @@ where
     assert_eq!(a.nrows(), a.ncols(), "adjacency must be square");
     let n = a.nrows();
     let mut comp: Vec<usize> = (0..n).collect();
-    fn find(comp: &mut Vec<usize>, v: usize) -> usize {
+    fn find(comp: &mut [usize], v: usize) -> usize {
         let mut root = v;
         while comp[root] != root {
             root = comp[root];

@@ -66,9 +66,9 @@ pub fn pagerank<B: Backend>(
         iters += 1;
         // scaled = r / outdeg (only where out-edges exist)
         let mut scaled: Vector<f64> = Vector::new_dense(n);
-        for i in 0..n {
+        for (i, &r) in rank.iter().enumerate() {
             if let Some(d) = outdeg.get(i) {
-                scaled.set(i, rank[i] / d);
+                scaled.set(i, r / d);
             }
         }
         let mut contrib: Vector<f64> = Vector::new_dense(n);
@@ -110,7 +110,13 @@ mod tests {
     use gbtl_algebra::Second;
 
     fn build(edges: &[(usize, usize)], n: usize) -> Matrix<bool> {
-        Matrix::build(n, n, edges.iter().map(|&(a, b)| (a, b, true)), Second::new()).unwrap()
+        Matrix::build(
+            n,
+            n,
+            edges.iter().map(|&(a, b)| (a, b, true)),
+            Second::new(),
+        )
+        .unwrap()
     }
 
     #[test]

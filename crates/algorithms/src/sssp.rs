@@ -152,12 +152,7 @@ mod tests {
         let a = Matrix::build(
             4,
             4,
-            [
-                (0usize, 3usize, 100u32),
-                (0, 1, 1),
-                (1, 2, 1),
-                (2, 3, 1),
-            ],
+            [(0usize, 3usize, 100u32), (0, 1, 1), (1, 2, 1), (2, 3, 1)],
             Second::new(),
         )
         .unwrap();

@@ -27,7 +27,9 @@ pub fn triangle_count<B: Backend>(ctx: &Context<B>, a: &Matrix<bool>) -> Result<
         &l,
         &Descriptor::new().transpose_b(),
     )?;
-    Ok(ctx.reduce_mat_scalar(PlusMonoid::<u64>::new(), &c).unwrap_or(0))
+    Ok(ctx
+        .reduce_mat_scalar(PlusMonoid::<u64>::new(), &c)
+        .unwrap_or(0))
 }
 
 #[cfg(test)]
@@ -78,10 +80,7 @@ mod tests {
 
     #[test]
     fn backends_agree() {
-        let a = undirected(
-            &[(0, 1), (0, 2), (1, 2), (2, 3), (3, 4), (2, 4), (0, 4)],
-            5,
-        );
+        let a = undirected(&[(0, 1), (0, 2), (1, 2), (2, 3), (3, 4), (2, 4), (0, 4)], 5);
         let seq = triangle_count(&Context::sequential(), &a).unwrap();
         let cuda = triangle_count(&Context::cuda_default(), &a).unwrap();
         assert_eq!(seq, cuda);

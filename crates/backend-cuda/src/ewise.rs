@@ -13,11 +13,7 @@ use rayon::prelude::*;
 
 use crate::util::{assert_key_encodable, compress_sorted_keys, expand_row_ids};
 
-fn tagged_triples<T: Scalar>(
-    gpu: &Gpu,
-    m: &CsrMatrix<T>,
-    tag: u64,
-) -> (Vec<u64>, Vec<T>) {
+fn tagged_triples<T: Scalar>(gpu: &Gpu, m: &CsrMatrix<T>, tag: u64) -> (Vec<u64>, Vec<T>) {
     let rows = expand_row_ids(gpu, m.row_ptr(), m.nnz());
     let n = m.ncols() as u64;
     let keys: Vec<u64> = rows
@@ -96,10 +92,7 @@ where
         .collect();
     super::charge_stream_kernel(gpu, "ewise_combine", n_in, 16, 16);
 
-    let out_keys: Vec<u64> = merged
-        .iter()
-        .filter_map(|&(k, v)| v.map(|_| k))
-        .collect();
+    let out_keys: Vec<u64> = merged.iter().filter_map(|&(k, v)| v.map(|_| k)).collect();
     let out_vals: Vec<T> = merged.into_iter().filter_map(|(_, v)| v).collect();
     compress_sorted_keys(gpu, a.nrows(), a.ncols(), &out_keys, out_vals)
 }

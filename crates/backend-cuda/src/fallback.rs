@@ -22,12 +22,7 @@ fn charge_matrix_roundtrip<T: Scalar>(gpu: &Gpu, down: &CsrMatrix<T>, up: &CsrMa
 }
 
 /// `C = A(rows, cols)` — host fallback.
-pub fn extract_mat<T>(
-    gpu: &Gpu,
-    a: &CsrMatrix<T>,
-    rows: &[Index],
-    cols: &[Index],
-) -> CsrMatrix<T>
+pub fn extract_mat<T>(gpu: &Gpu, a: &CsrMatrix<T>, rows: &[Index], cols: &[Index]) -> CsrMatrix<T>
 where
     T: Scalar,
 {

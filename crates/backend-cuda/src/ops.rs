@@ -78,13 +78,16 @@ where
     T: Scalar,
     M: Monoid<T>,
 {
-    let acc = prim::reduce(gpu, u.options(), None, |x: Option<T>, y: Option<T>| {
-        match (x, y) {
+    let acc = prim::reduce(
+        gpu,
+        u.options(),
+        None,
+        |x: Option<T>, y: Option<T>| match (x, y) {
             (Some(a), Some(b)) => Some(monoid.apply(a, b)),
             (Some(a), None) => Some(a),
             (None, b) => b,
-        }
-    });
+        },
+    );
     acc
 }
 
@@ -142,9 +145,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gbtl_algebra::{
-        AdditiveInverse, Identity, MaxMonoid, Plus, PlusMonoid,
-    };
+    use gbtl_algebra::{AdditiveInverse, Identity, MaxMonoid, Plus, PlusMonoid};
 
     fn mat(entries: &[(usize, usize, i64)], m: usize, n: usize) -> CsrMatrix<i64> {
         let mut coo = CooMatrix::new(m, n);

@@ -138,10 +138,12 @@ where
     let val_sz = std::mem::size_of::<T>() as u64;
     let merged_elems: u64 = (0..mask.nnz())
         .into_par_iter()
-        .map(|e| (a.row_nnz(m_rows[e]) + {
-            let j = m_cols[e];
-            b_csc.col_ptr()[j + 1] - b_csc.col_ptr()[j]
-        }) as u64)
+        .map(|e| {
+            (a.row_nnz(m_rows[e]) + {
+                let j = m_cols[e];
+                b_csc.col_ptr()[j + 1] - b_csc.col_ptr()[j]
+            }) as u64
+        })
         .sum();
     gpu.charge_kernel(
         "spgemm_masked_dot",
@@ -223,7 +225,14 @@ mod tests {
     fn masked_dot_matches_seq_masked() {
         let gpu = Gpu::default();
         let a = mat(
-            &[(0, 0, 1), (0, 1, 2), (1, 0, 3), (1, 2, 4), (2, 1, 5), (2, 2, 6)],
+            &[
+                (0, 0, 1),
+                (0, 1, 2),
+                (1, 0, 3),
+                (1, 2, 4),
+                (2, 1, 5),
+                (2, 2, 6),
+            ],
             3,
             3,
         );

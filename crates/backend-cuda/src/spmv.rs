@@ -106,7 +106,7 @@ fn spmv_scalar<T, S>(
         for warp_start in (0..slice.len()).step_by(ws) {
             let rows: Vec<usize> = (warp_start..(warp_start + ws).min(slice.len()))
                 .map(|k| row0 + k)
-                .filter(|&r| mask.map_or(true, |keep| keep[r]))
+                .filter(|&r| mask.is_none_or(|keep| keep[r]))
                 .collect();
             if rows.is_empty() {
                 continue;
@@ -349,8 +349,22 @@ mod tests {
         let a = adj();
         let u = dense(&[1, 10, 100, 1000]);
         let expected = gbtl_backend_seq::mxv(&a, &u, PlusTimes::<i64>::new(), None);
-        let s = mxv(&gpu, &a, &u, PlusTimes::<i64>::new(), None, SpmvKernel::Scalar);
-        let v = mxv(&gpu, &a, &u, PlusTimes::<i64>::new(), None, SpmvKernel::Vector);
+        let s = mxv(
+            &gpu,
+            &a,
+            &u,
+            PlusTimes::<i64>::new(),
+            None,
+            SpmvKernel::Scalar,
+        );
+        let v = mxv(
+            &gpu,
+            &a,
+            &u,
+            PlusTimes::<i64>::new(),
+            None,
+            SpmvKernel::Vector,
+        );
         assert_eq!(s, expected);
         assert_eq!(v, expected);
     }
@@ -432,9 +446,23 @@ mod tests {
         let u = DenseVector::filled(512, 1i64);
 
         let gpu_s = Gpu::default();
-        let _ = mxv(&gpu_s, &a, &u, PlusTimes::<i64>::new(), None, SpmvKernel::Scalar);
+        let _ = mxv(
+            &gpu_s,
+            &a,
+            &u,
+            PlusTimes::<i64>::new(),
+            None,
+            SpmvKernel::Scalar,
+        );
         let gpu_v = Gpu::default();
-        let _ = mxv(&gpu_v, &a, &u, PlusTimes::<i64>::new(), None, SpmvKernel::Vector);
+        let _ = mxv(
+            &gpu_v,
+            &a,
+            &u,
+            PlusTimes::<i64>::new(),
+            None,
+            SpmvKernel::Vector,
+        );
         let (ts, tv) = (
             gpu_s.stats().mem_transactions,
             gpu_v.stats().mem_transactions,
@@ -483,7 +511,7 @@ where
         for warp_start in (0..slice.len()).step_by(ws) {
             let rows: Vec<usize> = (warp_start..(warp_start + ws).min(slice.len()))
                 .map(|k| row0 + k)
-                .filter(|&r| mask.map_or(true, |keep| keep[r]))
+                .filter(|&r| mask.is_none_or(|keep| keep[r]))
                 .collect();
             if rows.is_empty() {
                 continue;
@@ -695,7 +723,10 @@ mod hyb_tests {
         let gpu = Gpu::default();
         let got = mxv_hyb(&gpu, &hyb, &u, PlusTimes::<i64>::new(), None);
         assert_eq!(got, expected);
-        assert!(gpu.stats().atomic_ops > 0, "overflow kernel charges atomics");
+        assert!(
+            gpu.stats().atomic_ops > 0,
+            "overflow kernel charges atomics"
+        );
     }
 
     #[test]

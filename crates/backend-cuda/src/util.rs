@@ -14,7 +14,7 @@ pub fn expand_row_ids(gpu: &Gpu, row_ptr: &[usize], nnz: usize) -> Vec<usize> {
     let nrows = row_ptr.len() - 1;
     let out: Vec<usize> = (0..nrows)
         .into_par_iter()
-        .flat_map_iter(|i| std::iter::repeat(i).take(row_ptr[i + 1] - row_ptr[i]))
+        .flat_map_iter(|i| std::iter::repeat_n(i, row_ptr[i + 1] - row_ptr[i]))
         .collect();
     debug_assert_eq!(out.len(), nnz);
     let txn = gpu.config().mem_transaction_bytes as u64;

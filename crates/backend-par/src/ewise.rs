@@ -1,0 +1,293 @@
+//! Parallel elementwise union (`eWiseAdd`) and intersection (`eWiseMult`).
+//!
+//! Matrix variants chunk rows balanced on the *combined* nnz of both
+//! operands and run the sequential two-pointer merge per row; chunks
+//! stitch back in row order. Vector variants split the index domain into
+//! even contiguous ranges — `partition_point` locates each operand's
+//! sub-slice, so tasks never overlap and concatenation preserves order.
+//! Merge order per row/index is the sequential backend's, hence
+//! bit-identical output.
+
+use crate::partition::{even_ranges, nnz_balanced_rows, OVERSPLIT};
+use crate::pool::ThreadPool;
+use crate::stitch::{stitch_rows, RowChunk};
+use gbtl_algebra::{BinaryOp, Scalar};
+use gbtl_sparse::{CsrMatrix, DenseVector, SparseVector};
+
+/// Cumulative combined nnz of both operands, for balance-aware chunking.
+fn combined_ptr<T: Scalar>(a: &CsrMatrix<T>, b: &CsrMatrix<T>) -> Vec<usize> {
+    a.row_ptr()
+        .iter()
+        .zip(b.row_ptr())
+        .map(|(&x, &y)| x + y)
+        .collect()
+}
+
+/// Union merge of one row pair, appending to the chunk-local buffers.
+/// Identical control flow to `gbtl_backend_seq::ewise_add_mat`'s inner loop.
+fn merge_union<T: Scalar, Op: BinaryOp<T>>(
+    ac: &[usize],
+    av: &[T],
+    bc: &[usize],
+    bv: &[T],
+    op: Op,
+    col_idx: &mut Vec<usize>,
+    vals: &mut Vec<T>,
+) {
+    let (mut p, mut q) = (0usize, 0usize);
+    while p < ac.len() || q < bc.len() {
+        match (ac.get(p), bc.get(q)) {
+            (Some(&ja), Some(&jb)) if ja == jb => {
+                col_idx.push(ja);
+                vals.push(op.apply(av[p], bv[q]));
+                p += 1;
+                q += 1;
+            }
+            (Some(&ja), Some(&jb)) if ja < jb => {
+                col_idx.push(ja);
+                vals.push(av[p]);
+                p += 1;
+            }
+            (Some(_), Some(&jb)) => {
+                col_idx.push(jb);
+                vals.push(bv[q]);
+                q += 1;
+            }
+            (Some(&ja), None) => {
+                col_idx.push(ja);
+                vals.push(av[p]);
+                p += 1;
+            }
+            (None, Some(&jb)) => {
+                col_idx.push(jb);
+                vals.push(bv[q]);
+                q += 1;
+            }
+            (None, None) => unreachable!("loop condition"),
+        }
+    }
+}
+
+/// `C = A ⊕ B` — union merge per row, rows in parallel.
+pub fn ewise_add_mat<T, Op>(
+    pool: &ThreadPool,
+    a: &CsrMatrix<T>,
+    b: &CsrMatrix<T>,
+    op: Op,
+) -> CsrMatrix<T>
+where
+    T: Scalar,
+    Op: BinaryOp<T>,
+{
+    assert_eq!(
+        (a.nrows(), a.ncols()),
+        (b.nrows(), b.ncols()),
+        "eWiseAdd shape mismatch"
+    );
+    let comb = combined_ptr(a, b);
+    let chunks = nnz_balanced_rows(&comb, pool.threads() * OVERSPLIT);
+    let parts = pool.run_tasks(chunks.len(), |t| {
+        let rows = chunks[t].clone();
+        let mut chunk = RowChunk {
+            counts: Vec::with_capacity(rows.len()),
+            col_idx: Vec::new(),
+            vals: Vec::new(),
+        };
+        for i in rows {
+            let before = chunk.col_idx.len();
+            let (ac, av) = a.row(i);
+            let (bc, bv) = b.row(i);
+            merge_union(ac, av, bc, bv, op, &mut chunk.col_idx, &mut chunk.vals);
+            chunk.counts.push(chunk.col_idx.len() - before);
+        }
+        chunk
+    });
+    stitch_rows(a.nrows(), a.ncols(), parts)
+}
+
+/// `C = A ⊗ B` — intersection merge per row, rows in parallel.
+pub fn ewise_mult_mat<T, Op>(
+    pool: &ThreadPool,
+    a: &CsrMatrix<T>,
+    b: &CsrMatrix<T>,
+    op: Op,
+) -> CsrMatrix<T>
+where
+    T: Scalar,
+    Op: BinaryOp<T>,
+{
+    assert_eq!(
+        (a.nrows(), a.ncols()),
+        (b.nrows(), b.ncols()),
+        "eWiseMult shape mismatch"
+    );
+    let comb = combined_ptr(a, b);
+    let chunks = nnz_balanced_rows(&comb, pool.threads() * OVERSPLIT);
+    let parts = pool.run_tasks(chunks.len(), |t| {
+        let rows = chunks[t].clone();
+        let mut chunk = RowChunk {
+            counts: Vec::with_capacity(rows.len()),
+            col_idx: Vec::new(),
+            vals: Vec::new(),
+        };
+        for i in rows {
+            let before = chunk.col_idx.len();
+            let (ac, av) = a.row(i);
+            let (bc, bv) = b.row(i);
+            let (mut p, mut q) = (0usize, 0usize);
+            while p < ac.len() && q < bc.len() {
+                match ac[p].cmp(&bc[q]) {
+                    std::cmp::Ordering::Equal => {
+                        chunk.col_idx.push(ac[p]);
+                        chunk.vals.push(op.apply(av[p], bv[q]));
+                        p += 1;
+                        q += 1;
+                    }
+                    std::cmp::Ordering::Less => p += 1,
+                    std::cmp::Ordering::Greater => q += 1,
+                }
+            }
+            chunk.counts.push(chunk.col_idx.len() - before);
+        }
+        chunk
+    });
+    stitch_rows(a.nrows(), a.ncols(), parts)
+}
+
+/// `w = u ⊕ v` on sparse vectors — union merge over an index-domain split.
+pub fn ewise_add_vec<T, Op>(
+    pool: &ThreadPool,
+    u: &SparseVector<T>,
+    v: &SparseVector<T>,
+    op: Op,
+) -> SparseVector<T>
+where
+    T: Scalar,
+    Op: BinaryOp<T>,
+{
+    assert_eq!(u.len(), v.len(), "eWiseAdd vector length mismatch");
+    let n = u.len();
+    let ranges = even_ranges(n, pool.threads() * OVERSPLIT);
+    let mut parts = pool.run_tasks(ranges.len(), |t| {
+        let r = ranges[t].clone();
+        let (ui, uv) = (u.indices(), u.values());
+        let (vi, vv) = (v.indices(), v.values());
+        let (ulo, uhi) = (
+            ui.partition_point(|&i| i < r.start),
+            ui.partition_point(|&i| i < r.end),
+        );
+        let (vlo, vhi) = (
+            vi.partition_point(|&i| i < r.start),
+            vi.partition_point(|&i| i < r.end),
+        );
+        let mut idx = Vec::with_capacity((uhi - ulo) + (vhi - vlo));
+        let mut vals = Vec::with_capacity(idx.capacity());
+        merge_union(
+            &ui[ulo..uhi],
+            &uv[ulo..uhi],
+            &vi[vlo..vhi],
+            &vv[vlo..vhi],
+            op,
+            &mut idx,
+            &mut vals,
+        );
+        (idx, vals)
+    });
+    let total: usize = parts.iter().map(|(idx, _)| idx.len()).sum();
+    let mut idx = Vec::with_capacity(total);
+    let mut vals = Vec::with_capacity(total);
+    for (pidx, pvals) in parts.iter_mut() {
+        idx.append(pidx);
+        vals.append(pvals);
+    }
+    SparseVector::from_sorted(n, idx, vals).expect("disjoint ascending ranges merge sorted")
+}
+
+/// `w = u ⊗ v` on dense vectors — even index chunks in parallel.
+pub fn ewise_mult_vec<T, Op>(
+    pool: &ThreadPool,
+    u: &DenseVector<T>,
+    v: &DenseVector<T>,
+    op: Op,
+) -> DenseVector<T>
+where
+    T: Scalar,
+    Op: BinaryOp<T>,
+{
+    assert_eq!(u.len(), v.len(), "eWiseMult vector length mismatch");
+    let ranges = even_ranges(u.len(), pool.threads() * OVERSPLIT);
+    let (uo, vo) = (u.options(), v.options());
+    let segments = pool.run_tasks(ranges.len(), |t| {
+        ranges[t]
+            .clone()
+            .map(|i| match (uo[i], vo[i]) {
+                (Some(a), Some(b)) => Some(op.apply(a, b)),
+                _ => None,
+            })
+            .collect::<Vec<Option<T>>>()
+    });
+    let mut out = Vec::with_capacity(u.len());
+    for seg in segments {
+        out.extend(seg);
+    }
+    DenseVector::from_options(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gbtl_algebra::{Min, Plus, Times};
+    use gbtl_sparse::CooMatrix;
+
+    fn mat(entries: &[(usize, usize, i64)], m: usize, n: usize) -> CsrMatrix<i64> {
+        let mut coo = CooMatrix::new(m, n);
+        for &(i, j, v) in entries {
+            coo.push(i, j, v);
+        }
+        CsrMatrix::from_coo(coo, |a, _| a)
+    }
+
+    #[test]
+    fn mat_ops_match_seq() {
+        let a = mat(&[(0, 0, 1), (0, 2, 2), (2, 1, 7), (3, 3, 9)], 4, 4);
+        let b = mat(&[(0, 2, 10), (1, 1, 5), (2, 1, -7), (3, 0, 1)], 4, 4);
+        let want_add = gbtl_backend_seq::ewise_add_mat(&a, &b, Plus::<i64>::new());
+        let want_mult = gbtl_backend_seq::ewise_mult_mat(&a, &b, Times::<i64>::new());
+        for threads in [1, 2, 4, 8] {
+            let pool = ThreadPool::with_threads(threads);
+            assert_eq!(ewise_add_mat(&pool, &a, &b, Plus::<i64>::new()), want_add);
+            assert_eq!(
+                ewise_mult_mat(&pool, &a, &b, Times::<i64>::new()),
+                want_mult
+            );
+        }
+    }
+
+    #[test]
+    fn vec_ops_match_seq() {
+        let mut u = SparseVector::new(9);
+        u.set(1, 10i64);
+        u.set(3, 30);
+        u.set(8, 80);
+        let mut v = SparseVector::new(9);
+        v.set(0, 1i64);
+        v.set(3, 3);
+        v.set(7, 7);
+        let want = gbtl_backend_seq::ewise_add_vec(&u, &v, Min::<i64>::new());
+        let mut du = DenseVector::new(9);
+        du.set(0, 2i64);
+        du.set(5, 3);
+        let mut dv = DenseVector::new(9);
+        dv.set(5, 10i64);
+        dv.set(6, 10);
+        let want_mult = gbtl_backend_seq::ewise_mult_vec(&du, &dv, Times::<i64>::new());
+        for threads in [1, 2, 4, 8] {
+            let pool = ThreadPool::with_threads(threads);
+            assert_eq!(ewise_add_vec(&pool, &u, &v, Min::<i64>::new()), want);
+            assert_eq!(
+                ewise_mult_vec(&pool, &du, &dv, Times::<i64>::new()),
+                want_mult
+            );
+        }
+    }
+}

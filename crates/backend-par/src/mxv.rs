@@ -1,0 +1,197 @@
+//! Parallel matrix–vector products, both directions.
+//!
+//! * [`mxv`] (pull): rows are split into nnz-balanced contiguous chunks
+//!   (binary search over `row_ptr`, merge-path style); each task computes
+//!   its output segment independently. Per-row accumulation order is the
+//!   sequential backend's, so results are bit-identical to it.
+//! * [`vxm`] (push): output **columns** are split into contiguous ranges;
+//!   each task walks the whole frontier but binary-searches every adjacency
+//!   row down to its own column range and accumulates only there. For each
+//!   output column the terms still arrive in frontier order (`k`
+//!   ascending) — exactly the sequential order — and no two tasks ever
+//!   write the same column, so the merge is an atomic-free concatenation.
+
+use crate::partition::{even_ranges, nnz_balanced_rows, OVERSPLIT};
+use crate::pool::ThreadPool;
+use gbtl_algebra::{BinaryOp, Scalar, Semiring};
+use gbtl_sparse::{CsrMatrix, DenseVector, SparseVector};
+
+/// Pull-direction product `w = A ⊕.⊗ u`; `mask` is a keep-bitmap over
+/// output rows. Bit-identical to `gbtl_backend_seq::mxv`.
+pub fn mxv<T, S>(
+    pool: &ThreadPool,
+    a: &CsrMatrix<T>,
+    u: &DenseVector<T>,
+    sr: S,
+    mask: Option<&[bool]>,
+) -> DenseVector<T>
+where
+    T: Scalar,
+    S: Semiring<T>,
+{
+    assert_eq!(
+        a.ncols(),
+        u.len(),
+        "mxv dimension mismatch: {}x{} * len {}",
+        a.nrows(),
+        a.ncols(),
+        u.len()
+    );
+    if let Some(keep) = mask {
+        assert_eq!(keep.len(), a.nrows(), "mask length must equal output size");
+    }
+    let (add, mul) = (sr.add(), sr.mul());
+    let uvals = u.options();
+    let chunks = nnz_balanced_rows(a.row_ptr(), pool.threads() * OVERSPLIT);
+
+    let segments = pool.run_tasks(chunks.len(), |t| {
+        let rows = chunks[t].clone();
+        let mut seg: Vec<Option<T>> = vec![None; rows.len()];
+        for i in rows.clone() {
+            if let Some(keep) = mask {
+                if !keep[i] {
+                    continue;
+                }
+            }
+            let (cols, vals) = a.row(i);
+            let mut acc: Option<T> = None;
+            for (&j, &aij) in cols.iter().zip(vals) {
+                if let Some(uj) = uvals[j] {
+                    let term = mul.apply(aij, uj);
+                    acc = Some(match acc {
+                        Some(v) => add.apply(v, term),
+                        None => term,
+                    });
+                }
+            }
+            seg[i - rows.start] = acc;
+        }
+        seg
+    });
+
+    let mut out: Vec<Option<T>> = Vec::with_capacity(a.nrows());
+    for seg in segments {
+        out.extend(seg);
+    }
+    DenseVector::from_options(out)
+}
+
+/// Push-direction product `w = uᵀ ⊕.⊗ A` over a sparse frontier `u`;
+/// `mask` is a keep-bitmap over output columns. Bit-identical to
+/// `gbtl_backend_seq::vxm`.
+pub fn vxm<T, S>(
+    pool: &ThreadPool,
+    u: &SparseVector<T>,
+    a: &CsrMatrix<T>,
+    sr: S,
+    mask: Option<&[bool]>,
+) -> SparseVector<T>
+where
+    T: Scalar,
+    S: Semiring<T>,
+{
+    assert_eq!(
+        u.len(),
+        a.nrows(),
+        "vxm dimension mismatch: len {} * {}x{}",
+        u.len(),
+        a.nrows(),
+        a.ncols()
+    );
+    if let Some(keep) = mask {
+        assert_eq!(keep.len(), a.ncols(), "mask length must equal output size");
+    }
+    let (add, mul) = (sr.add(), sr.mul());
+    let n = a.ncols();
+    let ranges = even_ranges(n, pool.threads() * OVERSPLIT);
+
+    let mut parts = pool.run_tasks(ranges.len(), |t| {
+        let cols = ranges[t].clone();
+        let width = cols.len();
+        let mut acc: Vec<Option<T>> = vec![None; width];
+        let mut touched: Vec<usize> = Vec::new();
+        for (k, uk) in u.iter() {
+            let (rcols, rvals) = a.row(k);
+            // Narrow this adjacency row to the owned column range.
+            let lo = rcols.partition_point(|&j| j < cols.start);
+            for idx in lo..rcols.len() {
+                let j = rcols[idx];
+                if j >= cols.end {
+                    break;
+                }
+                if let Some(keep) = mask {
+                    if !keep[j] {
+                        continue;
+                    }
+                }
+                let term = mul.apply(uk, rvals[idx]);
+                match &mut acc[j - cols.start] {
+                    Some(v) => *v = add.apply(*v, term),
+                    slot @ None => {
+                        *slot = Some(term);
+                        touched.push(j);
+                    }
+                }
+            }
+        }
+        touched.sort_unstable();
+        let vals: Vec<T> = touched
+            .iter()
+            .map(|&j| acc[j - cols.start].expect("touched implies present"))
+            .collect();
+        (touched, vals)
+    });
+
+    let total: usize = parts.iter().map(|(idx, _)| idx.len()).sum();
+    let mut idx = Vec::with_capacity(total);
+    let mut vals = Vec::with_capacity(total);
+    for (pidx, pvals) in parts.iter_mut() {
+        idx.append(pidx);
+        vals.append(pvals);
+    }
+    SparseVector::from_sorted(n, idx, vals).expect("column ranges ascend and are disjoint")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gbtl_algebra::{MinPlus, PlusTimes};
+    use gbtl_sparse::CooMatrix;
+
+    fn adj() -> CsrMatrix<i64> {
+        let mut coo = CooMatrix::new(3, 3);
+        coo.push(0, 1, 3);
+        coo.push(0, 2, 1);
+        coo.push(1, 2, 1);
+        coo.push(2, 0, 2);
+        CsrMatrix::from_coo(coo, |a, _| a)
+    }
+
+    #[test]
+    fn mxv_matches_seq_at_many_thread_counts() {
+        let a = adj();
+        let mut u = DenseVector::new(3);
+        u.set(0, 1i64);
+        u.set(1, 10);
+        u.set(2, 100);
+        let want = gbtl_backend_seq::mxv(&a, &u, PlusTimes::<i64>::new(), None);
+        for threads in [1, 2, 4, 8] {
+            let pool = ThreadPool::with_threads(threads);
+            assert_eq!(mxv(&pool, &a, &u, PlusTimes::<i64>::new(), None), want);
+        }
+    }
+
+    #[test]
+    fn vxm_matches_seq_with_mask() {
+        let a = adj();
+        let mut u = SparseVector::new(3);
+        u.set(0, 0i64);
+        u.set(2, 5);
+        let keep = [true, false, true];
+        let want = gbtl_backend_seq::vxm(&u, &a, MinPlus::<i64>::new(), Some(&keep));
+        for threads in [1, 2, 4, 8] {
+            let pool = ThreadPool::with_threads(threads);
+            assert_eq!(vxm(&pool, &u, &a, MinPlus::<i64>::new(), Some(&keep)), want);
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! A small chunked work-stealing executor on `std::thread::scope`.
+//!
+//! Tasks are integer-indexed (`0..ntasks`); the pool deals contiguous blocks
+//! of indices onto per-worker deques, workers pop their own deque from the
+//! front and steal from other deques' backs when empty. Results land in
+//! per-task slots, so the returned `Vec<R>` is always in task order no
+//! matter which worker ran what — scheduling can never change an op's
+//! output.
+//!
+//! The pool object itself is a reusable configuration (worker count); the
+//! OS threads are scoped to each [`ThreadPool::run_tasks`] call, which keeps
+//! every borrow a plain lifetime (no `Arc`, no channels) and still amortises
+//! fine: one op dispatch costs a handful of thread spawns against kernels
+//! that touch millions of entries.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Worker-count configuration, reusable across operations.
+#[derive(Debug, Clone)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// Worker count from `GBTL_NUM_THREADS` if set (clamped to ≥1), else
+    /// [`std::thread::available_parallelism`].
+    pub fn new() -> Self {
+        let threads = std::env::var("GBTL_NUM_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            });
+        ThreadPool { threads }
+    }
+
+    /// Exactly `threads` workers (still ≥1).
+    pub fn with_threads(threads: usize) -> Self {
+        ThreadPool {
+            threads: threads.max(1),
+        }
+    }
+
+    /// Configured worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run `f(0), f(1), …, f(ntasks-1)` across the workers and return the
+    /// results in task order.
+    ///
+    /// With one worker (or one task) everything runs inline on the caller's
+    /// thread — the 1-thread pool is *exactly* the sequential execution.
+    pub fn run_tasks<R, F>(&self, ntasks: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        if ntasks == 0 {
+            return Vec::new();
+        }
+        let workers = self.threads.min(ntasks);
+        if workers <= 1 {
+            return (0..ntasks).map(f).collect();
+        }
+
+        // Deal contiguous index blocks: worker w starts with
+        // [w*ntasks/workers, (w+1)*ntasks/workers). Owners pop the front,
+        // thieves pop the back, so a steal grabs the work its victim would
+        // reach last.
+        let deques: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+            .map(|w| {
+                let lo = w * ntasks / workers;
+                let hi = (w + 1) * ntasks / workers;
+                Mutex::new((lo..hi).collect())
+            })
+            .collect();
+        let slots: Vec<Mutex<Option<R>>> = (0..ntasks).map(|_| Mutex::new(None)).collect();
+
+        {
+            let deques = &deques;
+            let slots = &slots;
+            let f = &f;
+            std::thread::scope(|scope| {
+                for w in 0..workers {
+                    scope.spawn(move || loop {
+                        // Own deque first (front = natural order)…
+                        let mut task = deques[w].lock().unwrap().pop_front();
+                        // …then steal round-robin from the others (back).
+                        if task.is_none() {
+                            for off in 1..workers {
+                                let victim = (w + off) % workers;
+                                task = deques[victim].lock().unwrap().pop_back();
+                                if task.is_some() {
+                                    break;
+                                }
+                            }
+                        }
+                        match task {
+                            Some(t) => {
+                                let prev = slots[t].lock().unwrap().replace(f(t));
+                                debug_assert!(prev.is_none(), "task {t} executed twice");
+                            }
+                            // Every deque empty: no task can create new
+                            // tasks, so this worker is done.
+                            None => break,
+                        }
+                    });
+                }
+            });
+        }
+
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .unwrap()
+                    .expect("every task index was dealt")
+            })
+            .collect()
+    }
+}
+
+impl Default for ThreadPool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_come_back_in_task_order() {
+        for threads in [1, 2, 3, 8] {
+            let pool = ThreadPool::with_threads(threads);
+            let out = pool.run_tasks(100, |i| i * i);
+            assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn every_task_runs_exactly_once() {
+        let pool = ThreadPool::with_threads(4);
+        let runs = AtomicUsize::new(0);
+        let out = pool.run_tasks(257, |i| {
+            runs.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(runs.load(Ordering::Relaxed), 257);
+        assert_eq!(out.len(), 257);
+    }
+
+    #[test]
+    fn skewed_task_costs_still_complete() {
+        // One huge task plus many tiny ones: the other workers must steal.
+        let pool = ThreadPool::with_threads(4);
+        let out = pool.run_tasks(64, |i| {
+            if i == 0 {
+                (0..200_000u64).sum::<u64>()
+            } else {
+                i as u64
+            }
+        });
+        assert_eq!(out[0], 199_999 * 200_000 / 2);
+        assert_eq!(out[63], 63);
+    }
+
+    #[test]
+    fn zero_and_one_tasks() {
+        let pool = ThreadPool::with_threads(4);
+        assert!(pool.run_tasks(0, |i| i).is_empty());
+        assert_eq!(pool.run_tasks(1, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn threads_clamped_to_at_least_one() {
+        assert_eq!(ThreadPool::with_threads(0).threads(), 1);
+        assert!(ThreadPool::new().threads() >= 1);
+    }
+}

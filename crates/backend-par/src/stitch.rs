@@ -1,0 +1,39 @@
+//! Concatenating per-chunk CSR fragments back into one matrix.
+
+use gbtl_algebra::Scalar;
+use gbtl_sparse::CsrMatrix;
+
+/// One chunk's output: per-row entry counts (one per row in the chunk, in
+/// row order) plus the flat column/value arrays for those rows.
+pub(crate) struct RowChunk<T> {
+    pub counts: Vec<usize>,
+    pub col_idx: Vec<usize>,
+    pub vals: Vec<T>,
+}
+
+/// Stitch contiguous row chunks (in row order) into a CSR matrix. Because
+/// chunks are contiguous and each row was produced whole by one task, the
+/// concatenation is exactly what a sequential pass would have emitted.
+pub(crate) fn stitch_rows<T: Scalar>(
+    nrows: usize,
+    ncols: usize,
+    parts: Vec<RowChunk<T>>,
+) -> CsrMatrix<T> {
+    let total: usize = parts.iter().map(|p| p.col_idx.len()).sum();
+    let mut row_ptr = Vec::with_capacity(nrows + 1);
+    row_ptr.push(0usize);
+    let mut col_idx = Vec::with_capacity(total);
+    let mut vals = Vec::with_capacity(total);
+    let mut run = 0usize;
+    for mut part in parts {
+        for c in part.counts {
+            run += c;
+            row_ptr.push(run);
+        }
+        col_idx.append(&mut part.col_idx);
+        vals.append(&mut part.vals);
+    }
+    debug_assert_eq!(row_ptr.len(), nrows + 1);
+    debug_assert_eq!(run, col_idx.len());
+    CsrMatrix::from_parts_unchecked(nrows, ncols, row_ptr, col_idx, vals)
+}

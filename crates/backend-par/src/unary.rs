@@ -1,0 +1,161 @@
+//! Parallel `apply` (value transforms) and `select` (structural filters).
+//!
+//! `apply` is embarrassingly parallel over the value array — structure is
+//! copied untouched, value chunks map independently and concatenate in
+//! order. `select` chunks rows and stitches, like the eWise merges.
+
+use crate::partition::{even_ranges, nnz_balanced_rows, OVERSPLIT};
+use crate::pool::ThreadPool;
+use crate::stitch::{stitch_rows, RowChunk};
+use gbtl_algebra::{Scalar, SelectOp, UnaryOp};
+use gbtl_sparse::{CsrMatrix, DenseVector, SparseVector};
+
+/// Map `f` across a value slice in even parallel chunks, preserving order.
+fn map_vals<A, U>(pool: &ThreadPool, vals: &[A], f: U) -> Vec<U::Output>
+where
+    A: Scalar,
+    U: UnaryOp<A>,
+{
+    let ranges = even_ranges(vals.len(), pool.threads() * OVERSPLIT);
+    let segments = pool.run_tasks(ranges.len(), |t| {
+        vals[ranges[t].clone()]
+            .iter()
+            .map(|&v| f.apply(v))
+            .collect::<Vec<U::Output>>()
+    });
+    let mut out = Vec::with_capacity(vals.len());
+    for seg in segments {
+        out.extend(seg);
+    }
+    out
+}
+
+/// `C = f(A)` on stored values; structure unchanged.
+pub fn apply_mat<A, U>(pool: &ThreadPool, a: &CsrMatrix<A>, f: U) -> CsrMatrix<U::Output>
+where
+    A: Scalar,
+    U: UnaryOp<A>,
+{
+    CsrMatrix::from_parts_unchecked(
+        a.nrows(),
+        a.ncols(),
+        a.row_ptr().to_vec(),
+        a.col_idx().to_vec(),
+        map_vals(pool, a.vals(), f),
+    )
+}
+
+/// `w = f(u)` on a sparse vector.
+pub fn apply_vec<A, U>(pool: &ThreadPool, u: &SparseVector<A>, f: U) -> SparseVector<U::Output>
+where
+    A: Scalar,
+    U: UnaryOp<A>,
+{
+    SparseVector::from_sorted(u.len(), u.indices().to_vec(), map_vals(pool, u.values(), f))
+        .expect("structure copied from valid vector")
+}
+
+/// `w = f(u)` on a dense vector (absence preserved).
+pub fn apply_dense_vec<A, U>(pool: &ThreadPool, u: &DenseVector<A>, f: U) -> DenseVector<U::Output>
+where
+    A: Scalar,
+    U: UnaryOp<A>,
+{
+    let opts = u.options();
+    let ranges = even_ranges(opts.len(), pool.threads() * OVERSPLIT);
+    let segments = pool.run_tasks(ranges.len(), |t| {
+        opts[ranges[t].clone()]
+            .iter()
+            .map(|o| o.map(|v| f.apply(v)))
+            .collect::<Vec<Option<U::Output>>>()
+    });
+    let mut out = Vec::with_capacity(opts.len());
+    for seg in segments {
+        out.extend(seg);
+    }
+    DenseVector::from_options(out)
+}
+
+/// Keep entries where `pred(i, j, v)` holds; rows filter in parallel.
+pub fn select_mat<T, P>(pool: &ThreadPool, a: &CsrMatrix<T>, pred: P) -> CsrMatrix<T>
+where
+    T: Scalar,
+    P: Fn(usize, usize, T) -> bool + Sync,
+{
+    let chunks = nnz_balanced_rows(a.row_ptr(), pool.threads() * OVERSPLIT);
+    let parts = pool.run_tasks(chunks.len(), |t| {
+        let rows = chunks[t].clone();
+        let mut chunk = RowChunk {
+            counts: Vec::with_capacity(rows.len()),
+            col_idx: Vec::new(),
+            vals: Vec::new(),
+        };
+        for i in rows {
+            let before = chunk.col_idx.len();
+            let (cols, vs) = a.row(i);
+            for (&j, &v) in cols.iter().zip(vs) {
+                if pred(i, j, v) {
+                    chunk.col_idx.push(j);
+                    chunk.vals.push(v);
+                }
+            }
+            chunk.counts.push(chunk.col_idx.len() - before);
+        }
+        chunk
+    });
+    stitch_rows(a.nrows(), a.ncols(), parts)
+}
+
+/// Operator-typed form of [`select_mat`].
+pub fn select_mat_op<T, P>(pool: &ThreadPool, a: &CsrMatrix<T>, op: P) -> CsrMatrix<T>
+where
+    T: Scalar,
+    P: SelectOp<T>,
+{
+    select_mat(pool, a, move |i, j, v| op.keep(i, j, v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gbtl_algebra::{AdditiveInverse, TriL};
+    use gbtl_sparse::CooMatrix;
+
+    #[test]
+    fn apply_and_select_match_seq() {
+        let mut coo = CooMatrix::new(4, 4);
+        for (i, j, v) in [(0, 1, 5i64), (1, 0, -2), (2, 2, 7), (3, 1, 4), (3, 3, -9)] {
+            coo.push(i, j, v);
+        }
+        let a = CsrMatrix::from_coo(coo, |x, _| x);
+        let want_apply = gbtl_backend_seq::apply_mat(&a, AdditiveInverse::<i64>::new());
+        let want_select = gbtl_backend_seq::select_mat_op(&a, TriL);
+        for threads in [1, 2, 4, 8] {
+            let pool = ThreadPool::with_threads(threads);
+            assert_eq!(
+                apply_mat(&pool, &a, AdditiveInverse::<i64>::new()),
+                want_apply
+            );
+            assert_eq!(select_mat_op(&pool, &a, TriL), want_select);
+        }
+    }
+
+    #[test]
+    fn apply_vectors_match_seq() {
+        let mut u = SparseVector::new(6);
+        u.set(1, 3i64);
+        u.set(4, -4);
+        let mut d = DenseVector::new(6);
+        d.set(0, 9i64);
+        d.set(5, -1);
+        let pool = ThreadPool::with_threads(4);
+        assert_eq!(
+            apply_vec(&pool, &u, AdditiveInverse::<i64>::new()),
+            gbtl_backend_seq::apply_vec(&u, AdditiveInverse::<i64>::new())
+        );
+        assert_eq!(
+            apply_dense_vec(&pool, &d, AdditiveInverse::<i64>::new()),
+            gbtl_backend_seq::apply_dense_vec(&d, AdditiveInverse::<i64>::new())
+        );
+    }
+}

@@ -215,10 +215,7 @@ mod tests {
         v.set(0, 1i64);
         v.set(3, 3);
         let w = ewise_add_vec(&u, &v, Plus::<i64>::new());
-        assert_eq!(
-            w.iter().collect::<Vec<_>>(),
-            vec![(0, 1), (1, 10), (3, 33)]
-        );
+        assert_eq!(w.iter().collect::<Vec<_>>(), vec![(0, 1), (1, 10), (3, 33)]);
     }
 
     #[test]

@@ -92,11 +92,11 @@ where
     let mut col_idx = Vec::new();
     let mut vals = Vec::new();
     let mut staged: Vec<(usize, T)> = Vec::new();
-    for i in 0..c.nrows() {
+    for (i, &in_row) in in_rows.iter().enumerate() {
         staged.clear();
         // keep C's entries outside the assigned region
         let (cs, vs) = c.row(i);
-        match in_rows[i] {
+        match in_row {
             None => {
                 for (&j, &v) in cs.iter().zip(vs) {
                     staged.push((j, v));
@@ -153,7 +153,14 @@ mod tests {
         // [0 3 4]
         // [5 0 6]
         let mut coo = CooMatrix::new(3, 3);
-        for &(i, j, v) in &[(0, 0, 1), (0, 1, 2), (1, 1, 3), (1, 2, 4), (2, 0, 5), (2, 2, 6)] {
+        for &(i, j, v) in &[
+            (0, 0, 1),
+            (0, 1, 2),
+            (1, 1, 3),
+            (1, 2, 4),
+            (2, 0, 5),
+            (2, 2, 6),
+        ] {
             coo.push(i, j, v);
         }
         CsrMatrix::from_coo(coo, |a, _| a)

@@ -144,7 +144,7 @@ mod tests {
         // w0 = 3*10 + 1*100 = 130; w1 absent? no: row1 has edge to 2 -> 1*100
         assert_eq!(w.get(0), Some(130));
         assert_eq!(w.get(1), Some(100));
-        assert_eq!(w.get(2), Some(2 * 1));
+        assert_eq!(w.get(2), Some(2));
     }
 
     #[test]

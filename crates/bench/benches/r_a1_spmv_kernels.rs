@@ -11,15 +11,15 @@ fn bench_kernels(c: &mut Criterion) {
     let mut group = c.benchmark_group("r_a1_spmv_kernels");
     group.sample_size(10);
 
-    for (family, a) in [
-        ("rmat", rmat_graph(12, 16, 5)),
-        ("er", er_graph(12, 16, 5)),
-    ] {
+    for (family, a) in [("rmat", rmat_graph(12, 16, 5)), ("er", er_graph(12, 16, 5))] {
         let af = typed(&a, 1.0f64);
         let u = Vector::filled(a.ncols(), 1.0f64);
-        for (kname, kernel) in [("scalar", SpmvKernel::Scalar), ("vector", SpmvKernel::Vector)] {
+        for (kname, kernel) in [
+            ("scalar", SpmvKernel::Scalar),
+            ("vector", SpmvKernel::Vector),
+        ] {
             group.bench_with_input(
-                BenchmarkId::new(format!("{family}"), kname),
+                BenchmarkId::new(family.to_string(), kname),
                 &kernel,
                 |b, &kernel| {
                     let ctx = cuda_ctx().with_spmv_kernel(kernel);

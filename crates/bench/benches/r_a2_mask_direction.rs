@@ -70,7 +70,10 @@ fn bench_mask_direction(c: &mut Criterion) {
     }
 
     // push vs pull whole-BFS
-    for (label, g) in [("rmat11", rmat_graph(11, 16, 5)), ("grid48", grid_graph(48))] {
+    for (label, g) in [
+        ("rmat11", rmat_graph(11, 16, 5)),
+        ("grid48", grid_graph(48)),
+    ] {
         for (dname, dir) in [("push", Direction::Push), ("pull", Direction::Pull)] {
             group.bench_with_input(
                 BenchmarkId::new(format!("bfs_{label}"), dname),

@@ -16,8 +16,16 @@ fn bench_mxm(c: &mut Criterion) {
             let ctx = seq_ctx();
             b.iter(|| {
                 let mut out = Matrix::new(af.nrows(), af.ncols());
-                ctx.mxm(&mut out, None, no_accum(), PlusTimes::new(), &af, &af, &Descriptor::new())
-                    .unwrap();
+                ctx.mxm(
+                    &mut out,
+                    None,
+                    no_accum(),
+                    PlusTimes::new(),
+                    &af,
+                    &af,
+                    &Descriptor::new(),
+                )
+                .unwrap();
                 std::hint::black_box(out)
             })
         });
@@ -25,8 +33,16 @@ fn bench_mxm(c: &mut Criterion) {
             let ctx = cuda_ctx();
             b.iter(|| {
                 let mut out = Matrix::new(af.nrows(), af.ncols());
-                ctx.mxm(&mut out, None, no_accum(), PlusTimes::new(), &af, &af, &Descriptor::new())
-                    .unwrap();
+                ctx.mxm(
+                    &mut out,
+                    None,
+                    no_accum(),
+                    PlusTimes::new(),
+                    &af,
+                    &af,
+                    &Descriptor::new(),
+                )
+                .unwrap();
                 std::hint::black_box(out)
             })
         });

@@ -19,8 +19,16 @@ fn bench_primitives(c: &mut Criterion) {
             let ctx = seq_ctx();
             b.iter(|| {
                 let mut w = Vector::new(af.nrows());
-                ctx.mxv(&mut w, None, no_accum(), PlusTimes::new(), &af, &u, &Descriptor::new())
-                    .unwrap();
+                ctx.mxv(
+                    &mut w,
+                    None,
+                    no_accum(),
+                    PlusTimes::new(),
+                    &af,
+                    &u,
+                    &Descriptor::new(),
+                )
+                .unwrap();
                 std::hint::black_box(w)
             })
         });
@@ -28,8 +36,16 @@ fn bench_primitives(c: &mut Criterion) {
             let ctx = cuda_ctx();
             b.iter(|| {
                 let mut w = Vector::new(af.nrows());
-                ctx.mxv(&mut w, None, no_accum(), PlusTimes::new(), &af, &u, &Descriptor::new())
-                    .unwrap();
+                ctx.mxv(
+                    &mut w,
+                    None,
+                    no_accum(),
+                    PlusTimes::new(),
+                    &af,
+                    &u,
+                    &Descriptor::new(),
+                )
+                .unwrap();
                 std::hint::black_box(w)
             })
         });
@@ -38,8 +54,16 @@ fn bench_primitives(c: &mut Criterion) {
             let ctx = seq_ctx();
             b.iter(|| {
                 let mut out = Matrix::new(af.nrows(), af.ncols());
-                ctx.ewise_add_mat(&mut out, None, no_accum(), Plus::new(), &af, &af, &Descriptor::new())
-                    .unwrap();
+                ctx.ewise_add_mat(
+                    &mut out,
+                    None,
+                    no_accum(),
+                    Plus::new(),
+                    &af,
+                    &af,
+                    &Descriptor::new(),
+                )
+                .unwrap();
                 std::hint::black_box(out)
             })
         });
@@ -47,8 +71,16 @@ fn bench_primitives(c: &mut Criterion) {
             let ctx = cuda_ctx();
             b.iter(|| {
                 let mut out = Matrix::new(af.nrows(), af.ncols());
-                ctx.ewise_add_mat(&mut out, None, no_accum(), Plus::new(), &af, &af, &Descriptor::new())
-                    .unwrap();
+                ctx.ewise_add_mat(
+                    &mut out,
+                    None,
+                    no_accum(),
+                    Plus::new(),
+                    &af,
+                    &af,
+                    &Descriptor::new(),
+                )
+                .unwrap();
                 std::hint::black_box(out)
             })
         });

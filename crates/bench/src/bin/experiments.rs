@@ -11,8 +11,8 @@ use std::time::Duration;
 use gbtl_algebra::{PlusMonoid, PlusTimes};
 use gbtl_algorithms::{bfs_levels, pagerank::PageRankOptions, sssp, triangle_count, Direction};
 use gbtl_bench::{
-    cuda_ctx, er_graph, grid_graph, print_header, print_row, print_title, rmat_graph, seq_ctx,
-    time_best, time_cuda, typed, weighted, Row,
+    cuda_ctx, er_graph, grid_graph, host_threads, par_ctx, print_header, print_row, print_title,
+    rmat_graph, seq_ctx, time_best, time_cuda, typed, weighted, Row,
 };
 use gbtl_core::{no_accum, Descriptor, Matrix, SpmvKernel, Vector};
 
@@ -51,6 +51,132 @@ fn main() {
     if want("a4") {
         a4_device_sweep();
     }
+    if want("p1") {
+        p1_par_threads();
+    }
+}
+
+/// R-P1: work-stealing parallel CPU backend, thread sweep on the two core
+/// primitives (SpMV and SpGEMM) plus BFS end to end.
+fn p1_par_threads() {
+    const THREADS: [usize; 4] = [1, 2, 4, 8];
+    print_title(
+        "R-P1: parallel CPU backend (work-stealing) thread sweep",
+        "wall time falls with threads up to the host core count, then flattens; \
+         nnz-balanced row splitting keeps RMAT's skew from serialising the sweep. \
+         speedup = seq / best parallel time — bounded above by physical cores",
+    );
+    println!("host physical parallelism: {} core(s)", host_threads());
+    println!(
+        "{:<20} {:>8} {:>9} {:>11} {:>11} {:>11} {:>11} {:>11} {:>9}",
+        "workload", "n", "nnz", "seq", "par x1", "par x2", "par x4", "par x8", "speedup"
+    );
+
+    let print_sweep = |label: &str, n: usize, nnz: usize, seq: Duration, par: [Duration; 4]| {
+        let best = par.iter().min().copied().unwrap_or(seq);
+        println!(
+            "{:<20} {:>8} {:>9} {:>11.3?} {:>11.3?} {:>11.3?} {:>11.3?} {:>11.3?} {:>8.2}x",
+            label,
+            n,
+            nnz,
+            seq,
+            par[0],
+            par[1],
+            par[2],
+            par[3],
+            seq.as_secs_f64() / best.as_secs_f64().max(1e-12)
+        );
+    };
+
+    // SpMV on RMAT (skewed rows — the load-balancing stress case).
+    for scale in [14u32, 16] {
+        let a = rmat_graph(scale, 16, 42);
+        let af = typed(&a, 1.0f64);
+        let u = Vector::filled(a.ncols(), 1.0f64);
+        let seq = time_best(3, || {
+            let ctx = seq_ctx();
+            let mut w = Vector::new(af.nrows());
+            ctx.mxv(
+                &mut w,
+                None,
+                no_accum(),
+                PlusTimes::new(),
+                &af,
+                &u,
+                &Descriptor::new(),
+            )
+            .unwrap();
+        });
+        let par = THREADS.map(|t| {
+            time_best(3, || {
+                let ctx = par_ctx(t);
+                let mut w = Vector::new(af.nrows());
+                ctx.mxv(
+                    &mut w,
+                    None,
+                    no_accum(),
+                    PlusTimes::new(),
+                    &af,
+                    &u,
+                    &Descriptor::new(),
+                )
+                .unwrap();
+            })
+        });
+        print_sweep(&format!("rmat{scale} mxv"), a.nrows(), a.nnz(), seq, par);
+    }
+
+    // SpGEMM (C = A*A), skewed and uniform degree distributions.
+    for (label, a) in [
+        ("rmat12 mxm".to_string(), rmat_graph(12, 16, 42)),
+        ("er14 mxm".into(), er_graph(14, 16, 42)),
+    ] {
+        let af = typed(&a, 1.0f64);
+        let seq = time_best(1, || {
+            let ctx = seq_ctx();
+            let mut c = Matrix::new(af.nrows(), af.ncols());
+            ctx.mxm(
+                &mut c,
+                None,
+                no_accum(),
+                PlusTimes::new(),
+                &af,
+                &af,
+                &Descriptor::new(),
+            )
+            .unwrap();
+        });
+        let par = THREADS.map(|t| {
+            time_best(1, || {
+                let ctx = par_ctx(t);
+                let mut c = Matrix::new(af.nrows(), af.ncols());
+                ctx.mxm(
+                    &mut c,
+                    None,
+                    no_accum(),
+                    PlusTimes::new(),
+                    &af,
+                    &af,
+                    &Descriptor::new(),
+                )
+                .unwrap();
+            })
+        });
+        print_sweep(&label, a.nrows(), a.nnz(), seq, par);
+    }
+
+    // An algorithm end to end: BFS rides the same kernels through the
+    // frontend with zero algorithm changes.
+    let a = rmat_graph(16, 16, 7);
+    let seq = time_best(2, || {
+        let _ = bfs_levels(&seq_ctx(), &a, 0, Direction::Push).unwrap();
+    });
+    let par = THREADS.map(|t| {
+        time_best(2, || {
+            let _ = bfs_levels(&par_ctx(t), &a, 0, Direction::Push).unwrap();
+        })
+    });
+    print_sweep("rmat16 bfs", a.nrows(), a.nnz(), seq, par);
 }
 
 /// R-T1: primitive-operation timings, sequential vs simulated CUDA.
@@ -69,13 +195,29 @@ fn t1_primitives() {
         let seq = time_best(3, || {
             let ctx = seq_ctx();
             let mut w = Vector::new(af.nrows());
-            ctx.mxv(&mut w, None, no_accum(), PlusTimes::new(), &af, &u, &Descriptor::new())
-                .unwrap();
+            ctx.mxv(
+                &mut w,
+                None,
+                no_accum(),
+                PlusTimes::new(),
+                &af,
+                &u,
+                &Descriptor::new(),
+            )
+            .unwrap();
         });
         let (wall, model) = time_cuda(|ctx| {
             let mut w = Vector::new(af.nrows());
-            ctx.mxv(&mut w, None, no_accum(), PlusTimes::new(), &af, &u, &Descriptor::new())
-                .unwrap();
+            ctx.mxv(
+                &mut w,
+                None,
+                no_accum(),
+                PlusTimes::new(),
+                &af,
+                &u,
+                &Descriptor::new(),
+            )
+            .unwrap();
         });
         print_row(&row(format!("rmat{scale} mxv"), &a, seq, wall, model));
 
@@ -136,10 +278,14 @@ fn t1_primitives() {
         // apply
         let seq = time_best(3, || {
             let ctx = seq_ctx();
-            std::hint::black_box(ctx.apply_mat_new(gbtl_algebra::AdditiveInverse::<f64>::new(), &af));
+            std::hint::black_box(
+                ctx.apply_mat_new(gbtl_algebra::AdditiveInverse::<f64>::new(), &af),
+            );
         });
         let (wall, model) = time_cuda(|ctx| {
-            std::hint::black_box(ctx.apply_mat_new(gbtl_algebra::AdditiveInverse::<f64>::new(), &af));
+            std::hint::black_box(
+                ctx.apply_mat_new(gbtl_algebra::AdditiveInverse::<f64>::new(), &af),
+            );
         });
         print_row(&row(format!("rmat{scale} apply"), &a, seq, wall, model));
 
@@ -148,13 +294,29 @@ fn t1_primitives() {
             let seq = time_best(1, || {
                 let ctx = seq_ctx();
                 let mut c = Matrix::new(af.nrows(), af.ncols());
-                ctx.mxm(&mut c, None, no_accum(), PlusTimes::new(), &af, &af, &Descriptor::new())
-                    .unwrap();
+                ctx.mxm(
+                    &mut c,
+                    None,
+                    no_accum(),
+                    PlusTimes::new(),
+                    &af,
+                    &af,
+                    &Descriptor::new(),
+                )
+                .unwrap();
             });
             let (wall, model) = time_cuda(|ctx| {
                 let mut c = Matrix::new(af.nrows(), af.ncols());
-                ctx.mxm(&mut c, None, no_accum(), PlusTimes::new(), &af, &af, &Descriptor::new())
-                    .unwrap();
+                ctx.mxm(
+                    &mut c,
+                    None,
+                    no_accum(),
+                    PlusTimes::new(),
+                    &af,
+                    &af,
+                    &Descriptor::new(),
+                )
+                .unwrap();
             });
             print_row(&row(format!("rmat{scale} mxm"), &a, seq, wall, model));
         }
@@ -267,7 +429,13 @@ fn f3_pr_tc() {
             let (wall, model) = time_cuda(|ctx| {
                 let _ = triangle_count(ctx, &a).unwrap();
             });
-            print_row(&row(format!("{family}{scale} triangles"), &a, seq, wall, model));
+            print_row(&row(
+                format!("{family}{scale} triangles"),
+                &a,
+                seq,
+                wall,
+                model,
+            ));
         }
     }
 }
@@ -286,13 +454,29 @@ fn f4_mxm_sweep() {
         let seq = time_best(1, || {
             let ctx = seq_ctx();
             let mut c = Matrix::new(af.nrows(), af.ncols());
-            ctx.mxm(&mut c, None, no_accum(), PlusTimes::new(), &af, &af, &Descriptor::new())
-                .unwrap();
+            ctx.mxm(
+                &mut c,
+                None,
+                no_accum(),
+                PlusTimes::new(),
+                &af,
+                &af,
+                &Descriptor::new(),
+            )
+            .unwrap();
         });
         let (wall, model) = time_cuda(|ctx| {
             let mut c = Matrix::new(af.nrows(), af.ncols());
-            ctx.mxm(&mut c, None, no_accum(), PlusTimes::new(), &af, &af, &Descriptor::new())
-                .unwrap();
+            ctx.mxm(
+                &mut c,
+                None,
+                no_accum(),
+                PlusTimes::new(),
+                &af,
+                &af,
+                &Descriptor::new(),
+            )
+            .unwrap();
         });
         print_row(&row(format!("er deg={deg} mxm"), &a, seq, wall, model));
     }
@@ -311,7 +495,15 @@ fn a1_spmv_kernels() {
     );
     println!(
         "{:<16} {:>9} {:>10} {:>12} {:>12} {:>12} {:>8} {:>12} {:>8}",
-        "workload", "n", "nnz", "scalar txns", "vector txns", "ell txns", "pad%", "hyb txns", "ovfl%"
+        "workload",
+        "n",
+        "nnz",
+        "scalar txns",
+        "vector txns",
+        "ell txns",
+        "pad%",
+        "hyb txns",
+        "ovfl%"
     );
     for scale in [12u32, 14] {
         for (family, a) in [
@@ -323,8 +515,16 @@ fn a1_spmv_kernels() {
             let txns = |kernel: SpmvKernel| {
                 let ctx = cuda_ctx().with_spmv_kernel(kernel);
                 let mut w = Vector::new(af.nrows());
-                ctx.mxv(&mut w, None, no_accum(), PlusTimes::new(), &af, &u, &Descriptor::new())
-                    .unwrap();
+                ctx.mxv(
+                    &mut w,
+                    None,
+                    no_accum(),
+                    PlusTimes::new(),
+                    &af,
+                    &u,
+                    &Descriptor::new(),
+                )
+                .unwrap();
                 ctx.gpu_stats().mem_transactions
             };
             let s = txns(SpmvKernel::Scalar);
@@ -417,7 +617,10 @@ fn a2_mask_direction() {
 
     println!("\npush vs pull BFS (whole traversal, modeled device time):");
     println!("{:<20} {:>14} {:>14}", "graph", "push", "pull");
-    for (label, g) in [("rmat12".to_string(), rmat_graph(12, 16, 5)), ("grid64".into(), grid_graph(64))] {
+    for (label, g) in [
+        ("rmat12".to_string(), rmat_graph(12, 16, 5)),
+        ("grid64".into(), grid_graph(64)),
+    ] {
         let t = |d: Direction| {
             let ctx = cuda_ctx();
             let _ = bfs_levels(&ctx, &g, 0, d).unwrap();

@@ -10,7 +10,7 @@
 use std::time::{Duration, Instant};
 
 use gbtl_algebra::{Min, Second};
-use gbtl_core::{Context, CudaBackend, Matrix, SeqBackend};
+use gbtl_core::{Context, CudaBackend, Matrix, ParBackend, SeqBackend};
 use gbtl_graphgen::{erdos_renyi, grid_2d, symmetrize, weights, Rmat};
 
 /// An undirected simple RMAT graph (skewed degrees).
@@ -133,6 +133,17 @@ pub fn seq_ctx() -> Context<SeqBackend> {
 /// Fresh simulated-CUDA context (default K40-class device).
 pub fn cuda_ctx() -> Context<CudaBackend> {
     Context::cuda_default()
+}
+
+/// Fresh work-stealing parallel CPU context with an explicit thread count.
+pub fn par_ctx(threads: usize) -> Context<ParBackend> {
+    Context::parallel_with_threads(threads)
+}
+
+/// Physical parallelism of the host — the wall-clock speedup ceiling for
+/// the parallel CPU backend, printed alongside thread-sweep tables.
+pub fn host_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
 /// Run `f` on a fresh CUDA context and return `(wall, modeled)`.

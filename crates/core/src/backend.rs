@@ -123,8 +123,7 @@ pub trait Backend: Send + Sync {
     fn select_mat<T: Scalar, P: SelectOp<T>>(&self, a: &CsrMatrix<T>, op: P) -> CsrMatrix<T>;
 
     /// Keep vector entries passing the predicate (column fixed at 0).
-    fn select_vec<T: Scalar, P: SelectOp<T>>(&self, u: &SparseVector<T>, op: P)
-        -> SparseVector<T>;
+    fn select_vec<T: Scalar, P: SelectOp<T>>(&self, u: &SparseVector<T>, op: P) -> SparseVector<T>;
 
     /// Kronecker product with an elementwise combine.
     fn kronecker<T: Scalar, Op: BinaryOp<T>>(
@@ -294,11 +293,215 @@ impl Backend for SeqBackend {
         gbtl_backend_seq::select_mat_op(a, op)
     }
 
-    fn select_vec<T: Scalar, P: SelectOp<T>>(
+    fn select_vec<T: Scalar, P: SelectOp<T>>(&self, u: &SparseVector<T>, op: P) -> SparseVector<T> {
+        gbtl_backend_seq::select_vec_op(u, op)
+    }
+
+    fn kronecker<T: Scalar, Op: BinaryOp<T>>(
+        &self,
+        a: &CsrMatrix<T>,
+        b: &CsrMatrix<T>,
+        mul: Op,
+    ) -> CsrMatrix<T> {
+        gbtl_backend_seq::kronecker(a, b, mul)
+    }
+
+    fn build<T: Scalar, D: BinaryOp<T>>(&self, coo: &CooMatrix<T>, dup: D) -> CsrMatrix<T> {
+        CsrMatrix::from_coo(coo.clone(), |a, b| dup.apply(a, b))
+    }
+
+    fn extract_mat<T: Scalar>(
+        &self,
+        a: &CsrMatrix<T>,
+        rows: &[Index],
+        cols: &[Index],
+    ) -> CsrMatrix<T> {
+        gbtl_backend_seq::extract_mat(a, rows, cols)
+    }
+
+    fn assign_mat<T: Scalar>(
+        &self,
+        c: &CsrMatrix<T>,
+        a: &CsrMatrix<T>,
+        rows: &[Index],
+        cols: &[Index],
+    ) -> CsrMatrix<T> {
+        gbtl_backend_seq::assign_mat(c, a, rows, cols)
+    }
+
+    fn extract_vec<T: Scalar>(&self, u: &DenseVector<T>, indices: &[Index]) -> DenseVector<T> {
+        gbtl_backend_seq::extract_vec(u, indices)
+    }
+
+    fn assign_vec<T: Scalar>(
+        &self,
+        w: &DenseVector<T>,
+        u: &DenseVector<T>,
+        indices: &[Index],
+    ) -> DenseVector<T> {
+        gbtl_backend_seq::assign_vec(w, u, indices)
+    }
+}
+
+/// The work-stealing parallel CPU backend.
+///
+/// Multi-threaded kernels from `gbtl-backend-par`, guaranteed to produce
+/// output **bit-identical to [`SeqBackend`]** at every thread count (see
+/// that crate's docs for the fixed-block floating-point-reduce caveat).
+/// Index-space ops whose cost is dominated by the frontend's copying
+/// (`build`, extract/assign, `kronecker`, vector `select`) delegate to the
+/// sequential kernels unchanged.
+#[derive(Debug, Default, Clone)]
+pub struct ParBackend {
+    pool: gbtl_backend_par::ThreadPool,
+}
+
+impl ParBackend {
+    /// Thread count from `GBTL_NUM_THREADS`, else `available_parallelism`.
+    pub fn new() -> Self {
+        Self {
+            pool: gbtl_backend_par::ThreadPool::new(),
+        }
+    }
+
+    /// Exactly `threads` worker threads (clamped to ≥1).
+    pub fn with_threads(threads: usize) -> Self {
+        Self {
+            pool: gbtl_backend_par::ThreadPool::with_threads(threads),
+        }
+    }
+
+    /// The configured worker count.
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+}
+
+impl Backend for ParBackend {
+    fn name(&self) -> &'static str {
+        "parallel"
+    }
+
+    fn mxm<T: Scalar, S: Semiring<T>>(
+        &self,
+        a: &CsrMatrix<T>,
+        b: &CsrMatrix<T>,
+        sr: S,
+    ) -> CsrMatrix<T> {
+        gbtl_backend_par::mxm(&self.pool, a, b, sr)
+    }
+
+    fn mxm_masked<T: Scalar, S: Semiring<T>>(
+        &self,
+        mask: &CsrMatrix<bool>,
+        a: &CsrMatrix<T>,
+        b: &CsrMatrix<T>,
+        sr: S,
+    ) -> CsrMatrix<T> {
+        gbtl_backend_par::mxm_masked(&self.pool, mask, a, b, sr)
+    }
+
+    fn mxv<T: Scalar, S: Semiring<T>>(
+        &self,
+        a: &CsrMatrix<T>,
+        u: &DenseVector<T>,
+        sr: S,
+        mask: Option<&[bool]>,
+    ) -> DenseVector<T> {
+        gbtl_backend_par::mxv(&self.pool, a, u, sr, mask)
+    }
+
+    fn vxm<T: Scalar, S: Semiring<T>>(
         &self,
         u: &SparseVector<T>,
-        op: P,
+        a: &CsrMatrix<T>,
+        sr: S,
+        mask: Option<&[bool]>,
     ) -> SparseVector<T> {
+        gbtl_backend_par::vxm(&self.pool, u, a, sr, mask)
+    }
+
+    fn ewise_add_mat<T: Scalar, Op: BinaryOp<T>>(
+        &self,
+        a: &CsrMatrix<T>,
+        b: &CsrMatrix<T>,
+        op: Op,
+    ) -> CsrMatrix<T> {
+        gbtl_backend_par::ewise_add_mat(&self.pool, a, b, op)
+    }
+
+    fn ewise_mult_mat<T: Scalar, Op: BinaryOp<T>>(
+        &self,
+        a: &CsrMatrix<T>,
+        b: &CsrMatrix<T>,
+        op: Op,
+    ) -> CsrMatrix<T> {
+        gbtl_backend_par::ewise_mult_mat(&self.pool, a, b, op)
+    }
+
+    fn ewise_add_vec<T: Scalar, Op: BinaryOp<T>>(
+        &self,
+        u: &SparseVector<T>,
+        v: &SparseVector<T>,
+        op: Op,
+    ) -> SparseVector<T> {
+        gbtl_backend_par::ewise_add_vec(&self.pool, u, v, op)
+    }
+
+    fn ewise_mult_vec<T: Scalar, Op: BinaryOp<T>>(
+        &self,
+        u: &DenseVector<T>,
+        v: &DenseVector<T>,
+        op: Op,
+    ) -> DenseVector<T> {
+        gbtl_backend_par::ewise_mult_vec(&self.pool, u, v, op)
+    }
+
+    fn apply_mat<A: Scalar, U: UnaryOp<A>>(&self, a: &CsrMatrix<A>, f: U) -> CsrMatrix<U::Output> {
+        gbtl_backend_par::apply_mat(&self.pool, a, f)
+    }
+
+    fn apply_sparse_vec<A: Scalar, U: UnaryOp<A>>(
+        &self,
+        u: &SparseVector<A>,
+        f: U,
+    ) -> SparseVector<U::Output> {
+        gbtl_backend_par::apply_vec(&self.pool, u, f)
+    }
+
+    fn apply_dense_vec<A: Scalar, U: UnaryOp<A>>(
+        &self,
+        u: &DenseVector<A>,
+        f: U,
+    ) -> DenseVector<U::Output> {
+        gbtl_backend_par::apply_dense_vec(&self.pool, u, f)
+    }
+
+    fn reduce_mat<T: Scalar, M: Monoid<T>>(&self, a: &CsrMatrix<T>, m: M) -> Option<T> {
+        gbtl_backend_par::reduce_mat(&self.pool, a, m)
+    }
+
+    fn reduce_rows<T: Scalar, M: Monoid<T>>(&self, a: &CsrMatrix<T>, m: M) -> SparseVector<T> {
+        gbtl_backend_par::reduce_rows(&self.pool, a, m)
+    }
+
+    fn reduce_dense_vec<T: Scalar, M: Monoid<T>>(&self, u: &DenseVector<T>, m: M) -> Option<T> {
+        gbtl_backend_par::reduce_vec(&self.pool, u, m)
+    }
+
+    fn reduce_sparse_vec<T: Scalar, M: Monoid<T>>(&self, u: &SparseVector<T>, m: M) -> Option<T> {
+        gbtl_backend_par::reduce_sparse_vec(&self.pool, u, m)
+    }
+
+    fn transpose<T: Scalar>(&self, a: &CsrMatrix<T>) -> CsrMatrix<T> {
+        gbtl_backend_par::transpose(&self.pool, a)
+    }
+
+    fn select_mat<T: Scalar, P: SelectOp<T>>(&self, a: &CsrMatrix<T>, op: P) -> CsrMatrix<T> {
+        gbtl_backend_par::select_mat_op(&self.pool, a, op)
+    }
+
+    fn select_vec<T: Scalar, P: SelectOp<T>>(&self, u: &SparseVector<T>, op: P) -> SparseVector<T> {
         gbtl_backend_seq::select_vec_op(u, op)
     }
 
@@ -551,11 +754,7 @@ impl Backend for CudaBackend {
         gbtl_backend_cuda::select_mat(&self.gpu, a, op)
     }
 
-    fn select_vec<T: Scalar, P: SelectOp<T>>(
-        &self,
-        u: &SparseVector<T>,
-        op: P,
-    ) -> SparseVector<T> {
+    fn select_vec<T: Scalar, P: SelectOp<T>>(&self, u: &SparseVector<T>, op: P) -> SparseVector<T> {
         gbtl_backend_cuda::select_vec(&self.gpu, u, op)
     }
 
@@ -622,6 +821,18 @@ mod tests {
     fn backends_report_names() {
         assert_eq!(SeqBackend.name(), "sequential");
         assert_eq!(CudaBackend::default().name(), "cuda-sim");
+        assert_eq!(ParBackend::new().name(), "parallel");
+    }
+
+    #[test]
+    fn par_backend_agrees_with_seq() {
+        let a = sample();
+        let seq = SeqBackend.mxm(&a, &a, PlusTimes::<i64>::new());
+        for threads in [1, 2, 8] {
+            let par = ParBackend::with_threads(threads);
+            assert_eq!(par.mxm(&a, &a, PlusTimes::<i64>::new()), seq);
+            assert_eq!(par.transpose(&a), SeqBackend.transpose(&a));
+        }
     }
 
     #[test]

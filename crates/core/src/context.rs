@@ -4,7 +4,7 @@ use gbtl_algebra::Scalar;
 use gbtl_gpu_sim::{GpuConfig, GpuStats};
 use gbtl_sparse::CooMatrix;
 
-use crate::backend::{Backend, CudaBackend, SeqBackend, SpmvKernel};
+use crate::backend::{Backend, CudaBackend, ParBackend, SeqBackend, SpmvKernel};
 use crate::types::Matrix;
 
 /// A GraphBLAS execution context bound to one backend.
@@ -23,6 +23,28 @@ impl Context<SeqBackend> {
         Context {
             backend: SeqBackend,
         }
+    }
+}
+
+impl Context<ParBackend> {
+    /// A context on the work-stealing parallel CPU backend; thread count
+    /// from `GBTL_NUM_THREADS`, else the machine's available parallelism.
+    pub fn parallel() -> Self {
+        Context {
+            backend: ParBackend::new(),
+        }
+    }
+
+    /// A parallel context pinned to exactly `threads` worker threads.
+    pub fn parallel_with_threads(threads: usize) -> Self {
+        Context {
+            backend: ParBackend::with_threads(threads),
+        }
+    }
+
+    /// The configured worker count.
+    pub fn threads(&self) -> usize {
+        self.backend.threads()
     }
 }
 
@@ -128,13 +150,22 @@ mod tests {
         assert_eq!(seq.backend_name(), "sequential");
         let cuda = Context::cuda_default();
         assert_eq!(cuda.backend_name(), "cuda-sim");
+        let par = Context::parallel_with_threads(3);
+        assert_eq!(par.backend_name(), "parallel");
+        assert_eq!(par.threads(), 3);
+        assert!(Context::parallel().threads() >= 1);
     }
 
     #[test]
     fn upload_download_charge_transfers() {
         let ctx = Context::cuda_default();
-        let m = Matrix::build(4, 4, [(0usize, 1usize, 1.0f64)], gbtl_algebra::Second::new())
-            .unwrap();
+        let m = Matrix::build(
+            4,
+            4,
+            [(0usize, 1usize, 1.0f64)],
+            gbtl_algebra::Second::new(),
+        )
+        .unwrap();
         ctx.upload_matrix(&m);
         let v = crate::Vector::<f64>::filled(4, 0.0);
         ctx.upload_vector(&v);

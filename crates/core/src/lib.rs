@@ -48,7 +48,7 @@ pub mod ops;
 mod stitch;
 mod types;
 
-pub use backend::{Backend, CudaBackend, SeqBackend, SpmvKernel};
+pub use backend::{Backend, CudaBackend, ParBackend, SeqBackend, SpmvKernel};
 pub use context::Context;
 pub use descriptor::Descriptor;
 pub use error::{GblasError, Result};

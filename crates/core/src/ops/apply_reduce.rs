@@ -76,7 +76,13 @@ impl<B: Backend> Context<B> {
         }
         let t = self.backend().apply_sparse_vec(&u.to_sparse_repr(), f);
         let keep = resolve_vec_mask(mask, desc.complement_mask, w.len());
-        *w = Vector::Sparse(stitch_sparse_vec(w, t, keep.as_deref(), accum, desc.replace));
+        *w = Vector::Sparse(stitch_sparse_vec(
+            w,
+            t,
+            keep.as_deref(),
+            accum,
+            desc.replace,
+        ));
         Ok(())
     }
 
@@ -139,7 +145,13 @@ impl<B: Backend> Context<B> {
         }
         let t = self.backend().reduce_rows(&a_csr, monoid);
         let keep = resolve_vec_mask(mask, desc.complement_mask, w.len());
-        *w = Vector::Sparse(stitch_sparse_vec(w, t, keep.as_deref(), accum, desc.replace));
+        *w = Vector::Sparse(stitch_sparse_vec(
+            w,
+            t,
+            keep.as_deref(),
+            accum,
+            desc.replace,
+        ));
         Ok(())
     }
 }
@@ -148,9 +160,7 @@ impl<B: Backend> Context<B> {
 mod tests {
     use super::*;
     use crate::no_accum;
-    use gbtl_algebra::{
-        AdditiveInverse, Identity, MinMonoid, Plus, PlusMonoid, Second, UnaryOp,
-    };
+    use gbtl_algebra::{AdditiveInverse, Identity, MinMonoid, Plus, PlusMonoid, Second, UnaryOp};
 
     fn m(entries: &[(usize, usize, i64)], r: usize, c: usize) -> Matrix<i64> {
         Matrix::build(r, c, entries.iter().copied(), Second::new()).unwrap()
@@ -161,8 +171,15 @@ mod tests {
         let ctx = Context::sequential();
         let a = m(&[(0, 0, 5), (1, 1, -2)], 2, 2);
         let mut c = Matrix::new(2, 2);
-        ctx.apply_mat(&mut c, None, no_accum(), AdditiveInverse::new(), &a, &Descriptor::new())
-            .unwrap();
+        ctx.apply_mat(
+            &mut c,
+            None,
+            no_accum(),
+            AdditiveInverse::new(),
+            &a,
+            &Descriptor::new(),
+        )
+        .unwrap();
         assert_eq!(c.get(0, 0), Some(-5));
         assert_eq!(c.get(1, 1), Some(2));
     }
@@ -204,10 +221,24 @@ mod tests {
         let mut w1 = Vector::new(3);
         let mut w2 = Vector::new(3);
         Context::sequential()
-            .reduce_rows(&mut w1, None, no_accum(), PlusMonoid::new(), &a, &Descriptor::new())
+            .reduce_rows(
+                &mut w1,
+                None,
+                no_accum(),
+                PlusMonoid::new(),
+                &a,
+                &Descriptor::new(),
+            )
             .unwrap();
         Context::cuda_default()
-            .reduce_rows(&mut w2, None, no_accum(), PlusMonoid::new(), &a, &Descriptor::new())
+            .reduce_rows(
+                &mut w2,
+                None,
+                no_accum(),
+                PlusMonoid::new(),
+                &a,
+                &Descriptor::new(),
+            )
             .unwrap();
         assert_eq!(w1, w2);
         assert_eq!(w1.get(0), Some(12));

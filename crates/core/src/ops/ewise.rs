@@ -1,5 +1,9 @@
 //! `eWiseAdd` (union) and `eWiseMult` (intersection) — matrix and vector.
 
+// GraphBLAS operation signatures (output, mask, accumulator, operator,
+// inputs, descriptor) are fixed by the spec.
+#![allow(clippy::too_many_arguments)]
+
 use gbtl_algebra::{BinaryOp, Scalar};
 
 use crate::backend::Backend;
@@ -122,7 +126,13 @@ impl<B: Backend> Context<B> {
             .backend()
             .ewise_add_vec(&u.to_sparse_repr(), &v.to_sparse_repr(), op);
         let keep = resolve_vec_mask(mask, desc.complement_mask, w.len());
-        *w = Vector::Sparse(stitch_sparse_vec(w, t, keep.as_deref(), accum, desc.replace));
+        *w = Vector::Sparse(stitch_sparse_vec(
+            w,
+            t,
+            keep.as_deref(),
+            accum,
+            desc.replace,
+        ));
         Ok(())
     }
 
@@ -190,15 +200,31 @@ mod tests {
         let a = m(&[(0, 0, 1), (0, 1, 2)], 2, 2);
         let b = m(&[(0, 1, 10), (1, 1, 3)], 2, 2);
         let mut add = Matrix::new(2, 2);
-        ctx.ewise_add_mat(&mut add, None, no_accum(), Plus::new(), &a, &b, &Descriptor::new())
-            .unwrap();
+        ctx.ewise_add_mat(
+            &mut add,
+            None,
+            no_accum(),
+            Plus::new(),
+            &a,
+            &b,
+            &Descriptor::new(),
+        )
+        .unwrap();
         assert_eq!(add.get(0, 0), Some(1));
         assert_eq!(add.get(0, 1), Some(12));
         assert_eq!(add.get(1, 1), Some(3));
 
         let mut mult = Matrix::new(2, 2);
-        ctx.ewise_mult_mat(&mut mult, None, no_accum(), Times::new(), &a, &b, &Descriptor::new())
-            .unwrap();
+        ctx.ewise_mult_mat(
+            &mut mult,
+            None,
+            no_accum(),
+            Times::new(),
+            &a,
+            &b,
+            &Descriptor::new(),
+        )
+        .unwrap();
         assert_eq!(mult.nnz(), 1);
         assert_eq!(mult.get(0, 1), Some(20));
     }
@@ -210,10 +236,26 @@ mod tests {
         let mut c1 = Matrix::new(2, 2);
         let mut c2 = Matrix::new(2, 2);
         Context::sequential()
-            .ewise_add_mat(&mut c1, None, no_accum(), Min::new(), &a, &b, &Descriptor::new())
+            .ewise_add_mat(
+                &mut c1,
+                None,
+                no_accum(),
+                Min::new(),
+                &a,
+                &b,
+                &Descriptor::new(),
+            )
             .unwrap();
         Context::cuda_default()
-            .ewise_add_mat(&mut c2, None, no_accum(), Min::new(), &a, &b, &Descriptor::new())
+            .ewise_add_mat(
+                &mut c2,
+                None,
+                no_accum(),
+                Min::new(),
+                &a,
+                &b,
+                &Descriptor::new(),
+            )
             .unwrap();
         assert_eq!(c1, c2);
     }
@@ -228,15 +270,31 @@ mod tests {
         v.set(1, 10i64);
         v.set(2, 20);
         let mut add = Vector::new(3);
-        ctx.ewise_add_vec(&mut add, None, no_accum(), Plus::new(), &u, &v, &Descriptor::new())
-            .unwrap();
+        ctx.ewise_add_vec(
+            &mut add,
+            None,
+            no_accum(),
+            Plus::new(),
+            &u,
+            &v,
+            &Descriptor::new(),
+        )
+        .unwrap();
         assert_eq!(add.get(0), Some(1));
         assert_eq!(add.get(1), Some(12));
         assert_eq!(add.get(2), Some(20));
 
         let mut mult = Vector::new(3);
-        ctx.ewise_mult_vec(&mut mult, None, no_accum(), Times::new(), &u, &v, &Descriptor::new())
-            .unwrap();
+        ctx.ewise_mult_vec(
+            &mut mult,
+            None,
+            no_accum(),
+            Times::new(),
+            &u,
+            &v,
+            &Descriptor::new(),
+        )
+        .unwrap();
         assert_eq!(mult.nnz(), 1);
         assert_eq!(mult.get(1), Some(20));
     }
@@ -272,7 +330,15 @@ mod tests {
         let b = m(&[], 2, 3);
         let mut c = Matrix::new(2, 2);
         assert!(ctx
-            .ewise_add_mat(&mut c, None, no_accum(), Plus::new(), &a, &b, &Descriptor::new())
+            .ewise_add_mat(
+                &mut c,
+                None,
+                no_accum(),
+                Plus::new(),
+                &a,
+                &b,
+                &Descriptor::new()
+            )
             .is_err());
     }
 }

@@ -13,8 +13,8 @@
 //! the C API.
 
 mod apply_reduce;
-mod select_kron;
 mod ewise;
 mod mxm;
 mod mxv;
+mod select_kron;
 mod transform;

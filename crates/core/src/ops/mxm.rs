@@ -1,5 +1,9 @@
 //! `mxm`: matrix–matrix multiply over a semiring.
 
+// GraphBLAS operation signatures (output, mask, accumulator, operator,
+// inputs, descriptor) are fixed by the spec.
+#![allow(clippy::too_many_arguments)]
+
 use gbtl_algebra::{BinaryOp, Scalar, Semiring};
 use gbtl_sparse::CsrMatrix;
 
@@ -95,8 +99,16 @@ mod tests {
         let a = mat(&[(0, 0, 1), (0, 1, 2), (1, 2, 3)], 2, 3);
         let b = mat(&[(0, 0, 1), (1, 1, 1), (2, 0, 2)], 3, 2);
         let mut c = Matrix::new(2, 2);
-        ctx.mxm(&mut c, None, no_accum(), PlusTimes::new(), &a, &b, &Descriptor::new())
-            .unwrap();
+        ctx.mxm(
+            &mut c,
+            None,
+            no_accum(),
+            PlusTimes::new(),
+            &a,
+            &b,
+            &Descriptor::new(),
+        )
+        .unwrap();
         assert_eq!(c.get(0, 0), Some(1));
         assert_eq!(c.get(0, 1), Some(2));
         assert_eq!(c.get(1, 0), Some(6));
@@ -147,13 +159,29 @@ mod tests {
         let b = mat(&[], 2, 3);
         let mut c = Matrix::new(2, 3);
         assert!(ctx
-            .mxm(&mut c, None, no_accum(), PlusTimes::new(), &a, &b, &Descriptor::new())
+            .mxm(
+                &mut c,
+                None,
+                no_accum(),
+                PlusTimes::new(),
+                &a,
+                &b,
+                &Descriptor::new()
+            )
             .is_err());
         // wrong output shape
         let b_ok = mat(&[], 3, 3);
         let mut c_bad = Matrix::new(3, 3);
         assert!(ctx
-            .mxm(&mut c_bad, None, no_accum(), PlusTimes::new(), &a, &b_ok, &Descriptor::new())
+            .mxm(
+                &mut c_bad,
+                None,
+                no_accum(),
+                PlusTimes::new(),
+                &a,
+                &b_ok,
+                &Descriptor::new()
+            )
             .is_err());
     }
 
@@ -166,13 +194,29 @@ mod tests {
 
         let seq = Context::sequential();
         let mut c1 = Matrix::new(3, 3);
-        seq.mxm(&mut c1, Some(&mask), no_accum(), PlusTimes::new(), &a, &a, &Descriptor::new())
-            .unwrap();
+        seq.mxm(
+            &mut c1,
+            Some(&mask),
+            no_accum(),
+            PlusTimes::new(),
+            &a,
+            &a,
+            &Descriptor::new(),
+        )
+        .unwrap();
 
         let cuda = Context::cuda_default();
         let mut c2 = Matrix::new(3, 3);
-        cuda.mxm(&mut c2, Some(&mask), no_accum(), PlusTimes::new(), &a, &a, &Descriptor::new())
-            .unwrap();
+        cuda.mxm(
+            &mut c2,
+            Some(&mask),
+            no_accum(),
+            PlusTimes::new(),
+            &a,
+            &a,
+            &Descriptor::new(),
+        )
+        .unwrap();
 
         assert_eq!(c1, c2);
         // every output entry is inside the mask

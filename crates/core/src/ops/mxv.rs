@@ -1,5 +1,9 @@
 //! `mxv` (pull) and `vxm` (push) matrix–vector products.
 
+// GraphBLAS operation signatures (output, mask, accumulator, operator,
+// inputs, descriptor) are fixed by the spec.
+#![allow(clippy::too_many_arguments)]
+
 use gbtl_algebra::{BinaryOp, Scalar, Semiring};
 
 use crate::backend::Backend;
@@ -138,10 +142,26 @@ mod tests {
         let mut w1 = Vector::new(4);
         let mut w2 = Vector::new(4);
         Context::sequential()
-            .mxv(&mut w1, None, no_accum(), PlusTimes::new(), &a, &u, &Descriptor::new())
+            .mxv(
+                &mut w1,
+                None,
+                no_accum(),
+                PlusTimes::new(),
+                &a,
+                &u,
+                &Descriptor::new(),
+            )
             .unwrap();
         Context::cuda_default()
-            .mxv(&mut w2, None, no_accum(), PlusTimes::new(), &a, &u, &Descriptor::new())
+            .mxv(
+                &mut w2,
+                None,
+                no_accum(),
+                PlusTimes::new(),
+                &a,
+                &u,
+                &Descriptor::new(),
+            )
             .unwrap();
         assert_eq!(w1, w2);
         assert_eq!(w1.get(0), Some(4)); // 3 + 1
@@ -156,10 +176,26 @@ mod tests {
         let mut w1 = Vector::new(4);
         let mut w2 = Vector::new(4);
         Context::sequential()
-            .vxm(&mut w1, None, no_accum(), MinPlus::new(), &u, &a, &Descriptor::new())
+            .vxm(
+                &mut w1,
+                None,
+                no_accum(),
+                MinPlus::new(),
+                &u,
+                &a,
+                &Descriptor::new(),
+            )
             .unwrap();
         Context::cuda_default()
-            .vxm(&mut w2, None, no_accum(), MinPlus::new(), &u, &a, &Descriptor::new())
+            .vxm(
+                &mut w2,
+                None,
+                no_accum(),
+                MinPlus::new(),
+                &u,
+                &a,
+                &Descriptor::new(),
+            )
             .unwrap();
         assert_eq!(w1, w2);
         assert_eq!(w1.get(1), Some(3));
@@ -222,12 +258,28 @@ mod tests {
         let u = Vector::<i64>::new(3);
         let mut w = Vector::new(4);
         assert!(Context::sequential()
-            .mxv(&mut w, None, no_accum(), PlusTimes::new(), &a, &u, &Descriptor::new())
+            .mxv(
+                &mut w,
+                None,
+                no_accum(),
+                PlusTimes::new(),
+                &a,
+                &u,
+                &Descriptor::new()
+            )
             .is_err());
         let u4 = Vector::<i64>::new(4);
         let mut w3 = Vector::new(3);
         assert!(Context::sequential()
-            .vxm(&mut w3, None, no_accum(), PlusTimes::new(), &u4, &a, &Descriptor::new())
+            .vxm(
+                &mut w3,
+                None,
+                no_accum(),
+                PlusTimes::new(),
+                &u4,
+                &a,
+                &Descriptor::new()
+            )
             .is_err());
     }
 
@@ -251,7 +303,15 @@ mod tests {
             .unwrap();
         let mut push = Vector::new(4);
         Context::sequential()
-            .vxm(&mut push, None, no_accum(), PlusTimes::new(), &u, &a, &Descriptor::new())
+            .vxm(
+                &mut push,
+                None,
+                no_accum(),
+                PlusTimes::new(),
+                &u,
+                &a,
+                &Descriptor::new(),
+            )
             .unwrap();
         assert_eq!(pull, push);
     }

@@ -1,5 +1,9 @@
 //! `select` (entry filtering) and `kronecker` (graph products).
 
+// GraphBLAS operation signatures (output, mask, accumulator, operator,
+// inputs, descriptor) are fixed by the spec.
+#![allow(clippy::too_many_arguments)]
+
 use gbtl_algebra::{BinaryOp, Scalar, SelectOp};
 
 use crate::backend::Backend;
@@ -76,7 +80,13 @@ impl<B: Backend> Context<B> {
         }
         let t = self.backend().select_vec(&u.to_sparse_repr(), op);
         let keep = resolve_vec_mask(mask, desc.complement_mask, w.len());
-        *w = Vector::Sparse(stitch_sparse_vec(w, t, keep.as_deref(), accum, desc.replace));
+        *w = Vector::Sparse(stitch_sparse_vec(
+            w,
+            t,
+            keep.as_deref(),
+            accum,
+            desc.replace,
+        ));
         Ok(())
     }
 
@@ -148,8 +158,15 @@ mod tests {
         u.set(0, -1i64);
         u.set(2, 5);
         let mut w = Vector::new(4);
-        ctx.select_vec(&mut w, None, no_accum(), ValueGt(0i64), &u, &Descriptor::new())
-            .unwrap();
+        ctx.select_vec(
+            &mut w,
+            None,
+            no_accum(),
+            ValueGt(0i64),
+            &u,
+            &Descriptor::new(),
+        )
+        .unwrap();
         assert_eq!(w.nnz(), 1);
         assert_eq!(w.get(2), Some(5));
     }
@@ -161,10 +178,26 @@ mod tests {
         let mut c1 = Matrix::new(4, 4);
         let mut c2 = Matrix::new(4, 4);
         Context::sequential()
-            .kronecker(&mut c1, None, no_accum(), Times::new(), &a, &b, &Descriptor::new())
+            .kronecker(
+                &mut c1,
+                None,
+                no_accum(),
+                Times::new(),
+                &a,
+                &b,
+                &Descriptor::new(),
+            )
             .unwrap();
         Context::cuda_default()
-            .kronecker(&mut c2, None, no_accum(), Times::new(), &a, &b, &Descriptor::new())
+            .kronecker(
+                &mut c2,
+                None,
+                no_accum(),
+                Times::new(),
+                &a,
+                &b,
+                &Descriptor::new(),
+            )
             .unwrap();
         assert_eq!(c1, c2);
         assert_eq!(c1.get(0, 1), Some(10));
@@ -179,7 +212,15 @@ mod tests {
         let a = m(&[], 2, 2);
         let mut c = Matrix::new(3, 3);
         assert!(ctx
-            .kronecker(&mut c, None, no_accum(), Times::new(), &a, &a, &Descriptor::new())
+            .kronecker(
+                &mut c,
+                None,
+                no_accum(),
+                Times::new(),
+                &a,
+                &a,
+                &Descriptor::new()
+            )
             .is_err());
     }
 

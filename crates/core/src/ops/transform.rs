@@ -71,7 +71,11 @@ impl<B: Backend> Context<B> {
                 });
             }
         }
-        Ok(Matrix::from_csr(self.backend().extract_mat(a.csr(), rows, cols)))
+        Ok(Matrix::from_csr(self.backend().extract_mat(
+            a.csr(),
+            rows,
+            cols,
+        )))
     }
 
     /// `C(rows, cols) = A` — sub-matrix assignment (entries of the region
@@ -199,8 +203,14 @@ mod tests {
         let ctx = Context::sequential();
         let a = m(&[(0, 1, 9)], 2, 2);
         let mut c = Matrix::new(2, 2);
-        ctx.transpose(&mut c, None, no_accum(), &a, &Descriptor::new().transpose_a())
-            .unwrap();
+        ctx.transpose(
+            &mut c,
+            None,
+            no_accum(),
+            &a,
+            &Descriptor::new().transpose_a(),
+        )
+        .unwrap();
         assert_eq!(c, a);
     }
 

@@ -123,7 +123,7 @@ where
     let n = t.len();
     let mut out = DenseVector::new(n);
     for i in 0..n {
-        let allowed = keep.map_or(true, |k| k[i]);
+        let allowed = keep.is_none_or(|k| k[i]);
         if allowed {
             let old_v = old.get(i);
             let new_v = t.get(i);
@@ -265,7 +265,13 @@ mod tests {
         let keep = [true, true, false];
 
         // accum + mask + no-replace
-        let out = stitch_dense_vec(&old, t.clone(), Some(&keep), Some(Plus::<i64>::new()), false);
+        let out = stitch_dense_vec(
+            &old,
+            t.clone(),
+            Some(&keep),
+            Some(Plus::<i64>::new()),
+            false,
+        );
         assert_eq!(out.get(0), Some(11)); // accum(1, 10)
         assert_eq!(out.get(1), Some(20)); // new only
         assert_eq!(out.get(2), Some(3)); // masked out, kept

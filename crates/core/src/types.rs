@@ -5,7 +5,6 @@ use gbtl_sparse::{CooMatrix, CsrMatrix, DenseVector, Index, SparseVector};
 
 use crate::error::{GblasError, Result};
 
-
 /// A GraphBLAS matrix.
 ///
 /// Stored as CSR internally — the operand format of every backend. Built
@@ -145,8 +144,13 @@ impl<T: Scalar> Matrix<T> {
             .zip(vals)
             .filter(|&((r, c), _)| (r, c) != (i, j))
             .map(|((r, c), v)| (r, c, v));
-        *self = Matrix::build(self.nrows(), self.ncols(), triples, gbtl_algebra::Second::new())
-            .expect("indices from valid matrix");
+        *self = Matrix::build(
+            self.nrows(),
+            self.ncols(),
+            triples,
+            gbtl_algebra::Second::new(),
+        )
+        .expect("indices from valid matrix");
     }
 
     /// Remove all stored entries (`GrB_Matrix_clear`); dimensions unchanged.
@@ -331,7 +335,7 @@ impl<T: Scalar> Vector<T> {
     /// The fraction of positions holding values (`nnz / n`); 0 for a
     /// zero-dimension vector. Used by push/pull heuristics.
     pub fn density(&self) -> f64 {
-        if self.len() == 0 {
+        if self.is_empty() {
             0.0
         } else {
             self.nnz() as f64 / self.len() as f64

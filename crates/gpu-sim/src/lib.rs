@@ -1,4 +1,8 @@
 #![warn(missing_docs)]
+// Cost-model byte budgets are written as `count * size_of::<T>()` on
+// purpose: the count is the *modeled* element traffic, which does not
+// always coincide with one particular slice's length.
+#![allow(clippy::manual_slice_size_calculation)]
 
 //! A software-simulated CUDA-like device for GBTL-RS.
 //!

@@ -56,7 +56,11 @@ where
     F: Fn(&A, &B) -> C + Sync,
 {
     assert_eq!(a.len(), b.len(), "zip_transform requires equal lengths");
-    let out: Vec<C> = a.par_iter().zip(b.par_iter()).map(|(x, y)| f(x, y)).collect();
+    let out: Vec<C> = a
+        .par_iter()
+        .zip(b.par_iter())
+        .map(|(x, y)| f(x, y))
+        .collect();
     let n = a.len();
     charge_streaming(
         gpu,

@@ -4,13 +4,13 @@
 //! CUSP's expand-sort-compress, its COO→CSR build is a sort plus a
 //! reduce-by-key, …), so the simulator provides the same vocabulary:
 //!
-//! * [`map`]: `transform`, `zip_transform`, `sequence`, `fill`
-//! * [`reduce`]: `reduce`, `segmented_reduce`, `reduce_by_key`
-//! * [`scan`]: `exclusive_scan`, `inclusive_scan`
-//! * [`sort`]: `sort_pairs`, `sort_by_key`
-//! * [`gather`]: `gather`, `scatter`, `lower_bound`
-//! * [`compact`]: `copy_if`, `copy_if_indexed`, `count_if`
-//! * [`histogram`]: `histogram`
+//! * [`map`] — `transform`, `zip_transform`, `sequence`, `fill`
+//! * [`reduce`] — `reduce`, `segmented_reduce`, `reduce_by_key`
+//! * [`scan`] — `exclusive_scan`, `inclusive_scan`
+//! * [`sort`] — `sort_pairs`, `sort_by_key`
+//! * [`gather`] — `gather`, `scatter`, `lower_bound`
+//! * [`compact`] — `copy_if`, `copy_if_indexed`, `count_if`
+//! * [`histogram`] — `histogram`
 //!
 //! Each call behaves like the corresponding Thrust algorithm *and* charges
 //! the device the traffic/instruction budget its CUDA implementation would

@@ -39,7 +39,13 @@ where
 /// CUSP's segmented reduction (CSR row reduce).
 ///
 /// Empty segments yield `identity`.
-pub fn segmented_reduce<T, F>(gpu: &Gpu, offsets: &[usize], vals: &[T], identity: T, op: F) -> Vec<T>
+pub fn segmented_reduce<T, F>(
+    gpu: &Gpu,
+    offsets: &[usize],
+    vals: &[T],
+    identity: T,
+    op: F,
+) -> Vec<T>
 where
     T: Copy + Send + Sync,
     F: Fn(T, T) -> T + Sync,

@@ -159,7 +159,7 @@ mod bipartite_tests {
         let csr = to_simple_csr(bipartite_complete(2, 3));
         assert_eq!(csr.nrows(), 5);
         assert_eq!(csr.nnz(), 12); // 2*3 undirected edges
-        // left vertices have degree 3, right degree 2
+                                   // left vertices have degree 3, right degree 2
         assert_eq!(csr.row_nnz(0), 3);
         assert_eq!(csr.row_nnz(1), 3);
         assert_eq!(csr.row_nnz(2), 2);

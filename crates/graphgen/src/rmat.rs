@@ -169,6 +169,9 @@ mod tests {
         );
         let mean = csr.nnz() as f64 / csr.nrows() as f64;
         let max = csr.max_row_nnz() as f64;
-        assert!(max < 4.0 * mean, "uniform RMAT: max {max} vs mean {mean:.1}");
+        assert!(
+            max < 4.0 * mean,
+            "uniform RMAT: max {max} vs mean {mean:.1}"
+        );
     }
 }

@@ -8,7 +8,7 @@ use rand::{Rng, SeedableRng};
 /// nearest neighbours (`k` even), with each edge rewired to a random target
 /// with probability `beta`. Undirected.
 pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> CooMatrix<bool> {
-    assert!(k % 2 == 0 && k >= 2, "k must be even and >= 2");
+    assert!(k.is_multiple_of(2) && k >= 2, "k must be even and >= 2");
     assert!(k < n, "k must be below n");
     assert!((0.0..=1.0).contains(&beta), "beta in [0,1]");
     let mut rng = StdRng::seed_from_u64(seed);
@@ -60,9 +60,6 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        assert_eq!(
-            watts_strogatz(32, 4, 0.3, 7),
-            watts_strogatz(32, 4, 0.3, 7)
-        );
+        assert_eq!(watts_strogatz(32, 4, 0.3, 7), watts_strogatz(32, 4, 0.3, 7));
     }
 }

@@ -1,0 +1,245 @@
+//! Minimal, API-compatible stand-in for the parts of `rayon` this workspace
+//! uses. The build container has no network access, so the real crate cannot
+//! be fetched; call sites stay source-identical.
+//!
+//! Execution is **sequential**: `ParIter` wraps a std iterator and every
+//! adapter delegates, with rayon's `fold`/`reduce` signatures reproduced so
+//! identity-closure call sites compile unchanged. The only consumer is the
+//! *simulated* GPU device (`gbtl-gpu-sim`), whose cost model is synthetic
+//! anyway; genuine CPU parallelism in this workspace lives in
+//! `gbtl-backend-par`, which uses `std::thread::scope` directly.
+
+use std::iter;
+
+/// A "parallel" iterator: a newtype over a std iterator with rayon's method
+/// surface. Item order is the source order, so all reductions here are
+/// exactly rayon's deterministic (`fold`+ordered `reduce`) outcome.
+pub struct ParIter<I>(I);
+
+impl<I: Iterator> ParIter<I> {
+    pub fn map<B, F: FnMut(I::Item) -> B>(self, f: F) -> ParIter<iter::Map<I, F>> {
+        ParIter(self.0.map(f))
+    }
+
+    pub fn filter<P: FnMut(&I::Item) -> bool>(self, p: P) -> ParIter<iter::Filter<I, P>> {
+        ParIter(self.0.filter(p))
+    }
+
+    pub fn filter_map<B, F: FnMut(I::Item) -> Option<B>>(
+        self,
+        f: F,
+    ) -> ParIter<iter::FilterMap<I, F>> {
+        ParIter(self.0.filter_map(f))
+    }
+
+    pub fn enumerate(self) -> ParIter<iter::Enumerate<I>> {
+        ParIter(self.0.enumerate())
+    }
+
+    pub fn zip<J: Iterator>(self, other: ParIter<J>) -> ParIter<iter::Zip<I, J>> {
+        ParIter(self.0.zip(other.0))
+    }
+
+    pub fn flat_map<B: IntoIterator, F: FnMut(I::Item) -> B>(
+        self,
+        f: F,
+    ) -> ParIter<iter::FlatMap<I, B, F>> {
+        ParIter(self.0.flat_map(f))
+    }
+
+    /// Rayon's serial-inner-iterator `flat_map`; identical here.
+    pub fn flat_map_iter<B: IntoIterator, F: FnMut(I::Item) -> B>(
+        self,
+        f: F,
+    ) -> ParIter<iter::FlatMap<I, B, F>> {
+        ParIter(self.0.flat_map(f))
+    }
+
+    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
+        self.0.for_each(f)
+    }
+
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.0.collect()
+    }
+
+    pub fn count(self) -> usize {
+        self.0.count()
+    }
+
+    pub fn sum<S: iter::Sum<I::Item>>(self) -> S {
+        self.0.sum()
+    }
+
+    pub fn max(self) -> Option<I::Item>
+    where
+        I::Item: Ord,
+    {
+        self.0.max()
+    }
+
+    pub fn min(self) -> Option<I::Item>
+    where
+        I::Item: Ord,
+    {
+        self.0.min()
+    }
+
+    /// Rayon's two-argument `fold`: folds "every split" (here: the whole
+    /// sequence, one split) and yields the partial results as an iterator.
+    pub fn fold<T, ID, F>(self, identity: ID, fold_op: F) -> ParIter<iter::Once<T>>
+    where
+        ID: Fn() -> T,
+        F: FnMut(T, I::Item) -> T,
+    {
+        ParIter(iter::once(self.0.fold(identity(), fold_op)))
+    }
+
+    /// Rayon's two-argument `reduce` with an identity closure.
+    pub fn reduce<ID, OP>(self, identity: ID, mut op: OP) -> I::Item
+    where
+        ID: Fn() -> I::Item,
+        OP: FnMut(I::Item, I::Item) -> I::Item,
+    {
+        self.0.fold(identity(), &mut op)
+    }
+}
+
+impl<'a, I, T> ParIter<I>
+where
+    T: Copy + 'a,
+    I: Iterator<Item = &'a T>,
+{
+    pub fn copied(self) -> ParIter<iter::Copied<I>> {
+        ParIter(self.0.copied())
+    }
+
+    pub fn cloned(self) -> ParIter<iter::Cloned<I>>
+    where
+        T: Clone,
+    {
+        ParIter(self.0.cloned())
+    }
+}
+
+/// `into_par_iter()` for anything iterable (ranges, vectors, ...).
+pub trait IntoParallelIterator {
+    type Iter: Iterator;
+    fn into_par_iter(self) -> ParIter<Self::Iter>;
+}
+
+impl<C: IntoIterator> IntoParallelIterator for C {
+    type Iter = C::IntoIter;
+    fn into_par_iter(self) -> ParIter<Self::Iter> {
+        ParIter(self.into_iter())
+    }
+}
+
+/// `par_iter()` / `par_chunks()` on slices (and anything derefing to one).
+pub trait ParallelSlice<T> {
+    fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>>;
+    fn par_chunks(&self, chunk: usize) -> ParIter<std::slice::Chunks<'_, T>>;
+}
+
+impl<T> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>> {
+        ParIter(self.iter())
+    }
+
+    fn par_chunks(&self, chunk: usize) -> ParIter<std::slice::Chunks<'_, T>> {
+        ParIter(self.chunks(chunk))
+    }
+}
+
+/// Mutable counterpart, including the `par_sort_*` entry points.
+pub trait ParallelSliceMut<T> {
+    fn par_iter_mut(&mut self) -> ParIter<std::slice::IterMut<'_, T>>;
+    fn par_chunks_mut(&mut self, chunk: usize) -> ParIter<std::slice::ChunksMut<'_, T>>;
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord;
+    fn par_sort_unstable_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, key: F);
+    fn par_sort_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, key: F);
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> ParIter<std::slice::IterMut<'_, T>> {
+        ParIter(self.iter_mut())
+    }
+
+    fn par_chunks_mut(&mut self, chunk: usize) -> ParIter<std::slice::ChunksMut<'_, T>> {
+        ParIter(self.chunks_mut(chunk))
+    }
+
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord,
+    {
+        self.sort_unstable()
+    }
+
+    fn par_sort_unstable_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, key: F) {
+        self.sort_unstable_by_key(key)
+    }
+
+    fn par_sort_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, key: F) {
+        self.sort_by_key(key)
+    }
+}
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParIter, ParallelSlice, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_fold_reduce_matches_rayon_semantics() {
+        // The launch.rs shape: map -> fold(identity, push) -> reduce(identity, extend).
+        let (results, total): (Vec<i64>, i64) = (0..10usize)
+            .into_par_iter()
+            .map(|b| (b as i64) * 2)
+            .map(|r| (r, r))
+            .fold(
+                || (Vec::new(), 0i64),
+                |(mut rs, t), (r, c)| {
+                    rs.push(r);
+                    (rs, t + c)
+                },
+            )
+            .reduce(
+                || (Vec::new(), 0i64),
+                |(mut ra, ta), (rb, tb)| {
+                    ra.extend(rb);
+                    (ra, ta + tb)
+                },
+            );
+        assert_eq!(results, (0..10).map(|b| b * 2).collect::<Vec<_>>());
+        assert_eq!(total, 90);
+    }
+
+    #[test]
+    fn chunked_zip_and_sorts() {
+        let src = [3u64, 1, 2, 5, 4, 0];
+        let mut out = vec![0u64; 6];
+        out.par_chunks_mut(2)
+            .zip(src.par_chunks(2))
+            .for_each(|(o, i)| o.copy_from_slice(i));
+        out.par_sort_unstable();
+        assert_eq!(out, vec![0, 1, 2, 3, 4, 5]);
+
+        let mut pairs = vec![(2, 'b'), (1, 'a'), (3, 'c')];
+        pairs.par_sort_by_key(|&(k, _)| k);
+        assert_eq!(pairs, vec![(1, 'a'), (2, 'b'), (3, 'c')]);
+    }
+
+    #[test]
+    fn filter_copied_count() {
+        let v = [1i64, -2, 3, -4];
+        let kept: Vec<i64> = v.par_iter().copied().filter(|&x| x > 0).collect();
+        assert_eq!(kept, vec![1, 3]);
+        assert_eq!(v.par_iter().filter(|x| **x < 0).count(), 2);
+    }
+}

@@ -124,11 +124,7 @@ impl<T: Scalar> CsrMatrix<T> {
         }
         if self.col_idx.len() != self.vals.len() {
             return Err(SparseError::LengthMismatch {
-                detail: format!(
-                    "col_idx={} vals={}",
-                    self.col_idx.len(),
-                    self.vals.len()
-                ),
+                detail: format!("col_idx={} vals={}", self.col_idx.len(), self.vals.len()),
             });
         }
         if *self.row_ptr.last().expect("non-empty row_ptr") != self.col_idx.len() {

@@ -84,11 +84,8 @@ impl MmValue for bool {
     }
     fn parse(tok: Option<&str>) -> Result<Self, String> {
         match tok {
-            Some(s) => match s {
-                "0" => Ok(false),
-                _ => Ok(true),
-            },
-            None => Ok(true),
+            Some("0") => Ok(false),
+            _ => Ok(true),
         }
     }
     fn render(&self) -> String {
@@ -131,7 +128,10 @@ pub fn read_coo<T: MmValue, R: BufRead>(reader: R) -> Result<CooMatrix<T>, Spars
             }
         }
     };
-    let toks: Vec<String> = banner.split_whitespace().map(|t| t.to_lowercase()).collect();
+    let toks: Vec<String> = banner
+        .split_whitespace()
+        .map(|t| t.to_lowercase())
+        .collect();
     if toks.len() < 5 || toks[0] != "%%matrixmarket" || toks[1] != "matrix" {
         return Err(SparseError::Parse {
             line: banner_no,
@@ -240,12 +240,11 @@ pub fn read_coo<T: MmValue, R: BufRead>(reader: R) -> Result<CooMatrix<T>, Spars
         };
         let r = parse_idx(r_tok)?;
         let c = parse_idx(c_tok)?;
-        let v = T::parse(if pattern { None } else { it.next() }).map_err(|e| {
-            SparseError::Parse {
+        let v =
+            T::parse(if pattern { None } else { it.next() }).map_err(|e| SparseError::Parse {
                 line: no + 1,
                 detail: format!("bad value: {e}"),
-            }
-        })?;
+            })?;
         coo.try_push(r, c, v).map_err(|_| SparseError::Parse {
             line: no + 1,
             detail: format!("entry ({}, {}) exceeds {nrows}x{ncols}", r + 1, c + 1),
@@ -269,11 +268,7 @@ pub fn read_coo<T: MmValue, R: BufRead>(reader: R) -> Result<CooMatrix<T>, Spars
 
 /// Write a [`CooMatrix`] as a general coordinate Matrix Market stream.
 pub fn write_coo<T: MmValue, W: Write>(coo: &CooMatrix<T>, mut w: W) -> Result<(), SparseError> {
-    writeln!(
-        w,
-        "%%MatrixMarket matrix coordinate {} general",
-        T::field()
-    )?;
+    writeln!(w, "%%MatrixMarket matrix coordinate {} general", T::field())?;
     writeln!(w, "{} {} {}", coo.nrows(), coo.ncols(), coo.nnz())?;
     for (r, c, v) in coo.iter() {
         let rendered = v.render();

@@ -131,7 +131,11 @@ impl<T: Scalar> SparseVector<T> {
 
     /// Set or overwrite the value at `i`.
     pub fn set(&mut self, i: Index, v: T) {
-        assert!(i < self.n, "index {i} out of bounds for dimension {}", self.n);
+        assert!(
+            i < self.n,
+            "index {i} out of bounds for dimension {}",
+            self.n
+        );
         match self.idx.binary_search(&i) {
             Ok(k) => self.vals[k] = v,
             Err(k) => {

@@ -6,17 +6,15 @@ use proptest::prelude::*;
 /// Strategy: an arbitrary small COO matrix with possibly-duplicate triples.
 fn arb_coo() -> impl Strategy<Value = CooMatrix<i64>> {
     (1usize..20, 1usize..20).prop_flat_map(|(nrows, ncols)| {
-        proptest::collection::vec(
-            (0..nrows, 0..ncols, -100i64..100),
-            0..200,
+        proptest::collection::vec((0..nrows, 0..ncols, -100i64..100), 0..200).prop_map(
+            move |triples| {
+                let mut coo = CooMatrix::new(nrows, ncols);
+                for (r, c, v) in triples {
+                    coo.push(r, c, v);
+                }
+                coo
+            },
         )
-        .prop_map(move |triples| {
-            let mut coo = CooMatrix::new(nrows, ncols);
-            for (r, c, v) in triples {
-                coo.push(r, c, v);
-            }
-            coo
-        })
     })
 }
 

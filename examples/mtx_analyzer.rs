@@ -61,9 +61,7 @@ fn main() {
     println!("  triangles         : {triangles}");
 
     // traversal from the first vertex with edges
-    let src = (0..a.nrows())
-        .find(|&v| degrees.contains(v))
-        .unwrap_or(0);
+    let src = (0..a.nrows()).find(|&v| degrees.contains(v)).unwrap_or(0);
     let levels = bfs_levels(&ctx, &a, src, Direction::Auto).expect("bfs");
     let ecc = levels.iter().map(|(_, l)| l).max().unwrap_or(0);
     println!("\ntraversal from vertex {src}:");
@@ -71,8 +69,8 @@ fn main() {
     println!("  eccentricity      : {ecc}");
 
     // ranking
-    let (ranks, iters) = gbtl::algorithms::pagerank(&ctx, &a, PageRankOptions::default())
-        .expect("pagerank");
+    let (ranks, iters) =
+        gbtl::algorithms::pagerank(&ctx, &a, PageRankOptions::default()).expect("pagerank");
     let mut top: Vec<(usize, f64)> = ranks.iter().collect();
     top.sort_by(|x, y| y.1.partial_cmp(&x.1).unwrap());
     println!("\npagerank ({iters} iterations), top 5:");

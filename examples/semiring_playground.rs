@@ -31,12 +31,27 @@ fn main() {
     ];
     let n = 5;
 
-    let costs = Matrix::build(n, n, edges.iter().map(|&(i, j, c, _, _)| (i, j, c)), Second::new())
-        .expect("in bounds");
-    let caps = Matrix::build(n, n, edges.iter().map(|&(i, j, _, w, _)| (i, j, w)), Second::new())
-        .expect("in bounds");
-    let rel = Matrix::build(n, n, edges.iter().map(|&(i, j, _, _, p)| (i, j, p)), Second::new())
-        .expect("in bounds");
+    let costs = Matrix::build(
+        n,
+        n,
+        edges.iter().map(|&(i, j, c, _, _)| (i, j, c)),
+        Second::new(),
+    )
+    .expect("in bounds");
+    let caps = Matrix::build(
+        n,
+        n,
+        edges.iter().map(|&(i, j, _, w, _)| (i, j, w)),
+        Second::new(),
+    )
+    .expect("in bounds");
+    let rel = Matrix::build(
+        n,
+        n,
+        edges.iter().map(|&(i, j, _, _, p)| (i, j, p)),
+        Second::new(),
+    )
+    .expect("in bounds");
 
     let ctx = Context::cuda_default();
 
@@ -67,13 +82,13 @@ fn main() {
         println!(
             "{v:>6} {:>14} {:>14} {:>12} {:>14}",
             cheapest.get(v).map_or("-".into(), |c| c.to_string()),
-            widest
-                .get(v)
-                .map_or("-".into(), |w| if w == u32::MAX { "inf".into() } else { w.to_string() }),
+            widest.get(v).map_or("-".into(), |w| if w == u32::MAX {
+                "inf".into()
+            } else {
+                w.to_string()
+            }),
             reach.get(v).map_or("no".into(), |_| "yes".to_string()),
-            reliable
-                .get(v)
-                .map_or("-".into(), |p| format!("{p:.4}")),
+            reliable.get(v).map_or("-".into(), |p| format!("{p:.4}")),
         );
     }
 
@@ -111,8 +126,16 @@ where
             break;
         }
         let mut relax: Vector<T> = Vector::new(n);
-        ctx.vxm(&mut relax, None, no_accum(), sr, &frontier, a, &Descriptor::new())
-            .expect("shapes validated");
+        ctx.vxm(
+            &mut relax,
+            None,
+            no_accum(),
+            sr,
+            &frontier,
+            a,
+            &Descriptor::new(),
+        )
+        .expect("shapes validated");
         let mut next: Vector<T> = Vector::new(n);
         for (i, cand) in relax.iter() {
             let improved = match best.get(i) {

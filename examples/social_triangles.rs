@@ -5,9 +5,7 @@
 //! cargo run --release --example social_triangles
 //! ```
 
-use gbtl::algorithms::{
-    degree_centrality, maximal_independent_set, peer_pressure, triangle_count,
-};
+use gbtl::algorithms::{degree_centrality, maximal_independent_set, peer_pressure, triangle_count};
 use gbtl::graphgen::karate_club;
 use gbtl::prelude::*;
 
@@ -46,7 +44,10 @@ fn main() {
     // already friends.
     let mis = maximal_independent_set(&ctx, &a, 2016).expect("mis");
     let committee: Vec<usize> = mis.iter().map(|(v, _)| v + 1).collect();
-    println!("independent committee ({} members): {committee:?}", committee.len());
+    println!(
+        "independent committee ({} members): {committee:?}",
+        committee.len()
+    );
     assert!(gbtl::algorithms::mis::verify_mis(&a, &mis));
 
     println!("\nsimulated-GPU activity:\n{}", ctx.gpu_stats());

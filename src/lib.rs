@@ -17,7 +17,9 @@
 //! * [`graphgen`] — RMAT, Erdős–Rényi, meshes, small-world generators
 //! * [`sparse`] — COO/CSR/CSC containers and Matrix Market I/O
 //! * [`gpu_sim`] — the simulated CUDA device and its primitives
-//! * [`backend_seq`] / [`backend_cuda`] — the two backends
+//! * [`backend_seq`] / [`backend_par`] / [`backend_cuda`] — the three
+//!   backends (sequential reference, work-stealing parallel CPU,
+//!   simulated CUDA)
 //!
 //! ```
 //! use gbtl::prelude::*;
@@ -33,6 +35,7 @@
 pub use gbtl_algebra as algebra;
 pub use gbtl_algorithms as algorithms;
 pub use gbtl_backend_cuda as backend_cuda;
+pub use gbtl_backend_par as backend_par;
 pub use gbtl_backend_seq as backend_seq;
 pub use gbtl_core as core;
 pub use gbtl_gpu_sim as gpu_sim;
@@ -47,7 +50,7 @@ pub mod prelude {
     };
     pub use gbtl_algorithms::Direction;
     pub use gbtl_core::{
-        no_accum, Backend, Context, CudaBackend, Descriptor, GpuConfig, Matrix, SeqBackend,
-        SpmvKernel, Vector,
+        no_accum, Backend, Context, CudaBackend, Descriptor, GpuConfig, Matrix, ParBackend,
+        SeqBackend, SpmvKernel, Vector,
     };
 }

@@ -117,7 +117,7 @@ fn reference_mst_weight(a: &Matrix<u32>) -> u64 {
         .collect();
     edges.sort_unstable();
     let mut parent: Vec<usize> = (0..n).collect();
-    fn find(p: &mut Vec<usize>, v: usize) -> usize {
+    fn find(p: &mut [usize], v: usize) -> usize {
         let mut r = v;
         while p[r] != r {
             r = p[r];

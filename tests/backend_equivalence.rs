@@ -1,10 +1,10 @@
 //! Differential tests: every frontend operation must produce identical
-//! results on the sequential and simulated-CUDA backends, across random
-//! inputs. This is the contract that makes the backends interchangeable.
+//! results on the sequential, parallel-CPU and simulated-CUDA backends,
+//! across random inputs. This is the contract that makes the backends
+//! interchangeable — and for `ParBackend` the stronger contract that the
+//! output is bit-identical to `SeqBackend` at *every* thread count.
 
-use gbtl::algebra::{
-    Min, MinPlus, MinSecond, Plus, PlusMonoid, PlusTimes, Second, Times,
-};
+use gbtl::algebra::{Min, MinPlus, MinSecond, Plus, PlusMonoid, PlusTimes, Second, Times};
 use gbtl::prelude::*;
 use proptest::prelude::*;
 
@@ -22,9 +22,8 @@ impl gbtl::algebra::UnaryOp<i64> for ToTrue {
 type Mat = Matrix<i64>;
 
 fn arb_matrix(n: usize, max_nnz: usize) -> impl Strategy<Value = Mat> {
-    proptest::collection::vec((0..n, 0..n, -20i64..20), 0..max_nnz).prop_map(move |triples| {
-        Matrix::build(n, n, triples, Second::new()).expect("in bounds")
-    })
+    proptest::collection::vec((0..n, 0..n, -20i64..20), 0..max_nnz)
+        .prop_map(move |triples| Matrix::build(n, n, triples, Second::new()).expect("in bounds"))
 }
 
 fn arb_vector(n: usize) -> impl Strategy<Value = Vector<i64>> {
@@ -299,5 +298,245 @@ proptest! {
         prop_assert_eq!(&ell.to_csr(), a.csr());
         let hyb = gbtl::sparse::HybMatrix::from_csr(a.csr(), 0i64);
         prop_assert_eq!(&hyb.to_csr(), a.csr());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ParBackend vs SeqBackend: bit-for-bit over the whole `Backend` trait, at
+// 1, 2 and 8 worker threads. These call the backend trait directly (below
+// the frontend) so every one of its methods is exercised.
+// ---------------------------------------------------------------------------
+
+const PAR_THREADS: [usize; 3] = [1, 2, 8];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn par_mxm_family_matches_seq(a in arb_matrix(N, 60), b in arb_matrix(N, 60),
+                                  m in arb_matrix(N, 40)) {
+        let (a, b) = (a.csr(), b.csr());
+        let mask = gbtl::backend_seq::apply_mat(m.csr(), ToTrue);
+        let seq = SeqBackend;
+        for t in PAR_THREADS {
+            let par = ParBackend::with_threads(t);
+            prop_assert_eq!(
+                par.mxm(a, b, PlusTimes::<i64>::new()),
+                seq.mxm(a, b, PlusTimes::<i64>::new())
+            );
+            prop_assert_eq!(
+                par.mxm(a, b, MinPlus::<i64>::new()),
+                seq.mxm(a, b, MinPlus::<i64>::new())
+            );
+            prop_assert_eq!(
+                par.mxm_masked(&mask, a, b, PlusTimes::<i64>::new()),
+                seq.mxm_masked(&mask, a, b, PlusTimes::<i64>::new())
+            );
+            prop_assert_eq!(
+                par.kronecker(a, b, Times::<i64>::new()),
+                seq.kronecker(a, b, Times::<i64>::new())
+            );
+        }
+    }
+
+    #[test]
+    fn par_spmv_matches_seq(a in arb_matrix(N, 60), u in arb_vector(N), mask in arb_mask(N)) {
+        let a = a.csr();
+        let ud = u.to_dense_repr();
+        let us = u.to_sparse_repr();
+        let keep: Vec<bool> = (0..N).map(|i| mask.contains(i)).collect();
+        let seq = SeqBackend;
+        for t in PAR_THREADS {
+            let par = ParBackend::with_threads(t);
+            for m in [None, Some(keep.as_slice())] {
+                prop_assert_eq!(
+                    par.mxv(a, &ud, PlusTimes::<i64>::new(), m),
+                    seq.mxv(a, &ud, PlusTimes::<i64>::new(), m)
+                );
+                prop_assert_eq!(
+                    par.vxm(&us, a, MinSecond::<i64>::new(), m),
+                    seq.vxm(&us, a, MinSecond::<i64>::new(), m)
+                );
+                prop_assert_eq!(
+                    par.vxm(&us, a, PlusTimes::<i64>::new(), m),
+                    seq.vxm(&us, a, PlusTimes::<i64>::new(), m)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn par_ewise_matches_seq(a in arb_matrix(N, 60), b in arb_matrix(N, 60),
+                             u in arb_vector(N), v in arb_vector(N)) {
+        let (ac, bc) = (a.csr(), b.csr());
+        let (us, vs) = (u.to_sparse_repr(), v.to_sparse_repr());
+        let (ud, vd) = (u.to_dense_repr(), v.to_dense_repr());
+        let seq = SeqBackend;
+        for t in PAR_THREADS {
+            let par = ParBackend::with_threads(t);
+            prop_assert_eq!(
+                par.ewise_add_mat(ac, bc, Plus::<i64>::new()),
+                seq.ewise_add_mat(ac, bc, Plus::<i64>::new())
+            );
+            prop_assert_eq!(
+                par.ewise_mult_mat(ac, bc, Times::<i64>::new()),
+                seq.ewise_mult_mat(ac, bc, Times::<i64>::new())
+            );
+            prop_assert_eq!(
+                par.ewise_add_vec(&us, &vs, Min::<i64>::new()),
+                seq.ewise_add_vec(&us, &vs, Min::<i64>::new())
+            );
+            prop_assert_eq!(
+                par.ewise_mult_vec(&ud, &vd, Times::<i64>::new()),
+                seq.ewise_mult_vec(&ud, &vd, Times::<i64>::new())
+            );
+        }
+    }
+
+    #[test]
+    fn par_apply_select_matches_seq(a in arb_matrix(N, 60), u in arb_vector(N),
+                                    threshold in -20i64..20) {
+        use gbtl::algebra::{AdditiveInverse, Diag, OffDiag, TriL, TriU, ValueGt};
+        let ac = a.csr();
+        let us = u.to_sparse_repr();
+        let ud = u.to_dense_repr();
+        let seq = SeqBackend;
+        for t in PAR_THREADS {
+            let par = ParBackend::with_threads(t);
+            prop_assert_eq!(
+                par.apply_mat(ac, AdditiveInverse::<i64>::new()),
+                seq.apply_mat(ac, AdditiveInverse::<i64>::new())
+            );
+            prop_assert_eq!(par.apply_mat(ac, ToTrue), seq.apply_mat(ac, ToTrue));
+            prop_assert_eq!(
+                par.apply_sparse_vec(&us, AdditiveInverse::<i64>::new()),
+                seq.apply_sparse_vec(&us, AdditiveInverse::<i64>::new())
+            );
+            prop_assert_eq!(
+                par.apply_dense_vec(&ud, AdditiveInverse::<i64>::new()),
+                seq.apply_dense_vec(&ud, AdditiveInverse::<i64>::new())
+            );
+            prop_assert_eq!(par.select_mat(ac, TriL), seq.select_mat(ac, TriL));
+            prop_assert_eq!(par.select_mat(ac, TriU), seq.select_mat(ac, TriU));
+            prop_assert_eq!(par.select_mat(ac, Diag), seq.select_mat(ac, Diag));
+            prop_assert_eq!(par.select_mat(ac, OffDiag), seq.select_mat(ac, OffDiag));
+            prop_assert_eq!(
+                par.select_mat(ac, ValueGt(threshold)),
+                seq.select_mat(ac, ValueGt(threshold))
+            );
+            prop_assert_eq!(
+                par.select_vec(&us, ValueGt(threshold)),
+                seq.select_vec(&us, ValueGt(threshold))
+            );
+        }
+    }
+
+    #[test]
+    fn par_reduce_transpose_matches_seq(a in arb_matrix(N, 60), u in arb_vector(N)) {
+        use gbtl::algebra::{MaxMonoid, MinMonoid};
+        let ac = a.csr();
+        let us = u.to_sparse_repr();
+        let ud = u.to_dense_repr();
+        let seq = SeqBackend;
+        for t in PAR_THREADS {
+            let par = ParBackend::with_threads(t);
+            prop_assert_eq!(
+                par.reduce_mat(ac, PlusMonoid::<i64>::new()),
+                seq.reduce_mat(ac, PlusMonoid::<i64>::new())
+            );
+            prop_assert_eq!(
+                par.reduce_mat(ac, MinMonoid::<i64>::new()),
+                seq.reduce_mat(ac, MinMonoid::<i64>::new())
+            );
+            prop_assert_eq!(
+                par.reduce_rows(ac, MaxMonoid::<i64>::new()),
+                seq.reduce_rows(ac, MaxMonoid::<i64>::new())
+            );
+            prop_assert_eq!(
+                par.reduce_dense_vec(&ud, PlusMonoid::<i64>::new()),
+                seq.reduce_dense_vec(&ud, PlusMonoid::<i64>::new())
+            );
+            prop_assert_eq!(
+                par.reduce_sparse_vec(&us, PlusMonoid::<i64>::new()),
+                seq.reduce_sparse_vec(&us, PlusMonoid::<i64>::new())
+            );
+            prop_assert_eq!(par.transpose(ac), seq.transpose(ac));
+        }
+    }
+
+    #[test]
+    fn par_build_extract_assign_matches_seq(
+        triples in proptest::collection::vec((0..N, 0..N, -20i64..20), 0..80),
+        a in arb_matrix(N, 60), u in arb_vector(N),
+        rows in proptest::collection::vec(0..N, 1..6),
+        cols in proptest::collection::vec(0..N, 1..6)) {
+        let mut coo = gbtl::sparse::CooMatrix::new(N, N);
+        for &(i, j, v) in &triples {
+            coo.push(i, j, v);
+        }
+        let ac = a.csr();
+        let ud = u.to_dense_repr();
+        let seq = SeqBackend;
+        let mut ur = rows.clone();
+        ur.sort_unstable();
+        ur.dedup();
+        let mut uc = cols.clone();
+        uc.sort_unstable();
+        uc.dedup();
+        let patch = seq.extract_mat(ac, &ur, &uc);
+        let upatch = seq.extract_vec(&ud, &ur);
+        for t in PAR_THREADS {
+            let par = ParBackend::with_threads(t);
+            prop_assert_eq!(
+                par.build(&coo, Plus::<i64>::new()),
+                seq.build(&coo, Plus::<i64>::new())
+            );
+            prop_assert_eq!(par.extract_mat(ac, &rows, &cols), seq.extract_mat(ac, &rows, &cols));
+            prop_assert_eq!(
+                par.assign_mat(ac, &patch, &ur, &uc),
+                seq.assign_mat(ac, &patch, &ur, &uc)
+            );
+            prop_assert_eq!(par.extract_vec(&ud, &rows), seq.extract_vec(&ud, &rows));
+            prop_assert_eq!(
+                par.assign_vec(&ud, &upatch, &ur),
+                seq.assign_vec(&ud, &upatch, &ur)
+            );
+        }
+    }
+
+    #[test]
+    fn par_frontend_ops_match_seq(a in arb_matrix(N, 60), b in arb_matrix(N, 60),
+                                  u in arb_vector(N), mask in arb_mask(N), comp: bool) {
+        // Same ops through the full frontend (masks, descriptors, accum
+        // stitching) on a parallel context.
+        let desc = if comp { Descriptor::new().complement_mask() } else { Descriptor::new() };
+        for t in PAR_THREADS {
+            let par = Context::parallel_with_threads(t);
+            let seq = Context::sequential();
+
+            let mut c1 = Matrix::new(N, N);
+            let mut c2 = Matrix::new(N, N);
+            seq.mxm(&mut c1, None, no_accum(), PlusTimes::new(), &a, &b, &Descriptor::new())
+                .unwrap();
+            par.mxm(&mut c2, None, no_accum(), PlusTimes::new(), &a, &b, &Descriptor::new())
+                .unwrap();
+            prop_assert_eq!(c1, c2);
+
+            let mut w1 = Vector::new(N);
+            let mut w2 = Vector::new(N);
+            seq.mxv(&mut w1, Some(&mask), no_accum(), PlusTimes::new(), &a, &u, &desc)
+                .unwrap();
+            par.mxv(&mut w2, Some(&mask), no_accum(), PlusTimes::new(), &a, &u, &desc)
+                .unwrap();
+            prop_assert_eq!(w1, w2);
+
+            let mut e1 = Matrix::new(N, N);
+            let mut e2 = Matrix::new(N, N);
+            seq.ewise_add_mat(&mut e1, None, no_accum(), Plus::new(), &a, &b, &Descriptor::new())
+                .unwrap();
+            par.ewise_add_mat(&mut e2, None, no_accum(), Plus::new(), &a, &b, &Descriptor::new())
+                .unwrap();
+            prop_assert_eq!(e1, e2);
+        }
     }
 }

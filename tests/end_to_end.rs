@@ -69,14 +69,30 @@ fn masked_mxv_does_less_modeled_work_than_unmasked() {
     let unmasked = Context::cuda_default();
     let mut w = Vector::new(n);
     unmasked
-        .mxv(&mut w, None, no_accum(), gbtl::algebra::PlusTimes::new(), &af, &u, &Descriptor::new())
+        .mxv(
+            &mut w,
+            None,
+            no_accum(),
+            gbtl::algebra::PlusTimes::new(),
+            &af,
+            &u,
+            &Descriptor::new(),
+        )
         .unwrap();
     let full = unmasked.gpu_stats().mem_transactions;
 
     let masked = Context::cuda_default();
     let mut w = Vector::new(n);
     masked
-        .mxv(&mut w, Some(&mask), no_accum(), gbtl::algebra::PlusTimes::new(), &af, &u, &Descriptor::new())
+        .mxv(
+            &mut w,
+            Some(&mask),
+            no_accum(),
+            gbtl::algebra::PlusTimes::new(),
+            &af,
+            &u,
+            &Descriptor::new(),
+        )
         .unwrap();
     let partial = masked.gpu_stats().mem_transactions;
 
@@ -145,8 +161,16 @@ fn kronecker_power_builds_graph500_style_graphs() {
     let mut g = seed.clone();
     for _ in 0..2 {
         let mut next = Matrix::new(g.nrows() * 2, g.ncols() * 2);
-        ctx.kronecker(&mut next, None, no_accum(), Times::new(), &g, &seed, &Descriptor::new())
-            .unwrap();
+        ctx.kronecker(
+            &mut next,
+            None,
+            no_accum(),
+            Times::new(),
+            &g,
+            &seed,
+            &Descriptor::new(),
+        )
+        .unwrap();
         g = next;
     }
     assert_eq!((g.nrows(), g.ncols()), (8, 8));
@@ -166,8 +190,16 @@ fn kronecker_power_builds_graph500_style_graphs() {
     let mut g2 = seed.clone();
     for _ in 0..2 {
         let mut next = Matrix::new(g2.nrows() * 2, g2.ncols() * 2);
-        seq.kronecker(&mut next, None, no_accum(), Times::new(), &g2, &seed, &Descriptor::new())
-            .unwrap();
+        seq.kronecker(
+            &mut next,
+            None,
+            no_accum(),
+            Times::new(),
+            &g2,
+            &seed,
+            &Descriptor::new(),
+        )
+        .unwrap();
         g2 = next;
     }
     assert_eq!(g, g2);

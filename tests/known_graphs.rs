@@ -2,8 +2,8 @@
 //! club and closed-form families.
 
 use gbtl::algorithms::{
-    betweenness_centrality_exact, coloring, connected_components, greedy_color, k_truss,
-    max_truss, mst_weight, out_degrees, pagerank::PageRankOptions, triangle_count,
+    betweenness_centrality_exact, coloring, connected_components, greedy_color, k_truss, max_truss,
+    mst_weight, out_degrees, pagerank::PageRankOptions, triangle_count,
 };
 use gbtl::graphgen::{bipartite_complete, complete, karate_club, ring, symmetrize};
 use gbtl::prelude::*;
@@ -112,24 +112,97 @@ fn closed_form_families() {
 }
 
 #[test]
+fn karate_parallel_backend_matches_oracles() {
+    // Algorithm smoke test for the work-stealing CPU backend: BFS, SSSP,
+    // PageRank and triangle counting on `Context::parallel()` must match
+    // both the sequential backend bit-for-bit and the published karate
+    // constants, at every thread count.
+    let a = karate();
+    let seq = Context::sequential();
+
+    // unit-weight copy for SSSP
+    let a_w = gbtl::core::Matrix::build(
+        34,
+        34,
+        a.iter().map(|(i, j, _)| (i, j, 1u64)),
+        gbtl::algebra::Second::new(),
+    )
+    .unwrap();
+
+    let bfs_seq = gbtl::algorithms::bfs_levels(&seq, &a, 0, Direction::Auto).unwrap();
+    let sssp_seq = gbtl::algorithms::sssp(&seq, &a_w, 0).unwrap();
+    let (pr_seq, pr_iters_seq) =
+        gbtl::algorithms::pagerank(&seq, &a, PageRankOptions::default()).unwrap();
+
+    let default_par = Context::parallel();
+    assert!(default_par.threads() >= 1);
+
+    for threads in [1, 2, 8] {
+        let par = Context::parallel_with_threads(threads);
+
+        // BFS: same levels in every direction mode; source at level 0.
+        for dir in [Direction::Push, Direction::Pull, Direction::Auto] {
+            let levels = gbtl::algorithms::bfs_levels(&par, &a, 0, dir).unwrap();
+            assert_eq!(levels, bfs_seq, "bfs {dir:?} at {threads} threads");
+            assert_eq!(levels.get(0), Some(0));
+        }
+
+        // SSSP on unit weights: hop counts, exact integer arithmetic.
+        let dist = gbtl::algorithms::sssp(&par, &a_w, 0).unwrap();
+        assert_eq!(dist, sssp_seq, "sssp at {threads} threads");
+        // karate is connected: every vertex reachable, president 2 hops out
+        assert_eq!(dist.nnz(), 34);
+        assert_eq!(dist.get(33), Some(2));
+
+        // PageRank: the parallel mxv/reduce_rows keep whole rows per task,
+        // so even the f64 run is bit-identical to sequential.
+        let (pr, iters) = gbtl::algorithms::pagerank(&par, &a, PageRankOptions::default()).unwrap();
+        assert_eq!(iters, pr_iters_seq, "pagerank iters at {threads} threads");
+        assert_eq!(pr, pr_seq, "pagerank ranks at {threads} threads");
+
+        // Published constants straight through the parallel context.
+        assert_eq!(triangle_count(&par, &a).unwrap(), 45);
+        let labels = connected_components(&par, &a).unwrap();
+        assert_eq!(gbtl::algorithms::cc::component_count(&labels), 1);
+
+        // closed-form family: K7 has 35 triangles
+        let k7 = gbtl::algorithms::adjacency(complete(7));
+        assert_eq!(triangle_count(&par, &k7).unwrap(), 35);
+    }
+}
+
+#[test]
 fn karate_backends_agree_on_everything() {
     let a = karate();
     let seq = Context::sequential();
     let cuda = Context::cuda_default();
+    let par = Context::parallel_with_threads(4);
 
     assert_eq!(
         triangle_count(&seq, &a).unwrap(),
         triangle_count(&cuda, &a).unwrap()
     );
     assert_eq!(
+        triangle_count(&seq, &a).unwrap(),
+        triangle_count(&par, &a).unwrap()
+    );
+    assert_eq!(
         connected_components(&seq, &a).unwrap(),
         connected_components(&cuda, &a).unwrap()
     );
+    assert_eq!(
+        connected_components(&seq, &a).unwrap(),
+        connected_components(&par, &a).unwrap()
+    );
     assert_eq!(max_truss(&seq, &a).unwrap(), max_truss(&cuda, &a).unwrap());
+    assert_eq!(max_truss(&seq, &a).unwrap(), max_truss(&par, &a).unwrap());
     let b1 = betweenness_centrality_exact(&seq, &a).unwrap();
     let b2 = betweenness_centrality_exact(&cuda, &a).unwrap();
+    let b3 = betweenness_centrality_exact(&par, &a).unwrap();
     for v in 0..34 {
         let (x, y) = (b1.get(v).unwrap_or(0.0), b2.get(v).unwrap_or(0.0));
         assert!((x - y).abs() < 1e-6, "vertex {v}");
+        let z = b3.get(v).unwrap_or(0.0);
+        assert!((x - z).abs() < 1e-6, "vertex {v} (parallel)");
     }
 }

@@ -6,7 +6,7 @@
 //! possible way — dense `Option<T>` grids, straight out of the GraphBLAS
 //! math spec — and property-tests the real operations against it.
 
-use gbtl::algebra::{Plus, PlusTimes, Second, Semiring, Monoid, BinaryOp};
+use gbtl::algebra::{BinaryOp, Monoid, Plus, PlusTimes, Second, Semiring};
 use gbtl::prelude::*;
 use proptest::prelude::*;
 
@@ -97,8 +97,13 @@ fn arb_matrix() -> impl Strategy<Value = Matrix<i64>> {
 fn arb_mask() -> impl Strategy<Value = Option<Matrix<bool>>> {
     proptest::option::of(
         proptest::collection::vec((0..N, 0..N), 0..40).prop_map(|idx| {
-            Matrix::build(N, N, idx.into_iter().map(|(i, j)| (i, j, true)), Second::new())
-                .expect("in bounds")
+            Matrix::build(
+                N,
+                N,
+                idx.into_iter().map(|(i, j)| (i, j, true)),
+                Second::new(),
+            )
+            .expect("in bounds")
         }),
     )
 }
@@ -107,7 +112,7 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
     /// Full factorial over {mask, complement, accum, replace} for mxm on
-    /// both backends, versus the dense oracle.
+    /// all three backends, versus the dense oracle.
     #[test]
     fn mxm_semantics_match_oracle(
         a in arb_matrix(),
@@ -131,17 +136,19 @@ proptest! {
         if replace {
             desc = desc.replace();
         }
-        for run in 0..2 {
+        for run in 0..3 {
             let mut c = old.clone();
             let acc = if accum { Some(Plus::<i64>::new()) } else { None };
-            if run == 0 {
-                Context::sequential()
+            match run {
+                0 => Context::sequential()
                     .mxm(&mut c, mask.as_ref(), acc, PlusTimes::new(), &a, &b, &desc)
-                    .unwrap();
-            } else {
-                Context::cuda_default()
+                    .unwrap(),
+                1 => Context::cuda_default()
                     .mxm(&mut c, mask.as_ref(), acc, PlusTimes::new(), &a, &b, &desc)
-                    .unwrap();
+                    .unwrap(),
+                _ => Context::parallel_with_threads(4)
+                    .mxm(&mut c, mask.as_ref(), acc, PlusTimes::new(), &a, &b, &desc)
+                    .unwrap(),
             }
             let got = to_grid(&c);
             for i in 0..N {
@@ -195,7 +202,13 @@ proptest! {
         Context::sequential()
             .ewise_add_mat(&mut c, mask.as_ref(), acc, Plus::new(), &a, &b, &desc)
             .unwrap();
-        prop_assert_eq!(to_grid(&c), expect);
+        prop_assert_eq!(to_grid(&c), expect.clone());
+
+        let mut cp = old.clone();
+        Context::parallel_with_threads(4)
+            .ewise_add_mat(&mut cp, mask.as_ref(), acc, Plus::new(), &a, &b, &desc)
+            .unwrap();
+        prop_assert_eq!(to_grid(&cp), expect);
     }
 
     /// mxv against a dense oracle with vector masks.
@@ -212,7 +225,7 @@ proptest! {
         let sr = PlusTimes::<i64>::new();
         let ga = to_grid(&a);
         // oracle product
-        let mut t = vec![None; N];
+        let mut t = [None; N];
         #[allow(clippy::needless_range_loop)]
         for i in 0..N {
             let mut acc_v: Option<i64> = None;
@@ -239,7 +252,7 @@ proptest! {
             }
         };
         // oracle stitch
-        let mut expect = vec![None; N];
+        let mut expect = [None; N];
         #[allow(clippy::needless_range_loop)]
         for i in 0..N {
             let z = if accum {
@@ -288,11 +301,16 @@ proptest! {
             desc = desc.replace();
         }
         let acc = if accum { Some(Plus::<i64>::new()) } else { None };
+        let mut wp = w.clone();
         Context::sequential()
             .mxv(&mut w, mask.as_ref(), acc, sr, &a, &u, &desc)
             .unwrap();
-        for i in 0..N {
-            prop_assert_eq!(w.get(i), expect[i], "position {}", i);
+        Context::parallel_with_threads(4)
+            .mxv(&mut wp, mask.as_ref(), acc, sr, &a, &u, &desc)
+            .unwrap();
+        for (i, &want) in expect.iter().enumerate() {
+            prop_assert_eq!(w.get(i), want, "position {}", i);
+            prop_assert_eq!(wp.get(i), want, "position {} (parallel)", i);
         }
     }
 }
