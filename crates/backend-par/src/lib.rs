@@ -45,7 +45,7 @@ mod unary;
 pub use ewise::{ewise_add_mat, ewise_add_vec, ewise_mult_mat, ewise_mult_vec};
 pub use mxm::{mxm, mxm_masked};
 pub use mxv::{mxv, vxm};
-pub use pool::ThreadPool;
+pub use pool::{PoolStats, ThreadPool};
 pub use reduce::{reduce_mat, reduce_rows, reduce_sparse_vec, reduce_vec, REDUCE_BLOCK};
 pub use transpose::transpose;
 pub use unary::{apply_dense_vec, apply_mat, apply_vec, select_mat, select_mat_op};

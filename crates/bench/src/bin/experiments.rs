@@ -4,6 +4,7 @@
 //! ```text
 //! cargo run -p gbtl-bench --release --bin experiments            # all
 //! cargo run -p gbtl-bench --release --bin experiments -- t1 f1  # subset
+//! cargo run -p gbtl-bench --release --bin experiments -- --trace f1
 //! ```
 
 use std::time::Duration;
@@ -14,10 +15,22 @@ use gbtl_bench::{
     cuda_ctx, er_graph, grid_graph, host_threads, par_ctx, print_header, print_row, print_title,
     rmat_graph, seq_ctx, time_best, time_cuda, typed, weighted, Row,
 };
-use gbtl_core::{no_accum, Descriptor, Matrix, SpmvKernel, Vector};
+use gbtl_core::trace::report::format_table;
+use gbtl_core::{no_accum, Backend, Context, Descriptor, Matrix, SpmvKernel, TraceMode, Vector};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // `--trace` turns op tracing on for every context the experiments
+    // create (they all read `GBTL_TRACE` at construction) and appends a
+    // three-backend traced report after the selected experiments finish.
+    let traced = if let Some(i) = args.iter().position(|a| a == "--trace") {
+        args.remove(i);
+        std::env::set_var("GBTL_TRACE", "summary");
+        println!("op tracing: on (GBTL_TRACE=summary)");
+        true
+    } else {
+        false
+    };
     let all = args.is_empty() || args.iter().any(|a| a == "all");
     let want = |k: &str| all || args.iter().any(|a| a == k);
 
@@ -54,6 +67,63 @@ fn main() {
     if want("p1") {
         p1_par_threads();
     }
+    if want("tr") {
+        tr_trace_overhead();
+    }
+
+    if traced {
+        println!("\n== traced appendix: BFS + triangles (rmat12), per-op report per backend");
+        let a = rmat_graph(12, 16, 7);
+        report_for(&a, seq_ctx());
+        report_for(&a, par_ctx(host_threads()));
+        report_for(&a, cuda_ctx());
+    }
+}
+
+/// R-T2: overhead of the gbtl-trace instrumentation (EXPERIMENTS.md).
+fn tr_trace_overhead() {
+    print_title(
+        "R-T2: op-trace overhead (BFS end to end, rmat14)",
+        "off is a dead branch per op, indistinguishable from untraced; summary \
+         mode records one span per GraphBLAS op and stays within a few percent",
+    );
+    let a = rmat_graph(14, 16, 7);
+    println!(
+        "{:<16} {:>12} {:>12} {:>9}",
+        "backend", "trace off", "summary", "overhead"
+    );
+    overhead_row("sequential", &a, seq_ctx);
+    overhead_row("parallel", &a, || par_ctx(host_threads()));
+    overhead_row("cuda-sim", &a, cuda_ctx);
+
+    println!("\nsample traced report (rmat10 BFS + triangles, all backends):");
+    let small = rmat_graph(10, 16, 7);
+    report_for(&small, seq_ctx());
+    report_for(&small, par_ctx(host_threads()));
+    report_for(&small, cuda_ctx());
+}
+
+fn overhead_row<B: Backend>(label: &str, a: &Matrix<bool>, make: impl Fn() -> Context<B>) {
+    let off = time_best(3, || {
+        let ctx = make().with_trace_mode(TraceMode::Off);
+        let _ = bfs_levels(&ctx, a, 0, Direction::Push).unwrap();
+    });
+    let on = time_best(3, || {
+        let ctx = make().with_trace_mode(TraceMode::Summary);
+        let _ = bfs_levels(&ctx, a, 0, Direction::Push).unwrap();
+    });
+    let delta = on.as_secs_f64() - off.as_secs_f64();
+    println!(
+        "{label:<16} {off:>12.3?} {on:>12.3?} {:>8.1}%",
+        delta / off.as_secs_f64().max(1e-12) * 100.0
+    );
+}
+
+fn report_for<B: Backend>(a: &Matrix<bool>, ctx: Context<B>) {
+    let ctx = ctx.with_trace_mode(TraceMode::Summary);
+    let _ = bfs_levels(&ctx, a, 0, Direction::Push).unwrap();
+    let _ = triangle_count(&ctx, a).unwrap();
+    println!("{}", format_table(&ctx.trace()));
 }
 
 /// R-P1: work-stealing parallel CPU backend, thread sweep on the two core

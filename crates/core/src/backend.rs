@@ -20,6 +20,13 @@ pub trait Backend: Send + Sync {
     /// Human-readable backend name (for reports).
     fn name(&self) -> &'static str;
 
+    /// Backend-specific detail to attach to a [`gbtl_trace::TraceReport`]
+    /// (work-stealing pool counters, simulated-device kernel statistics);
+    /// `None` for backends with nothing beyond the op spans.
+    fn trace_section(&self) -> Option<gbtl_trace::Section> {
+        None
+    }
+
     /// `C = A ⊕.⊗ B`.
     fn mxm<T: Scalar, S: Semiring<T>>(
         &self,
@@ -375,11 +382,47 @@ impl ParBackend {
     pub fn threads(&self) -> usize {
         self.pool.threads()
     }
+
+    /// Snapshot of the pool's cumulative execution counters.
+    pub fn pool_stats(&self) -> gbtl_backend_par::PoolStats {
+        self.pool.stats()
+    }
+
+    /// Zero the pool's cumulative execution counters.
+    pub fn reset_pool_stats(&self) {
+        self.pool.reset_stats()
+    }
 }
 
 impl Backend for ParBackend {
     fn name(&self) -> &'static str {
         "parallel"
+    }
+
+    fn trace_section(&self) -> Option<gbtl_trace::Section> {
+        let s = self.pool.stats();
+        let mut entries = vec![
+            ("threads".into(), s.threads.to_string()),
+            (
+                "dispatches".into(),
+                format!(
+                    "{} parallel, {} inline",
+                    s.parallel_dispatches, s.inline_dispatches
+                ),
+            ),
+            ("tasks executed".into(), s.tasks_executed.to_string()),
+            ("steals".into(), s.steals.to_string()),
+        ];
+        for (w, busy) in s.busy_ns.iter().enumerate() {
+            entries.push((
+                format!("worker {w} busy"),
+                format!("{:.3} ms", *busy as f64 / 1e6),
+            ));
+        }
+        Some(gbtl_trace::Section {
+            title: "work-stealing pool".into(),
+            entries,
+        })
     }
 
     fn mxm<T: Scalar, S: Semiring<T>>(
@@ -623,6 +666,13 @@ impl Default for CudaBackend {
 impl Backend for CudaBackend {
     fn name(&self) -> &'static str {
         "cuda-sim"
+    }
+
+    fn trace_section(&self) -> Option<gbtl_trace::Section> {
+        Some(gbtl_trace::Section {
+            title: "simulated device".into(),
+            entries: gbtl_gpu_sim::report::stats_pairs(&self.stats()),
+        })
     }
 
     fn mxm<T: Scalar, S: Semiring<T>>(

@@ -1,8 +1,10 @@
-//! The execution context: a backend plus convenience constructors.
+//! The execution context: a backend, its tracer, and convenience
+//! constructors.
 
 use gbtl_algebra::Scalar;
 use gbtl_gpu_sim::{GpuConfig, GpuStats};
 use gbtl_sparse::CooMatrix;
+use gbtl_trace::{SpanFields, SpanStart, TraceMode, TraceReport, Tracer};
 
 use crate::backend::{Backend, CudaBackend, ParBackend, SeqBackend, SpmvKernel};
 use crate::types::Matrix;
@@ -12,17 +14,24 @@ use crate::types::Matrix;
 /// All operations are methods on the context (see the [`crate::ops`]
 /// modules), so an algorithm written as `fn f<B: Backend>(ctx: &Context<B>,
 /// …)` runs unchanged on either backend — the paper's headline property.
+///
+/// Every dispatched operation is bracketed by the context's
+/// [`gbtl_trace::Tracer`]: with `GBTL_TRACE=summary|json` (or
+/// [`Context::with_trace_mode`]) each op records a span — name, operand
+/// dims, nnz in/out, operator label, mask/accum flags, wall duration — and
+/// [`Context::trace`] returns the unified report with backend-specific
+/// sections attached. In the default `off` mode the hooks are a single
+/// branch on a cached enum: no allocation, no clock reads.
 #[derive(Debug)]
 pub struct Context<B: Backend> {
     backend: B,
+    tracer: Tracer,
 }
 
 impl Context<SeqBackend> {
     /// A context on the sequential CPU backend.
     pub fn sequential() -> Self {
-        Context {
-            backend: SeqBackend,
-        }
+        Context::with_backend(SeqBackend)
     }
 }
 
@@ -30,43 +39,41 @@ impl Context<ParBackend> {
     /// A context on the work-stealing parallel CPU backend; thread count
     /// from `GBTL_NUM_THREADS`, else the machine's available parallelism.
     pub fn parallel() -> Self {
-        Context {
-            backend: ParBackend::new(),
-        }
+        Context::with_backend(ParBackend::new())
     }
 
     /// A parallel context pinned to exactly `threads` worker threads.
     pub fn parallel_with_threads(threads: usize) -> Self {
-        Context {
-            backend: ParBackend::with_threads(threads),
-        }
+        Context::with_backend(ParBackend::with_threads(threads))
     }
 
     /// The configured worker count.
     pub fn threads(&self) -> usize {
         self.backend.threads()
     }
+
+    /// Snapshot of the work-stealing pool's cumulative counters.
+    pub fn pool_stats(&self) -> gbtl_backend_par::PoolStats {
+        self.backend.pool_stats()
+    }
 }
 
 impl Context<CudaBackend> {
     /// A context on the simulated-CUDA backend with the given device.
     pub fn cuda(config: GpuConfig) -> Self {
-        Context {
-            backend: CudaBackend::new(config),
-        }
+        Context::with_backend(CudaBackend::new(config))
     }
 
     /// A context on the default (K40-class) simulated device.
     pub fn cuda_default() -> Self {
-        Context {
-            backend: CudaBackend::default(),
-        }
+        Context::with_backend(CudaBackend::default())
     }
 
     /// Force a specific SpMV kernel (experiment R-A1).
     pub fn with_spmv_kernel(self, k: SpmvKernel) -> Self {
         Context {
             backend: self.backend.with_spmv_kernel(k),
+            tracer: self.tracer,
         }
     }
 
@@ -112,9 +119,11 @@ impl Context<CudaBackend> {
 }
 
 impl<B: Backend> Context<B> {
-    /// Wrap an arbitrary backend.
+    /// Wrap an arbitrary backend. Trace mode comes from `GBTL_TRACE`
+    /// (default off).
     pub fn with_backend(backend: B) -> Self {
-        Context { backend }
+        let tracer = Tracer::from_env(backend.name());
+        Context { backend, tracer }
     }
 
     /// The backend.
@@ -128,6 +137,46 @@ impl<B: Backend> Context<B> {
         self.backend.name()
     }
 
+    /// Set the trace mode explicitly (builder form).
+    pub fn with_trace_mode(mut self, mode: TraceMode) -> Self {
+        self.tracer.set_mode(mode);
+        self
+    }
+
+    /// Set the trace mode explicitly.
+    pub fn set_trace_mode(&mut self, mode: TraceMode) {
+        self.tracer.set_mode(mode);
+    }
+
+    /// The current trace mode.
+    pub fn trace_mode(&self) -> TraceMode {
+        self.tracer.mode()
+    }
+
+    /// Snapshot everything the tracer recorded, with this backend's
+    /// detail section (pool counters / device statistics) attached.
+    pub fn trace(&self) -> TraceReport {
+        self.tracer
+            .report(self.backend.trace_section().into_iter().collect())
+    }
+
+    /// Drop all recorded spans and aggregates (mode is unchanged).
+    pub fn clear_trace(&self) {
+        self.tracer.clear();
+    }
+
+    /// Open an op span (one branch, nothing else, when tracing is off).
+    #[inline]
+    pub(crate) fn span(&self) -> SpanStart {
+        self.tracer.start()
+    }
+
+    /// Close an op span; `fields` runs only when the span is live.
+    #[inline]
+    pub(crate) fn span_end(&self, start: SpanStart, fields: impl FnOnce() -> SpanFields) {
+        self.tracer.finish(start, fields)
+    }
+
     /// Build a matrix through the backend's `build` kernel (duplicates
     /// merged with `dup`).
     pub fn matrix_from_coo<T: Scalar, D: gbtl_algebra::BinaryOp<T>>(
@@ -135,7 +184,21 @@ impl<B: Backend> Context<B> {
         coo: &CooMatrix<T>,
         dup: D,
     ) -> Matrix<T> {
-        Matrix::from_csr(self.backend.build(coo, dup))
+        let t0 = self.span();
+        let out = Matrix::from_csr(self.backend.build(coo, dup));
+        let (nnz_in, nnz_out) = (coo.nnz() as u64, out.nnz() as u64);
+        let (nr, nc) = (out.nrows(), out.ncols());
+        self.span_end(t0, || SpanFields {
+            op: "build",
+            op_label: gbtl_trace::short_type_name::<D>(),
+            dims: format!("{nr}x{nc}"),
+            nnz_in,
+            nnz_out,
+            masked: false,
+            complemented: false,
+            accum: false,
+        });
+        out
     }
 }
 

@@ -57,6 +57,8 @@ pub use types::{Matrix, Vector};
 // Re-export the pieces callers constantly need alongside the API.
 pub use gbtl_algebra as algebra;
 pub use gbtl_gpu_sim::{GpuConfig, GpuStats};
+pub use gbtl_trace as trace;
+pub use gbtl_trace::{TraceMode, TraceReport};
 
 /// A typed "no accumulator" for the `accum` parameter of any operation.
 ///

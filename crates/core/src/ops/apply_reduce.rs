@@ -1,6 +1,7 @@
 //! `apply` and the `reduce` family.
 
 use gbtl_algebra::{BinaryOp, Monoid, Scalar, UnaryOp};
+use gbtl_trace::SpanFields;
 
 use crate::backend::Backend;
 use crate::descriptor::Descriptor;
@@ -38,9 +39,23 @@ impl<B: Backend> Context<B> {
                 ),
             ));
         }
+        let t0 = self.span();
+        let nnz_in = a_csr.nnz() as u64;
+        let (masked, has_accum) = (mask.is_some(), accum.is_some());
         let t = self.backend().apply_mat(&a_csr, f);
         let mat_mask = mask.map(|mk| MatMask::new(mk, desc.complement_mask));
         *c = Matrix::from_csr(stitch_mat(c.csr(), t, mat_mask, accum, desc.replace));
+        let (nr, nc, nnz_out) = (c.nrows(), c.ncols(), c.nnz() as u64);
+        self.span_end(t0, || SpanFields {
+            op: "apply_mat",
+            op_label: gbtl_trace::short_type_name::<U>(),
+            dims: format!("{nr}x{nc}"),
+            nnz_in,
+            nnz_out,
+            masked,
+            complemented: masked && desc.complement_mask,
+            accum: has_accum,
+        });
         Ok(())
     }
 
@@ -50,7 +65,20 @@ impl<B: Backend> Context<B> {
         A: Scalar,
         U: UnaryOp<A>,
     {
-        Matrix::from_csr(self.backend().apply_mat(a.csr(), f))
+        let t0 = self.span();
+        let out = Matrix::from_csr(self.backend().apply_mat(a.csr(), f));
+        let (nr, nc, nnz) = (out.nrows(), out.ncols(), out.nnz() as u64);
+        self.span_end(t0, || SpanFields {
+            op: "apply_mat",
+            op_label: gbtl_trace::short_type_name::<U>(),
+            dims: format!("{nr}x{nc}"),
+            nnz_in: nnz,
+            nnz_out: nnz,
+            masked: false,
+            complemented: false,
+            accum: false,
+        });
+        out
     }
 
     /// `w<m, accum> = f(u)` — same-domain vector apply.
@@ -74,6 +102,9 @@ impl<B: Backend> Context<B> {
                 format!("output len {} vs input len {}", w.len(), u.len()),
             ));
         }
+        let t0 = self.span();
+        let nnz_in = u.nnz() as u64;
+        let (masked, has_accum) = (mask.is_some(), accum.is_some());
         let t = self.backend().apply_sparse_vec(&u.to_sparse_repr(), f);
         let keep = resolve_vec_mask(mask, desc.complement_mask, w.len());
         *w = Vector::Sparse(stitch_sparse_vec(
@@ -83,6 +114,17 @@ impl<B: Backend> Context<B> {
             accum,
             desc.replace,
         ));
+        let (len, nnz_out) = (w.len(), w.nnz() as u64);
+        self.span_end(t0, || SpanFields {
+            op: "apply_vec",
+            op_label: gbtl_trace::short_type_name::<U>(),
+            dims: format!("{len}"),
+            nnz_in,
+            nnz_out,
+            masked,
+            complemented: masked && desc.complement_mask,
+            accum: has_accum,
+        });
         Ok(())
     }
 
@@ -92,10 +134,23 @@ impl<B: Backend> Context<B> {
         A: Scalar,
         U: UnaryOp<A>,
     {
-        match u {
+        let t0 = self.span();
+        let out = match u {
             Vector::Sparse(s) => Vector::Sparse(self.backend().apply_sparse_vec(s, f)),
             Vector::Dense(d) => Vector::Dense(self.backend().apply_dense_vec(d, f)),
-        }
+        };
+        let (len, nnz_in, nnz_out) = (out.len(), u.nnz() as u64, out.nnz() as u64);
+        self.span_end(t0, || SpanFields {
+            op: "apply_vec",
+            op_label: gbtl_trace::short_type_name::<U>(),
+            dims: format!("{len}"),
+            nnz_in,
+            nnz_out,
+            masked: false,
+            complemented: false,
+            accum: false,
+        });
+        out
     }
 
     /// Reduce all stored entries of `A` to a scalar; `None` when `A` stores
@@ -105,7 +160,21 @@ impl<B: Backend> Context<B> {
         T: Scalar,
         M: Monoid<T>,
     {
-        self.backend().reduce_mat(a.csr(), monoid)
+        let t0 = self.span();
+        let out = self.backend().reduce_mat(a.csr(), monoid);
+        let (nr, nc, nnz_in) = (a.nrows(), a.ncols(), a.nnz() as u64);
+        let nnz_out = out.is_some() as u64;
+        self.span_end(t0, || SpanFields {
+            op: "reduce_mat",
+            op_label: gbtl_trace::short_type_name::<M>(),
+            dims: format!("{nr}x{nc}"),
+            nnz_in,
+            nnz_out,
+            masked: false,
+            complemented: false,
+            accum: false,
+        });
+        out
     }
 
     /// Reduce all stored entries of `u` to a scalar; `None` when empty.
@@ -114,10 +183,24 @@ impl<B: Backend> Context<B> {
         T: Scalar,
         M: Monoid<T>,
     {
-        match u {
+        let t0 = self.span();
+        let out = match u {
             Vector::Sparse(s) => self.backend().reduce_sparse_vec(s, monoid),
             Vector::Dense(d) => self.backend().reduce_dense_vec(d, monoid),
-        }
+        };
+        let (len, nnz_in) = (u.len(), u.nnz() as u64);
+        let nnz_out = out.is_some() as u64;
+        self.span_end(t0, || SpanFields {
+            op: "reduce_vec",
+            op_label: gbtl_trace::short_type_name::<M>(),
+            dims: format!("{len}"),
+            nnz_in,
+            nnz_out,
+            masked: false,
+            complemented: false,
+            accum: false,
+        });
+        out
     }
 
     /// `w<m, accum> = ⊕ A(i, :)` — row-wise reduction (column-wise with
@@ -143,6 +226,9 @@ impl<B: Backend> Context<B> {
                 format!("output len {} vs nrows {}", w.len(), a_csr.nrows()),
             ));
         }
+        let t0 = self.span();
+        let nnz_in = a_csr.nnz() as u64;
+        let (masked, has_accum) = (mask.is_some(), accum.is_some());
         let t = self.backend().reduce_rows(&a_csr, monoid);
         let keep = resolve_vec_mask(mask, desc.complement_mask, w.len());
         *w = Vector::Sparse(stitch_sparse_vec(
@@ -152,6 +238,18 @@ impl<B: Backend> Context<B> {
             accum,
             desc.replace,
         ));
+        let (nr, nc) = (a_csr.nrows(), a_csr.ncols());
+        let nnz_out = w.nnz() as u64;
+        self.span_end(t0, || SpanFields {
+            op: "reduce_rows",
+            op_label: gbtl_trace::short_type_name::<M>(),
+            dims: format!("{nr}x{nc}"),
+            nnz_in,
+            nnz_out,
+            masked,
+            complemented: masked && desc.complement_mask,
+            accum: has_accum,
+        });
         Ok(())
     }
 }

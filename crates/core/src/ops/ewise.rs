@@ -5,6 +5,7 @@
 #![allow(clippy::too_many_arguments)]
 
 use gbtl_algebra::{BinaryOp, Scalar};
+use gbtl_trace::SpanFields;
 
 use crate::backend::Backend;
 use crate::descriptor::Descriptor;
@@ -70,6 +71,7 @@ impl<B: Backend> Context<B> {
         Acc: BinaryOp<T>,
     {
         let which = if union { "eWiseAdd" } else { "eWiseMult" };
+        let t0 = self.span();
         let a_csr = self.resolve_transpose(a.csr(), desc.transpose_a);
         let b_csr = self.resolve_transpose(b.csr(), desc.transpose_b);
         if (a_csr.nrows(), a_csr.ncols()) != (b_csr.nrows(), b_csr.ncols()) {
@@ -100,8 +102,26 @@ impl<B: Backend> Context<B> {
         } else {
             self.backend().ewise_mult_mat(&a_csr, &b_csr, op)
         };
+        let nnz_in = (a_csr.nnz() + b_csr.nnz()) as u64;
+        let (masked, has_accum) = (mask.is_some(), accum.is_some());
         let mat_mask = mask.map(|mk| MatMask::new(mk, desc.complement_mask));
         *c = Matrix::from_csr(stitch_mat(c.csr(), t, mat_mask, accum, desc.replace));
+        let nnz_out = c.nnz() as u64;
+        let (nr, nc) = (c.nrows(), c.ncols());
+        self.span_end(t0, || SpanFields {
+            op: if union {
+                "ewise_add_mat"
+            } else {
+                "ewise_mult_mat"
+            },
+            op_label: gbtl_trace::short_type_name::<Op>(),
+            dims: format!("{nr}x{nc}"),
+            nnz_in,
+            nnz_out,
+            masked,
+            complemented: masked && desc.complement_mask,
+            accum: has_accum,
+        });
         Ok(())
     }
 
@@ -122,6 +142,9 @@ impl<B: Backend> Context<B> {
         Acc: BinaryOp<T>,
     {
         self.check_vec_dims("eWiseAdd", w, mask, u, v)?;
+        let t0 = self.span();
+        let nnz_in = (u.nnz() + v.nnz()) as u64;
+        let (masked, has_accum) = (mask.is_some(), accum.is_some());
         let t = self
             .backend()
             .ewise_add_vec(&u.to_sparse_repr(), &v.to_sparse_repr(), op);
@@ -133,6 +156,17 @@ impl<B: Backend> Context<B> {
             accum,
             desc.replace,
         ));
+        let (len, nnz_out) = (w.len(), w.nnz() as u64);
+        self.span_end(t0, || SpanFields {
+            op: "ewise_add_vec",
+            op_label: gbtl_trace::short_type_name::<Op>(),
+            dims: format!("{len}"),
+            nnz_in,
+            nnz_out,
+            masked,
+            complemented: masked && desc.complement_mask,
+            accum: has_accum,
+        });
         Ok(())
     }
 
@@ -153,11 +187,25 @@ impl<B: Backend> Context<B> {
         Acc: BinaryOp<T>,
     {
         self.check_vec_dims("eWiseMult", w, mask, u, v)?;
+        let t0 = self.span();
+        let nnz_in = (u.nnz() + v.nnz()) as u64;
+        let (masked, has_accum) = (mask.is_some(), accum.is_some());
         let t = self
             .backend()
             .ewise_mult_vec(&u.to_dense_repr(), &v.to_dense_repr(), op);
         let keep = resolve_vec_mask(mask, desc.complement_mask, w.len());
         *w = Vector::Dense(stitch_dense_vec(w, t, keep.as_deref(), accum, desc.replace));
+        let (len, nnz_out) = (w.len(), w.nnz() as u64);
+        self.span_end(t0, || SpanFields {
+            op: "ewise_mult_vec",
+            op_label: gbtl_trace::short_type_name::<Op>(),
+            dims: format!("{len}"),
+            nnz_in,
+            nnz_out,
+            masked,
+            complemented: masked && desc.complement_mask,
+            accum: has_accum,
+        });
         Ok(())
     }
 

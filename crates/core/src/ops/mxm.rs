@@ -6,6 +6,7 @@
 
 use gbtl_algebra::{BinaryOp, Scalar, Semiring};
 use gbtl_sparse::CsrMatrix;
+use gbtl_trace::SpanFields;
 
 use crate::backend::Backend;
 use crate::descriptor::Descriptor;
@@ -36,6 +37,7 @@ impl<B: Backend> Context<B> {
         S: Semiring<T>,
         Acc: BinaryOp<T>,
     {
+        let t0 = self.span();
         let a_csr = self.resolve_transpose(a.csr(), desc.transpose_a);
         let b_csr = self.resolve_transpose(b.csr(), desc.transpose_b);
         let (m, k1) = (a_csr.nrows(), a_csr.ncols());
@@ -64,9 +66,22 @@ impl<B: Backend> Context<B> {
             }
             _ => self.backend().mxm(&a_csr, &b_csr, sr),
         };
+        let nnz_in = (a_csr.nnz() + b_csr.nnz()) as u64;
+        let (masked, has_accum) = (mask.is_some(), accum.is_some());
         let mat_mask = mask.map(|mk| MatMask::new(mk, desc.complement_mask));
         let out = stitch_mat(c.csr(), t, mat_mask, accum, desc.replace);
         *c = Matrix::from_csr(out);
+        let nnz_out = c.nnz() as u64;
+        self.span_end(t0, || SpanFields {
+            op: "mxm",
+            op_label: gbtl_trace::short_type_name::<S>(),
+            dims: format!("{m}x{k1}*{k2}x{n}"),
+            nnz_in,
+            nnz_out,
+            masked,
+            complemented: masked && desc.complement_mask,
+            accum: has_accum,
+        });
         Ok(())
     }
 

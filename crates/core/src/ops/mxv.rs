@@ -5,6 +5,7 @@
 #![allow(clippy::too_many_arguments)]
 
 use gbtl_algebra::{BinaryOp, Scalar, Semiring};
+use gbtl_trace::SpanFields;
 
 use crate::backend::Backend;
 use crate::descriptor::Descriptor;
@@ -34,6 +35,7 @@ impl<B: Backend> Context<B> {
         S: Semiring<T>,
         Acc: BinaryOp<T>,
     {
+        let t0 = self.span();
         let a_csr = self.resolve_transpose(a.csr(), desc.transpose_a);
         if a_csr.ncols() != u.len() {
             return Err(dim_err(
@@ -55,11 +57,25 @@ impl<B: Backend> Context<B> {
                 ));
             }
         }
+        let nnz_in = (a_csr.nnz() + u.nnz()) as u64;
+        let (masked, has_accum) = (mask.is_some(), accum.is_some());
         let keep = resolve_vec_mask(mask, desc.complement_mask, a_csr.nrows());
         let u_dense = u.to_dense_repr();
         let t = self.backend().mxv(&a_csr, &u_dense, sr, keep.as_deref());
         let out = stitch_dense_vec(w, t, keep.as_deref(), accum, desc.replace);
         *w = Vector::Dense(out);
+        let nnz_out = w.nnz() as u64;
+        let (nr, nc) = (a_csr.nrows(), a_csr.ncols());
+        self.span_end(t0, || SpanFields {
+            op: "mxv",
+            op_label: gbtl_trace::short_type_name::<S>(),
+            dims: format!("{nr}x{nc}*{nc}"),
+            nnz_in,
+            nnz_out,
+            masked,
+            complemented: masked && desc.complement_mask,
+            accum: has_accum,
+        });
         Ok(())
     }
 
@@ -82,6 +98,7 @@ impl<B: Backend> Context<B> {
     {
         // For vxm the descriptor's transpose_a transposes the matrix, i.e.
         // `w = uᵀAᵀ`, which is the pull form of `A u`.
+        let t0 = self.span();
         let a_csr = self.resolve_transpose(a.csr(), desc.transpose_a);
         if u.len() != a_csr.nrows() {
             return Err(dim_err(
@@ -103,11 +120,25 @@ impl<B: Backend> Context<B> {
                 ));
             }
         }
+        let nnz_in = (a_csr.nnz() + u.nnz()) as u64;
+        let (masked, has_accum) = (mask.is_some(), accum.is_some());
         let keep = resolve_vec_mask(mask, desc.complement_mask, a_csr.ncols());
         let u_sparse = u.to_sparse_repr();
         let t = self.backend().vxm(&u_sparse, &a_csr, sr, keep.as_deref());
         let out = stitch_sparse_vec(w, t, keep.as_deref(), accum, desc.replace);
         *w = Vector::Sparse(out);
+        let nnz_out = w.nnz() as u64;
+        let (nr, nc) = (a_csr.nrows(), a_csr.ncols());
+        self.span_end(t0, || SpanFields {
+            op: "vxm",
+            op_label: gbtl_trace::short_type_name::<S>(),
+            dims: format!("{nr}*{nr}x{nc}"),
+            nnz_in,
+            nnz_out,
+            masked,
+            complemented: masked && desc.complement_mask,
+            accum: has_accum,
+        });
         Ok(())
     }
 }

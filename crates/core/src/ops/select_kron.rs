@@ -5,6 +5,7 @@
 #![allow(clippy::too_many_arguments)]
 
 use gbtl_algebra::{BinaryOp, Scalar, SelectOp};
+use gbtl_trace::SpanFields;
 
 use crate::backend::Backend;
 use crate::descriptor::Descriptor;
@@ -29,6 +30,7 @@ impl<B: Backend> Context<B> {
         P: SelectOp<T>,
         Acc: BinaryOp<T>,
     {
+        let t0 = self.span();
         let a_csr = self.resolve_transpose(a.csr(), desc.transpose_a);
         if (c.nrows(), c.ncols()) != (a_csr.nrows(), a_csr.ncols()) {
             return Err(dim_err(
@@ -42,9 +44,22 @@ impl<B: Backend> Context<B> {
                 ),
             ));
         }
+        let nnz_in = a_csr.nnz() as u64;
+        let (masked, has_accum) = (mask.is_some(), accum.is_some());
         let t = self.backend().select_mat(&a_csr, op);
         let mat_mask = mask.map(|mk| MatMask::new(mk, desc.complement_mask));
         *c = Matrix::from_csr(stitch_mat(c.csr(), t, mat_mask, accum, desc.replace));
+        let (nr, nc, nnz_out) = (c.nrows(), c.ncols(), c.nnz() as u64);
+        self.span_end(t0, || SpanFields {
+            op: "select_mat",
+            op_label: gbtl_trace::short_type_name::<P>(),
+            dims: format!("{nr}x{nc}"),
+            nnz_in,
+            nnz_out,
+            masked,
+            complemented: masked && desc.complement_mask,
+            accum: has_accum,
+        });
         Ok(())
     }
 
@@ -54,7 +69,21 @@ impl<B: Backend> Context<B> {
         T: Scalar,
         P: SelectOp<T>,
     {
-        Matrix::from_csr(self.backend().select_mat(a.csr(), op))
+        let t0 = self.span();
+        let nnz_in = a.nnz() as u64;
+        let out = Matrix::from_csr(self.backend().select_mat(a.csr(), op));
+        let (nr, nc, nnz_out) = (out.nrows(), out.ncols(), out.nnz() as u64);
+        self.span_end(t0, || SpanFields {
+            op: "select_mat",
+            op_label: gbtl_trace::short_type_name::<P>(),
+            dims: format!("{nr}x{nc}"),
+            nnz_in,
+            nnz_out,
+            masked: false,
+            complemented: false,
+            accum: false,
+        });
+        out
     }
 
     /// `w<m, accum> = select(op, u)`.
@@ -78,6 +107,9 @@ impl<B: Backend> Context<B> {
                 format!("output len {} vs input len {}", w.len(), u.len()),
             ));
         }
+        let t0 = self.span();
+        let nnz_in = u.nnz() as u64;
+        let (masked, has_accum) = (mask.is_some(), accum.is_some());
         let t = self.backend().select_vec(&u.to_sparse_repr(), op);
         let keep = resolve_vec_mask(mask, desc.complement_mask, w.len());
         *w = Vector::Sparse(stitch_sparse_vec(
@@ -87,6 +119,17 @@ impl<B: Backend> Context<B> {
             accum,
             desc.replace,
         ));
+        let (len, nnz_out) = (w.len(), w.nnz() as u64);
+        self.span_end(t0, || SpanFields {
+            op: "select_vec",
+            op_label: gbtl_trace::short_type_name::<P>(),
+            dims: format!("{len}"),
+            nnz_in,
+            nnz_out,
+            masked,
+            complemented: masked && desc.complement_mask,
+            accum: has_accum,
+        });
         Ok(())
     }
 
@@ -108,6 +151,7 @@ impl<B: Backend> Context<B> {
         Op: BinaryOp<T>,
         Acc: BinaryOp<T>,
     {
+        let t0 = self.span();
         let a_csr = self.resolve_transpose(a.csr(), desc.transpose_a);
         let b_csr = self.resolve_transpose(b.csr(), desc.transpose_b);
         let (m, n) = (a_csr.nrows() * b_csr.nrows(), a_csr.ncols() * b_csr.ncols());
@@ -117,9 +161,22 @@ impl<B: Backend> Context<B> {
                 format!("output {}x{} vs product {m}x{n}", c.nrows(), c.ncols()),
             ));
         }
+        let nnz_in = (a_csr.nnz() + b_csr.nnz()) as u64;
+        let (masked, has_accum) = (mask.is_some(), accum.is_some());
         let t = self.backend().kronecker(&a_csr, &b_csr, mul);
         let mat_mask = mask.map(|mk| MatMask::new(mk, desc.complement_mask));
         *c = Matrix::from_csr(stitch_mat(c.csr(), t, mat_mask, accum, desc.replace));
+        let nnz_out = c.nnz() as u64;
+        self.span_end(t0, || SpanFields {
+            op: "kronecker",
+            op_label: gbtl_trace::short_type_name::<Op>(),
+            dims: format!("{m}x{n}"),
+            nnz_in,
+            nnz_out,
+            masked,
+            complemented: masked && desc.complement_mask,
+            accum: has_accum,
+        });
         Ok(())
     }
 }

@@ -2,6 +2,7 @@
 
 use gbtl_algebra::{BinaryOp, Scalar};
 use gbtl_sparse::Index;
+use gbtl_trace::SpanFields;
 
 use crate::backend::Backend;
 use crate::descriptor::Descriptor;
@@ -25,6 +26,7 @@ impl<B: Backend> Context<B> {
         Acc: BinaryOp<T>,
     {
         // transpose_a on a transpose op yields A back (GraphBLAS quirk).
+        let t0 = self.span();
         let t = if desc.transpose_a {
             a.csr().clone()
         } else {
@@ -42,8 +44,21 @@ impl<B: Backend> Context<B> {
                 ),
             ));
         }
+        let nnz_in = a.nnz() as u64;
+        let (masked, has_accum) = (mask.is_some(), accum.is_some());
         let mat_mask = mask.map(|mk| MatMask::new(mk, desc.complement_mask));
         *c = Matrix::from_csr(stitch_mat(c.csr(), t, mat_mask, accum, desc.replace));
+        let (nr, nc, nnz_out) = (c.nrows(), c.ncols(), c.nnz() as u64);
+        self.span_end(t0, || SpanFields {
+            op: "transpose",
+            op_label: String::new(),
+            dims: format!("{nr}x{nc}"),
+            nnz_in,
+            nnz_out,
+            masked,
+            complemented: masked && desc.complement_mask,
+            accum: has_accum,
+        });
         Ok(())
     }
 
@@ -71,11 +86,21 @@ impl<B: Backend> Context<B> {
                 });
             }
         }
-        Ok(Matrix::from_csr(self.backend().extract_mat(
-            a.csr(),
-            rows,
-            cols,
-        )))
+        let t0 = self.span();
+        let out = Matrix::from_csr(self.backend().extract_mat(a.csr(), rows, cols));
+        let nnz_in = a.nnz() as u64;
+        let (nr, nc, nnz_out) = (out.nrows(), out.ncols(), out.nnz() as u64);
+        self.span_end(t0, || SpanFields {
+            op: "extract_mat",
+            op_label: String::new(),
+            dims: format!("{nr}x{nc}"),
+            nnz_in,
+            nnz_out,
+            masked: false,
+            complemented: false,
+            accum: false,
+        });
+        Ok(out)
     }
 
     /// `C(rows, cols) = A` — sub-matrix assignment (entries of the region
@@ -120,7 +145,20 @@ impl<B: Backend> Context<B> {
                 });
             }
         }
+        let t0 = self.span();
+        let nnz_in = (c.nnz() + a.nnz()) as u64;
         *c = Matrix::from_csr(self.backend().assign_mat(c.csr(), a.csr(), rows, cols));
+        let (nr, nc, nnz_out) = (c.nrows(), c.ncols(), c.nnz() as u64);
+        self.span_end(t0, || SpanFields {
+            op: "assign_mat",
+            op_label: String::new(),
+            dims: format!("{nr}x{nc}"),
+            nnz_in,
+            nnz_out,
+            masked: false,
+            complemented: false,
+            accum: false,
+        });
         Ok(())
     }
 
@@ -138,9 +176,20 @@ impl<B: Backend> Context<B> {
                 });
             }
         }
-        Ok(Vector::Dense(
-            self.backend().extract_vec(&u.to_dense_repr(), indices),
-        ))
+        let t0 = self.span();
+        let out = Vector::Dense(self.backend().extract_vec(&u.to_dense_repr(), indices));
+        let (len, nnz_in, nnz_out) = (out.len(), u.nnz() as u64, out.nnz() as u64);
+        self.span_end(t0, || SpanFields {
+            op: "extract_vec",
+            op_label: String::new(),
+            dims: format!("{len}"),
+            nnz_in,
+            nnz_out,
+            masked: false,
+            complemented: false,
+            accum: false,
+        });
+        Ok(out)
     }
 
     /// `w(indices) = u` — sub-vector assignment.
@@ -163,11 +212,24 @@ impl<B: Backend> Context<B> {
                 });
             }
         }
+        let t0 = self.span();
+        let nnz_in = (w.nnz() + u.nnz()) as u64;
         *w = Vector::Dense(self.backend().assign_vec(
             &w.to_dense_repr(),
             &u.to_dense_repr(),
             indices,
         ));
+        let (len, nnz_out) = (w.len(), w.nnz() as u64);
+        self.span_end(t0, || SpanFields {
+            op: "assign_vec",
+            op_label: String::new(),
+            dims: format!("{len}"),
+            nnz_in,
+            nnz_out,
+            masked: false,
+            complemented: false,
+            accum: false,
+        });
         Ok(())
     }
 }

@@ -80,6 +80,52 @@ pub fn format_kernel_report(stats: &GpuStats) -> String {
     s
 }
 
+/// Flatten device statistics into ordered `(key, value)` pairs for
+/// embedding in external reports (the `gbtl-trace` backend section):
+/// cumulative counters first, then one row per kernel name when the device
+/// was created with [`Gpu::with_trace`](crate::Gpu::with_trace).
+pub fn stats_pairs(stats: &GpuStats) -> Vec<(String, String)> {
+    let mut pairs = vec![
+        (
+            "kernels launched".into(),
+            stats.kernels_launched.to_string(),
+        ),
+        (
+            "warp instructions".into(),
+            stats.warp_instructions.to_string(),
+        ),
+        (
+            "mem transactions".into(),
+            stats.mem_transactions.to_string(),
+        ),
+        ("atomic ops".into(), stats.atomic_ops.to_string()),
+        (
+            "h2d".into(),
+            format!("{} B in {} transfers", stats.bytes_h2d, stats.h2d_transfers),
+        ),
+        (
+            "d2h".into(),
+            format!("{} B in {} transfers", stats.bytes_d2h, stats.d2h_transfers),
+        ),
+        (
+            "modeled time".into(),
+            format!("{:.1} us", stats.modeled_time_us()),
+        ),
+    ];
+    for k in kernel_report(stats) {
+        pairs.push((
+            format!("kernel {}", k.name),
+            format!(
+                "{} launches, {:.1} us, {} mem txns",
+                k.launches,
+                k.modeled_time_s * 1e6,
+                k.mem_transactions
+            ),
+        ));
+    }
+    pairs
+}
+
 /// The slowest single launch in a traced run (for spotting outliers).
 pub fn slowest_launch(stats: &GpuStats) -> Option<&KernelRecord> {
     stats
@@ -153,6 +199,19 @@ mod tests {
         let gpu = Gpu::new(GpuConfig::k40());
         gpu.charge_kernel("x", 1, KernelTally::default());
         assert!(kernel_report(&gpu.stats()).is_empty());
+    }
+
+    #[test]
+    fn stats_pairs_cover_counters_and_kernels() {
+        let stats = traced_gpu_with_work().stats();
+        let pairs = stats_pairs(&stats);
+        let keys: Vec<&str> = pairs.iter().map(|(k, _)| k.as_str()).collect();
+        assert!(keys.contains(&"kernels launched"));
+        assert!(keys.contains(&"modeled time"));
+        assert!(keys.contains(&"kernel alpha"));
+        assert!(keys.contains(&"kernel beta"));
+        let alpha = pairs.iter().find(|(k, _)| k == "kernel alpha").unwrap();
+        assert!(alpha.1.starts_with("2 launches"));
     }
 
     #[test]

@@ -1,0 +1,110 @@
+//! Matrix Market round-trip tests: write a COO, read it back, compare —
+//! through in-memory buffers and real files, for every field kind the
+//! loader supports (real, integer, pattern) plus symmetric expansion.
+
+use gbtl_sparse::mmio::{read_coo, read_coo_file, write_coo, write_coo_file};
+use gbtl_sparse::CooMatrix;
+
+/// A deterministic pseudo-random COO (splitmix64 — no external deps).
+fn random_coo(n: usize, entries: usize, mut state: u64) -> CooMatrix<f64> {
+    let mut next = move || {
+        state = state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    };
+    let mut coo = CooMatrix::with_capacity(n, n, entries);
+    for _ in 0..entries {
+        let r = (next() % n as u64) as usize;
+        let c = (next() % n as u64) as usize;
+        let v = (next() % 1000) as f64 / 8.0 - 60.0;
+        coo.push(r, c, v);
+    }
+    coo
+}
+
+#[test]
+fn real_round_trip_in_memory() {
+    let coo = random_coo(64, 300, 42);
+    let mut buf = Vec::new();
+    write_coo(&coo, &mut buf).unwrap();
+    let back = read_coo::<f64, _>(&buf[..]).unwrap();
+    assert_eq!(back, coo);
+}
+
+#[test]
+fn integer_round_trip_in_memory() {
+    let mut coo = CooMatrix::<i64>::new(5, 7);
+    coo.push(0, 6, -3);
+    coo.push(4, 0, 123456789);
+    coo.push(2, 2, 0);
+    let mut buf = Vec::new();
+    write_coo(&coo, &mut buf).unwrap();
+    let back = read_coo::<i64, _>(&buf[..]).unwrap();
+    assert_eq!(back, coo);
+}
+
+#[test]
+fn pattern_round_trip_in_memory() {
+    let mut coo = CooMatrix::<bool>::new(6, 6);
+    for (r, c) in [(0, 1), (1, 2), (5, 0), (3, 3)] {
+        coo.push(r, c, true);
+    }
+    let mut buf = Vec::new();
+    write_coo(&coo, &mut buf).unwrap();
+    let banner = String::from_utf8(buf.clone()).unwrap();
+    assert!(banner.starts_with("%%MatrixMarket matrix coordinate pattern general"));
+    let back = read_coo::<bool, _>(&buf[..]).unwrap();
+    assert_eq!(back, coo);
+}
+
+#[test]
+fn symmetric_read_then_general_round_trip() {
+    // A symmetric file expands on read; writing the expansion as `general`
+    // and reading again must be a fixed point.
+    let src = "\
+%%MatrixMarket matrix coordinate real symmetric
+4 4 4
+2 1 7.5
+3 3 9.0
+4 1 -4.25
+4 3 0.5
+";
+    let expanded = read_coo::<f64, _>(src.as_bytes()).unwrap();
+    // Off-diagonals doubled, the one diagonal entry kept single.
+    assert_eq!(expanded.nnz(), 7);
+    let mut buf = Vec::new();
+    write_coo(&expanded, &mut buf).unwrap();
+    let back = read_coo::<f64, _>(&buf[..]).unwrap();
+    assert_eq!(back, expanded);
+
+    // The expansion really is symmetric: every (r, c, v) has its mirror.
+    let triples: Vec<_> = expanded.iter().collect();
+    for &(r, c, v) in &triples {
+        assert!(
+            triples.contains(&(c, r, v)),
+            "missing mirror of ({r}, {c}, {v})"
+        );
+    }
+}
+
+#[test]
+fn file_round_trip() {
+    let coo = random_coo(32, 100, 7);
+    let path = std::env::temp_dir().join(format!("gbtl_mmio_roundtrip_{}.mtx", std::process::id()));
+    write_coo_file(&coo, &path).unwrap();
+    let back = read_coo_file::<f64>(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    assert_eq!(back, coo);
+}
+
+#[test]
+fn empty_matrix_round_trip() {
+    let coo = CooMatrix::<f64>::new(3, 3);
+    let mut buf = Vec::new();
+    write_coo(&coo, &mut buf).unwrap();
+    let back = read_coo::<f64, _>(&buf[..]).unwrap();
+    assert_eq!(back, coo);
+    assert_eq!(back.nnz(), 0);
+}

@@ -1,0 +1,241 @@
+//! Reporters: render a [`TraceReport`] as an aligned text table or as
+//! JSON lines (one object per op aggregate, span, and backend section).
+
+use std::fmt::Write;
+
+use crate::{Section, SpanRecord, TraceReport};
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// Render the per-op aggregate table plus backend sections.
+pub fn format_table(report: &TraceReport) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "trace: backend={} spans={} (retained {}, dropped {})",
+        report.backend,
+        report.total_spans,
+        report.spans.len(),
+        report.dropped_spans
+    );
+    let total = report.total_ns();
+    let _ = writeln!(
+        s,
+        "{:<16} {:>7} {:>10} {:>10} {:>10} {:>12} {:>12} {:>9} {:>7}",
+        "op", "calls", "total", "mean", "max", "nnz in", "nnz out", "Mnnz/s", "share"
+    );
+    for o in &report.ops {
+        let _ = writeln!(
+            s,
+            "{:<16} {:>7} {:>10} {:>10} {:>10} {:>12} {:>12} {:>9.1} {:>6.1}%",
+            o.op,
+            o.calls,
+            fmt_ns(o.total_ns),
+            fmt_ns(o.mean_ns()),
+            fmt_ns(o.max_ns),
+            o.nnz_in,
+            o.nnz_out,
+            o.mnnz_per_s(),
+            if total > 0 {
+                o.total_ns as f64 / total as f64 * 100.0
+            } else {
+                0.0
+            }
+        );
+    }
+    for sec in &report.sections {
+        let _ = writeln!(s, "-- {}", sec.title);
+        for (k, v) in &sec.entries {
+            let _ = writeln!(s, "   {k:<28} {v}");
+        }
+    }
+    s
+}
+
+/// Escape a string for embedding in a JSON string literal.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn span_line(r: &SpanRecord) -> String {
+    let f = &r.fields;
+    format!(
+        "{{\"type\":\"span\",\"seq\":{},\"backend\":\"{}\",\"op\":\"{}\",\"label\":\"{}\",\
+         \"dims\":\"{}\",\"nnz_in\":{},\"nnz_out\":{},\"masked\":{},\"complemented\":{},\
+         \"accum\":{},\"duration_ns\":{}}}",
+        r.seq,
+        esc(r.backend),
+        esc(f.op),
+        esc(&f.op_label),
+        esc(&f.dims),
+        f.nnz_in,
+        f.nnz_out,
+        f.masked,
+        f.complemented,
+        f.accum,
+        r.duration_ns
+    )
+}
+
+fn section_line(backend: &str, sec: &Section) -> String {
+    let mut s = format!(
+        "{{\"type\":\"section\",\"backend\":\"{}\",\"title\":\"{}\",\"entries\":{{",
+        esc(backend),
+        esc(&sec.title)
+    );
+    for (i, (k, v)) in sec.entries.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(s, "\"{}\":\"{}\"", esc(k), esc(v));
+    }
+    s.push_str("}}");
+    s
+}
+
+/// Render as JSON lines: one `op_summary` object per aggregate, one `span`
+/// object per retained span, one `section` object per backend section.
+/// Every line parses with [`crate::json::parse`].
+pub fn format_jsonl(report: &TraceReport) -> String {
+    let mut s = String::new();
+    for o in &report.ops {
+        let _ = writeln!(
+            s,
+            "{{\"type\":\"op_summary\",\"backend\":\"{}\",\"op\":\"{}\",\"calls\":{},\
+             \"total_ns\":{},\"mean_ns\":{},\"max_ns\":{},\"nnz_in\":{},\"nnz_out\":{}}}",
+            esc(report.backend),
+            esc(o.op),
+            o.calls,
+            o.total_ns,
+            o.mean_ns(),
+            o.max_ns,
+            o.nnz_in,
+            o.nnz_out
+        );
+    }
+    for r in &report.spans {
+        let _ = writeln!(s, "{}", span_line(r));
+    }
+    for sec in &report.sections {
+        let _ = writeln!(s, "{}", section_line(report.backend, sec));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{json, SpanFields, TraceMode, Tracer};
+
+    fn sample_report() -> TraceReport {
+        let t = Tracer::with_mode("sequential", TraceMode::Summary);
+        for op in ["mxm", "mxm", "vxm"] {
+            let s = t.start();
+            t.finish(s, || SpanFields {
+                op,
+                op_label: "PlusTimes<f64>".into(),
+                dims: "8x8*8x8".into(),
+                nnz_in: 12,
+                nnz_out: 20,
+                masked: op == "vxm",
+                complemented: false,
+                accum: false,
+            });
+        }
+        t.report(vec![Section {
+            title: "demo section".into(),
+            entries: vec![("kernels".into(), "7".into())],
+        }])
+    }
+
+    #[test]
+    fn table_lists_ops_and_sections() {
+        let text = format_table(&sample_report());
+        assert!(text.contains("backend=sequential"));
+        assert!(text.contains("mxm"));
+        assert!(text.contains("vxm"));
+        assert!(text.contains("demo section"));
+        assert!(text.contains("kernels"));
+        assert!(text.contains('%'));
+    }
+
+    #[test]
+    fn jsonl_lines_all_parse() {
+        let out = format_jsonl(&sample_report());
+        let lines: Vec<&str> = out.lines().collect();
+        // 2 aggregates + 3 spans + 1 section
+        assert_eq!(lines.len(), 6);
+        let mut spans = 0;
+        for line in lines {
+            let v = json::parse(line).expect("line parses");
+            let ty = v.get("type").and_then(|t| t.as_str()).unwrap();
+            match ty {
+                "span" => {
+                    spans += 1;
+                    assert_eq!(v.get("backend").unwrap().as_str(), Some("sequential"));
+                    assert!(v.get("duration_ns").unwrap().as_f64().is_some());
+                    assert!(v.get("masked").unwrap().as_bool().is_some());
+                }
+                "op_summary" => {
+                    assert!(v.get("calls").unwrap().as_f64().unwrap() >= 1.0);
+                }
+                "section" => {
+                    let entries = v.get("entries").unwrap();
+                    assert_eq!(entries.get("kernels").and_then(|e| e.as_str()), Some("7"));
+                }
+                other => panic!("unexpected line type {other}"),
+            }
+        }
+        assert_eq!(spans, 3);
+    }
+
+    #[test]
+    fn escaping_survives_round_trip() {
+        let t = Tracer::with_mode("q\"b\\c", TraceMode::Summary);
+        let s = t.start();
+        t.finish(s, || SpanFields {
+            op: "mxm",
+            op_label: "weird \"label\"\nnewline".into(),
+            dims: "1x1".into(),
+            nnz_in: 0,
+            nnz_out: 0,
+            masked: false,
+            complemented: false,
+            accum: false,
+        });
+        let out = format_jsonl(&t.report(Vec::new()));
+        for line in out.lines() {
+            let v = json::parse(line).expect("escaped line parses");
+            if v.get("type").and_then(|t| t.as_str()) == Some("span") {
+                assert_eq!(
+                    v.get("label").and_then(|l| l.as_str()),
+                    Some("weird \"label\"\nnewline")
+                );
+            }
+        }
+    }
+}

@@ -1,48 +1,84 @@
-//! Profile where a traversal's modeled device time goes, kernel by kernel
-//! (the `nvprof` view of the simulated device).
+//! Profile the same traversals on all three backends and compare where the
+//! time goes, op by op — with backend detail (work-stealing pool counters,
+//! simulated-device kernel log) attached to each report.
 //!
 //! ```text
-//! cargo run --release --example kernel_profile
+//! cargo run --release --example kernel_profile                 # tables
+//! GBTL_TRACE=json cargo run --release --example kernel_profile # JSON lines
 //! ```
 
 use gbtl::algorithms::{bfs_levels, triangle_count, Direction};
-use gbtl::core::{Context, CudaBackend};
-use gbtl::gpu_sim::{report, GpuConfig};
+use gbtl::core::{Backend, Context, CudaBackend, Matrix, TraceMode};
+use gbtl::gpu_sim::GpuConfig;
 use gbtl::graphgen::{symmetrize, Rmat};
+use gbtl::trace::report::{format_jsonl, format_table};
+
+/// Run BFS + triangle counting under tracing and return the rendered report.
+fn profile<B: Backend>(ctx: &Context<B>, a: &Matrix<bool>, json: bool) -> String {
+    ctx.clear_trace();
+    let levels = bfs_levels(ctx, a, 0, Direction::Push).expect("bfs");
+    assert_eq!(levels.get(0), Some(0));
+    let _ = triangle_count(ctx, a).expect("triangles");
+
+    let report = ctx.trace();
+    // Sanity: the traversals above dispatch through these ops on every
+    // backend; an instrumentation regression shows up here, not downstream.
+    for op in ["vxm", "mxm", "select_mat", "reduce_mat"] {
+        assert!(
+            report.op(op).is_some(),
+            "{}: op {op} missing from trace",
+            ctx.backend_name()
+        );
+    }
+    if json {
+        format_jsonl(&report)
+    } else {
+        format_table(&report)
+    }
+}
 
 fn main() {
+    // `GBTL_TRACE=json` switches the whole comparison to JSON lines;
+    // anything else (including unset) gets the summary tables.
+    let json = matches!(TraceMode::from_env(), TraceMode::Json);
+    let mode = if json {
+        TraceMode::Json
+    } else {
+        TraceMode::Summary
+    };
+
     let coo = symmetrize(&Rmat::new(13, 16).seed(3).generate());
     let a = gbtl::algorithms::adjacency(coo);
-    println!(
-        "profiling on rmat13: {} vertices, {} edges\n",
-        a.nrows(),
-        a.nnz() / 2
-    );
-
-    // A traced device keeps a per-launch log.
-    let ctx = Context::with_backend(CudaBackend::with_trace(GpuConfig::k40()));
-
-    let _ = bfs_levels(&ctx, &a, 0, Direction::Push).expect("bfs");
-    let bfs_stats = ctx.gpu_stats();
-    println!("== BFS kernel profile");
-    print!("{}", report::format_kernel_report(&bfs_stats));
-    if let Some(worst) = report::slowest_launch(&bfs_stats) {
+    if !json {
         println!(
-            "slowest single launch: {} ({:.1} us)\n",
-            worst.name,
-            worst.modeled_time_s * 1e6
+            "profiling on rmat13: {} vertices, {} edges\n",
+            a.nrows(),
+            a.nnz() / 2
         );
     }
 
-    ctx.reset_gpu_stats();
-    let tri = triangle_count(&ctx, &a).expect("triangles");
-    println!("== triangle counting ({tri} triangles) kernel profile");
-    print!("{}", report::format_kernel_report(&ctx.gpu_stats()));
+    let seq = Context::sequential().with_trace_mode(mode);
+    let par = Context::parallel().with_trace_mode(mode);
+    let cuda =
+        Context::with_backend(CudaBackend::with_trace(GpuConfig::k40())).with_trace_mode(mode);
 
-    // Sanity: the profiles must account for all launches.
-    let total_launches: usize = report::kernel_report(&ctx.gpu_stats())
+    for text in [
+        profile(&seq, &a, json),
+        profile(&par, &a, json),
+        profile(&cuda, &a, json),
+    ] {
+        if json {
+            print!("{text}");
+        } else {
+            println!("{text}");
+        }
+    }
+
+    // Sanity: the cuda-sim section must account for every kernel launch.
+    let stats = cuda.gpu_stats();
+    let total_launches: usize = gbtl::gpu_sim::report::kernel_report(&stats)
         .iter()
         .map(|r| r.launches)
         .sum();
-    assert_eq!(total_launches as u64, ctx.gpu_stats().kernels_launched);
+    assert_eq!(total_launches as u64, stats.kernels_launched);
 }

@@ -17,6 +17,7 @@
 //! * [`graphgen`] — RMAT, Erdős–Rényi, meshes, small-world generators
 //! * [`sparse`] — COO/CSR/CSC containers and Matrix Market I/O
 //! * [`gpu_sim`] — the simulated CUDA device and its primitives
+//! * [`trace`] — cross-backend op tracing and profiling reports
 //! * [`backend_seq`] / [`backend_par`] / [`backend_cuda`] — the three
 //!   backends (sequential reference, work-stealing parallel CPU,
 //!   simulated CUDA)
@@ -41,6 +42,7 @@ pub use gbtl_core as core;
 pub use gbtl_gpu_sim as gpu_sim;
 pub use gbtl_graphgen as graphgen;
 pub use gbtl_sparse as sparse;
+pub use gbtl_trace as trace;
 
 /// The names most programs need.
 pub mod prelude {
@@ -51,6 +53,6 @@ pub mod prelude {
     pub use gbtl_algorithms::Direction;
     pub use gbtl_core::{
         no_accum, Backend, Context, CudaBackend, Descriptor, GpuConfig, Matrix, ParBackend,
-        SeqBackend, SpmvKernel, Vector,
+        SeqBackend, SpmvKernel, TraceMode, Vector,
     };
 }
