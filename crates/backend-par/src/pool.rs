@@ -82,18 +82,14 @@ pub struct ThreadPool {
 }
 
 impl ThreadPool {
-    /// Worker count from `GBTL_NUM_THREADS` if set (clamped to ≥1), else
-    /// [`std::thread::available_parallelism`].
+    /// Worker count from `GBTL_NUM_THREADS` if set (invalid values warn on
+    /// stderr and fall back), else [`std::thread::available_parallelism`].
     pub fn new() -> Self {
-        let threads = std::env::var("GBTL_NUM_THREADS")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .filter(|&n| n > 0)
-            .unwrap_or_else(|| {
-                std::thread::available_parallelism()
-                    .map(|n| n.get())
-                    .unwrap_or(1)
-            });
+        let threads = gbtl_util::env::usize_var("GBTL_NUM_THREADS", 1).unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        });
         Self::with_threads(threads)
     }
 

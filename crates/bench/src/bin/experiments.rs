@@ -70,6 +70,9 @@ fn main() {
     if want("tr") {
         tr_trace_overhead();
     }
+    if want("sv") {
+        sv_serve();
+    }
 
     if traced {
         println!("\n== traced appendix: BFS + triangles (rmat12), per-op report per backend");
@@ -77,6 +80,64 @@ fn main() {
         report_for(&a, seq_ctx());
         report_for(&a, par_ctx(host_threads()));
         report_for(&a, cuda_ctx());
+    }
+}
+
+/// R-S3: gbtl-serve under closed-loop load — throughput and latency
+/// percentiles vs worker count, with the result cache on and off
+/// (EXPERIMENTS.md).
+fn sv_serve() {
+    use gbtl_serve::protocol::Algo;
+    use gbtl_serve::{run_loadgen, start, LoadgenOptions, ServerConfig};
+
+    print_title(
+        "R-S3: query-server throughput/latency vs workers and cache (rmat10, 8 clients)",
+        "qps rises with workers until the host cores saturate; with the cache on, \
+         the 8-source working set collapses onto 48 distinct keys, so most \
+         requests are hits and both throughput and tail latency improve sharply",
+    );
+    println!("host physical parallelism: {} core(s)", host_threads());
+    println!(
+        "{:<9} {:>7} {:>6} {:>7} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "workers", "cache", "ok", "cached", "qps", "p50 us", "p95 us", "p99 us", "rejected"
+    );
+    for &workers in &[1usize, 2, 4, 8] {
+        for &cache in &[0usize, 256] {
+            let config = ServerConfig {
+                addr: "127.0.0.1:0".into(),
+                workers,
+                queue_capacity: 256,
+                cache_capacity: cache,
+                default_deadline_ms: 60_000,
+                par_threads: 2,
+                preload: vec![("rmat".into(), "rmat:10:8:7".into())],
+            };
+            let handle = start(config).expect("start experiment server");
+            let opts = LoadgenOptions {
+                addr: handle.addr().to_string(),
+                clients: 8,
+                requests_per_client: 40,
+                graph: "rmat".into(),
+                algos: vec![Algo::Bfs, Algo::Pagerank, Algo::TriangleCount],
+                backend: "par".into(),
+                source_count: 8,
+            };
+            let report = run_loadgen(&opts).expect("run loadgen");
+            assert_eq!(report.corrupted, 0, "corrupted responses under load");
+            println!(
+                "{:<9} {:>7} {:>6} {:>7} {:>9.1} {:>9} {:>9} {:>9} {:>9}",
+                workers,
+                if cache > 0 { "on" } else { "off" },
+                report.ok,
+                report.cached,
+                report.qps(),
+                report.percentile_us(50.0),
+                report.percentile_us(95.0),
+                report.percentile_us(99.0),
+                report.errors.iter().map(|(_, n)| n).sum::<u64>(),
+            );
+            handle.shutdown_and_join();
+        }
     }
 }
 

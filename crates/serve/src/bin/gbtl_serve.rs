@@ -1,0 +1,84 @@
+//! The `gbtl-serve` binary: bind, preload graphs, serve until shutdown.
+//!
+//! ```text
+//! gbtl-serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]
+//!            [--deadline-ms N] [--par-threads N] [--load NAME=SPEC]...
+//! ```
+//!
+//! Flags override the `GBTL_SERVE_*` environment knobs, which override the
+//! built-in defaults. `--load` may repeat; specs use the compact grammar
+//! (`karate`, `rmat:12:8:7`, `er:1000:8000:1`, `grid:32`, `mtx:PATH`).
+
+use std::io::Write;
+
+use gbtl_serve::{start, ServerConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: gbtl-serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]\n\
+         \x20                 [--deadline-ms N] [--par-threads N] [--load NAME=SPEC]..."
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut config = ServerConfig::from_env();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |what: &str| -> String {
+            args.next().unwrap_or_else(|| {
+                eprintln!("gbtl-serve: {arg} needs a {what}");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--addr" => config.addr = value("HOST:PORT"),
+            "--workers" => config.workers = parse_num(&value("count")),
+            "--queue" => config.queue_capacity = parse_num(&value("count")),
+            "--cache" => config.cache_capacity = parse_num(&value("count")),
+            "--deadline-ms" => config.default_deadline_ms = parse_num::<u64>(&value("ms")),
+            "--par-threads" => config.par_threads = parse_num(&value("count")),
+            "--load" => {
+                let spec = value("NAME=SPEC");
+                let Some((name, spec)) = spec.split_once('=') else {
+                    eprintln!("gbtl-serve: --load wants NAME=SPEC, got {spec:?}");
+                    usage()
+                };
+                config.preload.push((name.to_string(), spec.to_string()));
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("gbtl-serve: unknown flag {other:?}");
+                usage()
+            }
+        }
+    }
+
+    let handle = match start(config.clone()) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("gbtl-serve: failed to start on {}: {e}", config.addr);
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "gbtl-serve listening on {} ({} workers, queue {}, cache {}, {} graphs preloaded)",
+        handle.addr(),
+        config.workers,
+        config.queue_capacity,
+        config.cache_capacity,
+        config.preload.len()
+    );
+    let _ = std::io::stdout().flush();
+
+    // serve until a client sends {"op":"shutdown"}
+    handle.join();
+    println!("gbtl-serve: shutdown complete");
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str) -> T {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("gbtl-serve: bad number {s:?}");
+        usage()
+    })
+}

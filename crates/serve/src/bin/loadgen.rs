@@ -1,0 +1,241 @@
+//! The `loadgen` binary: drive a running gbtl-serve with concurrent
+//! closed-loop clients and report throughput and latency percentiles.
+//!
+//! ```text
+//! loadgen [--addr HOST:PORT] [--clients N] [--requests N] [--graph NAME]
+//!         [--algos a,b,c] [--backend seq|par|cuda] [--sources N]
+//!         [--load NAME=SPEC]... [--wait-ms N] [--smoke] [--shutdown]
+//! ```
+//!
+//! `--wait-ms` retries the initial connection until the server is up (for
+//! scripts that just forked it). `--smoke` runs one query per algorithm and
+//! exits non-zero unless every response is well-formed — the CI smoke step.
+//! `--shutdown` sends `{"op":"shutdown"}` after the run.
+
+use gbtl_serve::protocol::Algo;
+use gbtl_serve::{run_loadgen, Client, LoadgenOptions};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: loadgen [--addr HOST:PORT] [--clients N] [--requests N] [--graph NAME]\n\
+         \x20              [--algos a,b,c] [--backend seq|par|cuda] [--sources N]\n\
+         \x20              [--load NAME=SPEC]... [--wait-ms N] [--smoke] [--shutdown]"
+    );
+    std::process::exit(2);
+}
+
+struct Cli {
+    opts: LoadgenOptions,
+    loads: Vec<(String, String)>,
+    wait_ms: u64,
+    smoke: bool,
+    shutdown: bool,
+}
+
+fn parse_cli() -> Cli {
+    let mut cli = Cli {
+        opts: LoadgenOptions::default(),
+        loads: Vec::new(),
+        wait_ms: 0,
+        smoke: false,
+        shutdown: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |what: &str| -> String {
+            args.next().unwrap_or_else(|| {
+                eprintln!("loadgen: {arg} needs a {what}");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--addr" => cli.opts.addr = value("HOST:PORT"),
+            "--clients" => cli.opts.clients = parse_num(&value("count")),
+            "--requests" => cli.opts.requests_per_client = parse_num(&value("count")),
+            "--graph" => cli.opts.graph = value("NAME"),
+            "--backend" => cli.opts.backend = value("name"),
+            "--sources" => cli.opts.source_count = parse_num(&value("count")),
+            "--algos" => {
+                let list = value("a,b,c");
+                cli.opts.algos = list
+                    .split(',')
+                    .map(|a| {
+                        Algo::parse(a.trim()).unwrap_or_else(|e| {
+                            eprintln!("loadgen: {e}");
+                            usage()
+                        })
+                    })
+                    .collect();
+            }
+            "--load" => {
+                let spec = value("NAME=SPEC");
+                let Some((name, spec)) = spec.split_once('=') else {
+                    eprintln!("loadgen: --load wants NAME=SPEC, got {spec:?}");
+                    usage()
+                };
+                cli.loads.push((name.to_string(), spec.to_string()));
+            }
+            "--wait-ms" => cli.wait_ms = parse_num(&value("ms")),
+            "--smoke" => cli.smoke = true,
+            "--shutdown" => cli.shutdown = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("loadgen: unknown flag {other:?}");
+                usage()
+            }
+        }
+    }
+    cli
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str) -> T {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("loadgen: bad number {s:?}");
+        usage()
+    })
+}
+
+/// Connect, retrying until `wait_ms` has elapsed.
+fn connect_patiently(addr: &str, wait_ms: u64) -> std::io::Result<Client> {
+    let deadline = std::time::Instant::now() + std::time::Duration::from_millis(wait_ms);
+    loop {
+        match Client::connect(addr) {
+            Ok(c) => return Ok(c),
+            Err(e) if std::time::Instant::now() >= deadline => return Err(e),
+            Err(_) => std::thread::sleep(std::time::Duration::from_millis(50)),
+        }
+    }
+}
+
+/// One query per algorithm; every response must be well-formed `ok:true`.
+fn smoke(client: &mut Client, graph: &str, backend: &str) -> Result<(), String> {
+    for algo in Algo::ALL {
+        let line = format!(
+            "{{\"op\":\"query\",\"graph\":\"{graph}\",\"algo\":\"{}\",\
+             \"backend\":\"{backend}\",\"source\":0}}",
+            algo.as_str()
+        );
+        let v = client
+            .request_json(&line)
+            .map_err(|e| format!("{}: {e}", algo.as_str()))?;
+        if v.bool_field("ok") != Some(true) {
+            return Err(format!(
+                "{}: server said {:?}",
+                algo.as_str(),
+                v.str_field("error").unwrap_or("not ok")
+            ));
+        }
+        if v.str_field("algo") != Some(algo.as_str()) || v.get("result").is_none() {
+            return Err(format!("{}: malformed response shape", algo.as_str()));
+        }
+        println!(
+            "smoke {}: ok ({}us)",
+            algo.as_str(),
+            v.u64_field("micros").unwrap_or(0)
+        );
+    }
+    Ok(())
+}
+
+fn main() {
+    let cli = parse_cli();
+    let mut control = match connect_patiently(&cli.opts.addr, cli.wait_ms) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("loadgen: cannot reach {}: {e}", cli.opts.addr);
+            std::process::exit(1);
+        }
+    };
+    let mut failed = false;
+
+    for (name, spec) in &cli.loads {
+        let line = format!("{{\"op\":\"load\",\"graph\":\"{name}\",\"spec\":\"{spec}\"}}");
+        match control.request_json(&line) {
+            Ok(v) if v.bool_field("ok") == Some(true) => {
+                println!(
+                    "loaded {name} ({} vertices, {} edges)",
+                    v.u64_field("n").unwrap_or(0),
+                    v.u64_field("nnz").unwrap_or(0)
+                );
+            }
+            Ok(v) => {
+                eprintln!(
+                    "loadgen: load {name} failed: {}",
+                    v.str_field("error").unwrap_or("unknown error")
+                );
+                failed = true;
+            }
+            Err(e) => {
+                eprintln!("loadgen: load {name} failed: {e}");
+                failed = true;
+            }
+        }
+    }
+
+    if cli.smoke {
+        match smoke(&mut control, &cli.opts.graph, &cli.opts.backend) {
+            Ok(()) => println!("smoke: all {} algorithms ok", Algo::ALL.len()),
+            Err(e) => {
+                eprintln!("loadgen: smoke failed: {e}");
+                failed = true;
+            }
+        }
+    } else if !failed {
+        match run_loadgen(&cli.opts) {
+            Ok(report) => {
+                println!(
+                    "{} clients x {} requests on {:?} [{}] against {}",
+                    cli.opts.clients,
+                    cli.opts.requests_per_client,
+                    cli.opts.graph,
+                    cli.opts
+                        .algos
+                        .iter()
+                        .map(|a| a.as_str())
+                        .collect::<Vec<_>>()
+                        .join(","),
+                    cli.opts.addr
+                );
+                println!(
+                    "  ok {} (cached {}), corrupted {}, elapsed {:.3}s, {:.1} req/s",
+                    report.ok,
+                    report.cached,
+                    report.corrupted,
+                    report.elapsed.as_secs_f64(),
+                    report.qps()
+                );
+                println!(
+                    "  latency p50 {}us  p95 {}us  p99 {}us  max {}us",
+                    report.percentile_us(50.0),
+                    report.percentile_us(95.0),
+                    report.percentile_us(99.0),
+                    report.latencies_us.last().copied().unwrap_or(0)
+                );
+                for (code, n) in &report.errors {
+                    println!("  rejected {code}: {n}");
+                }
+                if report.corrupted > 0 {
+                    eprintln!("loadgen: {} corrupted responses", report.corrupted);
+                    failed = true;
+                }
+            }
+            Err(e) => {
+                eprintln!("loadgen: run failed: {e}");
+                failed = true;
+            }
+        }
+    }
+
+    if cli.shutdown {
+        match control.request_json("{\"op\":\"shutdown\"}") {
+            Ok(v) if v.bool_field("ok") == Some(true) => println!("server shutting down"),
+            Ok(_) | Err(_) => {
+                eprintln!("loadgen: shutdown request failed");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,324 @@
+//! The graph catalog: named, immutable, `Arc`-shared resident graphs.
+//!
+//! Queries never copy a graph — they clone an `Arc<GraphEntry>` out of the
+//! catalog and run against the shared CSR. Reloading a name swaps the `Arc`
+//! and bumps the entry's **epoch**; the result cache keys on
+//! `(name, epoch, …)`, so entries computed against a replaced graph can
+//! never be served again (they age out of the LRU instead of needing
+//! invalidation).
+//!
+//! Each entry holds both the boolean adjacency (BFS, PageRank, triangles,
+//! CC, MIS) and a deterministically derived `u32`-weighted view (SSSP),
+//! built once at load time with the same symmetric uniform weighting the
+//! bench harness uses.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use gbtl_algebra::Min;
+use gbtl_core::Matrix;
+use gbtl_graphgen::{erdos_renyi, grid_2d, karate_club, symmetrize, weights, Rmat};
+use gbtl_sparse::CooMatrix;
+
+/// Weight seed used when a spec has no seed of its own (karate, grid, mtx).
+const DEFAULT_WEIGHT_SEED: u64 = 0x5eed;
+
+/// A parsed graph specification (the `--load name=spec` / `{"op":"load"}`
+/// grammar). Compact string form: `karate`, `rmat:<scale>:<ef>:<seed>`,
+/// `er:<n>:<edges>:<seed>`, `grid:<side>`, `mtx:<path>`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphSpec {
+    /// Zachary's karate club (34 vertices, canned).
+    Karate,
+    /// Symmetrized simple RMAT graph.
+    Rmat {
+        /// log2 of the vertex count.
+        scale: u32,
+        /// Edges per vertex before symmetrization/dedup.
+        edge_factor: usize,
+        /// Generator seed.
+        seed: u64,
+    },
+    /// Symmetrized simple Erdős–Rényi graph.
+    ErdosRenyi {
+        /// Vertex count.
+        n: usize,
+        /// Edge count before symmetrization/dedup.
+        edges: usize,
+        /// Generator seed.
+        seed: u64,
+    },
+    /// `side × side` 2-D grid.
+    Grid {
+        /// Grid side length.
+        side: usize,
+    },
+    /// Matrix Market file, read as a pattern and symmetrized.
+    Mtx {
+        /// Path to the `.mtx` file.
+        path: String,
+    },
+}
+
+impl GraphSpec {
+    /// Parse the compact `kind[:arg...]` spec string.
+    pub fn parse(s: &str) -> Result<GraphSpec, String> {
+        let parts: Vec<&str> = s.trim().split(':').collect();
+        let num = |i: usize, what: &str| -> Result<u64, String> {
+            parts
+                .get(i)
+                .ok_or_else(|| format!("spec {s:?}: missing {what}"))?
+                .parse::<u64>()
+                .map_err(|_| format!("spec {s:?}: bad {what}"))
+        };
+        match parts[0] {
+            "karate" => Ok(GraphSpec::Karate),
+            "rmat" => Ok(GraphSpec::Rmat {
+                scale: num(1, "scale")? as u32,
+                edge_factor: num(2, "edge_factor")? as usize,
+                seed: num(3, "seed")?,
+            }),
+            "er" | "erdos_renyi" => Ok(GraphSpec::ErdosRenyi {
+                n: num(1, "n")? as usize,
+                edges: num(2, "edges")? as usize,
+                seed: num(3, "seed")?,
+            }),
+            "grid" => Ok(GraphSpec::Grid {
+                side: num(1, "side")? as usize,
+            }),
+            "mtx" => {
+                // a path may itself contain ':'; keep everything after the kind
+                let path = s.trim().split_once(':').map_or("", |x| x.1);
+                if path.is_empty() {
+                    Err(format!("spec {s:?}: missing path"))
+                } else {
+                    Ok(GraphSpec::Mtx { path: path.into() })
+                }
+            }
+            other => Err(format!(
+                "unknown graph spec kind {other:?} (expected karate|rmat|er|grid|mtx)"
+            )),
+        }
+    }
+
+    /// The canonical spec string (what `list`/`stats` report back).
+    pub fn describe(&self) -> String {
+        match self {
+            GraphSpec::Karate => "karate".into(),
+            GraphSpec::Rmat {
+                scale,
+                edge_factor,
+                seed,
+            } => format!("rmat:{scale}:{edge_factor}:{seed}"),
+            GraphSpec::ErdosRenyi { n, edges, seed } => format!("er:{n}:{edges}:{seed}"),
+            GraphSpec::Grid { side } => format!("grid:{side}"),
+            GraphSpec::Mtx { path } => format!("mtx:{path}"),
+        }
+    }
+
+    /// The seed used to derive edge weights for this spec.
+    fn weight_seed(&self) -> u64 {
+        match self {
+            GraphSpec::Rmat { seed, .. } | GraphSpec::ErdosRenyi { seed, .. } => *seed,
+            _ => DEFAULT_WEIGHT_SEED,
+        }
+    }
+
+    /// Generate (or read) the symmetric simple adjacency.
+    pub fn build_adjacency(&self) -> Result<Matrix<bool>, String> {
+        let coo = match self {
+            GraphSpec::Karate => karate_club(),
+            GraphSpec::Rmat {
+                scale,
+                edge_factor,
+                seed,
+            } => symmetrize(&Rmat::new(*scale, *edge_factor).seed(*seed).generate()),
+            GraphSpec::ErdosRenyi { n, edges, seed } => symmetrize(&erdos_renyi(*n, *edges, *seed)),
+            GraphSpec::Grid { side } => grid_2d(*side, *side),
+            GraphSpec::Mtx { path } => {
+                let file = std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+                let coo = gbtl_sparse::mmio::read_pattern(std::io::BufReader::new(file))
+                    .map_err(|e| format!("read {path}: {e}"))?;
+                symmetrize(&coo)
+            }
+        };
+        Ok(gbtl_algorithms::adjacency(coo))
+    }
+}
+
+/// One resident graph: shared, immutable, epoch-stamped.
+#[derive(Debug)]
+pub struct GraphEntry {
+    /// Catalog name.
+    pub name: String,
+    /// Bumped every time this name is (re)loaded; part of every cache key.
+    pub epoch: u64,
+    /// Canonical spec string.
+    pub spec: String,
+    /// Boolean adjacency (symmetric, simple).
+    pub adj: Matrix<bool>,
+    /// Deterministic symmetric `u32` weights in `[1, 255]` over the same
+    /// structure (for SSSP).
+    pub weights: Matrix<u32>,
+}
+
+impl GraphEntry {
+    /// Vertices.
+    pub fn n(&self) -> usize {
+        self.adj.nrows()
+    }
+
+    /// Stored (directed) edges.
+    pub fn nnz(&self) -> usize {
+        self.adj.nnz()
+    }
+}
+
+/// Derive the weighted view: symmetric uniform `u32` in `[1, 255]`, seeded,
+/// over the adjacency structure (self-loops already absent).
+fn derive_weights(adj: &Matrix<bool>, seed: u64) -> Matrix<u32> {
+    let (r, c, v) = adj.extract_tuples();
+    let coo = CooMatrix::from_triples(adj.nrows(), adj.ncols(), r, c, v)
+        .expect("indices from valid matrix");
+    let w = weights::uniform_u32_symmetric(&coo, 1, 255, seed);
+    Matrix::from_coo(w, Min::new())
+}
+
+/// The named-graph catalog.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    inner: Mutex<HashMap<String, Arc<GraphEntry>>>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build the spec'd graph and install it under `name`. Replacing an
+    /// existing name bumps the epoch; in-flight queries keep their `Arc` to
+    /// the old entry.
+    pub fn load(&self, name: &str, spec: &GraphSpec) -> Result<Arc<GraphEntry>, String> {
+        if name.is_empty() {
+            return Err("graph name must be non-empty".into());
+        }
+        let adj = spec.build_adjacency()?;
+        let weights = derive_weights(&adj, spec.weight_seed());
+        let mut inner = self.inner.lock().unwrap();
+        let epoch = inner.get(name).map(|e| e.epoch + 1).unwrap_or(1);
+        let entry = Arc::new(GraphEntry {
+            name: name.to_string(),
+            epoch,
+            spec: spec.describe(),
+            adj,
+            weights,
+        });
+        inner.insert(name.to_string(), entry.clone());
+        Ok(entry)
+    }
+
+    /// The current entry for `name`.
+    pub fn get(&self, name: &str) -> Option<Arc<GraphEntry>> {
+        self.inner.lock().unwrap().get(name).cloned()
+    }
+
+    /// All resident entries, sorted by name.
+    pub fn list(&self) -> Vec<Arc<GraphEntry>> {
+        let mut v: Vec<_> = self.inner.lock().unwrap().values().cloned().collect();
+        v.sort_by(|a, b| a.name.cmp(&b.name));
+        v
+    }
+
+    /// Number of resident graphs.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().len()
+    }
+
+    /// True when no graph is loaded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_parse_round_trips() {
+        for s in ["karate", "rmat:10:8:7", "er:1024:8192:1", "grid:16"] {
+            let spec = GraphSpec::parse(s).unwrap();
+            assert_eq!(spec.describe(), s);
+        }
+        assert_eq!(
+            GraphSpec::parse("mtx:/tmp/a:b.mtx").unwrap(),
+            GraphSpec::Mtx {
+                path: "/tmp/a:b.mtx".into()
+            }
+        );
+        assert!(GraphSpec::parse("nope").is_err());
+        assert!(GraphSpec::parse("rmat:10").is_err());
+        assert!(GraphSpec::parse("rmat:x:8:7").is_err());
+        assert!(GraphSpec::parse("mtx:").is_err());
+    }
+
+    #[test]
+    fn load_builds_adjacency_and_weights() {
+        let cat = Catalog::new();
+        let e = cat.load("k", &GraphSpec::Karate).unwrap();
+        assert_eq!(e.n(), 34);
+        assert!(e.nnz() > 0);
+        assert_eq!(e.weights.nnz(), e.adj.nnz());
+        assert!(e.weights.iter().all(|(_, _, w)| (1..=255).contains(&w)));
+        // weights are symmetric
+        for (i, j, w) in e.weights.iter() {
+            assert_eq!(e.weights.get(j, i), Some(w));
+        }
+        assert_eq!(e.epoch, 1);
+    }
+
+    #[test]
+    fn reload_bumps_epoch_and_keeps_old_arcs_alive() {
+        let cat = Catalog::new();
+        let first = cat.load("g", &GraphSpec::Grid { side: 4 }).unwrap();
+        let second = cat
+            .load(
+                "g",
+                &GraphSpec::Rmat {
+                    scale: 5,
+                    edge_factor: 4,
+                    seed: 1,
+                },
+            )
+            .unwrap();
+        assert_eq!(first.epoch, 1);
+        assert_eq!(second.epoch, 2);
+        assert_eq!(cat.get("g").unwrap().epoch, 2);
+        // the replaced entry is still usable through its Arc
+        assert_eq!(first.n(), 16);
+        assert_eq!(cat.len(), 1);
+        assert!(cat.get("missing").is_none());
+    }
+
+    #[test]
+    fn mtx_spec_loads_a_file() {
+        let dir = std::env::temp_dir().join(format!("gbtl_serve_mtx_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tri.mtx");
+        std::fs::write(
+            &path,
+            "%%MatrixMarket matrix coordinate pattern general\n3 3 3\n1 2\n2 3\n1 3\n",
+        )
+        .unwrap();
+        let spec = GraphSpec::parse(&format!("mtx:{}", path.display())).unwrap();
+        let cat = Catalog::new();
+        let e = cat.load("tri", &spec).unwrap();
+        assert_eq!(e.n(), 3);
+        assert_eq!(e.nnz(), 6, "symmetrized");
+        assert!(cat
+            .load("bad", &GraphSpec::parse("mtx:/no/such/file").unwrap())
+            .is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,244 @@
+//! Client-side helpers: a line-protocol client and a closed-loop load
+//! generator (used by the `loadgen` binary, the integration suite, and the
+//! R-S3 experiment).
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use gbtl_util::json::{parse, Value};
+
+use crate::protocol::Algo;
+
+/// A blocking newline-delimited-JSON client for one connection.
+#[derive(Debug)]
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connect to `addr` (any `ToSocketAddrs` string like `127.0.0.1:7411`).
+    pub fn connect(addr: &str) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        // request/response ping-pong with small frames: Nagle + delayed ACK
+        // would add tens of ms per round-trip
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            writer,
+            reader: BufReader::new(stream),
+        })
+    }
+
+    /// Send one request line and read one response line (trailing newline
+    /// stripped).
+    pub fn request(&mut self, line: &str) -> std::io::Result<String> {
+        let mut framed = String::with_capacity(line.len() + 1);
+        framed.push_str(line);
+        framed.push('\n');
+        self.writer.write_all(framed.as_bytes())?;
+        self.writer.flush()?;
+        let mut response = String::new();
+        let n = self.reader.read_line(&mut response)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Ok(response.trim_end().to_string())
+    }
+
+    /// [`Client::request`] + JSON parse.
+    pub fn request_json(&mut self, line: &str) -> std::io::Result<Value> {
+        let raw = self.request(line)?;
+        parse(&raw).map_err(|e| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("bad response JSON ({e}): {raw}"),
+            )
+        })
+    }
+}
+
+/// What the load generator should drive.
+#[derive(Debug, Clone)]
+pub struct LoadgenOptions {
+    /// Server address.
+    pub addr: String,
+    /// Concurrent closed-loop clients.
+    pub clients: usize,
+    /// Requests each client issues.
+    pub requests_per_client: usize,
+    /// Catalog graph name to query.
+    pub graph: String,
+    /// Algorithms cycled round-robin per request.
+    pub algos: Vec<Algo>,
+    /// Backend name sent with every query (`seq`/`par`/`cuda`).
+    pub backend: String,
+    /// Number of distinct BFS/SSSP sources to cycle through (1 makes every
+    /// request identical — the cache-friendly extreme).
+    pub source_count: usize,
+}
+
+impl Default for LoadgenOptions {
+    fn default() -> Self {
+        LoadgenOptions {
+            addr: "127.0.0.1:7411".into(),
+            clients: 8,
+            requests_per_client: 50,
+            graph: "karate".into(),
+            algos: vec![Algo::Bfs, Algo::Pagerank, Algo::TriangleCount],
+            backend: "par".into(),
+            source_count: 8,
+        }
+    }
+}
+
+/// Aggregated outcome of a load-generation run.
+#[derive(Debug, Default)]
+pub struct LoadgenReport {
+    /// Successful (`ok:true`) responses.
+    pub ok: u64,
+    /// Of those, how many were served from the result cache.
+    pub cached: u64,
+    /// Clean server-side rejections, by error code.
+    pub errors: Vec<(String, u64)>,
+    /// Responses that were missing, unparsable, or answered the wrong
+    /// request id — must be zero on a healthy run.
+    pub corrupted: u64,
+    /// Wall-clock for the whole run.
+    pub elapsed: Duration,
+    /// Per-request client-observed latencies, sorted ascending, microseconds.
+    pub latencies_us: Vec<u64>,
+}
+
+impl LoadgenReport {
+    /// Completed requests per second of wall-clock.
+    pub fn qps(&self) -> f64 {
+        let total = self.ok + self.errors.iter().map(|(_, n)| n).sum::<u64>();
+        if self.elapsed.as_secs_f64() > 0.0 {
+            total as f64 / self.elapsed.as_secs_f64()
+        } else {
+            0.0
+        }
+    }
+
+    /// The `p`-th latency percentile in microseconds (nearest-rank).
+    pub fn percentile_us(&self, p: f64) -> u64 {
+        if self.latencies_us.is_empty() {
+            return 0;
+        }
+        let idx = ((self.latencies_us.len() - 1) as f64 * p / 100.0).round() as usize;
+        self.latencies_us[idx]
+    }
+}
+
+/// Drive `clients` concurrent closed-loop clients and aggregate the result.
+/// Every response is validated: parsed, `ok` checked, and matched back to
+/// its request id — anything else counts as corrupted.
+pub fn run_loadgen(opts: &LoadgenOptions) -> std::io::Result<LoadgenReport> {
+    let corrupted = Arc::new(AtomicU64::new(0));
+    let cached = Arc::new(AtomicU64::new(0));
+    let ok = Arc::new(AtomicU64::new(0));
+    let errors: Arc<Mutex<std::collections::HashMap<String, u64>>> = Arc::default();
+    let latencies: Arc<Mutex<Vec<u64>>> = Arc::default();
+
+    let t0 = Instant::now();
+    let mut handles = Vec::new();
+    for c in 0..opts.clients {
+        let opts = opts.clone();
+        let (corrupted, cached, ok) = (corrupted.clone(), cached.clone(), ok.clone());
+        let (errors, latencies) = (errors.clone(), latencies.clone());
+        handles.push(std::thread::spawn(move || -> std::io::Result<()> {
+            let mut client = Client::connect(&opts.addr)?;
+            for r in 0..opts.requests_per_client {
+                let algo = opts.algos[r % opts.algos.len().max(1)];
+                let id = (c as u64) * 1_000_000 + r as u64;
+                let source = (c * 31 + r * 17) % opts.source_count.max(1);
+                let line = format!(
+                    "{{\"op\":\"query\",\"id\":{id},\"graph\":\"{}\",\"algo\":\"{}\",\
+                     \"backend\":\"{}\",\"source\":{source}}}",
+                    opts.graph,
+                    algo.as_str(),
+                    opts.backend
+                );
+                let q0 = Instant::now();
+                let response = client.request(&line);
+                let us = q0.elapsed().as_micros() as u64;
+                let Ok(raw) = response else {
+                    corrupted.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                };
+                match parse(&raw) {
+                    Ok(v) => {
+                        let id_ok = v.u64_field("id") == Some(id);
+                        if v.bool_field("ok") == Some(true) && id_ok {
+                            ok.fetch_add(1, Ordering::Relaxed);
+                            if v.bool_field("cached") == Some(true) {
+                                cached.fetch_add(1, Ordering::Relaxed);
+                            }
+                            latencies.lock().unwrap().push(us);
+                        } else if v.bool_field("ok") == Some(false) && id_ok {
+                            let code = v.str_field("code").unwrap_or("unknown").to_string();
+                            *errors.lock().unwrap().entry(code).or_insert(0) += 1;
+                        } else {
+                            corrupted.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    Err(_) => {
+                        corrupted.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            Ok(())
+        }));
+    }
+    for h in handles {
+        match h.join() {
+            Ok(Ok(())) => {}
+            // a client that could not even connect counts all its requests
+            // as corrupted
+            Ok(Err(_)) | Err(_) => {
+                corrupted.fetch_add(opts.requests_per_client as u64, Ordering::Relaxed);
+            }
+        }
+    }
+    let elapsed = t0.elapsed();
+
+    let mut latencies_us = std::mem::take(&mut *latencies.lock().unwrap());
+    latencies_us.sort_unstable();
+    let mut errors: Vec<(String, u64)> = errors.lock().unwrap().drain().collect();
+    errors.sort();
+    Ok(LoadgenReport {
+        ok: ok.load(Ordering::Relaxed),
+        cached: cached.load(Ordering::Relaxed),
+        errors,
+        corrupted: corrupted.load(Ordering::Relaxed),
+        elapsed,
+        latencies_us,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let r = LoadgenReport {
+            latencies_us: (1..=100).collect(),
+            ..Default::default()
+        };
+        assert_eq!(r.percentile_us(0.0), 1);
+        assert_eq!(r.percentile_us(50.0), 51);
+        assert_eq!(r.percentile_us(99.0), 99);
+        assert_eq!(r.percentile_us(100.0), 100);
+        let empty = LoadgenReport::default();
+        assert_eq!(empty.percentile_us(99.0), 0);
+        assert_eq!(empty.qps(), 0.0);
+    }
+}

@@ -1,0 +1,400 @@
+//! Query execution: one engine per worker, three resident contexts.
+//!
+//! An [`Engine`] owns a sequential, a parallel, and a simulated-CUDA
+//! [`Context`], all pinned to [`TraceMode::Summary`] so every dispatched
+//! GraphBLAS op is counted. The server sums span counts across engines into
+//! its `backend_ops` statistic — which is exactly how the test suite proves
+//! the cache-hit path never touches a backend.
+//!
+//! Results are rendered as a JSON `result` fragment: compact aggregates
+//! plus an FNV-1a checksum over the full per-vertex answer (so clients can
+//! assert bit-identical results across backends without shipping vectors),
+//! with the full `[index, value]` entry list available on request
+//! (`"full":true`).
+
+use std::fmt::Write as _;
+
+use gbtl_algorithms::{
+    bfs_levels, cc::component_count, connected_components, maximal_independent_set,
+    mis::verify_mis, pagerank, pagerank::PageRankOptions, sssp, triangle_count, Direction,
+};
+use gbtl_core::{Backend, Context, CudaBackend, ParBackend, SeqBackend, TraceMode, Vector};
+
+use crate::catalog::GraphEntry;
+use crate::protocol::{Algo, BackendChoice, QueryParams};
+
+/// What one executed query produced.
+#[derive(Debug)]
+pub struct QueryOutcome {
+    /// Rendered `result` JSON fragment.
+    pub result_json: String,
+    /// Backend ops the query dispatched (from the trace span counter).
+    pub ops: u64,
+    /// Rendered span array when the request asked for `"trace":true`.
+    pub trace_json: Option<String>,
+}
+
+/// Per-worker execution engine: one context per backend, tracing on.
+#[derive(Debug)]
+pub struct Engine {
+    seq: Context<SeqBackend>,
+    par: Context<ParBackend>,
+    cuda: Context<CudaBackend>,
+}
+
+/// Point-in-time counters from one engine (summed across engines by the
+/// stats endpoint).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EngineSnapshot {
+    /// Ops dispatched to the sequential backend.
+    pub seq_ops: u64,
+    /// Ops dispatched to the parallel backend.
+    pub par_ops: u64,
+    /// Ops dispatched to the simulated-CUDA backend.
+    pub cuda_ops: u64,
+    /// Work-stealing pool: tasks executed.
+    pub pool_tasks: u64,
+    /// Work-stealing pool: steals.
+    pub pool_steals: u64,
+    /// Simulated device: kernels launched.
+    pub gpu_kernels: u64,
+    /// Simulated device: modeled execution time, seconds.
+    pub gpu_modeled_s: f64,
+}
+
+impl Engine {
+    /// An engine whose parallel context uses `par_threads` workers.
+    pub fn new(par_threads: usize) -> Self {
+        Engine {
+            seq: Context::sequential().with_trace_mode(TraceMode::Summary),
+            par: Context::parallel_with_threads(par_threads).with_trace_mode(TraceMode::Summary),
+            cuda: Context::cuda_default().with_trace_mode(TraceMode::Summary),
+        }
+    }
+
+    /// Total GraphBLAS ops this engine has dispatched, across backends.
+    pub fn total_ops(&self) -> u64 {
+        self.seq.trace().total_spans + self.par.trace().total_spans + self.cuda.trace().total_spans
+    }
+
+    /// Counter snapshot for the stats endpoint.
+    pub fn snapshot(&self) -> EngineSnapshot {
+        let pool = self.par.pool_stats();
+        let gpu = self.cuda.gpu_stats();
+        EngineSnapshot {
+            seq_ops: self.seq.trace().total_spans,
+            par_ops: self.par.trace().total_spans,
+            cuda_ops: self.cuda.trace().total_spans,
+            pool_tasks: pool.tasks_executed,
+            pool_steals: pool.steals,
+            gpu_kernels: gpu.kernels_launched,
+            gpu_modeled_s: gpu.modeled_time_s,
+        }
+    }
+
+    /// Execute `q` against `g` on the requested backend.
+    pub fn run(&self, g: &GraphEntry, q: &QueryParams) -> Result<QueryOutcome, String> {
+        match q.backend {
+            BackendChoice::Seq => run_on(&self.seq, g, q),
+            BackendChoice::Par => run_on(&self.par, g, q),
+            BackendChoice::Cuda => run_on(&self.cuda, g, q),
+        }
+    }
+}
+
+/// FNV-1a 64 over a byte stream.
+#[derive(Debug)]
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf29ce484222325)
+    }
+
+    fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x100000001b3);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Checksum a vector's stored `(index, value)` pairs; `to_bits` maps each
+/// value to a canonical `u64` (identity for integers, IEEE bits for f64).
+fn checksum_vector<T: gbtl_algebra::Scalar>(v: &Vector<T>, to_bits: impl Fn(T) -> u64) -> u64 {
+    let mut h = Fnv::new();
+    h.update(&(v.len() as u64).to_le_bytes());
+    for (i, x) in v.iter() {
+        h.update(&(i as u64).to_le_bytes());
+        h.update(&to_bits(x).to_le_bytes());
+    }
+    h.finish()
+}
+
+/// Render the stored pairs as a JSON `[[index, value], ...]` array.
+fn entries_json<T: gbtl_algebra::Scalar>(
+    v: &Vector<T>,
+    mut fmt_value: impl FnMut(T) -> String,
+) -> String {
+    let mut s = String::from("[");
+    for (k, (i, x)) in v.iter().enumerate() {
+        if k > 0 {
+            s.push(',');
+        }
+        let _ = write!(s, "[{i},{}]", fmt_value(x));
+    }
+    s.push(']');
+    s
+}
+
+fn run_on<B: Backend>(
+    ctx: &Context<B>,
+    g: &GraphEntry,
+    q: &QueryParams,
+) -> Result<QueryOutcome, String> {
+    let needs_source = matches!(q.algo, Algo::Bfs | Algo::Sssp);
+    if needs_source && q.source >= g.n() {
+        return Err(format!(
+            "source {} out of range for graph {:?} ({} vertices)",
+            q.source,
+            g.name,
+            g.n()
+        ));
+    }
+
+    let spans_before = ctx.trace().total_spans;
+    let result_json = match q.algo {
+        Algo::Bfs => {
+            let levels =
+                bfs_levels(ctx, &g.adj, q.source, Direction::Auto).map_err(|e| e.to_string())?;
+            let reached = levels.nnz();
+            let max_level = levels.iter().map(|(_, v)| v).max().unwrap_or(0);
+            let checksum = checksum_vector(&levels, |v| v);
+            let mut s = format!(
+                "{{\"reached\":{reached},\"max_level\":{max_level},\"checksum\":\"{checksum:016x}\""
+            );
+            if q.full {
+                let _ = write!(
+                    s,
+                    ",\"levels\":{}",
+                    entries_json(&levels, |v| v.to_string())
+                );
+            }
+            s.push('}');
+            s
+        }
+        Algo::Sssp => {
+            let dist = sssp(ctx, &g.weights, q.source).map_err(|e| e.to_string())?;
+            let reached = dist.nnz();
+            let max_dist = dist.iter().map(|(_, v)| v).max().unwrap_or(0);
+            let checksum = checksum_vector(&dist, |v| v as u64);
+            let mut s = format!(
+                "{{\"reached\":{reached},\"max_dist\":{max_dist},\"checksum\":\"{checksum:016x}\""
+            );
+            if q.full {
+                let _ = write!(s, ",\"dist\":{}", entries_json(&dist, |v| v.to_string()));
+            }
+            s.push('}');
+            s
+        }
+        Algo::Pagerank => {
+            let opts = PageRankOptions {
+                damping: q.damping,
+                max_iters: q.max_iters,
+                ..PageRankOptions::default()
+            };
+            let (ranks, iters) = pagerank(ctx, &g.adj, opts).map_err(|e| e.to_string())?;
+            let sum: f64 = ranks.iter().map(|(_, v)| v).sum();
+            // argmax, lowest index on ties
+            let (top, top_rank) =
+                ranks
+                    .iter()
+                    .fold((0usize, f64::NEG_INFINITY), |(bi, bv), (i, v)| {
+                        if v > bv {
+                            (i, v)
+                        } else {
+                            (bi, bv)
+                        }
+                    });
+            let checksum = checksum_vector(&ranks, f64::to_bits);
+            let mut s = format!(
+                "{{\"iterations\":{iters},\"sum\":{sum:.6},\"top\":{top},\
+                 \"top_rank\":{top_rank:.6},\"checksum\":\"{checksum:016x}\""
+            );
+            if q.full {
+                let _ = write!(
+                    s,
+                    ",\"ranks\":{}",
+                    entries_json(&ranks, |v| format!("{v:e}"))
+                );
+            }
+            s.push('}');
+            s
+        }
+        Algo::TriangleCount => {
+            let t = triangle_count(ctx, &g.adj).map_err(|e| e.to_string())?;
+            format!("{{\"triangles\":{t}}}")
+        }
+        Algo::Cc => {
+            let labels = connected_components(ctx, &g.adj).map_err(|e| e.to_string())?;
+            let components = component_count(&labels);
+            let checksum = checksum_vector(&labels, |v| v);
+            let mut s = format!("{{\"components\":{components},\"checksum\":\"{checksum:016x}\"");
+            if q.full {
+                let _ = write!(
+                    s,
+                    ",\"labels\":{}",
+                    entries_json(&labels, |v| v.to_string())
+                );
+            }
+            s.push('}');
+            s
+        }
+        Algo::Mis => {
+            let set = maximal_independent_set(ctx, &g.adj, q.seed).map_err(|e| e.to_string())?;
+            let size = set.iter().filter(|&(_, v)| v).count();
+            let independent = verify_mis(&g.adj, &set);
+            let checksum = checksum_vector(&set, |v| v as u64);
+            let mut s = format!(
+                "{{\"size\":{size},\"independent\":{independent},\"checksum\":\"{checksum:016x}\""
+            );
+            if q.full {
+                let _ = write!(s, ",\"set\":{}", entries_json(&set, |v| v.to_string()));
+            }
+            s.push('}');
+            s
+        }
+    };
+
+    let report = ctx.trace();
+    let ops = report.total_spans - spans_before;
+    let trace_json = q.trace.then(|| {
+        let mut s = String::from("[");
+        let mut first = true;
+        for span in report.spans.iter().filter(|sp| sp.seq >= spans_before) {
+            if !first {
+                s.push(',');
+            }
+            first = false;
+            let _ = write!(
+                s,
+                "{{\"op\":\"{}\",\"ns\":{},\"nnz_in\":{},\"nnz_out\":{}}}",
+                gbtl_util::json::escape(span.fields.op),
+                span.duration_ns,
+                span.fields.nnz_in,
+                span.fields.nnz_out
+            );
+        }
+        s.push(']');
+        s
+    });
+
+    Ok(QueryOutcome {
+        result_json,
+        ops,
+        trace_json,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{Catalog, GraphSpec};
+
+    fn params(algo: Algo, backend: BackendChoice) -> QueryParams {
+        QueryParams {
+            id: None,
+            graph: "k".into(),
+            algo,
+            backend,
+            source: 0,
+            damping: 0.85,
+            max_iters: 100,
+            seed: 7,
+            full: false,
+            trace: false,
+            deadline_ms: None,
+        }
+    }
+
+    #[test]
+    fn every_algo_runs_and_matches_across_backends() {
+        let cat = Catalog::new();
+        let g = cat.load("k", &GraphSpec::Karate).unwrap();
+        let engine = Engine::new(2);
+        for algo in Algo::ALL {
+            let outcomes: Vec<String> =
+                [BackendChoice::Seq, BackendChoice::Par, BackendChoice::Cuda]
+                    .into_iter()
+                    .map(|b| engine.run(&g, &params(algo, b)).unwrap().result_json)
+                    .collect();
+            assert_eq!(outcomes[0], outcomes[1], "{algo:?} seq vs par");
+            assert_eq!(outcomes[0], outcomes[2], "{algo:?} seq vs cuda");
+            gbtl_util::json::parse(&outcomes[0]).expect("result fragment parses");
+        }
+        assert!(engine.total_ops() > 0);
+        let snap = engine.snapshot();
+        assert!(snap.seq_ops > 0 && snap.par_ops > 0 && snap.cuda_ops > 0);
+        assert!(snap.gpu_kernels > 0);
+    }
+
+    #[test]
+    fn known_answers_on_karate() {
+        let cat = Catalog::new();
+        let g = cat.load("k", &GraphSpec::Karate).unwrap();
+        let engine = Engine::new(2);
+        let tc = engine
+            .run(&g, &params(Algo::TriangleCount, BackendChoice::Seq))
+            .unwrap();
+        assert_eq!(tc.result_json, "{\"triangles\":45}");
+        let cc = engine
+            .run(&g, &params(Algo::Cc, BackendChoice::Seq))
+            .unwrap();
+        let v = gbtl_util::json::parse(&cc.result_json).unwrap();
+        assert_eq!(v.u64_field("components"), Some(1));
+        let bfs = engine
+            .run(&g, &params(Algo::Bfs, BackendChoice::Seq))
+            .unwrap();
+        let v = gbtl_util::json::parse(&bfs.result_json).unwrap();
+        assert_eq!(v.u64_field("reached"), Some(34), "karate is connected");
+        let mis = engine
+            .run(&g, &params(Algo::Mis, BackendChoice::Seq))
+            .unwrap();
+        let v = gbtl_util::json::parse(&mis.result_json).unwrap();
+        assert_eq!(v.bool_field("independent"), Some(true));
+    }
+
+    #[test]
+    fn full_and_trace_payloads() {
+        let cat = Catalog::new();
+        let g = cat.load("k", &GraphSpec::Karate).unwrap();
+        let engine = Engine::new(1);
+        let mut p = params(Algo::Bfs, BackendChoice::Seq);
+        p.full = true;
+        p.trace = true;
+        let out = engine.run(&g, &p).unwrap();
+        assert!(out.ops > 0);
+        let v = gbtl_util::json::parse(&out.result_json).unwrap();
+        let levels = v.get("levels").unwrap().as_arr().unwrap();
+        assert_eq!(levels.len(), 34);
+        let spans = gbtl_util::json::parse(&out.trace_json.unwrap()).unwrap();
+        assert_eq!(spans.as_arr().unwrap().len() as u64, out.ops);
+    }
+
+    #[test]
+    fn source_out_of_range_is_an_error_not_a_panic() {
+        let cat = Catalog::new();
+        let g = cat.load("k", &GraphSpec::Karate).unwrap();
+        let engine = Engine::new(1);
+        let mut p = params(Algo::Bfs, BackendChoice::Seq);
+        p.source = 999;
+        assert!(engine.run(&g, &p).is_err());
+        // non-source algos ignore source entirely
+        p.algo = Algo::TriangleCount;
+        assert!(engine.run(&g, &p).is_ok());
+    }
+}

@@ -1,0 +1,44 @@
+//! gbtl-serve: a concurrent graph-analytics query server over the
+//! GraphBLAS frontend.
+//!
+//! A dependency-free TCP server speaking newline-delimited JSON. Clients
+//! `load` named graphs into an immutable, `Arc`-shared catalog, then `query`
+//! them with any [`gbtl-algorithms`](gbtl_algorithms) routine (BFS, SSSP,
+//! PageRank, triangle count, connected components, MIS) on a per-request
+//! backend choice — sequential CPU, work-stealing parallel CPU, or the
+//! simulated GPU.
+//!
+//! The server is built from four pieces, each its own module:
+//!
+//! * [`catalog`] — named, epoch-stamped resident graphs;
+//! * [`protocol`] — the wire grammar (requests, params, error codes);
+//! * [`cache`] — the LRU result cache keyed by `(graph, epoch, params)`;
+//! * [`engine`] + [`server`] — per-worker backend contexts behind a bounded
+//!   job queue with admission control, deadlines, and graceful shutdown.
+//!
+//! [`client`] has the matching client and the closed-loop load generator.
+//!
+//! ## A one-minute session
+//!
+//! ```text
+//! → {"op":"load","graph":"karate","spec":"karate"}
+//! ← {"ok":true,"graph":"karate","epoch":1,"n":34,"nnz":156,"spec":"karate"}
+//! → {"op":"query","graph":"karate","algo":"bfs","source":0,"backend":"par"}
+//! ← {"ok":true,"graph":"karate","epoch":1,"algo":"bfs","backend":"par",
+//!    "cached":false,"micros":412,"result":{"reached":34,"max_level":2,...}}
+//! ```
+//!
+//! Start one in-process with [`server::start`] (the integration tests do),
+//! or run the `gbtl-serve` binary and drive it with `loadgen`.
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod catalog;
+pub mod client;
+pub mod engine;
+pub mod protocol;
+pub mod server;
+
+pub use client::{run_loadgen, Client, LoadgenOptions, LoadgenReport};
+pub use server::{start, ServerConfig, ServerHandle};

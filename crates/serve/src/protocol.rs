@@ -1,0 +1,411 @@
+//! The newline-delimited JSON wire protocol.
+//!
+//! One request object per line in, one response object per line out, in
+//! request order per connection. Parsing rides on the shared reader in
+//! [`gbtl_util::json`] (the same implementation the trace reporters verify
+//! against); responses are emitted by hand with [`gbtl_util::json::escape`].
+//!
+//! Requests (`"op"` selects the kind):
+//!
+//! ```text
+//! {"op":"ping"}
+//! {"op":"list"}
+//! {"op":"stats"}
+//! {"op":"shutdown"}
+//! {"op":"sleep","ms":50}                        # diagnostic: occupies a worker
+//! {"op":"load","name":"r10","spec":"rmat:10:8:7"}
+//! {"op":"query","graph":"r10","algo":"bfs","backend":"par","source":0,
+//!  "id":7,"full":false,"trace":false,"deadline_ms":500}
+//! ```
+//!
+//! Every response carries `"ok"`; failures add `"code"` (`bad_request`,
+//! `not_found`, `overloaded`, `deadline`, `shutting_down`, `internal`) and a
+//! human-readable `"error"`.
+
+use gbtl_util::json::{self, escape, Value};
+
+/// Which algorithm a query runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algo {
+    /// BFS levels from `source`.
+    Bfs,
+    /// Bellman–Ford SSSP from `source` over the derived `u32` weights.
+    Sssp,
+    /// Damped PageRank.
+    Pagerank,
+    /// Triangle count.
+    TriangleCount,
+    /// Connected components.
+    Cc,
+    /// Maximal independent set (Luby, seeded).
+    Mis,
+}
+
+impl Algo {
+    /// All algorithms, in the order smoke tests exercise them.
+    pub const ALL: [Algo; 6] = [
+        Algo::Bfs,
+        Algo::Sssp,
+        Algo::Pagerank,
+        Algo::TriangleCount,
+        Algo::Cc,
+        Algo::Mis,
+    ];
+
+    /// Wire spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Algo::Bfs => "bfs",
+            Algo::Sssp => "sssp",
+            Algo::Pagerank => "pagerank",
+            Algo::TriangleCount => "triangle_count",
+            Algo::Cc => "cc",
+            Algo::Mis => "mis",
+        }
+    }
+
+    /// Parse the wire spelling.
+    pub fn parse(s: &str) -> Result<Algo, String> {
+        match s {
+            "bfs" => Ok(Algo::Bfs),
+            "sssp" => Ok(Algo::Sssp),
+            "pagerank" | "pr" => Ok(Algo::Pagerank),
+            "triangle_count" | "tc" => Ok(Algo::TriangleCount),
+            "cc" => Ok(Algo::Cc),
+            "mis" => Ok(Algo::Mis),
+            other => Err(format!(
+                "unknown algo {other:?} (expected bfs|sssp|pagerank|triangle_count|cc|mis)"
+            )),
+        }
+    }
+}
+
+/// Which backend a query runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum BackendChoice {
+    /// Sequential CPU reference.
+    Seq,
+    /// Work-stealing parallel CPU backend (the default).
+    #[default]
+    Par,
+    /// Simulated-CUDA backend.
+    Cuda,
+}
+
+impl BackendChoice {
+    /// Wire spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BackendChoice::Seq => "seq",
+            BackendChoice::Par => "par",
+            BackendChoice::Cuda => "cuda",
+        }
+    }
+
+    /// Parse the wire spelling.
+    pub fn parse(s: &str) -> Result<BackendChoice, String> {
+        match s {
+            "seq" | "sequential" => Ok(BackendChoice::Seq),
+            "par" | "parallel" => Ok(BackendChoice::Par),
+            "cuda" | "cuda-sim" | "gpu" => Ok(BackendChoice::Cuda),
+            other => Err(format!("unknown backend {other:?} (expected seq|par|cuda)")),
+        }
+    }
+}
+
+/// A parsed `query` request.
+#[derive(Debug, Clone)]
+pub struct QueryParams {
+    /// Client-supplied correlation id, echoed back verbatim.
+    pub id: Option<u64>,
+    /// Catalog graph name.
+    pub graph: String,
+    /// Algorithm to run.
+    pub algo: Algo,
+    /// Backend to run it on.
+    pub backend: BackendChoice,
+    /// Source vertex (bfs/sssp; ignored elsewhere).
+    pub source: usize,
+    /// PageRank damping factor.
+    pub damping: f64,
+    /// PageRank iteration cap.
+    pub max_iters: usize,
+    /// MIS seed.
+    pub seed: u64,
+    /// Include the full per-vertex result, not just aggregates + checksum.
+    pub full: bool,
+    /// Include the request's op spans in the response.
+    pub trace: bool,
+    /// Per-request deadline override, milliseconds.
+    pub deadline_ms: Option<u64>,
+}
+
+impl QueryParams {
+    /// The canonical parameter string: the algorithm-relevant knobs (plus
+    /// backend and output shape) in a fixed order. Combined with the graph
+    /// name and epoch this is the result-cache key, so two requests that
+    /// must produce identical payloads — and only those — collide.
+    pub fn cache_params(&self) -> String {
+        let mut s = format!(
+            "algo={};backend={}",
+            self.algo.as_str(),
+            self.backend.as_str()
+        );
+        match self.algo {
+            Algo::Bfs | Algo::Sssp => {
+                s.push_str(&format!(";source={}", self.source));
+            }
+            Algo::Pagerank => {
+                s.push_str(&format!(
+                    ";damping={};max_iters={}",
+                    self.damping, self.max_iters
+                ));
+            }
+            Algo::Mis => {
+                s.push_str(&format!(";seed={}", self.seed));
+            }
+            Algo::TriangleCount | Algo::Cc => {}
+        }
+        if self.full {
+            s.push_str(";full");
+        }
+        s
+    }
+}
+
+/// A parsed request line.
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// Liveness check, answered inline.
+    Ping,
+    /// List resident graphs, answered inline.
+    List,
+    /// Server statistics, answered inline.
+    Stats,
+    /// Begin graceful shutdown.
+    Shutdown,
+    /// Diagnostic: hold a worker for `ms` milliseconds (goes through the
+    /// queue like a query; used to exercise admission control).
+    Sleep {
+        /// How long the worker sleeps.
+        ms: u64,
+        /// Correlation id.
+        id: Option<u64>,
+        /// Per-request deadline override, milliseconds.
+        deadline_ms: Option<u64>,
+    },
+    /// Load (or replace) a named graph from a spec string.
+    Load {
+        /// Catalog name.
+        name: String,
+        /// Compact spec string (see [`crate::catalog::GraphSpec::parse`]).
+        spec: String,
+    },
+    /// Run an algorithm on a resident graph.
+    Query(QueryParams),
+}
+
+/// Parse one request line.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let v = json::parse(line).map_err(|e| format!("bad JSON: {e}"))?;
+    let op = v.str_field("op").ok_or("missing \"op\" field")?;
+    match op {
+        "ping" => Ok(Request::Ping),
+        "list" => Ok(Request::List),
+        "stats" => Ok(Request::Stats),
+        "shutdown" => Ok(Request::Shutdown),
+        "sleep" => Ok(Request::Sleep {
+            ms: v.u64_field("ms").ok_or("sleep: missing \"ms\"")?,
+            id: v.u64_field("id"),
+            deadline_ms: v.u64_field("deadline_ms"),
+        }),
+        "load" => Ok(Request::Load {
+            // "graph" is accepted as an alias so load and query lines can
+            // name the graph with the same field
+            name: v
+                .str_field("name")
+                .or_else(|| v.str_field("graph"))
+                .ok_or("load: missing \"name\"")?
+                .to_string(),
+            spec: v
+                .str_field("spec")
+                .ok_or("load: missing \"spec\"")?
+                .to_string(),
+        }),
+        "query" => {
+            let algo = Algo::parse(v.str_field("algo").ok_or("query: missing \"algo\"")?)?;
+            let backend = match v.str_field("backend") {
+                Some(b) => BackendChoice::parse(b)?,
+                None => BackendChoice::default(),
+            };
+            if let Some(Value::Num(d)) = v.get("damping") {
+                if !(0.0..1.0).contains(d) {
+                    return Err(format!("query: damping {d} outside [0, 1)"));
+                }
+            }
+            Ok(Request::Query(QueryParams {
+                id: v.u64_field("id"),
+                graph: v
+                    .str_field("graph")
+                    .ok_or("query: missing \"graph\"")?
+                    .to_string(),
+                algo,
+                backend,
+                source: v.get("source").and_then(|s| s.as_usize()).unwrap_or(0),
+                damping: v.f64_field("damping").unwrap_or(0.85),
+                max_iters: v.get("max_iters").and_then(|s| s.as_usize()).unwrap_or(100),
+                seed: v.u64_field("seed").unwrap_or(7),
+                full: v.bool_field("full").unwrap_or(false),
+                trace: v.bool_field("trace").unwrap_or(false),
+                deadline_ms: v.u64_field("deadline_ms"),
+            }))
+        }
+        other => Err(format!("unknown op {other:?}")),
+    }
+}
+
+/// Render an error response line (no trailing newline).
+pub fn error_response(code: &str, msg: &str, id: Option<u64>) -> String {
+    let id_part = id.map(|i| format!("\"id\":{i},")).unwrap_or_default();
+    format!(
+        "{{\"ok\":false,{id_part}\"code\":\"{}\",\"error\":\"{}\"}}",
+        escape(code),
+        escape(msg)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_op() {
+        assert!(matches!(
+            parse_request(r#"{"op":"ping"}"#),
+            Ok(Request::Ping)
+        ));
+        assert!(matches!(
+            parse_request(r#"{"op":"list"}"#),
+            Ok(Request::List)
+        ));
+        assert!(matches!(
+            parse_request(r#"{"op":"stats"}"#),
+            Ok(Request::Stats)
+        ));
+        assert!(matches!(
+            parse_request(r#"{"op":"shutdown"}"#),
+            Ok(Request::Shutdown)
+        ));
+        assert!(matches!(
+            parse_request(r#"{"op":"sleep","ms":5,"id":2}"#),
+            Ok(Request::Sleep {
+                ms: 5,
+                id: Some(2),
+                ..
+            })
+        ));
+        match parse_request(r#"{"op":"load","name":"k","spec":"karate"}"#).unwrap() {
+            Request::Load { name, spec } => {
+                assert_eq!(name, "k");
+                assert_eq!(spec, "karate");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn query_defaults_and_knobs() {
+        let q = match parse_request(r#"{"op":"query","graph":"g","algo":"bfs"}"#).unwrap() {
+            Request::Query(q) => q,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(q.backend, BackendChoice::Par);
+        assert_eq!(q.source, 0);
+        assert!(!q.full && !q.trace);
+        assert_eq!(q.id, None);
+
+        let q = match parse_request(
+            r#"{"op":"query","graph":"g","algo":"pagerank","backend":"cuda",
+               "damping":0.9,"max_iters":30,"id":9,"full":true,"trace":true,"deadline_ms":250}"#,
+        )
+        .unwrap()
+        {
+            Request::Query(q) => q,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(q.backend, BackendChoice::Cuda);
+        assert_eq!(q.damping, 0.9);
+        assert_eq!(q.max_iters, 30);
+        assert_eq!(q.id, Some(9));
+        assert!(q.full && q.trace);
+        assert_eq!(q.deadline_ms, Some(250));
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        assert!(parse_request("not json").is_err());
+        assert!(parse_request(r#"{"no_op":1}"#).is_err());
+        assert!(parse_request(r#"{"op":"warp"}"#).is_err());
+        assert!(parse_request(r#"{"op":"query","graph":"g","algo":"mystery"}"#).is_err());
+        assert!(
+            parse_request(r#"{"op":"query","graph":"g","algo":"bfs","backend":"abacus"}"#).is_err()
+        );
+        assert!(
+            parse_request(r#"{"op":"query","graph":"g","algo":"pagerank","damping":1.5}"#).is_err()
+        );
+        assert!(parse_request(r#"{"op":"load","name":"k"}"#).is_err());
+        assert!(parse_request(r#"{"op":"sleep"}"#).is_err());
+    }
+
+    #[test]
+    fn cache_params_cover_relevant_knobs_only() {
+        let mut q = QueryParams {
+            id: Some(1),
+            graph: "g".into(),
+            algo: Algo::Bfs,
+            backend: BackendChoice::Seq,
+            source: 3,
+            damping: 0.85,
+            max_iters: 100,
+            seed: 7,
+            full: false,
+            trace: false,
+            deadline_ms: Some(100),
+        };
+        let key = q.cache_params();
+        assert_eq!(key, "algo=bfs;backend=seq;source=3");
+        // id / trace / deadline don't affect the key
+        q.id = None;
+        q.trace = true;
+        q.deadline_ms = None;
+        assert_eq!(q.cache_params(), key);
+        // but backend, params, and output shape do
+        q.backend = BackendChoice::Par;
+        assert_ne!(q.cache_params(), key);
+        q.backend = BackendChoice::Seq;
+        q.full = true;
+        assert_ne!(q.cache_params(), key);
+        q.full = false;
+        q.algo = Algo::Pagerank;
+        assert_eq!(
+            q.cache_params(),
+            "algo=pagerank;backend=seq;damping=0.85;max_iters=100"
+        );
+        q.algo = Algo::Mis;
+        assert_eq!(q.cache_params(), "algo=mis;backend=seq;seed=7");
+        q.algo = Algo::TriangleCount;
+        assert_eq!(q.cache_params(), "algo=triangle_count;backend=seq");
+    }
+
+    #[test]
+    fn error_responses_are_valid_json() {
+        let line = error_response("overloaded", "queue full (cap 4)", Some(3));
+        let v = gbtl_util::json::parse(&line).unwrap();
+        assert_eq!(v.bool_field("ok"), Some(false));
+        assert_eq!(v.str_field("code"), Some("overloaded"));
+        assert_eq!(v.u64_field("id"), Some(3));
+        let v = gbtl_util::json::parse(&error_response("bad_request", "x\"y", None)).unwrap();
+        assert_eq!(v.str_field("error"), Some("x\"y"));
+        assert!(v.get("id").is_none());
+    }
+}

@@ -1,0 +1,764 @@
+//! The TCP server: listener, bounded worker pool, admission control,
+//! deadlines, graceful shutdown.
+//!
+//! ## Threading model
+//!
+//! One listener thread accepts connections; each connection gets a cheap
+//! handler thread that reads request lines, answers control ops (`ping`,
+//! `list`, `stats`, `load`, `shutdown`) inline, and pushes compute ops
+//! (`query`, `sleep`) onto a **bounded job queue**. A fixed pool of worker
+//! threads drains the queue; worker `i` owns engine `i` (three resident,
+//! trace-enabled backend contexts), so at most `workers` queries execute at
+//! once no matter how many clients are connected.
+//!
+//! ## Admission control and deadlines
+//!
+//! A push onto a full queue is rejected immediately with an `overloaded`
+//! response — the connection thread never blocks on admission, so an
+//! overloaded server stays responsive instead of building an unbounded
+//! backlog. Every job carries a deadline (request `deadline_ms`, else the
+//! configured default): jobs that expire while queued are dropped with a
+//! `deadline` response, and connection threads stop waiting shortly after
+//! the deadline passes even if a worker is still grinding.
+//!
+//! ## Graceful shutdown
+//!
+//! `shutdown` (request or [`ServerHandle::begin_shutdown`]) flips the
+//! shutdown flag, closes the queue to new pushes, and pokes the listener
+//! awake. Workers drain every already-admitted job — in-flight requests
+//! complete and their clients get real responses — then exit;
+//! [`ServerHandle::join`] returns once the pool is parked.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use gbtl_util::json::escape;
+
+use crate::cache::{cache_key, CachedResult, ResultCache};
+use crate::catalog::{Catalog, GraphEntry, GraphSpec};
+use crate::engine::{Engine, EngineSnapshot};
+use crate::protocol::{error_response, parse_request, QueryParams, Request};
+
+/// Extra wait past the deadline before a connection gives up on a worker
+/// that is mid-computation.
+const DEADLINE_GRACE: Duration = Duration::from_millis(250);
+
+/// Server configuration. [`ServerConfig::from_env`] reads the
+/// `GBTL_SERVE_*` knobs (invalid values warn and fall back, like every
+/// other `GBTL_*` variable); the field defaults are the documented ones.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address (`GBTL_SERVE_ADDR`); port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Worker threads = max concurrent queries (`GBTL_SERVE_WORKERS`).
+    pub workers: usize,
+    /// Bounded job-queue capacity (`GBTL_SERVE_QUEUE`); pushes beyond it
+    /// are rejected as `overloaded`.
+    pub queue_capacity: usize,
+    /// Result-cache capacity in entries (`GBTL_SERVE_CACHE`); 0 disables.
+    pub cache_capacity: usize,
+    /// Default per-request deadline, ms (`GBTL_SERVE_DEADLINE_MS`).
+    pub default_deadline_ms: u64,
+    /// Threads inside each worker's parallel-backend context
+    /// (`GBTL_SERVE_PAR_THREADS`).
+    pub par_threads: usize,
+    /// Graphs to load before accepting connections (`name`, `spec`).
+    pub preload: Vec<(String, String)>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+        ServerConfig {
+            addr: "127.0.0.1:7411".into(),
+            workers: host.min(8),
+            queue_capacity: 64,
+            cache_capacity: 128,
+            default_deadline_ms: 10_000,
+            par_threads: host,
+            preload: Vec::new(),
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Defaults overridden by the `GBTL_SERVE_*` environment knobs.
+    pub fn from_env() -> Self {
+        use gbtl_util::env;
+        let d = ServerConfig::default();
+        ServerConfig {
+            addr: env::string_var("GBTL_SERVE_ADDR").unwrap_or(d.addr),
+            workers: env::usize_var("GBTL_SERVE_WORKERS", 1).unwrap_or(d.workers),
+            queue_capacity: env::usize_var("GBTL_SERVE_QUEUE", 1).unwrap_or(d.queue_capacity),
+            cache_capacity: env::usize_var("GBTL_SERVE_CACHE", 0).unwrap_or(d.cache_capacity),
+            default_deadline_ms: env::u64_var("GBTL_SERVE_DEADLINE_MS", 1)
+                .unwrap_or(d.default_deadline_ms),
+            par_threads: env::usize_var("GBTL_SERVE_PAR_THREADS", 1).unwrap_or(d.par_threads),
+            preload: Vec::new(),
+        }
+    }
+}
+
+/// One queued compute job.
+#[derive(Debug)]
+struct Job {
+    kind: JobKind,
+    id: Option<u64>,
+    deadline: Instant,
+    reply: mpsc::Sender<String>,
+}
+
+#[derive(Debug)]
+enum JobKind {
+    Query {
+        params: QueryParams,
+        graph: Arc<GraphEntry>,
+        key: String,
+    },
+    Sleep {
+        ms: u64,
+    },
+}
+
+#[derive(Debug)]
+enum PushError {
+    Full,
+    ShuttingDown,
+}
+
+/// The bounded job queue (Mutex + Condvar; `pop` blocks, `push` never does).
+#[derive(Debug)]
+struct JobQueue {
+    capacity: usize,
+    inner: Mutex<QueueInner>,
+    cond: Condvar,
+}
+
+#[derive(Debug, Default)]
+struct QueueInner {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+impl JobQueue {
+    fn new(capacity: usize) -> Self {
+        JobQueue {
+            capacity: capacity.max(1),
+            inner: Mutex::new(QueueInner::default()),
+            cond: Condvar::new(),
+        }
+    }
+
+    fn push(&self, job: Job) -> Result<(), PushError> {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.shutdown {
+            return Err(PushError::ShuttingDown);
+        }
+        if inner.jobs.len() >= self.capacity {
+            return Err(PushError::Full);
+        }
+        inner.jobs.push_back(job);
+        drop(inner);
+        self.cond.notify_one();
+        Ok(())
+    }
+
+    /// Blocks for the next job; `None` once the queue is shut down *and*
+    /// drained (so admitted work always completes).
+    fn pop(&self) -> Option<Job> {
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            if let Some(job) = inner.jobs.pop_front() {
+                return Some(job);
+            }
+            if inner.shutdown {
+                return None;
+            }
+            inner = self.cond.wait(inner).unwrap();
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.inner.lock().unwrap().jobs.len()
+    }
+
+    fn shutdown(&self) {
+        self.inner.lock().unwrap().shutdown = true;
+        self.cond.notify_all();
+    }
+}
+
+#[derive(Debug, Default)]
+struct LatAgg {
+    count: u64,
+    total_us: u64,
+    max_us: u64,
+}
+
+/// Cumulative server counters (everything the `stats` endpoint reports
+/// besides cache/engine internals).
+#[derive(Debug, Default)]
+struct ServerStats {
+    connections: AtomicU64,
+    received: AtomicU64,
+    completed: AtomicU64,
+    bad_requests: AtomicU64,
+    rejected_overloaded: AtomicU64,
+    rejected_shutdown: AtomicU64,
+    deadline_expired: AtomicU64,
+    latencies: Mutex<HashMap<&'static str, LatAgg>>,
+}
+
+impl ServerStats {
+    fn record_latency(&self, op: &'static str, micros: u64) {
+        let mut map = self.latencies.lock().unwrap();
+        let agg = map.entry(op).or_default();
+        agg.count += 1;
+        agg.total_us += micros;
+        agg.max_us = agg.max_us.max(micros);
+    }
+}
+
+/// Everything the listener, connection, and worker threads share.
+#[derive(Debug)]
+struct Shared {
+    config: ServerConfig,
+    addr: SocketAddr,
+    catalog: Catalog,
+    cache: ResultCache,
+    queue: JobQueue,
+    stats: ServerStats,
+    engines: Vec<Engine>,
+    start: Instant,
+    shutdown: AtomicBool,
+}
+
+/// A running server. Dropping the handle does **not** stop the server;
+/// call [`ServerHandle::shutdown_and_join`] (or send a `shutdown` request).
+#[derive(Debug)]
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    listener_thread: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0 to the real ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Flip the shutdown flag, close the queue, and poke the listener.
+    /// Idempotent; returns immediately.
+    pub fn begin_shutdown(&self) {
+        begin_shutdown(&self.shared);
+    }
+
+    /// Wait for the listener and every worker to exit (workers drain all
+    /// admitted jobs first).
+    pub fn join(mut self) {
+        if let Some(t) = self.listener_thread.take() {
+            let _ = t.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+
+    /// [`ServerHandle::begin_shutdown`] + [`ServerHandle::join`].
+    pub fn shutdown_and_join(self) {
+        self.begin_shutdown();
+        self.join();
+    }
+}
+
+fn begin_shutdown(shared: &Arc<Shared>) {
+    if shared.shutdown.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    shared.queue.shutdown();
+    // poke the blocking accept() so the listener notices the flag
+    let _ = TcpStream::connect(shared.addr);
+}
+
+/// Bind, preload, and spawn the worker pool + listener.
+pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+
+    let catalog = Catalog::new();
+    for (name, spec) in &config.preload {
+        let spec = GraphSpec::parse(spec)
+            .and_then(|s| catalog.load(name, &s).map(|_| s))
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e))?;
+        let _ = spec;
+    }
+
+    let engines: Vec<Engine> = (0..config.workers.max(1))
+        .map(|_| Engine::new(config.par_threads))
+        .collect();
+
+    let shared = Arc::new(Shared {
+        cache: ResultCache::new(config.cache_capacity),
+        queue: JobQueue::new(config.queue_capacity),
+        stats: ServerStats::default(),
+        catalog,
+        engines,
+        addr,
+        start: Instant::now(),
+        shutdown: AtomicBool::new(false),
+        config,
+    });
+
+    let workers = (0..shared.engines.len())
+        .map(|i| {
+            let shared = shared.clone();
+            std::thread::Builder::new()
+                .name(format!("gbtl-serve-worker-{i}"))
+                .spawn(move || worker_loop(&shared, i))
+                .expect("spawn worker")
+        })
+        .collect();
+
+    let listener_thread = {
+        let shared = shared.clone();
+        Some(
+            std::thread::Builder::new()
+                .name("gbtl-serve-listener".into())
+                .spawn(move || listener_loop(listener, &shared))
+                .expect("spawn listener"),
+        )
+    };
+
+    Ok(ServerHandle {
+        shared,
+        listener_thread,
+        workers,
+    })
+}
+
+fn listener_loop(listener: TcpListener, shared: &Arc<Shared>) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                shared.stats.connections.fetch_add(1, Ordering::Relaxed);
+                let shared = shared.clone();
+                // connection threads are cheap (they block on I/O and the
+                // reply channel); they exit when the client disconnects
+                let _ = std::thread::Builder::new()
+                    .name("gbtl-serve-conn".into())
+                    .spawn(move || handle_connection(stream, &shared));
+            }
+            Err(_) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
+    // small request/response frames: without nodelay, Nagle + delayed ACK
+    // costs tens of ms per round-trip
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => return, // client closed
+            Ok(_) => {}
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        shared.stats.received.fetch_add(1, Ordering::Relaxed);
+        let mut response = dispatch_line(line.trim(), shared);
+        response.push('\n');
+        if writer
+            .write_all(response.as_bytes())
+            .and_then(|_| writer.flush())
+            .is_err()
+        {
+            return;
+        }
+    }
+}
+
+fn dispatch_line(line: &str, shared: &Arc<Shared>) -> String {
+    let request = match parse_request(line) {
+        Ok(r) => r,
+        Err(e) => {
+            shared.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+            return error_response("bad_request", &e, None);
+        }
+    };
+    match request {
+        Request::Ping => "{\"ok\":true,\"pong\":true}".into(),
+        Request::List => render_list(shared),
+        Request::Stats => render_stats(shared),
+        Request::Shutdown => {
+            begin_shutdown(shared);
+            "{\"ok\":true,\"shutting_down\":true}".into()
+        }
+        Request::Load { name, spec } => {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                return error_response("shutting_down", "server is shutting down", None);
+            }
+            match GraphSpec::parse(&spec).and_then(|s| shared.catalog.load(&name, &s)) {
+                Ok(entry) => format!(
+                    "{{\"ok\":true,\"graph\":\"{}\",\"epoch\":{},\"n\":{},\"nnz\":{},\
+                     \"spec\":\"{}\"}}",
+                    escape(&entry.name),
+                    entry.epoch,
+                    entry.n(),
+                    entry.nnz(),
+                    escape(&entry.spec)
+                ),
+                Err(e) => {
+                    shared.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+                    error_response("bad_request", &e, None)
+                }
+            }
+        }
+        Request::Sleep {
+            ms,
+            id,
+            deadline_ms,
+        } => submit_job(shared, JobKind::Sleep { ms }, id, deadline_ms),
+        Request::Query(params) => {
+            let Some(graph) = shared.catalog.get(&params.graph) else {
+                return error_response(
+                    "not_found",
+                    &format!("no graph named {:?} (use the load op)", params.graph),
+                    params.id,
+                );
+            };
+            let key = cache_key(&graph.name, graph.epoch, &params.cache_params());
+            if let Some(hit) = shared.cache.get(&key) {
+                return query_response(
+                    &params,
+                    &graph,
+                    true,
+                    hit.compute_micros,
+                    &hit.result_json,
+                    None,
+                );
+            }
+            let id = params.id;
+            let deadline_ms = params.deadline_ms;
+            submit_job(
+                shared,
+                JobKind::Query { params, graph, key },
+                id,
+                deadline_ms,
+            )
+        }
+    }
+}
+
+/// Push a compute job and wait for the worker's response (or the deadline).
+fn submit_job(
+    shared: &Arc<Shared>,
+    kind: JobKind,
+    id: Option<u64>,
+    deadline_ms: Option<u64>,
+) -> String {
+    let deadline_ms = deadline_ms.unwrap_or(shared.config.default_deadline_ms);
+    let deadline = Instant::now() + Duration::from_millis(deadline_ms);
+    let (tx, rx) = mpsc::channel();
+    let job = Job {
+        kind,
+        id,
+        deadline,
+        reply: tx,
+    };
+    match shared.queue.push(job) {
+        Ok(()) => {
+            let wait = deadline
+                .saturating_duration_since(Instant::now())
+                .saturating_add(DEADLINE_GRACE);
+            match rx.recv_timeout(wait) {
+                Ok(line) => line,
+                Err(_) => {
+                    shared
+                        .stats
+                        .deadline_expired
+                        .fetch_add(1, Ordering::Relaxed);
+                    error_response("deadline", &format!("no result within {deadline_ms}ms"), id)
+                }
+            }
+        }
+        Err(PushError::Full) => {
+            shared
+                .stats
+                .rejected_overloaded
+                .fetch_add(1, Ordering::Relaxed);
+            error_response(
+                "overloaded",
+                &format!(
+                    "queue full ({} queued, {} workers busy)",
+                    shared.config.queue_capacity, shared.config.workers
+                ),
+                id,
+            )
+        }
+        Err(PushError::ShuttingDown) => {
+            shared
+                .stats
+                .rejected_shutdown
+                .fetch_add(1, Ordering::Relaxed);
+            error_response("shutting_down", "server is shutting down", id)
+        }
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>, index: usize) {
+    let engine = &shared.engines[index];
+    while let Some(job) = shared.queue.pop() {
+        if Instant::now() > job.deadline {
+            shared
+                .stats
+                .deadline_expired
+                .fetch_add(1, Ordering::Relaxed);
+            let _ = job.reply.send(error_response(
+                "deadline",
+                "deadline expired while queued",
+                job.id,
+            ));
+            continue;
+        }
+        let response = match job.kind {
+            JobKind::Sleep { ms } => {
+                std::thread::sleep(Duration::from_millis(ms));
+                shared.stats.completed.fetch_add(1, Ordering::Relaxed);
+                shared.stats.record_latency("sleep", ms * 1000);
+                let id_part = job.id.map(|i| format!("\"id\":{i},")).unwrap_or_default();
+                format!("{{\"ok\":true,{id_part}\"slept_ms\":{ms}}}")
+            }
+            JobKind::Query { params, graph, key } => {
+                let t0 = Instant::now();
+                match engine.run(&graph, &params) {
+                    Ok(outcome) => {
+                        let micros = t0.elapsed().as_micros() as u64;
+                        shared.cache.put(
+                            key,
+                            CachedResult {
+                                result_json: outcome.result_json.clone(),
+                                compute_micros: micros,
+                            },
+                        );
+                        shared.stats.completed.fetch_add(1, Ordering::Relaxed);
+                        shared.stats.record_latency(params.algo.as_str(), micros);
+                        query_response(
+                            &params,
+                            &graph,
+                            false,
+                            micros,
+                            &outcome.result_json,
+                            outcome.trace_json.as_deref(),
+                        )
+                    }
+                    Err(e) => {
+                        shared.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+                        error_response("bad_request", &e, params.id)
+                    }
+                }
+            }
+        };
+        let _ = job.reply.send(response);
+    }
+}
+
+fn query_response(
+    params: &QueryParams,
+    graph: &GraphEntry,
+    cached: bool,
+    micros: u64,
+    result_json: &str,
+    trace_json: Option<&str>,
+) -> String {
+    let id_part = params
+        .id
+        .map(|i| format!("\"id\":{i},"))
+        .unwrap_or_default();
+    let trace_part = trace_json
+        .map(|t| format!(",\"trace\":{t}"))
+        .unwrap_or_default();
+    format!(
+        "{{\"ok\":true,{id_part}\"graph\":\"{}\",\"epoch\":{},\"algo\":\"{}\",\
+         \"backend\":\"{}\",\"cached\":{cached},\"micros\":{micros},\
+         \"result\":{result_json}{trace_part}}}",
+        escape(&graph.name),
+        graph.epoch,
+        params.algo.as_str(),
+        params.backend.as_str(),
+    )
+}
+
+fn render_list(shared: &Arc<Shared>) -> String {
+    let mut s = String::from("{\"ok\":true,\"graphs\":[");
+    for (i, g) in shared.catalog.list().iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "{{\"name\":\"{}\",\"epoch\":{},\"n\":{},\"nnz\":{},\"spec\":\"{}\"}}",
+            escape(&g.name),
+            g.epoch,
+            g.n(),
+            g.nnz(),
+            escape(&g.spec)
+        ));
+    }
+    s.push_str("]}");
+    s
+}
+
+fn render_stats(shared: &Arc<Shared>) -> String {
+    let st = &shared.stats;
+    let snap: EngineSnapshot = shared
+        .engines
+        .iter()
+        .fold(EngineSnapshot::default(), |acc, e| {
+            let s = e.snapshot();
+            EngineSnapshot {
+                seq_ops: acc.seq_ops + s.seq_ops,
+                par_ops: acc.par_ops + s.par_ops,
+                cuda_ops: acc.cuda_ops + s.cuda_ops,
+                pool_tasks: acc.pool_tasks + s.pool_tasks,
+                pool_steals: acc.pool_steals + s.pool_steals,
+                gpu_kernels: acc.gpu_kernels + s.gpu_kernels,
+                gpu_modeled_s: acc.gpu_modeled_s + s.gpu_modeled_s,
+            }
+        });
+    let hits = shared.cache.hits();
+    let misses = shared.cache.misses();
+    let hit_rate = if hits + misses > 0 {
+        hits as f64 / (hits + misses) as f64
+    } else {
+        0.0
+    };
+    let mut algos = String::from("[");
+    {
+        let map = st.latencies.lock().unwrap();
+        let mut names: Vec<&&str> = map.keys().collect();
+        names.sort();
+        for (i, name) in names.iter().enumerate() {
+            let a = &map[**name];
+            if i > 0 {
+                algos.push(',');
+            }
+            algos.push_str(&format!(
+                "{{\"algo\":\"{}\",\"count\":{},\"mean_us\":{},\"max_us\":{}}}",
+                escape(name),
+                a.count,
+                a.total_us.checked_div(a.count).unwrap_or(0),
+                a.max_us
+            ));
+        }
+    }
+    algos.push(']');
+    format!(
+        "{{\"ok\":true,\"stats\":{{\
+         \"uptime_ms\":{},\"workers\":{},\"par_threads\":{},\
+         \"queue_capacity\":{},\"queue_depth\":{},\"graphs\":{},\
+         \"requests\":{{\"connections\":{},\"received\":{},\"completed\":{},\
+         \"bad\":{},\"rejected_overloaded\":{},\"rejected_shutdown\":{},\
+         \"deadline_expired\":{}}},\
+         \"cache\":{{\"capacity\":{},\"entries\":{},\"hits\":{},\"misses\":{},\
+         \"hit_rate\":{hit_rate:.4}}},\
+         \"backend_ops\":{{\"total\":{},\"sequential\":{},\"parallel\":{},\"cuda_sim\":{}}},\
+         \"pool\":{{\"tasks\":{},\"steals\":{}}},\
+         \"gpu\":{{\"kernels\":{},\"modeled_ms\":{:.3}}},\
+         \"algos\":{algos}}}}}",
+        shared.start.elapsed().as_millis(),
+        shared.config.workers,
+        shared.config.par_threads,
+        shared.config.queue_capacity,
+        shared.queue.len(),
+        shared.catalog.len(),
+        st.connections.load(Ordering::Relaxed),
+        st.received.load(Ordering::Relaxed),
+        st.completed.load(Ordering::Relaxed),
+        st.bad_requests.load(Ordering::Relaxed),
+        st.rejected_overloaded.load(Ordering::Relaxed),
+        st.rejected_shutdown.load(Ordering::Relaxed),
+        st.deadline_expired.load(Ordering::Relaxed),
+        shared.cache.capacity(),
+        shared.cache.len(),
+        hits,
+        misses,
+        snap.seq_ops + snap.par_ops + snap.cuda_ops,
+        snap.seq_ops,
+        snap.par_ops,
+        snap.cuda_ops,
+        snap.pool_tasks,
+        snap.pool_steals,
+        snap.gpu_kernels,
+        snap.gpu_modeled_s * 1e3,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_caps_and_drains_on_shutdown() {
+        let q = JobQueue::new(2);
+        let (tx, _rx) = mpsc::channel();
+        let mk = |tx: &mpsc::Sender<String>| Job {
+            kind: JobKind::Sleep { ms: 0 },
+            id: None,
+            deadline: Instant::now() + Duration::from_secs(1),
+            reply: tx.clone(),
+        };
+        q.push(mk(&tx)).unwrap();
+        q.push(mk(&tx)).unwrap();
+        assert!(matches!(q.push(mk(&tx)), Err(PushError::Full)));
+        assert_eq!(q.len(), 2);
+        q.shutdown();
+        assert!(matches!(q.push(mk(&tx)), Err(PushError::ShuttingDown)));
+        // admitted jobs still drain after shutdown
+        assert!(q.pop().is_some());
+        assert!(q.pop().is_some());
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn config_defaults_are_sane() {
+        let c = ServerConfig::default();
+        assert!(c.workers >= 1);
+        assert!(c.queue_capacity >= 1);
+        assert!(c.default_deadline_ms >= 1);
+        // from_env with nothing set equals the defaults
+        for k in [
+            "GBTL_SERVE_ADDR",
+            "GBTL_SERVE_WORKERS",
+            "GBTL_SERVE_QUEUE",
+            "GBTL_SERVE_CACHE",
+            "GBTL_SERVE_DEADLINE_MS",
+            "GBTL_SERVE_PAR_THREADS",
+        ] {
+            std::env::remove_var(k);
+        }
+        let e = ServerConfig::from_env();
+        assert_eq!(e.addr, c.addr);
+        assert_eq!(e.workers, c.workers);
+        assert_eq!(e.cache_capacity, c.cache_capacity);
+    }
+}

@@ -52,23 +52,33 @@ pub enum TraceMode {
     Json,
 }
 
+impl std::str::FromStr for TraceMode {
+    type Err = ();
+
+    /// Strict spelling check: recognised values parse, anything else is an
+    /// error (so env handling can warn on typos).
+    fn from_str(s: &str) -> Result<TraceMode, ()> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "off" | "0" | "false" | "none" => Ok(TraceMode::Off),
+            "summary" | "on" | "1" | "true" => Ok(TraceMode::Summary),
+            "json" | "jsonl" => Ok(TraceMode::Json),
+            _ => Err(()),
+        }
+    }
+}
+
 impl TraceMode {
     /// Parse a `GBTL_TRACE` value. `summary`/`on`/`1` → [`TraceMode::Summary`],
     /// `json`/`jsonl` → [`TraceMode::Json`], everything else → [`TraceMode::Off`].
     pub fn parse(s: &str) -> TraceMode {
-        match s.trim().to_ascii_lowercase().as_str() {
-            "summary" | "on" | "1" | "true" => TraceMode::Summary,
-            "json" | "jsonl" => TraceMode::Json,
-            _ => TraceMode::Off,
-        }
+        s.parse().unwrap_or(TraceMode::Off)
     }
 
     /// The mode selected by the `GBTL_TRACE` environment variable
-    /// (unset → [`TraceMode::Off`]).
+    /// (unset → [`TraceMode::Off`]; set but unrecognised → a warning on
+    /// stderr, then [`TraceMode::Off`], the workspace env contract).
     pub fn from_env() -> TraceMode {
-        std::env::var("GBTL_TRACE")
-            .map(|v| TraceMode::parse(&v))
-            .unwrap_or(TraceMode::Off)
+        gbtl_util::env::parsed_var("GBTL_TRACE", |_| true).unwrap_or_default()
     }
 
     /// The canonical spelling (`off`/`summary`/`json`).
@@ -232,11 +242,7 @@ pub struct Tracer {
 pub const DEFAULT_RING_CAPACITY: usize = 8192;
 
 fn ring_capacity_from_env() -> usize {
-    std::env::var("GBTL_TRACE_BUF")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .filter(|&n| n > 0)
-        .unwrap_or(DEFAULT_RING_CAPACITY)
+    gbtl_util::env::usize_var("GBTL_TRACE_BUF", 1).unwrap_or(DEFAULT_RING_CAPACITY)
 }
 
 impl Tracer {

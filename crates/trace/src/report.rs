@@ -3,6 +3,7 @@
 
 use std::fmt::Write;
 
+use crate::json::escape as esc;
 use crate::{Section, SpanRecord, TraceReport};
 
 fn fmt_ns(ns: u64) -> String {
@@ -60,25 +61,6 @@ pub fn format_table(report: &TraceReport) -> String {
         }
     }
     s
-}
-
-/// Escape a string for embedding in a JSON string literal.
-fn esc(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for ch in s.chars() {
-        match ch {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out
 }
 
 fn span_line(r: &SpanRecord) -> String {

@@ -1,0 +1,20 @@
+#![warn(missing_docs)]
+
+//! Shared dependency-free utilities for GBTL-RS.
+//!
+//! Two small pieces every layer of the workspace needs but none should own:
+//!
+//! * [`json`] — the minimal JSON reader (plus string escaping for writers).
+//!   One implementation backs both the `gbtl-trace` JSON-lines reporter and
+//!   the `gbtl-serve` wire protocol; `gbtl-trace` re-exports it as
+//!   `gbtl_trace::json` for backward compatibility.
+//! * [`env`] — environment-variable parsing with the workspace-wide
+//!   contract: an unset knob silently takes its default, a *set but
+//!   invalid* knob warns once on stderr and then takes its default
+//!   (`GBTL_NUM_THREADS`, `GBTL_TRACE_BUF`, the `GBTL_SERVE_*` family).
+//!
+//! The crate is std-only, consistent with the offline-shim dependency
+//! policy (DESIGN.md).
+
+pub mod env;
+pub mod json;

@@ -18,6 +18,7 @@
 //! * [`sparse`] — COO/CSR/CSC containers and Matrix Market I/O
 //! * [`gpu_sim`] — the simulated CUDA device and its primitives
 //! * [`trace`] — cross-backend op tracing and profiling reports
+//! * [`util`] — shared JSON parsing/emission and env-knob helpers
 //! * [`backend_seq`] / [`backend_par`] / [`backend_cuda`] — the three
 //!   backends (sequential reference, work-stealing parallel CPU,
 //!   simulated CUDA)
@@ -43,6 +44,7 @@ pub use gbtl_gpu_sim as gpu_sim;
 pub use gbtl_graphgen as graphgen;
 pub use gbtl_sparse as sparse;
 pub use gbtl_trace as trace;
+pub use gbtl_util as util;
 
 /// The names most programs need.
 pub mod prelude {
