@@ -73,6 +73,9 @@ fn main() {
     if want("sv") {
         sv_serve();
     }
+    if want("mx") {
+        mx_metrics_overhead();
+    }
 
     if traced {
         println!("\n== traced appendix: BFS + triangles (rmat12), per-op report per backend");
@@ -110,6 +113,8 @@ fn sv_serve() {
                 cache_capacity: cache,
                 default_deadline_ms: 60_000,
                 par_threads: 2,
+                metrics: true,
+                slow_log_capacity: 16,
                 preload: vec![("rmat".into(), "rmat:10:8:7".into())],
             };
             let handle = start(config).expect("start experiment server");
@@ -138,6 +143,121 @@ fn sv_serve() {
             );
             handle.shutdown_and_join();
         }
+    }
+}
+
+/// R-O4: gbtl-metrics overhead and the queue-wait vs execute breakdown
+/// (EXPERIMENTS.md).
+fn mx_metrics_overhead() {
+    use gbtl_serve::protocol::Algo;
+    use gbtl_serve::{run_loadgen, start, Client, LoadgenOptions, LoadgenReport, ServerConfig};
+
+    print_title(
+        "R-O4: metrics overhead and queue-wait breakdown (gbtl-serve)",
+        "with metrics off a request pays one extra branch and counter add, so \
+         throughput should sit within 2% of the instrumented server; with \
+         metrics on, the per-stage histograms show queue wait overtaking \
+         execute time as offered load outgrows the worker pool",
+    );
+
+    let mk_config = |workers: usize, metrics: bool| ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers,
+        queue_capacity: 512,
+        cache_capacity: 0, // every request executes: worst case for overhead
+        default_deadline_ms: 60_000,
+        par_threads: 1,
+        metrics,
+        slow_log_capacity: 16,
+        preload: vec![("g".into(), "rmat:9:8:7".into())],
+    };
+    let mk_opts = |addr: String, clients: usize| LoadgenOptions {
+        addr,
+        clients,
+        requests_per_client: 60,
+        graph: "g".into(),
+        algos: vec![Algo::Bfs, Algo::TriangleCount],
+        backend: "par".into(),
+        source_count: 8,
+    };
+
+    println!(
+        "part 1: metrics off vs on (rmat9, cache off, 2 workers, \
+         4 clients x 60 requests, best of 3 runs)"
+    );
+    println!(
+        "{:<9} {:>6} {:>9} {:>9} {:>9}",
+        "metrics", "ok", "best qps", "p50 us", "p95 us"
+    );
+    let mut qps = [0.0f64; 2];
+    for (i, metrics) in [false, true].into_iter().enumerate() {
+        // best of 3: closed-loop qps is noisy on a shared host
+        let mut best: Option<LoadgenReport> = None;
+        for _ in 0..3 {
+            let handle = start(mk_config(2, metrics)).expect("start experiment server");
+            let report = run_loadgen(&mk_opts(handle.addr().to_string(), 4)).expect("loadgen");
+            assert_eq!(report.corrupted, 0, "corrupted responses under load");
+            handle.shutdown_and_join();
+            if best.as_ref().is_none_or(|b| report.qps() > b.qps()) {
+                best = Some(report);
+            }
+        }
+        let best = best.unwrap();
+        qps[i] = best.qps();
+        println!(
+            "{:<9} {:>6} {:>9.1} {:>9} {:>9}",
+            if metrics { "on" } else { "off" },
+            best.ok,
+            best.qps(),
+            best.percentile_us(50.0),
+            best.percentile_us(95.0),
+        );
+    }
+    let overhead = (qps[0] - qps[1]) / qps[0].max(1e-9) * 100.0;
+    println!("metrics-on throughput cost vs off: {overhead:+.2}% (target < 2%)");
+
+    println!("\npart 2: queue wait vs execute as offered load outgrows the pool (metrics on)");
+    println!(
+        "{:<9} {:>9} {:>9} {:>14} {:>14} {:>12}",
+        "workers", "clients", "qps", "queue mean us", "exec mean us", "queue share"
+    );
+    for &(workers, clients) in &[(4usize, 1usize), (4, 8), (2, 8), (1, 8)] {
+        let handle = start(mk_config(workers, true)).expect("start experiment server");
+        let report = run_loadgen(&mk_opts(handle.addr().to_string(), clients)).expect("loadgen");
+        let mut c = Client::connect(&handle.addr().to_string()).expect("connect for metrics");
+        let v = c.request_json("{\"op\":\"metrics\"}").expect("metrics op");
+        handle.shutdown_and_join();
+        // sum the per-(algo,backend) stage histograms into queue vs execute
+        let (mut sums, mut counts) = ([0u64; 2], [0u64; 2]);
+        let hists = v
+            .get("metrics")
+            .and_then(|m| m.get("registry"))
+            .and_then(|r| r.get("histograms"))
+            .and_then(|h| h.as_arr())
+            .expect("registry histograms in metrics response");
+        for h in hists {
+            if h.str_field("name") != Some("gbtl_stage_latency_us") {
+                continue;
+            }
+            let idx = match h.get("labels").and_then(|l| l.str_field("stage")) {
+                Some("queue") => 0,
+                Some("execute") => 1,
+                _ => continue,
+            };
+            sums[idx] += h.u64_field("sum").unwrap_or(0);
+            counts[idx] += h.u64_field("count").unwrap_or(0);
+        }
+        let mean = |i: usize| sums[i].checked_div(counts[i]).unwrap_or(0);
+        let share = sums[0] as f64 / ((sums[0] + sums[1]).max(1)) as f64 * 100.0;
+        println!(
+            "{:<9} {:>9} {:>9.1} {:>14} {:>14} {:>11.1}%",
+            workers,
+            clients,
+            report.qps(),
+            mean(0),
+            mean(1),
+            share
+        );
     }
 }
 

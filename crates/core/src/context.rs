@@ -165,6 +165,21 @@ impl<B: Backend> Context<B> {
         self.tracer.clear();
     }
 
+    /// Stamp (or clear, with `None`) the serving-layer request id recorded
+    /// on subsequent trace spans. gbtl-serve sets this around each query
+    /// so a JSON trace can be grouped per request
+    /// ([`gbtl_trace::report::group_by_request`]).
+    #[inline]
+    pub fn set_request_id(&self, id: Option<u64>) {
+        self.tracer.set_request_id(id);
+    }
+
+    /// The request id subsequent spans will carry, if one is set.
+    #[inline]
+    pub fn request_id(&self) -> Option<u64> {
+        self.tracer.request_id()
+    }
+
     /// Open an op span (one branch, nothing else, when tracing is off).
     #[inline]
     pub(crate) fn span(&self) -> SpanStart {

@@ -2,12 +2,14 @@
 //!
 //! ```text
 //! gbtl-serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]
-//!            [--deadline-ms N] [--par-threads N] [--load NAME=SPEC]...
+//!            [--deadline-ms N] [--par-threads N] [--metrics on|off]
+//!            [--slowlog N] [--load NAME=SPEC]...
 //! ```
 //!
-//! Flags override the `GBTL_SERVE_*` environment knobs, which override the
-//! built-in defaults. `--load` may repeat; specs use the compact grammar
-//! (`karate`, `rmat:12:8:7`, `er:1000:8000:1`, `grid:32`, `mtx:PATH`).
+//! Flags override the `GBTL_SERVE_*` / `GBTL_METRICS*` environment knobs,
+//! which override the built-in defaults. `--load` may repeat; specs use the
+//! compact grammar (`karate`, `rmat:12:8:7`, `er:1000:8000:1`, `grid:32`,
+//! `mtx:PATH`).
 
 use std::io::Write;
 
@@ -16,7 +18,8 @@ use gbtl_serve::{start, ServerConfig};
 fn usage() -> ! {
     eprintln!(
         "usage: gbtl-serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]\n\
-         \x20                 [--deadline-ms N] [--par-threads N] [--load NAME=SPEC]..."
+         \x20                 [--deadline-ms N] [--par-threads N] [--metrics on|off]\n\
+         \x20                 [--slowlog N] [--load NAME=SPEC]..."
     );
     std::process::exit(2);
 }
@@ -38,6 +41,17 @@ fn main() {
             "--cache" => config.cache_capacity = parse_num(&value("count")),
             "--deadline-ms" => config.default_deadline_ms = parse_num::<u64>(&value("ms")),
             "--par-threads" => config.par_threads = parse_num(&value("count")),
+            "--metrics" => {
+                config.metrics = match value("on|off").as_str() {
+                    "on" | "true" | "1" => true,
+                    "off" | "false" | "0" => false,
+                    other => {
+                        eprintln!("gbtl-serve: --metrics wants on|off, got {other:?}");
+                        usage()
+                    }
+                }
+            }
+            "--slowlog" => config.slow_log_capacity = parse_num(&value("count")),
             "--load" => {
                 let spec = value("NAME=SPEC");
                 let Some((name, spec)) = spec.split_once('=') else {

@@ -13,7 +13,7 @@
 //! `--shutdown` sends `{"op":"shutdown"}` after the run.
 
 use gbtl_serve::protocol::Algo;
-use gbtl_serve::{run_loadgen, Client, LoadgenOptions};
+use gbtl_serve::{fetch_server_latency, run_loadgen, Client, LoadgenOptions};
 
 fn usage() -> ! {
     eprintln!(
@@ -217,6 +217,29 @@ fn main() {
                 if report.corrupted > 0 {
                     eprintln!("loadgen: {} corrupted responses", report.corrupted);
                     failed = true;
+                }
+                // cross-check against the server's own request histogram:
+                // it must have recorded at least every query we got an
+                // ok for (it may hold more from earlier traffic)
+                match fetch_server_latency(&mut control) {
+                    Ok(s) if s.enabled => {
+                        println!(
+                            "  server-side: count {}  p50 {}us  p95 {}us  p99 {}us  max {}us",
+                            s.count, s.p50, s.p95, s.p99, s.max_us
+                        );
+                        if s.count < report.ok {
+                            eprintln!(
+                                "loadgen: server histogram count {} < {} ok responses",
+                                s.count, report.ok
+                            );
+                            failed = true;
+                        }
+                    }
+                    Ok(_) => println!("  server-side: metrics disabled (GBTL_METRICS=off)"),
+                    Err(e) => {
+                        eprintln!("loadgen: metrics fetch failed: {e}");
+                        failed = true;
+                    }
                 }
             }
             Err(e) => {

@@ -127,14 +127,56 @@ impl LoadgenReport {
         }
     }
 
-    /// The `p`-th latency percentile in microseconds (nearest-rank).
+    /// The `p`-th latency percentile in microseconds (nearest-rank, the
+    /// shared [`gbtl_util::stats`] definition — the same one server-side
+    /// histogram snapshots use, so the two sides are comparable).
     pub fn percentile_us(&self, p: f64) -> u64 {
-        if self.latencies_us.is_empty() {
-            return 0;
-        }
-        let idx = ((self.latencies_us.len() - 1) as f64 * p / 100.0).round() as usize;
-        self.latencies_us[idx]
+        gbtl_util::stats::percentile_sorted(&self.latencies_us, p)
     }
+}
+
+/// The server's merged request-latency histogram, fetched through the
+/// `metrics` op — the server-side counterpart of [`LoadgenReport`]'s
+/// client-observed percentiles. Server-side time covers queue wait +
+/// execute + serialize, so for any request it is contained in the client's
+/// round-trip interval; percentiles are nearest-rank over log₂ buckets
+/// (reported as the bucket upper bound, clamped to the exact max), so they
+/// can exceed the true value by at most 2x.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServerLatencySummary {
+    /// Whether the server records histograms at all (`GBTL_METRICS`).
+    pub enabled: bool,
+    /// Requests in the histogram (all labels merged, since server start).
+    pub count: u64,
+    /// Nearest-rank p50, microseconds.
+    pub p50: u64,
+    /// Nearest-rank p95, microseconds.
+    pub p95: u64,
+    /// Nearest-rank p99, microseconds.
+    pub p99: u64,
+    /// Exact largest observation, microseconds.
+    pub max_us: u64,
+}
+
+/// Fetch a [`ServerLatencySummary`] over an open client connection.
+pub fn fetch_server_latency(client: &mut Client) -> std::io::Result<ServerLatencySummary> {
+    let v = client.request_json("{\"op\":\"metrics\"}")?;
+    let bad = |what: &str| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("metrics response missing {what}"),
+        )
+    };
+    let m = v.get("metrics").ok_or_else(|| bad("metrics"))?;
+    let overall = m.get("overall").ok_or_else(|| bad("metrics.overall"))?;
+    Ok(ServerLatencySummary {
+        enabled: m.bool_field("enabled").unwrap_or(false),
+        count: overall.u64_field("count").unwrap_or(0),
+        p50: overall.u64_field("p50").unwrap_or(0),
+        p95: overall.u64_field("p95").unwrap_or(0),
+        p99: overall.u64_field("p99").unwrap_or(0),
+        max_us: overall.u64_field("max").unwrap_or(0),
+    })
 }
 
 /// Drive `clients` concurrent closed-loop clients and aggregate the result.
@@ -227,16 +269,17 @@ pub fn run_loadgen(opts: &LoadgenOptions) -> std::io::Result<LoadgenReport> {
 mod tests {
     use super::*;
 
+    // The nearest-rank definition itself is tested in gbtl_util::stats
+    // (where the implementation moved); this covers only the delegation
+    // and the empty-report guard.
     #[test]
-    fn percentiles_nearest_rank() {
+    fn report_percentiles_delegate_to_shared_stats() {
         let r = LoadgenReport {
             latencies_us: (1..=100).collect(),
             ..Default::default()
         };
-        assert_eq!(r.percentile_us(0.0), 1);
         assert_eq!(r.percentile_us(50.0), 51);
         assert_eq!(r.percentile_us(99.0), 99);
-        assert_eq!(r.percentile_us(100.0), 100);
         let empty = LoadgenReport::default();
         assert_eq!(empty.percentile_us(99.0), 0);
         assert_eq!(empty.qps(), 0.0);

@@ -18,7 +18,9 @@ use gbtl_algorithms::{
     bfs_levels, cc::component_count, connected_components, maximal_independent_set,
     mis::verify_mis, pagerank, pagerank::PageRankOptions, sssp, triangle_count, Direction,
 };
-use gbtl_core::{Backend, Context, CudaBackend, ParBackend, SeqBackend, TraceMode, Vector};
+use gbtl_core::{
+    Backend, Context, CudaBackend, ParBackend, SeqBackend, TraceMode, TraceReport, Vector,
+};
 
 use crate::catalog::GraphEntry;
 use crate::protocol::{Algo, BackendChoice, QueryParams};
@@ -92,12 +94,19 @@ impl Engine {
         }
     }
 
-    /// Execute `q` against `g` on the requested backend.
-    pub fn run(&self, g: &GraphEntry, q: &QueryParams) -> Result<QueryOutcome, String> {
+    /// Execute `q` against `g` on the requested backend. `request_id`
+    /// (when the server assigned one) is stamped onto every trace span the
+    /// query dispatches, so traces group per request.
+    pub fn run(
+        &self,
+        g: &GraphEntry,
+        q: &QueryParams,
+        request_id: Option<u64>,
+    ) -> Result<QueryOutcome, String> {
         match q.backend {
-            BackendChoice::Seq => run_on(&self.seq, g, q),
-            BackendChoice::Par => run_on(&self.par, g, q),
-            BackendChoice::Cuda => run_on(&self.cuda, g, q),
+            BackendChoice::Seq => run_on(&self.seq, g, q, request_id),
+            BackendChoice::Par => run_on(&self.par, g, q, request_id),
+            BackendChoice::Cuda => run_on(&self.cuda, g, q, request_id),
         }
     }
 }
@@ -155,6 +164,7 @@ fn run_on<B: Backend>(
     ctx: &Context<B>,
     g: &GraphEntry,
     q: &QueryParams,
+    request_id: Option<u64>,
 ) -> Result<QueryOutcome, String> {
     let needs_source = matches!(q.algo, Algo::Bfs | Algo::Sssp);
     if needs_source && q.source >= g.n() {
@@ -167,7 +177,32 @@ fn run_on<B: Backend>(
     }
 
     let spans_before = ctx.trace().total_spans;
-    let result_json = match q.algo {
+    // stamp every span this query dispatches; cleared below even on error
+    // so a failed query can't tag a later request's spans (the worker
+    // thread owns this context exclusively, so no other request interleaves)
+    ctx.set_request_id(request_id);
+    let result = execute(ctx, g, q);
+    ctx.set_request_id(None);
+    let result_json = result?;
+
+    let report = ctx.trace();
+    let ops = report.total_spans - spans_before;
+    let trace_json = q.trace.then(|| render_trace(&report, spans_before));
+
+    Ok(QueryOutcome {
+        result_json,
+        ops,
+        trace_json,
+    })
+}
+
+/// Dispatch the algorithm and render its `result` JSON fragment.
+fn execute<B: Backend>(
+    ctx: &Context<B>,
+    g: &GraphEntry,
+    q: &QueryParams,
+) -> Result<String, String> {
+    Ok(match q.algo {
         Algo::Bfs => {
             let levels =
                 bfs_levels(ctx, &g.adj, q.source, Direction::Auto).map_err(|e| e.to_string())?;
@@ -268,36 +303,34 @@ fn run_on<B: Backend>(
             s.push('}');
             s
         }
-    };
-
-    let report = ctx.trace();
-    let ops = report.total_spans - spans_before;
-    let trace_json = q.trace.then(|| {
-        let mut s = String::from("[");
-        let mut first = true;
-        for span in report.spans.iter().filter(|sp| sp.seq >= spans_before) {
-            if !first {
-                s.push(',');
-            }
-            first = false;
-            let _ = write!(
-                s,
-                "{{\"op\":\"{}\",\"ns\":{},\"nnz_in\":{},\"nnz_out\":{}}}",
-                gbtl_util::json::escape(span.fields.op),
-                span.duration_ns,
-                span.fields.nnz_in,
-                span.fields.nnz_out
-            );
-        }
-        s.push(']');
-        s
-    });
-
-    Ok(QueryOutcome {
-        result_json,
-        ops,
-        trace_json,
     })
+}
+
+/// Render the spans dispatched since `spans_before` as a JSON array; each
+/// carries the request id it was stamped with, when one was set.
+fn render_trace(report: &TraceReport, spans_before: u64) -> String {
+    let mut s = String::from("[");
+    let mut first = true;
+    for span in report.spans.iter().filter(|sp| sp.seq >= spans_before) {
+        if !first {
+            s.push(',');
+        }
+        first = false;
+        let request_part = span
+            .request_id
+            .map(|id| format!("\"request_id\":{id},"))
+            .unwrap_or_default();
+        let _ = write!(
+            s,
+            "{{{request_part}\"op\":\"{}\",\"ns\":{},\"nnz_in\":{},\"nnz_out\":{}}}",
+            gbtl_util::json::escape(span.fields.op),
+            span.duration_ns,
+            span.fields.nnz_in,
+            span.fields.nnz_out
+        );
+    }
+    s.push(']');
+    s
 }
 
 #[cfg(test)]
@@ -330,7 +363,7 @@ mod tests {
             let outcomes: Vec<String> =
                 [BackendChoice::Seq, BackendChoice::Par, BackendChoice::Cuda]
                     .into_iter()
-                    .map(|b| engine.run(&g, &params(algo, b)).unwrap().result_json)
+                    .map(|b| engine.run(&g, &params(algo, b), None).unwrap().result_json)
                     .collect();
             assert_eq!(outcomes[0], outcomes[1], "{algo:?} seq vs par");
             assert_eq!(outcomes[0], outcomes[2], "{algo:?} seq vs cuda");
@@ -348,21 +381,21 @@ mod tests {
         let g = cat.load("k", &GraphSpec::Karate).unwrap();
         let engine = Engine::new(2);
         let tc = engine
-            .run(&g, &params(Algo::TriangleCount, BackendChoice::Seq))
+            .run(&g, &params(Algo::TriangleCount, BackendChoice::Seq), None)
             .unwrap();
         assert_eq!(tc.result_json, "{\"triangles\":45}");
         let cc = engine
-            .run(&g, &params(Algo::Cc, BackendChoice::Seq))
+            .run(&g, &params(Algo::Cc, BackendChoice::Seq), None)
             .unwrap();
         let v = gbtl_util::json::parse(&cc.result_json).unwrap();
         assert_eq!(v.u64_field("components"), Some(1));
         let bfs = engine
-            .run(&g, &params(Algo::Bfs, BackendChoice::Seq))
+            .run(&g, &params(Algo::Bfs, BackendChoice::Seq), None)
             .unwrap();
         let v = gbtl_util::json::parse(&bfs.result_json).unwrap();
         assert_eq!(v.u64_field("reached"), Some(34), "karate is connected");
         let mis = engine
-            .run(&g, &params(Algo::Mis, BackendChoice::Seq))
+            .run(&g, &params(Algo::Mis, BackendChoice::Seq), None)
             .unwrap();
         let v = gbtl_util::json::parse(&mis.result_json).unwrap();
         assert_eq!(v.bool_field("independent"), Some(true));
@@ -376,13 +409,25 @@ mod tests {
         let mut p = params(Algo::Bfs, BackendChoice::Seq);
         p.full = true;
         p.trace = true;
-        let out = engine.run(&g, &p).unwrap();
+        let out = engine.run(&g, &p, Some(41)).unwrap();
         assert!(out.ops > 0);
         let v = gbtl_util::json::parse(&out.result_json).unwrap();
         let levels = v.get("levels").unwrap().as_arr().unwrap();
         assert_eq!(levels.len(), 34);
         let spans = gbtl_util::json::parse(&out.trace_json.unwrap()).unwrap();
-        assert_eq!(spans.as_arr().unwrap().len() as u64, out.ops);
+        let spans = spans.as_arr().unwrap();
+        assert_eq!(spans.len() as u64, out.ops);
+        // every span the query dispatched carries the request id it ran under
+        for sp in spans {
+            assert_eq!(sp.u64_field("request_id"), Some(41));
+        }
+        // and the id does not leak onto later un-stamped work
+        p.trace = true;
+        let again = engine.run(&g, &p, None).unwrap();
+        let spans = gbtl_util::json::parse(&again.trace_json.unwrap()).unwrap();
+        for sp in spans.as_arr().unwrap() {
+            assert_eq!(sp.u64_field("request_id"), None);
+        }
     }
 
     #[test]
@@ -392,9 +437,9 @@ mod tests {
         let engine = Engine::new(1);
         let mut p = params(Algo::Bfs, BackendChoice::Seq);
         p.source = 999;
-        assert!(engine.run(&g, &p).is_err());
+        assert!(engine.run(&g, &p, None).is_err());
         // non-source algos ignore source entirely
         p.algo = Algo::TriangleCount;
-        assert!(engine.run(&g, &p).is_ok());
+        assert!(engine.run(&g, &p, None).is_ok());
     }
 }

@@ -40,5 +40,7 @@ pub mod engine;
 pub mod protocol;
 pub mod server;
 
-pub use client::{run_loadgen, Client, LoadgenOptions, LoadgenReport};
+pub use client::{
+    fetch_server_latency, run_loadgen, Client, LoadgenOptions, LoadgenReport, ServerLatencySummary,
+};
 pub use server::{start, ServerConfig, ServerHandle};

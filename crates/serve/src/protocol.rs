@@ -11,6 +11,7 @@
 //! {"op":"ping"}
 //! {"op":"list"}
 //! {"op":"stats"}
+//! {"op":"metrics"}                              # histograms + slow queries + Prometheus text
 //! {"op":"shutdown"}
 //! {"op":"sleep","ms":50}                        # diagnostic: occupies a worker
 //! {"op":"load","name":"r10","spec":"rmat:10:8:7"}
@@ -180,8 +181,32 @@ pub enum Request {
     Ping,
     /// List resident graphs, answered inline.
     List,
-    /// Server statistics, answered inline.
+    /// Server statistics, answered inline. The response is one flat JSON
+    /// object; every field is either **cumulative** (monotone since server
+    /// start) or **point-in-time** (a gauge read at response time), never a
+    /// mix:
+    ///
+    /// * `uptime_ms` — point-in-time: wall clock since start.
+    /// * `workers`, `par_threads`, `queue_capacity` — configuration constants.
+    /// * `queue_depth` — point-in-time: jobs waiting right now.
+    /// * `graphs` — point-in-time: resident catalog entries.
+    /// * `requests.*` (`connections`, `received`, `completed`, `bad`,
+    ///   `rejected_overloaded`, `rejected_shutdown`, `deadline_expired`) —
+    ///   cumulative counters. `completed` counts every request answered
+    ///   with `ok:true`, cache hits included, so
+    ///   `completed = cache.hits + (queries executed) + (non-query ops)`.
+    /// * `cache.capacity` — configuration; `cache.entries` — point-in-time
+    ///   occupancy; `cache.hits` / `cache.misses` — cumulative;
+    ///   `cache.hit_rate` — cumulative ratio `hits / (hits + misses)`
+    ///   (lifetime, **not** derived from current occupancy).
+    /// * `backend_ops.*`, `pool.*`, `gpu.*` — cumulative engine counters.
+    /// * `algos[]` — cumulative per-algorithm execute-latency aggregates
+    ///   (count / mean / max of worker execution time, cache misses only).
     Stats,
+    /// Metrics snapshot, answered inline: the registry's counters, gauges,
+    /// and per-(algo, backend, cache) latency histograms as JSON, the
+    /// bounded slow-query log, and a Prometheus-style text exposition.
+    Metrics,
     /// Begin graceful shutdown.
     Shutdown,
     /// Diagnostic: hold a worker for `ms` milliseconds (goes through the
@@ -213,6 +238,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         "ping" => Ok(Request::Ping),
         "list" => Ok(Request::List),
         "stats" => Ok(Request::Stats),
+        "metrics" => Ok(Request::Metrics),
         "shutdown" => Ok(Request::Shutdown),
         "sleep" => Ok(Request::Sleep {
             ms: v.u64_field("ms").ok_or("sleep: missing \"ms\"")?,
@@ -291,6 +317,10 @@ mod tests {
         assert!(matches!(
             parse_request(r#"{"op":"stats"}"#),
             Ok(Request::Stats)
+        ));
+        assert!(matches!(
+            parse_request(r#"{"op":"metrics"}"#),
+            Ok(Request::Metrics)
         ));
         assert!(matches!(
             parse_request(r#"{"op":"shutdown"}"#),

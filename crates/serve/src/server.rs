@@ -28,8 +28,22 @@
 //! awake. Workers drain every already-admitted job — in-flight requests
 //! complete and their clients get real responses — then exit;
 //! [`ServerHandle::join`] returns once the pool is parked.
+//!
+//! ## Observability
+//!
+//! Every query is assigned a server-wide **request id**, echoed in the
+//! response and stamped on the backend trace spans it dispatches (so a
+//! JSON trace captured during a serve run groups per request). Unless
+//! `GBTL_METRICS=off`, each served query is also timed per stage — queue
+//! wait, execute, serialize — into log₂ latency histograms keyed by
+//! (algorithm, backend, cache hit|miss) in a shared
+//! [`gbtl_metrics::Registry`], and offered to a bounded top-K slow-query
+//! log. The `metrics` op renders the registry as JSON and
+//! Prometheus-style text; the `stats` endpoint reads the same counters,
+//! so the two expositions can never disagree.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
+use std::fmt::Write as _;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -37,6 +51,8 @@ use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
+use gbtl_metrics::expose::{histogram_json, render_json, render_prometheus};
+use gbtl_metrics::{Counter, HistogramSnapshot, Registry, SlowLog};
 use gbtl_util::json::escape;
 
 use crate::cache::{cache_key, CachedResult, ResultCache};
@@ -67,6 +83,14 @@ pub struct ServerConfig {
     /// Threads inside each worker's parallel-backend context
     /// (`GBTL_SERVE_PAR_THREADS`).
     pub par_threads: usize,
+    /// Record latency histograms and the slow-query log (`GBTL_METRICS`,
+    /// on/off). Counters — and therefore the stats endpoint — stay live
+    /// either way; off means histogram observes are a single branch and no
+    /// stage clocks are read.
+    pub metrics: bool,
+    /// Slow-query log retention in entries (`GBTL_METRICS_SLOWLOG`);
+    /// 0 disables the log.
+    pub slow_log_capacity: usize,
     /// Graphs to load before accepting connections (`name`, `spec`).
     pub preload: Vec<(String, String)>,
 }
@@ -81,6 +105,8 @@ impl Default for ServerConfig {
             cache_capacity: 128,
             default_deadline_ms: 10_000,
             par_threads: host,
+            metrics: true,
+            slow_log_capacity: 16,
             preload: Vec::new(),
         }
     }
@@ -99,6 +125,9 @@ impl ServerConfig {
             default_deadline_ms: env::u64_var("GBTL_SERVE_DEADLINE_MS", 1)
                 .unwrap_or(d.default_deadline_ms),
             par_threads: env::usize_var("GBTL_SERVE_PAR_THREADS", 1).unwrap_or(d.par_threads),
+            metrics: env::bool_var("GBTL_METRICS").unwrap_or(d.metrics),
+            slow_log_capacity: env::usize_var("GBTL_METRICS_SLOWLOG", 0)
+                .unwrap_or(d.slow_log_capacity),
             preload: Vec::new(),
         }
     }
@@ -109,7 +138,9 @@ impl ServerConfig {
 struct Job {
     kind: JobKind,
     id: Option<u64>,
+    request_id: u64,
     deadline: Instant,
+    enqueued: Instant,
     reply: mpsc::Sender<String>,
 }
 
@@ -193,34 +224,57 @@ impl JobQueue {
     }
 }
 
-#[derive(Debug, Default)]
-struct LatAgg {
-    count: u64,
-    total_us: u64,
-    max_us: u64,
-}
-
-/// Cumulative server counters (everything the `stats` endpoint reports
-/// besides cache/engine internals).
-#[derive(Debug, Default)]
+/// Cumulative server counters, held as registry handles: the hot path is a
+/// relaxed atomic add, and the `stats` and `metrics` endpoints read the
+/// exact same cells (so the two expositions can never disagree).
+#[derive(Debug)]
 struct ServerStats {
-    connections: AtomicU64,
-    received: AtomicU64,
-    completed: AtomicU64,
-    bad_requests: AtomicU64,
-    rejected_overloaded: AtomicU64,
-    rejected_shutdown: AtomicU64,
-    deadline_expired: AtomicU64,
-    latencies: Mutex<HashMap<&'static str, LatAgg>>,
+    connections: Arc<Counter>,
+    received: Arc<Counter>,
+    completed: Arc<Counter>,
+    bad_requests: Arc<Counter>,
+    rejected_overloaded: Arc<Counter>,
+    rejected_shutdown: Arc<Counter>,
+    deadline_expired: Arc<Counter>,
 }
 
 impl ServerStats {
-    fn record_latency(&self, op: &'static str, micros: u64) {
-        let mut map = self.latencies.lock().unwrap();
-        let agg = map.entry(op).or_default();
-        agg.count += 1;
-        agg.total_us += micros;
-        agg.max_us = agg.max_us.max(micros);
+    fn new(registry: &Registry) -> Self {
+        let c = |name| registry.counter(name, &[]);
+        ServerStats {
+            connections: c("gbtl_connections_total"),
+            received: c("gbtl_requests_received_total"),
+            completed: c("gbtl_requests_completed_total"),
+            bad_requests: c("gbtl_bad_requests_total"),
+            rejected_overloaded: c("gbtl_rejected_overloaded_total"),
+            rejected_shutdown: c("gbtl_rejected_shutdown_total"),
+            deadline_expired: c("gbtl_deadline_expired_total"),
+        }
+    }
+}
+
+/// One slow-query log payload (the log's ranking key is the total latency).
+#[derive(Debug, Clone)]
+struct SlowQuery {
+    request_id: u64,
+    graph: String,
+    params: String,
+    queue_us: u64,
+    execute_us: u64,
+    serialize_us: u64,
+}
+
+/// Per-request stage timings, microseconds.
+#[derive(Debug, Clone, Copy, Default)]
+struct StageTiming {
+    queue_us: u64,
+    execute_us: u64,
+    serialize_us: u64,
+}
+
+impl StageTiming {
+    fn total_us(self) -> u64 {
+        self.queue_us + self.execute_us + self.serialize_us
     }
 }
 
@@ -232,7 +286,10 @@ struct Shared {
     catalog: Catalog,
     cache: ResultCache,
     queue: JobQueue,
+    registry: Registry,
     stats: ServerStats,
+    slow_log: SlowLog<SlowQuery>,
+    next_request_id: AtomicU64,
     engines: Vec<Engine>,
     start: Instant,
     shutdown: AtomicBool,
@@ -303,10 +360,15 @@ pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
         .map(|_| Engine::new(config.par_threads))
         .collect();
 
+    let registry = Registry::new(config.metrics);
+    let stats = ServerStats::new(&registry);
     let shared = Arc::new(Shared {
         cache: ResultCache::new(config.cache_capacity),
         queue: JobQueue::new(config.queue_capacity),
-        stats: ServerStats::default(),
+        slow_log: SlowLog::new(config.slow_log_capacity),
+        next_request_id: AtomicU64::new(1),
+        registry,
+        stats,
         catalog,
         engines,
         addr,
@@ -349,7 +411,7 @@ fn listener_loop(listener: TcpListener, shared: &Arc<Shared>) {
                 if shared.shutdown.load(Ordering::SeqCst) {
                     break;
                 }
-                shared.stats.connections.fetch_add(1, Ordering::Relaxed);
+                shared.stats.connections.inc();
                 let shared = shared.clone();
                 // connection threads are cheap (they block on I/O and the
                 // reply channel); they exit when the client disconnects
@@ -385,8 +447,13 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
         if line.trim().is_empty() {
             continue;
         }
-        shared.stats.received.fetch_add(1, Ordering::Relaxed);
+        shared.stats.received.inc();
         let mut response = dispatch_line(line.trim(), shared);
+        // every ok:true answer counts as completed — cache hits and inline
+        // control ops included (see the Stats field docs in protocol.rs)
+        if response.starts_with("{\"ok\":true") {
+            shared.stats.completed.inc();
+        }
         response.push('\n');
         if writer
             .write_all(response.as_bytes())
@@ -402,7 +469,7 @@ fn dispatch_line(line: &str, shared: &Arc<Shared>) -> String {
     let request = match parse_request(line) {
         Ok(r) => r,
         Err(e) => {
-            shared.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+            shared.stats.bad_requests.inc();
             return error_response("bad_request", &e, None);
         }
     };
@@ -410,6 +477,7 @@ fn dispatch_line(line: &str, shared: &Arc<Shared>) -> String {
         Request::Ping => "{\"ok\":true,\"pong\":true}".into(),
         Request::List => render_list(shared),
         Request::Stats => render_stats(shared),
+        Request::Metrics => render_metrics(shared),
         Request::Shutdown => {
             begin_shutdown(shared);
             "{\"ok\":true,\"shutting_down\":true}".into()
@@ -429,7 +497,7 @@ fn dispatch_line(line: &str, shared: &Arc<Shared>) -> String {
                     escape(&entry.spec)
                 ),
                 Err(e) => {
-                    shared.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+                    shared.stats.bad_requests.inc();
                     error_response("bad_request", &e, None)
                 }
             }
@@ -438,7 +506,10 @@ fn dispatch_line(line: &str, shared: &Arc<Shared>) -> String {
             ms,
             id,
             deadline_ms,
-        } => submit_job(shared, JobKind::Sleep { ms }, id, deadline_ms),
+        } => {
+            let request_id = next_request_id(shared);
+            submit_job(shared, JobKind::Sleep { ms }, id, request_id, deadline_ms)
+        }
         Request::Query(params) => {
             let Some(graph) = shared.catalog.get(&params.graph) else {
                 return error_response(
@@ -447,16 +518,25 @@ fn dispatch_line(line: &str, shared: &Arc<Shared>) -> String {
                     params.id,
                 );
             };
+            let request_id = next_request_id(shared);
             let key = cache_key(&graph.name, graph.epoch, &params.cache_params());
             if let Some(hit) = shared.cache.get(&key) {
-                return query_response(
+                let t0 = shared.registry.enabled().then(Instant::now);
+                let response = query_response(
                     &params,
                     &graph,
+                    request_id,
                     true,
                     hit.compute_micros,
                     &hit.result_json,
                     None,
                 );
+                let timing = StageTiming {
+                    serialize_us: t0.map_or(0, |t| t.elapsed().as_micros() as u64),
+                    ..StageTiming::default()
+                };
+                record_query(shared, &params, "hit", request_id, &graph.name, timing);
+                return response;
             }
             let id = params.id;
             let deadline_ms = params.deadline_ms;
@@ -464,9 +544,77 @@ fn dispatch_line(line: &str, shared: &Arc<Shared>) -> String {
                 shared,
                 JobKind::Query { params, graph, key },
                 id,
+                request_id,
                 deadline_ms,
             )
         }
+    }
+}
+
+/// Allocate the next server-wide request id (starts at 1; 0 never appears,
+/// so integration assertions can treat it as "unassigned").
+fn next_request_id(shared: &Arc<Shared>) -> u64 {
+    shared.next_request_id.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Count a served query, and — when metrics are on — record its total and
+/// per-stage latency histograms and offer it to the slow-query log.
+/// Cache hits skip the queue/execute stage histograms (they never queue)
+/// and the slow log (serving a cached line is never the slow path).
+fn record_query(
+    shared: &Arc<Shared>,
+    params: &QueryParams,
+    cache: &'static str,
+    request_id: u64,
+    graph: &str,
+    t: StageTiming,
+) {
+    let labels = [
+        ("algo", params.algo.as_str()),
+        ("backend", params.backend.as_str()),
+        ("cache", cache),
+    ];
+    shared
+        .registry
+        .counter("gbtl_requests_total", &labels)
+        .inc();
+    if !shared.registry.enabled() {
+        return;
+    }
+    shared
+        .registry
+        .histogram("gbtl_request_latency_us", &labels)
+        .observe(t.total_us());
+    let stages: &[(&str, u64)] = if cache == "hit" {
+        &[("serialize", t.serialize_us)]
+    } else {
+        &[
+            ("queue", t.queue_us),
+            ("execute", t.execute_us),
+            ("serialize", t.serialize_us),
+        ]
+    };
+    for &(stage, v) in stages {
+        shared
+            .registry
+            .histogram(
+                "gbtl_stage_latency_us",
+                &[labels[0], labels[1], labels[2], ("stage", stage)],
+            )
+            .observe(v);
+    }
+    if cache == "miss" {
+        shared.slow_log.offer(
+            t.total_us(),
+            SlowQuery {
+                request_id,
+                graph: graph.to_string(),
+                params: params.cache_params(),
+                queue_us: t.queue_us,
+                execute_us: t.execute_us,
+                serialize_us: t.serialize_us,
+            },
+        );
     }
 }
 
@@ -475,15 +623,19 @@ fn submit_job(
     shared: &Arc<Shared>,
     kind: JobKind,
     id: Option<u64>,
+    request_id: u64,
     deadline_ms: Option<u64>,
 ) -> String {
     let deadline_ms = deadline_ms.unwrap_or(shared.config.default_deadline_ms);
-    let deadline = Instant::now() + Duration::from_millis(deadline_ms);
+    let now = Instant::now();
+    let deadline = now + Duration::from_millis(deadline_ms);
     let (tx, rx) = mpsc::channel();
     let job = Job {
         kind,
         id,
+        request_id,
         deadline,
+        enqueued: now,
         reply: tx,
     };
     match shared.queue.push(job) {
@@ -494,19 +646,13 @@ fn submit_job(
             match rx.recv_timeout(wait) {
                 Ok(line) => line,
                 Err(_) => {
-                    shared
-                        .stats
-                        .deadline_expired
-                        .fetch_add(1, Ordering::Relaxed);
+                    shared.stats.deadline_expired.inc();
                     error_response("deadline", &format!("no result within {deadline_ms}ms"), id)
                 }
             }
         }
         Err(PushError::Full) => {
-            shared
-                .stats
-                .rejected_overloaded
-                .fetch_add(1, Ordering::Relaxed);
+            shared.stats.rejected_overloaded.inc();
             error_response(
                 "overloaded",
                 &format!(
@@ -517,10 +663,7 @@ fn submit_job(
             )
         }
         Err(PushError::ShuttingDown) => {
-            shared
-                .stats
-                .rejected_shutdown
-                .fetch_add(1, Ordering::Relaxed);
+            shared.stats.rejected_shutdown.inc();
             error_response("shutting_down", "server is shutting down", id)
         }
     }
@@ -529,11 +672,9 @@ fn submit_job(
 fn worker_loop(shared: &Arc<Shared>, index: usize) {
     let engine = &shared.engines[index];
     while let Some(job) = shared.queue.pop() {
-        if Instant::now() > job.deadline {
-            shared
-                .stats
-                .deadline_expired
-                .fetch_add(1, Ordering::Relaxed);
+        let picked_up = Instant::now();
+        if picked_up > job.deadline {
+            shared.stats.deadline_expired.inc();
             let _ = job.reply.send(error_response(
                 "deadline",
                 "deadline expired while queued",
@@ -541,39 +682,59 @@ fn worker_loop(shared: &Arc<Shared>, index: usize) {
             ));
             continue;
         }
+        let queue_us = picked_up.duration_since(job.enqueued).as_micros() as u64;
         let response = match job.kind {
             JobKind::Sleep { ms } => {
                 std::thread::sleep(Duration::from_millis(ms));
-                shared.stats.completed.fetch_add(1, Ordering::Relaxed);
-                shared.stats.record_latency("sleep", ms * 1000);
+                if shared.registry.enabled() {
+                    shared
+                        .registry
+                        .histogram(
+                            "gbtl_stage_latency_us",
+                            &[
+                                ("algo", "sleep"),
+                                ("backend", "none"),
+                                ("cache", "miss"),
+                                ("stage", "execute"),
+                            ],
+                        )
+                        .observe(ms * 1000);
+                }
                 let id_part = job.id.map(|i| format!("\"id\":{i},")).unwrap_or_default();
                 format!("{{\"ok\":true,{id_part}\"slept_ms\":{ms}}}")
             }
             JobKind::Query { params, graph, key } => {
                 let t0 = Instant::now();
-                match engine.run(&graph, &params) {
+                match engine.run(&graph, &params, Some(job.request_id)) {
                     Ok(outcome) => {
-                        let micros = t0.elapsed().as_micros() as u64;
+                        let execute_us = t0.elapsed().as_micros() as u64;
                         shared.cache.put(
                             key,
                             CachedResult {
                                 result_json: outcome.result_json.clone(),
-                                compute_micros: micros,
+                                compute_micros: execute_us,
                             },
                         );
-                        shared.stats.completed.fetch_add(1, Ordering::Relaxed);
-                        shared.stats.record_latency(params.algo.as_str(), micros);
-                        query_response(
+                        let t1 = shared.registry.enabled().then(Instant::now);
+                        let response = query_response(
                             &params,
                             &graph,
+                            job.request_id,
                             false,
-                            micros,
+                            execute_us,
                             &outcome.result_json,
                             outcome.trace_json.as_deref(),
-                        )
+                        );
+                        let timing = StageTiming {
+                            queue_us,
+                            execute_us,
+                            serialize_us: t1.map_or(0, |t| t.elapsed().as_micros() as u64),
+                        };
+                        record_query(shared, &params, "miss", job.request_id, &graph.name, timing);
+                        response
                     }
                     Err(e) => {
-                        shared.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+                        shared.stats.bad_requests.inc();
                         error_response("bad_request", &e, params.id)
                     }
                 }
@@ -586,6 +747,7 @@ fn worker_loop(shared: &Arc<Shared>, index: usize) {
 fn query_response(
     params: &QueryParams,
     graph: &GraphEntry,
+    request_id: u64,
     cached: bool,
     micros: u64,
     result_json: &str,
@@ -599,7 +761,8 @@ fn query_response(
         .map(|t| format!(",\"trace\":{t}"))
         .unwrap_or_default();
     format!(
-        "{{\"ok\":true,{id_part}\"graph\":\"{}\",\"epoch\":{},\"algo\":\"{}\",\
+        "{{\"ok\":true,{id_part}\"request_id\":{request_id},\"graph\":\"{}\",\
+         \"epoch\":{},\"algo\":\"{}\",\
          \"backend\":\"{}\",\"cached\":{cached},\"micros\":{micros},\
          \"result\":{result_json}{trace_part}}}",
         escape(&graph.name),
@@ -628,7 +791,52 @@ fn render_list(shared: &Arc<Shared>) -> String {
     s
 }
 
+/// Overwrite the point-in-time gauges just before a snapshot is taken, so
+/// every exposition reports current depth/occupancy rather than stale sets.
+fn refresh_gauges(shared: &Arc<Shared>) {
+    shared
+        .registry
+        .gauge("gbtl_queue_depth", &[])
+        .set(shared.queue.len() as i64);
+    shared
+        .registry
+        .gauge("gbtl_cache_entries", &[])
+        .set(shared.cache.len() as i64);
+}
+
+/// Per-algorithm execute-latency aggregates, merged across backends (and
+/// the sleep diagnostic), from the registry's `stage="execute"` histograms.
+/// Empty when metrics are disabled — the stats endpoint documents this.
+fn algo_aggregates(shared: &Arc<Shared>) -> Vec<(String, HistogramSnapshot)> {
+    let mut aggs: Vec<(String, HistogramSnapshot)> = Vec::new();
+    for (key, h) in shared.registry.snapshot().histograms {
+        if key.name != "gbtl_stage_latency_us"
+            || !key
+                .labels
+                .iter()
+                .any(|(k, v)| k == "stage" && v == "execute")
+        {
+            continue;
+        }
+        let Some(algo) = key
+            .labels
+            .iter()
+            .find(|(k, _)| k == "algo")
+            .map(|(_, v)| v.clone())
+        else {
+            continue;
+        };
+        match aggs.iter_mut().find(|(a, _)| *a == algo) {
+            Some((_, agg)) => agg.merge(&h),
+            None => aggs.push((algo, h)),
+        }
+    }
+    aggs.sort_by(|a, b| a.0.cmp(&b.0));
+    aggs
+}
+
 fn render_stats(shared: &Arc<Shared>) -> String {
+    refresh_gauges(shared);
     let st = &shared.stats;
     let snap: EngineSnapshot = shared
         .engines
@@ -653,23 +861,18 @@ fn render_stats(shared: &Arc<Shared>) -> String {
         0.0
     };
     let mut algos = String::from("[");
-    {
-        let map = st.latencies.lock().unwrap();
-        let mut names: Vec<&&str> = map.keys().collect();
-        names.sort();
-        for (i, name) in names.iter().enumerate() {
-            let a = &map[**name];
-            if i > 0 {
-                algos.push(',');
-            }
-            algos.push_str(&format!(
-                "{{\"algo\":\"{}\",\"count\":{},\"mean_us\":{},\"max_us\":{}}}",
-                escape(name),
-                a.count,
-                a.total_us.checked_div(a.count).unwrap_or(0),
-                a.max_us
-            ));
+    for (i, (algo, h)) in algo_aggregates(shared).iter().enumerate() {
+        if i > 0 {
+            algos.push(',');
         }
+        let _ = write!(
+            algos,
+            "{{\"algo\":\"{}\",\"count\":{},\"mean_us\":{},\"max_us\":{}}}",
+            escape(algo),
+            h.count,
+            h.sum.checked_div(h.count).unwrap_or(0),
+            h.max
+        );
     }
     algos.push(']');
     format!(
@@ -691,13 +894,13 @@ fn render_stats(shared: &Arc<Shared>) -> String {
         shared.config.queue_capacity,
         shared.queue.len(),
         shared.catalog.len(),
-        st.connections.load(Ordering::Relaxed),
-        st.received.load(Ordering::Relaxed),
-        st.completed.load(Ordering::Relaxed),
-        st.bad_requests.load(Ordering::Relaxed),
-        st.rejected_overloaded.load(Ordering::Relaxed),
-        st.rejected_shutdown.load(Ordering::Relaxed),
-        st.deadline_expired.load(Ordering::Relaxed),
+        st.connections.get(),
+        st.received.get(),
+        st.completed.get(),
+        st.bad_requests.get(),
+        st.rejected_overloaded.get(),
+        st.rejected_shutdown.get(),
+        st.deadline_expired.get(),
         shared.cache.capacity(),
         shared.cache.len(),
         hits,
@@ -713,6 +916,42 @@ fn render_stats(shared: &Arc<Shared>) -> String {
     )
 }
 
+/// The `metrics` response: the registry as JSON (counters, gauges,
+/// per-label histograms with bucket arrays and percentiles), the all-label
+/// request-latency aggregate, the slow-query log, and a Prometheus-style
+/// text exposition escaped into the `exposition` field.
+fn render_metrics(shared: &Arc<Shared>) -> String {
+    refresh_gauges(shared);
+    let snap = shared.registry.snapshot();
+    let overall = shared.registry.merged_histogram("gbtl_request_latency_us");
+    let mut slow = String::from("[");
+    for (i, (total_us, q)) in shared.slow_log.entries().into_iter().enumerate() {
+        if i > 0 {
+            slow.push(',');
+        }
+        let _ = write!(
+            slow,
+            "{{\"request_id\":{},\"graph\":\"{}\",\"params\":\"{}\",\"total_us\":{total_us},\
+             \"queue_us\":{},\"execute_us\":{},\"serialize_us\":{}}}",
+            q.request_id,
+            escape(&q.graph),
+            escape(&q.params),
+            q.queue_us,
+            q.execute_us,
+            q.serialize_us
+        );
+    }
+    slow.push(']');
+    format!(
+        "{{\"ok\":true,\"metrics\":{{\"enabled\":{},\"overall\":{},\"registry\":{},\
+         \"slow_queries\":{slow}}},\"exposition\":\"{}\"}}",
+        shared.registry.enabled(),
+        histogram_json(&overall),
+        render_json(&snap),
+        escape(&render_prometheus(&snap)),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -724,7 +963,9 @@ mod tests {
         let mk = |tx: &mpsc::Sender<String>| Job {
             kind: JobKind::Sleep { ms: 0 },
             id: None,
+            request_id: 0,
             deadline: Instant::now() + Duration::from_secs(1),
+            enqueued: Instant::now(),
             reply: tx.clone(),
         };
         q.push(mk(&tx)).unwrap();
@@ -753,6 +994,8 @@ mod tests {
             "GBTL_SERVE_CACHE",
             "GBTL_SERVE_DEADLINE_MS",
             "GBTL_SERVE_PAR_THREADS",
+            "GBTL_METRICS",
+            "GBTL_METRICS_SLOWLOG",
         ] {
             std::env::remove_var(k);
         }
@@ -760,5 +1003,7 @@ mod tests {
         assert_eq!(e.addr, c.addr);
         assert_eq!(e.workers, c.workers);
         assert_eq!(e.cache_capacity, c.cache_capacity);
+        assert!(e.metrics, "metrics default on");
+        assert_eq!(e.slow_log_capacity, c.slow_log_capacity);
     }
 }

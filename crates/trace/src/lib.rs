@@ -37,6 +37,7 @@ pub mod json;
 pub mod report;
 
 use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
@@ -135,6 +136,10 @@ pub struct SpanRecord {
     pub seq: u64,
     /// Backend the context dispatched to.
     pub backend: &'static str,
+    /// The serving-layer request this span ran on behalf of, if the
+    /// context had one set ([`Tracer::set_request_id`]) — how a JSON trace
+    /// taken during a serve run is grouped back per request.
+    pub request_id: Option<u64>,
     /// Wall duration of the whole frontend op (validation + kernel +
     /// mask/accumulator stitch), in nanoseconds.
     pub duration_ns: u64,
@@ -235,6 +240,9 @@ pub struct Tracer {
     backend: &'static str,
     mode: TraceMode,
     capacity: usize,
+    /// Current request id + 1 (0 = no request). Atomic so the serving
+    /// layer can stamp/unstamp through a shared `&Context`.
+    current_request: AtomicU64,
     inner: Mutex<TracerInner>,
 }
 
@@ -252,14 +260,27 @@ impl Tracer {
         Self::with_mode(backend, TraceMode::from_env())
     }
 
-    /// A tracer pinned to an explicit mode.
+    /// A tracer pinned to an explicit mode (ring sized by
+    /// `GBTL_TRACE_BUF`, default [`DEFAULT_RING_CAPACITY`]).
     pub fn with_mode(backend: &'static str, mode: TraceMode) -> Self {
+        Self::with_capacity(backend, mode, ring_capacity_from_env())
+    }
+
+    /// A tracer with an explicit ring capacity (bypasses `GBTL_TRACE_BUF`).
+    pub fn with_capacity(backend: &'static str, mode: TraceMode, capacity: usize) -> Self {
         Tracer {
             backend,
             mode,
-            capacity: ring_capacity_from_env(),
+            capacity: capacity.max(1),
+            current_request: AtomicU64::new(0),
             inner: Mutex::new(TracerInner::default()),
         }
+    }
+
+    /// The span-ring capacity this tracer was built with.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 
     /// The current mode.
@@ -278,6 +299,25 @@ impl Tracer {
     #[inline]
     pub fn backend(&self) -> &'static str {
         self.backend
+    }
+
+    /// Stamp (or clear, with `None`) the request id recorded on subsequent
+    /// spans. The serving layer sets this around each query so backend
+    /// spans can be attributed to the request that caused them. Ids of
+    /// `u64::MAX` are reserved (stored internally as id + 1).
+    #[inline]
+    pub fn set_request_id(&self, id: Option<u64>) {
+        self.current_request
+            .store(id.map_or(0, |i| i.wrapping_add(1)), Ordering::Relaxed);
+    }
+
+    /// The request id subsequent spans will carry, if one is set.
+    #[inline]
+    pub fn request_id(&self) -> Option<u64> {
+        match self.current_request.load(Ordering::Relaxed) {
+            0 => None,
+            stamped => Some(stamped - 1),
+        }
     }
 
     /// Open a span. When tracing is off this is one branch and returns an
@@ -300,6 +340,7 @@ impl Tracer {
     }
 
     fn record(&self, duration_ns: u64, fields: SpanFields) {
+        let request_id = self.request_id();
         let mut inner = self.inner.lock().unwrap();
         let seq = inner.seq;
         inner.seq += 1;
@@ -319,6 +360,7 @@ impl Tracer {
         inner.ring.push_back(SpanRecord {
             seq,
             backend: self.backend,
+            request_id,
             duration_ns,
             fields,
         });
@@ -443,8 +485,8 @@ mod tests {
 
     #[test]
     fn ring_wraps_but_aggregates_stay_exact() {
-        let mut t = Tracer::with_mode("test", TraceMode::Summary);
-        t.capacity = 4;
+        let t = Tracer::with_capacity("test", TraceMode::Summary, 4);
+        assert_eq!(t.capacity(), 4);
         for _ in 0..10 {
             let s = t.start();
             t.finish(s, || fields("apply_mat", 1, 1));
@@ -455,6 +497,73 @@ mod tests {
         assert_eq!(rep.total_spans, 10);
         assert_eq!(rep.op("apply_mat").unwrap().calls, 10);
         assert_eq!(rep.spans[0].seq, 6, "oldest retained span is #6");
+    }
+
+    #[test]
+    fn ring_capacity_env_knob_follows_the_shared_contract() {
+        // Serialized via the same pattern as gbtl_util's env tests: env
+        // mutation is process-global. The values used are large enough
+        // that a concurrently-constructed tracer in another test is
+        // unaffected.
+        use std::sync::{Mutex, OnceLock};
+        static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+        let _g = LOCK.get_or_init(|| Mutex::new(())).lock().unwrap();
+
+        // unset → the documented default, silently
+        std::env::remove_var("GBTL_TRACE_BUF");
+        let t = Tracer::with_mode("test", TraceMode::Summary);
+        assert_eq!(t.capacity(), DEFAULT_RING_CAPACITY);
+
+        // valid → applied, and the ring really wraps at that size
+        std::env::set_var("GBTL_TRACE_BUF", "16");
+        let t = Tracer::with_mode("test", TraceMode::Summary);
+        assert_eq!(t.capacity(), 16);
+        for _ in 0..20 {
+            let s = t.start();
+            t.finish(s, || fields("mxv", 1, 1));
+        }
+        let rep = t.report(Vec::new());
+        assert_eq!(rep.spans.len(), 16);
+        assert_eq!(rep.dropped_spans, 4);
+        assert_eq!(rep.op("mxv").unwrap().calls, 20, "aggregates stay exact");
+
+        // invalid → warn (on stderr) + default; zero violates the min bound
+        for bad in ["not-a-number", "0", "-5"] {
+            std::env::set_var("GBTL_TRACE_BUF", bad);
+            let t = Tracer::with_mode("test", TraceMode::Summary);
+            assert_eq!(t.capacity(), DEFAULT_RING_CAPACITY, "input {bad:?}");
+        }
+        std::env::remove_var("GBTL_TRACE_BUF");
+    }
+
+    #[test]
+    fn request_ids_stamp_spans_while_set() {
+        let t = Tracer::with_mode("test", TraceMode::Summary);
+        assert_eq!(t.request_id(), None);
+        let s = t.start();
+        t.finish(s, || fields("mxm", 1, 1));
+
+        t.set_request_id(Some(42));
+        assert_eq!(t.request_id(), Some(42));
+        for _ in 0..2 {
+            let s = t.start();
+            t.finish(s, || fields("mxv", 1, 1));
+        }
+        t.set_request_id(Some(0)); // id 0 is a real id, distinct from "none"
+        let s = t.start();
+        t.finish(s, || fields("vxm", 1, 1));
+        t.set_request_id(None);
+        assert_eq!(t.request_id(), None);
+        let s = t.start();
+        t.finish(s, || fields("mxm", 1, 1));
+
+        let ids: Vec<Option<u64>> = t
+            .report(Vec::new())
+            .spans
+            .iter()
+            .map(|sp| sp.request_id)
+            .collect();
+        assert_eq!(ids, vec![None, Some(42), Some(42), Some(0), None]);
     }
 
     #[test]

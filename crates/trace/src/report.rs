@@ -65,10 +65,14 @@ pub fn format_table(report: &TraceReport) -> String {
 
 fn span_line(r: &SpanRecord) -> String {
     let f = &r.fields;
+    let request_part = r
+        .request_id
+        .map(|id| format!("\"request_id\":{id},"))
+        .unwrap_or_default();
     format!(
-        "{{\"type\":\"span\",\"seq\":{},\"backend\":\"{}\",\"op\":\"{}\",\"label\":\"{}\",\
-         \"dims\":\"{}\",\"nnz_in\":{},\"nnz_out\":{},\"masked\":{},\"complemented\":{},\
-         \"accum\":{},\"duration_ns\":{}}}",
+        "{{\"type\":\"span\",\"seq\":{},\"backend\":\"{}\",{request_part}\"op\":\"{}\",\
+         \"label\":\"{}\",\"dims\":\"{}\",\"nnz_in\":{},\"nnz_out\":{},\"masked\":{},\
+         \"complemented\":{},\"accum\":{},\"duration_ns\":{}}}",
         r.seq,
         esc(r.backend),
         esc(f.op),
@@ -81,6 +85,22 @@ fn span_line(r: &SpanRecord) -> String {
         f.accum,
         r.duration_ns
     )
+}
+
+/// Group a report's retained spans by the request id they were stamped
+/// with, in order of each request's first appearance. Spans recorded with
+/// no request active group under `None`. This is the read-side companion
+/// of `Tracer::set_request_id`: a JSON trace captured during a serve run
+/// comes back as one bucket per request.
+pub fn group_by_request(report: &TraceReport) -> Vec<(Option<u64>, Vec<&SpanRecord>)> {
+    let mut groups: Vec<(Option<u64>, Vec<&SpanRecord>)> = Vec::new();
+    for span in &report.spans {
+        match groups.iter_mut().find(|(id, _)| *id == span.request_id) {
+            Some((_, spans)) => spans.push(span),
+            None => groups.push((span.request_id, vec![span])),
+        }
+    }
+    groups
 }
 
 fn section_line(backend: &str, sec: &Section) -> String {
@@ -193,6 +213,59 @@ mod tests {
             }
         }
         assert_eq!(spans, 3);
+    }
+
+    #[test]
+    fn spans_group_by_request_id() {
+        let t = Tracer::with_mode("sequential", TraceMode::Summary);
+        let emit = |rid: Option<u64>, op: &'static str| {
+            t.set_request_id(rid);
+            let s = t.start();
+            t.finish(s, || SpanFields {
+                op,
+                op_label: String::new(),
+                dims: "4x4".into(),
+                nnz_in: 1,
+                nnz_out: 1,
+                masked: false,
+                complemented: false,
+                accum: false,
+            });
+        };
+        emit(None, "build");
+        emit(Some(7), "mxv");
+        emit(Some(7), "apply_vec");
+        emit(Some(9), "mxv");
+        emit(Some(7), "reduce_vec"); // request 7 resumes on the same context
+        let report = t.report(Vec::new());
+
+        let groups = group_by_request(&report);
+        let shape: Vec<(Option<u64>, Vec<&str>)> = groups
+            .iter()
+            .map(|(id, spans)| (*id, spans.iter().map(|sp| sp.fields.op).collect()))
+            .collect();
+        assert_eq!(
+            shape,
+            vec![
+                (None, vec!["build"]),
+                (Some(7), vec!["mxv", "apply_vec", "reduce_vec"]),
+                (Some(9), vec!["mxv"]),
+            ]
+        );
+
+        // the JSON-lines form carries request_id on exactly the stamped spans
+        let out = format_jsonl(&report);
+        let mut stamped = 0;
+        for line in out.lines() {
+            let v = json::parse(line).unwrap();
+            if v.get("type").and_then(|t| t.as_str()) == Some("span") {
+                if let Some(id) = v.get("request_id").and_then(|r| r.as_f64()) {
+                    stamped += 1;
+                    assert!(id == 7.0 || id == 9.0);
+                }
+            }
+        }
+        assert_eq!(stamped, 4);
     }
 
     #[test]

@@ -36,6 +36,21 @@ pub fn u64_var(name: &str, min: u64) -> Option<u64> {
     parsed_var(name, |&v: &u64| v >= min)
 }
 
+/// [`parsed_var`] for on/off knobs (`GBTL_METRICS`): accepts
+/// `on`/`off`, `true`/`false`, `1`/`0`, `yes`/`no` (case-insensitive);
+/// anything else warns and falls back.
+pub fn bool_var(name: &str) -> Option<bool> {
+    let raw = std::env::var(name).ok()?;
+    match raw.trim().to_ascii_lowercase().as_str() {
+        "on" | "true" | "1" | "yes" => Some(true),
+        "off" | "false" | "0" | "no" => Some(false),
+        _ => {
+            eprintln!("gbtl: ignoring invalid {name}={raw:?}; falling back to the default");
+            None
+        }
+    }
+}
+
 /// Read `name` as a non-empty string (empty/whitespace-only counts as
 /// invalid and warns).
 pub fn string_var(name: &str) -> Option<String> {
@@ -95,6 +110,30 @@ mod tests {
         std::env::set_var("GBTL_UTIL_TEST_BAD", "   ");
         assert_eq!(string_var("GBTL_UTIL_TEST_BAD"), None);
         std::env::remove_var("GBTL_UTIL_TEST_BAD");
+    }
+
+    #[test]
+    fn bool_knobs_accept_common_spellings() {
+        let _g = env_lock().lock().unwrap();
+        std::env::remove_var("GBTL_UTIL_TEST_BOOL");
+        assert_eq!(bool_var("GBTL_UTIL_TEST_BOOL"), None);
+        for (raw, want) in [
+            ("on", true),
+            ("ON", true),
+            ("true", true),
+            ("1", true),
+            ("yes", true),
+            (" off ", false),
+            ("false", false),
+            ("0", false),
+            ("no", false),
+        ] {
+            std::env::set_var("GBTL_UTIL_TEST_BOOL", raw);
+            assert_eq!(bool_var("GBTL_UTIL_TEST_BOOL"), Some(want), "input {raw:?}");
+        }
+        std::env::set_var("GBTL_UTIL_TEST_BOOL", "maybe");
+        assert_eq!(bool_var("GBTL_UTIL_TEST_BOOL"), None);
+        std::env::remove_var("GBTL_UTIL_TEST_BOOL");
     }
 
     #[test]

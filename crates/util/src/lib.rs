@@ -2,7 +2,8 @@
 
 //! Shared dependency-free utilities for GBTL-RS.
 //!
-//! Two small pieces every layer of the workspace needs but none should own:
+//! Three small pieces every layer of the workspace needs but none should
+//! own:
 //!
 //! * [`json`] — the minimal JSON reader (plus string escaping for writers).
 //!   One implementation backs both the `gbtl-trace` JSON-lines reporter and
@@ -11,10 +12,16 @@
 //! * [`env`] — environment-variable parsing with the workspace-wide
 //!   contract: an unset knob silently takes its default, a *set but
 //!   invalid* knob warns once on stderr and then takes its default
-//!   (`GBTL_NUM_THREADS`, `GBTL_TRACE_BUF`, the `GBTL_SERVE_*` family).
+//!   (`GBTL_NUM_THREADS`, `GBTL_TRACE_BUF`, the `GBTL_SERVE_*` and
+//!   `GBTL_METRICS*` families).
+//! * [`stats`] — the nearest-rank percentile definition shared by the
+//!   loadgen latency report and the `gbtl-metrics` histogram snapshots, so
+//!   client-side and server-side percentiles are comparable by
+//!   construction.
 //!
 //! The crate is std-only, consistent with the offline-shim dependency
 //! policy (DESIGN.md).
 
 pub mod env;
 pub mod json;
+pub mod stats;

@@ -18,7 +18,10 @@
 //! * [`sparse`] — COO/CSR/CSC containers and Matrix Market I/O
 //! * [`gpu_sim`] — the simulated CUDA device and its primitives
 //! * [`trace`] — cross-backend op tracing and profiling reports
-//! * [`util`] — shared JSON parsing/emission and env-knob helpers
+//! * [`metrics`] — counters, gauges, latency histograms, slow-query log,
+//!   and JSON/Prometheus exposition (the serving observability core)
+//! * [`util`] — shared JSON parsing/emission, env-knob helpers, and the
+//!   nearest-rank percentile definition
 //! * [`backend_seq`] / [`backend_par`] / [`backend_cuda`] — the three
 //!   backends (sequential reference, work-stealing parallel CPU,
 //!   simulated CUDA)
@@ -42,6 +45,7 @@ pub use gbtl_backend_seq as backend_seq;
 pub use gbtl_core as core;
 pub use gbtl_gpu_sim as gpu_sim;
 pub use gbtl_graphgen as graphgen;
+pub use gbtl_metrics as metrics;
 pub use gbtl_sparse as sparse;
 pub use gbtl_trace as trace;
 pub use gbtl_util as util;

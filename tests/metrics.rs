@@ -1,0 +1,329 @@
+//! gbtl-metrics through gbtl-serve: request histograms whose counts match
+//! the requests actually served (in both the JSON and Prometheus
+//! expositions), request ids stamped onto backend trace spans, the
+//! stats endpoint's cumulative/point-in-time contract, the slow-query
+//! log's top-K retention with stage breakdowns, and the metrics-off mode.
+
+use gbtl_serve::{start, Client, ServerConfig, ServerHandle};
+
+use gbtl::metrics::SlowLog;
+use gbtl::util::json::Value;
+
+fn test_config() -> ServerConfig {
+    ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        queue_capacity: 32,
+        cache_capacity: 64,
+        default_deadline_ms: 30_000,
+        par_threads: 2,
+        metrics: true,
+        slow_log_capacity: 8,
+        preload: vec![("karate".into(), "karate".into())],
+    }
+}
+
+fn connect(handle: &ServerHandle) -> Client {
+    Client::connect(&handle.addr().to_string()).expect("connect to test server")
+}
+
+fn query(client: &mut Client, body: &str) -> Value {
+    client
+        .request_json(&format!("{{\"op\":\"query\",{body}}}"))
+        .expect("query round-trip")
+}
+
+fn metrics(client: &mut Client) -> Value {
+    client
+        .request_json("{\"op\":\"metrics\"}")
+        .expect("metrics round-trip")
+}
+
+/// Sum a named metric over every label set in the JSON registry section.
+fn sum_over_labels(metrics_response: &Value, section: &str, name: &str, field: &str) -> u64 {
+    metrics_response
+        .get("metrics")
+        .and_then(|m| m.get("registry"))
+        .and_then(|r| r.get(section))
+        .and_then(|s| s.as_arr())
+        .expect("registry section")
+        .iter()
+        .filter(|e| e.str_field("name") == Some(name))
+        .map(|e| e.u64_field(field).unwrap_or(0))
+        .sum()
+}
+
+#[test]
+fn request_histogram_counts_match_requests_served_in_both_expositions() {
+    let handle = start(test_config()).unwrap();
+    let mut c = connect(&handle);
+
+    // three distinct (algo, backend) queries — all misses — plus one repeat
+    // of the first, which must be served from the cache
+    for (algo, backend) in [
+        ("bfs", "seq"),
+        ("cc", "par"),
+        ("bfs", "cuda"),
+        ("bfs", "seq"),
+    ] {
+        let v = query(
+            &mut c,
+            &format!("\"graph\":\"karate\",\"algo\":\"{algo}\",\"backend\":\"{backend}\""),
+        );
+        assert_eq!(v.bool_field("ok"), Some(true), "{algo}/{backend}");
+        assert!(
+            v.u64_field("request_id").unwrap_or(0) > 0,
+            "request ids start at 1"
+        );
+    }
+
+    let m = metrics(&mut c);
+    assert_eq!(m.bool_field("ok"), Some(true));
+    let inner = m.get("metrics").expect("metrics object");
+    assert_eq!(inner.bool_field("enabled"), Some(true));
+
+    // the all-labels aggregate counts exactly the four queries served
+    let overall = inner.get("overall").expect("overall histogram");
+    assert_eq!(overall.u64_field("count"), Some(4));
+    assert!(overall.u64_field("max").unwrap() >= overall.u64_field("p50").unwrap());
+
+    // JSON exposition: per-(algo, backend, cache) histograms sum to the same
+    assert_eq!(
+        sum_over_labels(&m, "histograms", "gbtl_request_latency_us", "count"),
+        4
+    );
+    assert_eq!(
+        sum_over_labels(&m, "counters", "gbtl_requests_total", "value"),
+        4
+    );
+    // ... and the hit/miss split is 3 misses + 1 hit
+    let hists = m
+        .get("metrics")
+        .and_then(|mm| mm.get("registry"))
+        .and_then(|r| r.get("histograms"))
+        .and_then(|h| h.as_arr())
+        .unwrap();
+    let count_where = |cache: &str| -> u64 {
+        hists
+            .iter()
+            .filter(|h| {
+                h.str_field("name") == Some("gbtl_request_latency_us")
+                    && h.get("labels").and_then(|l| l.str_field("cache")) == Some(cache)
+            })
+            .map(|h| h.u64_field("count").unwrap_or(0))
+            .sum()
+    };
+    assert_eq!(count_where("miss"), 3);
+    assert_eq!(count_where("hit"), 1);
+
+    // Prometheus exposition: the _count samples for the same metric also
+    // sum to four, and the histogram type line is present
+    let text = m.str_field("exposition").expect("exposition text");
+    assert!(text.contains("# TYPE gbtl_request_latency_us histogram"));
+    assert!(text.contains("le=\"+Inf\""));
+    let prom_count: u64 = text
+        .lines()
+        .filter(|l| l.starts_with("gbtl_request_latency_us_count{"))
+        .map(|l| {
+            l.rsplit(' ')
+                .next()
+                .and_then(|n| n.parse::<u64>().ok())
+                .expect("count sample value")
+        })
+        .sum();
+    assert_eq!(prom_count, 4);
+
+    handle.shutdown_and_join();
+}
+
+#[test]
+fn json_traces_carry_the_request_id_end_to_end() {
+    let handle = start(test_config()).unwrap();
+    let mut c = connect(&handle);
+
+    let v = query(
+        &mut c,
+        "\"graph\":\"karate\",\"algo\":\"bfs\",\"backend\":\"seq\",\"trace\":true",
+    );
+    assert_eq!(v.bool_field("ok"), Some(true));
+    assert_eq!(v.bool_field("cached"), Some(false));
+    let request_id = v.u64_field("request_id").expect("request id in response");
+    let spans = v
+        .get("trace")
+        .and_then(|t| t.as_arr())
+        .expect("trace spans");
+    assert!(!spans.is_empty());
+    for sp in spans {
+        assert_eq!(
+            sp.u64_field("request_id"),
+            Some(request_id),
+            "every span the query dispatched is stamped with its request id"
+        );
+    }
+
+    // a second traced query gets a different (larger) id
+    let v2 = query(
+        &mut c,
+        "\"graph\":\"karate\",\"algo\":\"cc\",\"backend\":\"seq\",\"trace\":true",
+    );
+    assert!(v2.u64_field("request_id").unwrap() > request_id);
+
+    handle.shutdown_and_join();
+}
+
+#[test]
+fn stats_counts_cache_hits_as_completed_and_keeps_rates_cumulative() {
+    let handle = start(test_config()).unwrap();
+    let mut c = connect(&handle);
+
+    let ping = c.request_json("{\"op\":\"ping\"}").unwrap();
+    assert_eq!(ping.bool_field("ok"), Some(true));
+    let q = "\"graph\":\"karate\",\"algo\":\"triangle_count\",\"backend\":\"par\"";
+    assert_eq!(query(&mut c, q).bool_field("cached"), Some(false));
+    assert_eq!(query(&mut c, q).bool_field("cached"), Some(true));
+
+    let v = c.request_json("{\"op\":\"stats\"}").unwrap();
+    let stats = v.get("stats").expect("stats object");
+    let requests = stats.get("requests").expect("requests block");
+    // ping + miss + hit all completed; the stats request itself is counted
+    // after its response is rendered, so it is not in this snapshot
+    assert_eq!(requests.u64_field("received"), Some(4));
+    assert_eq!(requests.u64_field("completed"), Some(3));
+
+    let cache = stats.get("cache").expect("cache block");
+    assert_eq!(cache.u64_field("hits"), Some(1));
+    assert_eq!(cache.u64_field("misses"), Some(1));
+    // lifetime ratio, not derived from current occupancy
+    assert!((cache.f64_field("hit_rate").unwrap() - 0.5).abs() < 1e-9);
+    assert_eq!(
+        cache.u64_field("entries"),
+        Some(1),
+        "point-in-time occupancy"
+    );
+
+    // per-algo execute aggregates come from the same registry histograms
+    let algos = stats.get("algos").and_then(|a| a.as_arr()).expect("algos");
+    let tc = algos
+        .iter()
+        .find(|a| a.str_field("algo") == Some("triangle_count"))
+        .expect("triangle_count aggregate");
+    assert_eq!(tc.u64_field("count"), Some(1), "only the miss executed");
+    assert!(tc.u64_field("max_us").unwrap() >= tc.u64_field("mean_us").unwrap());
+
+    handle.shutdown_and_join();
+}
+
+#[test]
+fn slow_query_log_reports_stage_breakdowns_over_the_wire() {
+    let mut config = test_config();
+    config.cache_capacity = 0; // every query executes and is offered
+    let handle = start(config).unwrap();
+    let mut c = connect(&handle);
+
+    for algo in ["bfs", "cc", "pagerank"] {
+        let v = query(
+            &mut c,
+            &format!("\"graph\":\"karate\",\"algo\":\"{algo}\",\"backend\":\"seq\""),
+        );
+        assert_eq!(v.bool_field("ok"), Some(true));
+    }
+
+    let m = metrics(&mut c);
+    let slow = m
+        .get("metrics")
+        .and_then(|mm| mm.get("slow_queries"))
+        .and_then(|s| s.as_arr())
+        .expect("slow_queries array");
+    assert_eq!(slow.len(), 3, "all executed queries fit in the log");
+    let mut last_total = u64::MAX;
+    for entry in slow {
+        assert!(entry.u64_field("request_id").unwrap() > 0);
+        assert!(entry.str_field("params").unwrap().starts_with("algo="));
+        let total = entry.u64_field("total_us").unwrap();
+        let parts = entry.u64_field("queue_us").unwrap()
+            + entry.u64_field("execute_us").unwrap()
+            + entry.u64_field("serialize_us").unwrap();
+        assert_eq!(total, parts, "total is exactly the sum of the stages");
+        assert!(total <= last_total, "entries come back slowest first");
+        last_total = total;
+    }
+
+    handle.shutdown_and_join();
+}
+
+#[test]
+fn slow_log_eviction_keeps_exactly_the_top_k_payloads() {
+    // the serve payload shape (request id + stage breakdown), exercised
+    // past capacity at the SlowLog level where latencies are controllable
+    #[derive(Debug, Clone, PartialEq)]
+    struct Entry {
+        request_id: u64,
+        queue_us: u64,
+        execute_us: u64,
+    }
+    let k = 5;
+    let log = SlowLog::new(k);
+    // 20 offers with distinct totals in a scrambled order
+    for i in [
+        11u64, 3, 17, 8, 1, 19, 5, 14, 2, 20, 7, 12, 4, 16, 9, 18, 6, 13, 10, 15,
+    ] {
+        log.offer(
+            i * 100,
+            Entry {
+                request_id: i,
+                queue_us: i * 40,
+                execute_us: i * 60,
+            },
+        );
+    }
+    let kept = log.entries();
+    assert_eq!(kept.len(), k);
+    // exactly the five largest totals survive, in descending order,
+    // payloads (request id + stage breakdown) intact
+    for (rank, (total, entry)) in kept.iter().enumerate() {
+        let expect = 20 - rank as u64;
+        assert_eq!(*total, expect * 100);
+        assert_eq!(
+            *entry,
+            Entry {
+                request_id: expect,
+                queue_us: expect * 40,
+                execute_us: expect * 60,
+            }
+        );
+    }
+}
+
+#[test]
+fn metrics_off_gates_histograms_but_not_stats() {
+    let mut config = test_config();
+    config.metrics = false;
+    let handle = start(config).unwrap();
+    let mut c = connect(&handle);
+
+    let q = "\"graph\":\"karate\",\"algo\":\"bfs\",\"backend\":\"seq\"";
+    assert_eq!(query(&mut c, q).bool_field("ok"), Some(true));
+
+    let m = metrics(&mut c);
+    let inner = m.get("metrics").expect("metrics object");
+    assert_eq!(inner.bool_field("enabled"), Some(false));
+    assert_eq!(
+        inner.get("overall").and_then(|o| o.u64_field("count")),
+        Some(0),
+        "histograms record nothing when metrics are off"
+    );
+    // counters stay live: the stats endpoint still works
+    assert_eq!(
+        sum_over_labels(&m, "counters", "gbtl_requests_total", "value"),
+        1
+    );
+    let v = c.request_json("{\"op\":\"stats\"}").unwrap();
+    let requests = v.get("stats").and_then(|s| s.get("requests")).unwrap();
+    assert_eq!(
+        requests.u64_field("completed"),
+        Some(2),
+        "query + metrics op"
+    );
+
+    handle.shutdown_and_join();
+}
