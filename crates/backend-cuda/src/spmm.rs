@@ -13,9 +13,12 @@
 use gbtl_algebra::{BinaryOp, Scalar, Semiring};
 use gbtl_gpu_sim::{primitives as prim, Gpu, KernelTally};
 use gbtl_sparse::{CscMatrix, CsrMatrix};
+use gbtl_util::workspace;
 use rayon::prelude::*;
 
-use crate::util::{assert_key_encodable, compress_sorted_keys, encode_key, expand_row_ids};
+use crate::util::{
+    assert_key_encodable, compress_sorted_keys, encode_key, expand_row_ids, expand_row_ids_into,
+};
 
 /// `C = A ⊕.⊗ B` by expand–sort–compress.
 pub fn mxm<T, S>(gpu: &Gpu, a: &CsrMatrix<T>, b: &CsrMatrix<T>, sr: S) -> CsrMatrix<T>
@@ -32,54 +35,66 @@ where
     let b_vals = b.vals();
 
     // --- Expand ---------------------------------------------------------
-    // Per-A-entry expansion size = nnz of the referenced B row.
-    let a_rows = expand_row_ids(gpu, a.row_ptr(), a.nnz());
-    let starts = prim::gather(gpu, a.col_idx(), b_row_ptr);
-    let ends = {
-        let next: Vec<usize> = a.col_idx().iter().map(|&k| k + 1).collect();
-        prim::gather(gpu, &next, b_row_ptr)
-    };
-    let sizes: Vec<usize> = prim::zip_transform(gpu, &ends, &starts, |e, s| e - s);
-    let (offsets, total) = prim::scan::exclusive_scan_total(gpu, &sizes, |x, y| x + y);
-    let _ = &offsets;
+    // Per-A-entry expansion size = nnz of the referenced B row. All four
+    // usize staging buffers come from the thread-local workspace pool and
+    // are reused across ESC invocations (same kernel charges either way).
+    workspace::with_index_buffer(|a_rows| {
+        workspace::with_index_buffer(|starts| {
+            workspace::with_index_buffer(|ends| {
+                workspace::with_index_buffer(|sizes| {
+                    expand_row_ids_into(gpu, a.row_ptr(), a.nnz(), a_rows);
+                    prim::gather_into(gpu, a.col_idx(), b_row_ptr, starts);
+                    // ends[e] = b_row_ptr[k+1]: gather the shifted pointer.
+                    prim::gather_into(gpu, a.col_idx(), &b_row_ptr[1..], ends);
+                    prim::zip_transform_into(gpu, ends, starts, |e, s| e - s, sizes);
+                    let (offsets, total) =
+                        prim::scan::exclusive_scan_total(gpu, sizes, |x, y| x + y);
+                    let _ = &offsets;
 
-    // Candidate (key, value) pairs in expansion order.
-    let candidates: Vec<(u64, T)> = (0..a.nnz())
-        .into_par_iter()
-        .flat_map_iter(|e| {
-            let i = a_rows[e];
-            let aik = a.vals()[e];
-            let lo = starts[e];
-            (0..sizes[e]).map(move |t| {
-                let j = b_col_idx[lo + t];
-                (encode_key(i, j, n), mul.apply(aik, b_vals[lo + t]))
+                    // Candidate (key, value) pairs in expansion order.
+                    let candidates: Vec<(u64, T)> = (0..a.nnz())
+                        .into_par_iter()
+                        .flat_map_iter(|e| {
+                            let i = a_rows[e];
+                            let aik = a.vals()[e];
+                            let lo = starts[e];
+                            (0..sizes[e]).map(move |t| {
+                                let j = b_col_idx[lo + t];
+                                (encode_key(i, j, n), mul.apply(aik, b_vals[lo + t]))
+                            })
+                        })
+                        .collect();
+                    debug_assert_eq!(candidates.len(), total);
+                    let txn = gpu.config().mem_transaction_bytes as u64;
+                    let val_sz = std::mem::size_of::<T>() as u64;
+                    gpu.charge_kernel(
+                        "spgemm_expand",
+                        a.nnz().div_ceil(256).max(1),
+                        KernelTally {
+                            warp_instructions: 6
+                                * (total as u64).div_ceil(gpu.config().warp_size as u64),
+                            mem_transactions: prim::gather_cost(gpu, starts, 8)
+                                + (total as u64 * (8 + val_sz)).div_ceil(txn)   // B-row payload reads
+                                + (total as u64 * (8 + val_sz)).div_ceil(txn), // candidate writes
+                            atomic_ops: 0,
+                        },
+                    );
+
+                    // --- Sort --------------------------------------------
+                    let keys: Vec<u64> = candidates.iter().map(|&(k, _)| k).collect();
+                    let cvals: Vec<T> = candidates.into_iter().map(|(_, v)| v).collect();
+                    let (sorted_keys, sorted_vals) = prim::sort_pairs(gpu, &keys, &cvals);
+
+                    // --- Compress ----------------------------------------
+                    let (out_keys, out_vals) =
+                        prim::reduce_by_key(gpu, &sorted_keys, &sorted_vals, |x, y| {
+                            add.apply(x, y)
+                        });
+                    compress_sorted_keys(gpu, m, n, &out_keys, out_vals)
+                })
             })
         })
-        .collect();
-    debug_assert_eq!(candidates.len(), total);
-    let txn = gpu.config().mem_transaction_bytes as u64;
-    let val_sz = std::mem::size_of::<T>() as u64;
-    gpu.charge_kernel(
-        "spgemm_expand",
-        a.nnz().div_ceil(256).max(1),
-        KernelTally {
-            warp_instructions: 6 * (total as u64).div_ceil(gpu.config().warp_size as u64),
-            mem_transactions: prim::gather_cost(gpu, &starts, 8)
-                + (total as u64 * (8 + val_sz)).div_ceil(txn)   // B-row payload reads
-                + (total as u64 * (8 + val_sz)).div_ceil(txn), // candidate writes
-            atomic_ops: 0,
-        },
-    );
-
-    // --- Sort ------------------------------------------------------------
-    let keys: Vec<u64> = candidates.iter().map(|&(k, _)| k).collect();
-    let cvals: Vec<T> = candidates.into_iter().map(|(_, v)| v).collect();
-    let (sorted_keys, sorted_vals) = prim::sort_pairs(gpu, &keys, &cvals);
-
-    // --- Compress ----------------------------------------------------------
-    let (out_keys, out_vals) =
-        prim::reduce_by_key(gpu, &sorted_keys, &sorted_vals, |x, y| add.apply(x, y));
-    compress_sorted_keys(gpu, m, n, &out_keys, out_vals)
+    })
 }
 
 /// `C<M> = A ⊕.⊗ B` computed per mask entry by merging `A(i,:)` against

@@ -32,6 +32,30 @@ pub fn expand_row_ids(gpu: &Gpu, row_ptr: &[usize], nnz: usize) -> Vec<usize> {
     out
 }
 
+/// [`expand_row_ids`] into a caller-provided buffer — same kernel charge,
+/// reusing `out`'s allocation across ESC invocations.
+pub fn expand_row_ids_into(gpu: &Gpu, row_ptr: &[usize], nnz: usize, out: &mut Vec<usize>) {
+    let nrows = row_ptr.len() - 1;
+    out.clear();
+    out.reserve(nnz);
+    for i in 0..nrows {
+        out.extend(std::iter::repeat_n(i, row_ptr[i + 1] - row_ptr[i]));
+    }
+    debug_assert_eq!(out.len(), nnz);
+    let txn = gpu.config().mem_transaction_bytes as u64;
+    gpu.charge_kernel(
+        "expand_row_ids",
+        nrows.div_ceil(4096).max(1),
+        gbtl_gpu_sim::KernelTally {
+            warp_instructions: (nnz as u64).div_ceil(gpu.config().warp_size as u64)
+                + (nrows as u64).div_ceil(gpu.config().warp_size as u64),
+            mem_transactions: ((row_ptr.len() * 8) as u64).div_ceil(txn)
+                + ((nnz * 8) as u64).div_ceil(txn),
+            atomic_ops: 0,
+        },
+    );
+}
+
 /// Encode `(row, col)` as a sortable 64-bit key, row-major.
 #[inline]
 pub fn encode_key(row: usize, col: usize, ncols: usize) -> u64 {

@@ -15,6 +15,7 @@ use crate::partition::{nnz_balanced_rows, OVERSPLIT};
 use crate::pool::ThreadPool;
 use gbtl_algebra::{BinaryOp, Scalar, Semiring};
 use gbtl_sparse::CsrMatrix;
+use gbtl_util::workspace;
 use std::sync::Mutex;
 
 /// Carve `cols`/`vals` into per-chunk disjoint mutable slices at the nnz
@@ -75,30 +76,34 @@ where
     let (m, n) = (a.nrows(), b.ncols());
     let chunks = nnz_balanced_rows(a.row_ptr(), pool.threads() * OVERSPLIT);
 
-    // Pass 1: symbolic — distinct output columns per row.
+    // Pass 1: symbolic — distinct output columns per row. Scratch comes
+    // from each worker thread's workspace pool (workers persist, so the
+    // buffers survive across kernel invocations).
     let counts_per_chunk = pool.run_tasks(chunks.len(), |t| {
-        let mut seen = vec![false; n];
-        let mut touched: Vec<usize> = Vec::new();
-        chunks[t]
-            .clone()
-            .map(|i| {
-                touched.clear();
-                let (a_cols, _) = a.row(i);
-                for &k in a_cols {
-                    let (b_cols, _) = b.row(k);
-                    for &j in b_cols {
-                        if !seen[j] {
-                            seen[j] = true;
-                            touched.push(j);
+        workspace::with_flags(n, |seen| {
+            workspace::with_index_buffer(|touched| {
+                chunks[t]
+                    .clone()
+                    .map(|i| {
+                        touched.clear();
+                        let (a_cols, _) = a.row(i);
+                        for &k in a_cols {
+                            let (b_cols, _) = b.row(k);
+                            for &j in b_cols {
+                                if !seen[j] {
+                                    seen[j] = true;
+                                    touched.push(j);
+                                }
+                            }
                         }
-                    }
-                }
-                for &j in &touched {
-                    seen[j] = false;
-                }
-                touched.len()
+                        for &j in touched.iter() {
+                            seen[j] = false;
+                        }
+                        touched.len()
+                    })
+                    .collect::<Vec<usize>>()
             })
-            .collect::<Vec<usize>>()
+        })
     });
 
     let row_ptr = assemble_row_ptr(m, &counts_per_chunk);
@@ -126,33 +131,35 @@ where
             .unwrap()
             .take()
             .expect("each carve slot is taken exactly once");
-        let mut acc: Vec<Option<T>> = vec![None; n];
-        let mut touched: Vec<usize> = Vec::new();
-        let mut cursor = 0usize;
-        for i in chunks[t].clone() {
-            touched.clear();
-            let (a_cols, a_vals) = a.row(i);
-            for (&k, &aik) in a_cols.iter().zip(a_vals) {
-                let (b_cols, b_vals) = b.row(k);
-                for (&j, &bkj) in b_cols.iter().zip(b_vals) {
-                    let term = mul.apply(aik, bkj);
-                    match &mut acc[j] {
-                        Some(v) => *v = add.apply(*v, term),
-                        slot @ None => {
-                            *slot = Some(term);
-                            touched.push(j);
+        workspace::with_accumulator(n, |acc: &mut Vec<Option<T>>| {
+            workspace::with_index_buffer(|touched| {
+                let mut cursor = 0usize;
+                for i in chunks[t].clone() {
+                    touched.clear();
+                    let (a_cols, a_vals) = a.row(i);
+                    for (&k, &aik) in a_cols.iter().zip(a_vals) {
+                        let (b_cols, b_vals) = b.row(k);
+                        for (&j, &bkj) in b_cols.iter().zip(b_vals) {
+                            let term = mul.apply(aik, bkj);
+                            match &mut acc[j] {
+                                Some(v) => *v = add.apply(*v, term),
+                                slot @ None => {
+                                    *slot = Some(term);
+                                    touched.push(j);
+                                }
+                            }
                         }
                     }
+                    touched.sort_unstable();
+                    for &j in touched.iter() {
+                        ocols[cursor] = j;
+                        ovals[cursor] = acc[j].take().expect("touched implies present");
+                        cursor += 1;
+                    }
                 }
-            }
-            touched.sort_unstable();
-            for &j in &touched {
-                ocols[cursor] = j;
-                ovals[cursor] = acc[j].take().expect("touched implies present");
-                cursor += 1;
-            }
-        }
-        debug_assert_eq!(cursor, ocols.len(), "count and fill passes disagree");
+                debug_assert_eq!(cursor, ocols.len(), "count and fill passes disagree");
+            })
+        });
     });
     drop(slots);
 
@@ -184,38 +191,40 @@ where
 
     // Pass 1: symbolic — reachable ∩ masked columns per row.
     let counts_per_chunk = pool.run_tasks(chunks.len(), |t| {
-        let mut allowed = vec![false; n];
-        let mut seen = vec![false; n];
-        chunks[t]
-            .clone()
-            .map(|i| {
-                let (m_cols, _) = mask.row(i);
-                if m_cols.is_empty() {
-                    return 0usize;
-                }
-                for &j in m_cols {
-                    allowed[j] = true;
-                }
-                let (a_cols, _) = a.row(i);
-                for &k in a_cols {
-                    let (b_cols, _) = b.row(k);
-                    for &j in b_cols {
-                        if allowed[j] {
-                            seen[j] = true;
+        workspace::with_flags(n, |allowed| {
+            workspace::with_flags(n, |seen| {
+                chunks[t]
+                    .clone()
+                    .map(|i| {
+                        let (m_cols, _) = mask.row(i);
+                        if m_cols.is_empty() {
+                            return 0usize;
                         }
-                    }
-                }
-                let mut count = 0usize;
-                for &j in m_cols {
-                    if seen[j] {
-                        count += 1;
-                        seen[j] = false;
-                    }
-                    allowed[j] = false;
-                }
-                count
+                        for &j in m_cols {
+                            allowed[j] = true;
+                        }
+                        let (a_cols, _) = a.row(i);
+                        for &k in a_cols {
+                            let (b_cols, _) = b.row(k);
+                            for &j in b_cols {
+                                if allowed[j] {
+                                    seen[j] = true;
+                                }
+                            }
+                        }
+                        let mut count = 0usize;
+                        for &j in m_cols {
+                            if seen[j] {
+                                count += 1;
+                                seen[j] = false;
+                            }
+                            allowed[j] = false;
+                        }
+                        count
+                    })
+                    .collect::<Vec<usize>>()
             })
-            .collect::<Vec<usize>>()
+        })
     });
 
     let row_ptr = assemble_row_ptr(m, &counts_per_chunk);
@@ -242,40 +251,42 @@ where
             .unwrap()
             .take()
             .expect("each carve slot is taken exactly once");
-        let mut allowed = vec![false; n];
-        let mut acc: Vec<Option<T>> = vec![None; n];
-        let mut cursor = 0usize;
-        for i in chunks[t].clone() {
-            let (m_cols, _) = mask.row(i);
-            if m_cols.is_empty() {
-                continue;
-            }
-            for &j in m_cols {
-                allowed[j] = true;
-            }
-            let (a_cols, a_vals) = a.row(i);
-            for (&k, &aik) in a_cols.iter().zip(a_vals) {
-                let (b_cols, b_vals) = b.row(k);
-                for (&j, &bkj) in b_cols.iter().zip(b_vals) {
-                    if allowed[j] {
-                        let term = mul.apply(aik, bkj);
-                        match &mut acc[j] {
-                            Some(v) => *v = add.apply(*v, term),
-                            slot @ None => *slot = Some(term),
+        workspace::with_flags(n, |allowed| {
+            workspace::with_accumulator(n, |acc: &mut Vec<Option<T>>| {
+                let mut cursor = 0usize;
+                for i in chunks[t].clone() {
+                    let (m_cols, _) = mask.row(i);
+                    if m_cols.is_empty() {
+                        continue;
+                    }
+                    for &j in m_cols {
+                        allowed[j] = true;
+                    }
+                    let (a_cols, a_vals) = a.row(i);
+                    for (&k, &aik) in a_cols.iter().zip(a_vals) {
+                        let (b_cols, b_vals) = b.row(k);
+                        for (&j, &bkj) in b_cols.iter().zip(b_vals) {
+                            if allowed[j] {
+                                let term = mul.apply(aik, bkj);
+                                match &mut acc[j] {
+                                    Some(v) => *v = add.apply(*v, term),
+                                    slot @ None => *slot = Some(term),
+                                }
+                            }
                         }
                     }
+                    for &j in m_cols {
+                        if let Some(v) = acc[j].take() {
+                            ocols[cursor] = j;
+                            ovals[cursor] = v;
+                            cursor += 1;
+                        }
+                        allowed[j] = false;
+                    }
                 }
-            }
-            for &j in m_cols {
-                if let Some(v) = acc[j].take() {
-                    ocols[cursor] = j;
-                    ovals[cursor] = v;
-                    cursor += 1;
-                }
-                allowed[j] = false;
-            }
-        }
-        debug_assert_eq!(cursor, ocols.len(), "count and fill passes disagree");
+                debug_assert_eq!(cursor, ocols.len(), "count and fill passes disagree");
+            })
+        });
     });
     drop(slots);
 

@@ -15,6 +15,7 @@ use crate::partition::{even_ranges, nnz_balanced_rows, OVERSPLIT};
 use crate::pool::ThreadPool;
 use gbtl_algebra::{BinaryOp, Scalar, Semiring};
 use gbtl_sparse::{CsrMatrix, DenseVector, SparseVector};
+use gbtl_util::workspace;
 
 /// Pull-direction product `w = A ⊕.⊗ u`; `mask` is a keep-bitmap over
 /// output rows. Bit-identical to `gbtl_backend_seq::mxv`.
@@ -108,38 +109,40 @@ where
     let mut parts = pool.run_tasks(ranges.len(), |t| {
         let cols = ranges[t].clone();
         let width = cols.len();
-        let mut acc: Vec<Option<T>> = vec![None; width];
-        let mut touched: Vec<usize> = Vec::new();
-        for (k, uk) in u.iter() {
-            let (rcols, rvals) = a.row(k);
-            // Narrow this adjacency row to the owned column range.
-            let lo = rcols.partition_point(|&j| j < cols.start);
-            for idx in lo..rcols.len() {
-                let j = rcols[idx];
-                if j >= cols.end {
-                    break;
-                }
-                if let Some(keep) = mask {
-                    if !keep[j] {
-                        continue;
+        workspace::with_accumulator(width, |acc: &mut Vec<Option<T>>| {
+            workspace::with_index_buffer(|touched| {
+                for (k, uk) in u.iter() {
+                    let (rcols, rvals) = a.row(k);
+                    // Narrow this adjacency row to the owned column range.
+                    let lo = rcols.partition_point(|&j| j < cols.start);
+                    for idx in lo..rcols.len() {
+                        let j = rcols[idx];
+                        if j >= cols.end {
+                            break;
+                        }
+                        if let Some(keep) = mask {
+                            if !keep[j] {
+                                continue;
+                            }
+                        }
+                        let term = mul.apply(uk, rvals[idx]);
+                        match &mut acc[j - cols.start] {
+                            Some(v) => *v = add.apply(*v, term),
+                            slot @ None => {
+                                *slot = Some(term);
+                                touched.push(j);
+                            }
+                        }
                     }
                 }
-                let term = mul.apply(uk, rvals[idx]);
-                match &mut acc[j - cols.start] {
-                    Some(v) => *v = add.apply(*v, term),
-                    slot @ None => {
-                        *slot = Some(term);
-                        touched.push(j);
-                    }
-                }
-            }
-        }
-        touched.sort_unstable();
-        let vals: Vec<T> = touched
-            .iter()
-            .map(|&j| acc[j - cols.start].expect("touched implies present"))
-            .collect();
-        (touched, vals)
+                touched.sort_unstable();
+                let vals: Vec<T> = touched
+                    .iter()
+                    .map(|&j| acc[j - cols.start].take().expect("touched implies present"))
+                    .collect();
+                (touched.clone(), vals)
+            })
+        })
     });
 
     let total: usize = parts.iter().map(|(idx, _)| idx.len()).sum();

@@ -2,6 +2,7 @@
 
 use gbtl_algebra::{BinaryOp, Scalar, Semiring};
 use gbtl_sparse::CsrMatrix;
+use gbtl_util::workspace;
 
 /// `C = A ⊕.⊗ B` over the semiring — Gustavson's algorithm with a dense
 /// per-row accumulator (`O(flops + nrows·reset)` time, `O(ncols)` workspace).
@@ -26,38 +27,42 @@ where
     let (add, mul) = (sr.add(), sr.mul());
     let (m, n) = (a.nrows(), b.ncols());
 
-    let mut acc: Vec<Option<T>> = vec![None; n];
-    let mut touched: Vec<usize> = Vec::new();
+    // The accumulator and touched list come from the thread-local
+    // workspace pool: per-row `take()` drains leave the accumulator
+    // all-None, which is the pool's return invariant.
+    workspace::with_accumulator(n, |acc: &mut Vec<Option<T>>| {
+        workspace::with_index_buffer(|touched| {
+            let mut row_ptr = Vec::with_capacity(m + 1);
+            row_ptr.push(0usize);
+            let mut col_idx = Vec::new();
+            let mut vals = Vec::new();
 
-    let mut row_ptr = Vec::with_capacity(m + 1);
-    row_ptr.push(0usize);
-    let mut col_idx = Vec::new();
-    let mut vals = Vec::new();
-
-    for i in 0..m {
-        touched.clear();
-        let (a_cols, a_vals) = a.row(i);
-        for (&k, &aik) in a_cols.iter().zip(a_vals) {
-            let (b_cols, b_vals) = b.row(k);
-            for (&j, &bkj) in b_cols.iter().zip(b_vals) {
-                let term = mul.apply(aik, bkj);
-                match &mut acc[j] {
-                    Some(v) => *v = add.apply(*v, term),
-                    slot @ None => {
-                        *slot = Some(term);
-                        touched.push(j);
+            for i in 0..m {
+                touched.clear();
+                let (a_cols, a_vals) = a.row(i);
+                for (&k, &aik) in a_cols.iter().zip(a_vals) {
+                    let (b_cols, b_vals) = b.row(k);
+                    for (&j, &bkj) in b_cols.iter().zip(b_vals) {
+                        let term = mul.apply(aik, bkj);
+                        match &mut acc[j] {
+                            Some(v) => *v = add.apply(*v, term),
+                            slot @ None => {
+                                *slot = Some(term);
+                                touched.push(j);
+                            }
+                        }
                     }
                 }
+                touched.sort_unstable();
+                for &j in touched.iter() {
+                    col_idx.push(j);
+                    vals.push(acc[j].take().expect("touched implies present"));
+                }
+                row_ptr.push(col_idx.len());
             }
-        }
-        touched.sort_unstable();
-        for &j in &touched {
-            col_idx.push(j);
-            vals.push(acc[j].take().expect("touched implies present"));
-        }
-        row_ptr.push(col_idx.len());
-    }
-    CsrMatrix::from_parts_unchecked(m, n, row_ptr, col_idx, vals)
+            CsrMatrix::from_parts_unchecked(m, n, row_ptr, col_idx, vals)
+        })
+    })
 }
 
 /// Masked multiply: `C<M> = A ⊕.⊗ B`, computing **only** the entries present
@@ -85,46 +90,49 @@ where
     let (add, mul) = (sr.add(), sr.mul());
     let (m, n) = (a.nrows(), b.ncols());
 
-    // allowed[j] marks mask presence for the current row.
-    let mut allowed = vec![false; n];
-    let mut acc: Vec<Option<T>> = vec![None; n];
+    // allowed[j] marks mask presence for the current row; both scratch
+    // buffers come from the workspace pool (the per-mask-row drain
+    // restores their all-false / all-None return invariants).
+    workspace::with_flags(n, |allowed| {
+        workspace::with_accumulator(n, |acc: &mut Vec<Option<T>>| {
+            let mut row_ptr = Vec::with_capacity(m + 1);
+            row_ptr.push(0usize);
+            let mut col_idx = Vec::new();
+            let mut vals = Vec::new();
 
-    let mut row_ptr = Vec::with_capacity(m + 1);
-    row_ptr.push(0usize);
-    let mut col_idx = Vec::new();
-    let mut vals = Vec::new();
-
-    for i in 0..m {
-        let (m_cols, _) = mask.row(i);
-        if !m_cols.is_empty() {
-            for &j in m_cols {
-                allowed[j] = true;
-            }
-            let (a_cols, a_vals) = a.row(i);
-            for (&k, &aik) in a_cols.iter().zip(a_vals) {
-                let (b_cols, b_vals) = b.row(k);
-                for (&j, &bkj) in b_cols.iter().zip(b_vals) {
-                    if allowed[j] {
-                        let term = mul.apply(aik, bkj);
-                        match &mut acc[j] {
-                            Some(v) => *v = add.apply(*v, term),
-                            slot @ None => *slot = Some(term),
+            for i in 0..m {
+                let (m_cols, _) = mask.row(i);
+                if !m_cols.is_empty() {
+                    for &j in m_cols {
+                        allowed[j] = true;
+                    }
+                    let (a_cols, a_vals) = a.row(i);
+                    for (&k, &aik) in a_cols.iter().zip(a_vals) {
+                        let (b_cols, b_vals) = b.row(k);
+                        for (&j, &bkj) in b_cols.iter().zip(b_vals) {
+                            if allowed[j] {
+                                let term = mul.apply(aik, bkj);
+                                match &mut acc[j] {
+                                    Some(v) => *v = add.apply(*v, term),
+                                    slot @ None => *slot = Some(term),
+                                }
+                            }
                         }
                     }
+                    // mask rows are sorted, so output stays sorted
+                    for &j in m_cols {
+                        if let Some(v) = acc[j].take() {
+                            col_idx.push(j);
+                            vals.push(v);
+                        }
+                        allowed[j] = false;
+                    }
                 }
+                row_ptr.push(col_idx.len());
             }
-            // mask rows are sorted, so output stays sorted
-            for &j in m_cols {
-                if let Some(v) = acc[j].take() {
-                    col_idx.push(j);
-                    vals.push(v);
-                }
-                allowed[j] = false;
-            }
-        }
-        row_ptr.push(col_idx.len());
-    }
-    CsrMatrix::from_parts_unchecked(m, n, row_ptr, col_idx, vals)
+            CsrMatrix::from_parts_unchecked(m, n, row_ptr, col_idx, vals)
+        })
+    })
 }
 
 #[cfg(test)]

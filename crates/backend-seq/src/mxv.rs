@@ -8,6 +8,7 @@
 
 use gbtl_algebra::{BinaryOp, Scalar, Semiring};
 use gbtl_sparse::{CsrMatrix, DenseVector, SparseVector};
+use gbtl_util::workspace;
 
 /// Pull-direction product `w = A ⊕.⊗ u`.
 ///
@@ -89,32 +90,36 @@ where
     }
     let (add, mul) = (sr.add(), sr.mul());
     let n = a.ncols();
-    let mut acc: Vec<Option<T>> = vec![None; n];
-    let mut touched: Vec<usize> = Vec::new();
-    for (k, uk) in u.iter() {
-        let (cols, vals) = a.row(k);
-        for (&j, &akj) in cols.iter().zip(vals) {
-            if let Some(keep) = mask {
-                if !keep[j] {
-                    continue;
+    // Pooled scratch: draining with `take()` restores the accumulator's
+    // all-None return invariant.
+    workspace::with_accumulator(n, |acc: &mut Vec<Option<T>>| {
+        workspace::with_index_buffer(|touched| {
+            for (k, uk) in u.iter() {
+                let (cols, vals) = a.row(k);
+                for (&j, &akj) in cols.iter().zip(vals) {
+                    if let Some(keep) = mask {
+                        if !keep[j] {
+                            continue;
+                        }
+                    }
+                    let term = mul.apply(uk, akj);
+                    match &mut acc[j] {
+                        Some(v) => *v = add.apply(*v, term),
+                        slot @ None => {
+                            *slot = Some(term);
+                            touched.push(j);
+                        }
+                    }
                 }
             }
-            let term = mul.apply(uk, akj);
-            match &mut acc[j] {
-                Some(v) => *v = add.apply(*v, term),
-                slot @ None => {
-                    *slot = Some(term);
-                    touched.push(j);
-                }
-            }
-        }
-    }
-    touched.sort_unstable();
-    let vals: Vec<T> = touched
-        .iter()
-        .map(|&j| acc[j].expect("touched implies present"))
-        .collect();
-    SparseVector::from_sorted(n, touched, vals).expect("sorted unique indices")
+            touched.sort_unstable();
+            let vals: Vec<T> = touched
+                .iter()
+                .map(|&j| acc[j].take().expect("touched implies present"))
+                .collect();
+            SparseVector::from_sorted(n, touched.clone(), vals).expect("sorted unique indices")
+        })
+    })
 }
 
 #[cfg(test)]

@@ -76,6 +76,9 @@ fn main() {
     if want("mx") {
         mx_metrics_overhead();
     }
+    if want("ws") {
+        ws_operand_resolution();
+    }
 
     if traced {
         println!("\n== traced appendix: BFS + triangles (rmat12), per-op report per backend");
@@ -259,6 +262,121 @@ fn mx_metrics_overhead() {
             share
         );
     }
+}
+
+/// R-W5: zero-copy operand resolution + versioned transpose cache +
+/// workspace reuse on the hot dispatch path (EXPERIMENTS.md).
+///
+/// Pull-direction BFS re-derives Aᵀ every level; with the cache the build
+/// happens once per (matrix, version) and every later level is a hit. The
+/// reference run uses [`TransposeCache::disabled`] — results must be
+/// bit-identical either way, on every backend.
+fn ws_operand_resolution() {
+    use gbtl_core::TransposeCache;
+
+    print_title(
+        "R-W5: transpose cache + workspace reuse (pull BFS, whole traversal)",
+        "cache off rebuilds A^T once per BFS level; cache on builds it once and \
+         serves every later level from the (id, version)-keyed store, so wall \
+         time approaches the push-style floor. Results are asserted bit-identical \
+         across cache on/off on all three backends",
+    );
+    println!(
+        "{:<22} {:>8} {:>9} {:>11} {:>11} {:>9} {:>6} {:>7}",
+        "workload", "n", "nnz", "cache off", "cache on", "speedup", "hits", "misses"
+    );
+
+    fn bench_backend<B: Backend>(label: &str, a: &Matrix<bool>, make: &dyn Fn() -> Context<B>) {
+        // reference: memoization-free, fresh context per run
+        let baseline = make().with_transpose_cache(TransposeCache::disabled());
+        let expected = bfs_levels(&baseline, a, 0, Direction::Pull).unwrap();
+        let off = time_best(2, || {
+            let ctx = make().with_transpose_cache(TransposeCache::disabled());
+            let _ = bfs_levels(&ctx, a, 0, Direction::Pull).unwrap();
+        });
+        // cached: one shared store across the timed repeats, like a resident
+        // server; the first traversal builds A^T, later ones only hit
+        let cached_ctx = make();
+        let levels = bfs_levels(&cached_ctx, a, 0, Direction::Pull).unwrap();
+        assert_eq!(levels, expected, "{label}: cache changed the result");
+        let on = time_best(2, || {
+            let _ = bfs_levels(&cached_ctx, a, 0, Direction::Pull).unwrap();
+        });
+        let cs = cached_ctx.transpose_cache_stats();
+        println!(
+            "{:<22} {:>8} {:>9} {:>11.3?} {:>11.3?} {:>8.2}x {:>6} {:>7}",
+            label,
+            a.nrows(),
+            a.nnz(),
+            off,
+            on,
+            off.as_secs_f64() / on.as_secs_f64().max(1e-12),
+            cs.hits,
+            cs.misses,
+        );
+    }
+
+    for scale in [12u32, 14] {
+        let a = rmat_graph(scale, 16, 7);
+        bench_backend(&format!("rmat{scale} pull-bfs seq"), &a, &seq_ctx);
+        bench_backend(&format!("rmat{scale} pull-bfs par"), &a, &|| {
+            par_ctx(host_threads())
+        });
+        bench_backend(&format!("rmat{scale} pull-bfs cuda"), &a, &cuda_ctx);
+    }
+
+    // SpGEMM is the workspace-heavy op: the dense accumulator, touched-column
+    // scratch (seq/par), and ESC staging buffers (cuda) all come from the
+    // thread-local pools, so repeat products reuse instead of reallocating.
+    println!("\nworkspace reuse: C = A*A (rmat12, f64), 3 consecutive products per backend");
+    println!(
+        "{:<12} {:>11} {:>8} {:>8} {:>8} {:>11}",
+        "backend", "best time", "takes", "reuses", "allocs", "reuse rate"
+    );
+    fn mxm_runs<B: Backend>(label: &str, af: &Matrix<f64>, ctx: Context<B>) {
+        let before = gbtl_core::workspace::stats();
+        let t = time_best(3, || {
+            let mut c = Matrix::new(af.nrows(), af.ncols());
+            ctx.mxm(
+                &mut c,
+                None,
+                no_accum(),
+                PlusTimes::new(),
+                af,
+                af,
+                &Descriptor::new(),
+            )
+            .unwrap();
+        });
+        let after = gbtl_core::workspace::stats();
+        let (takes, reuses, allocs) = (
+            after.takes - before.takes,
+            after.reuses - before.reuses,
+            after.allocs - before.allocs,
+        );
+        println!(
+            "{:<12} {:>11.3?} {:>8} {:>8} {:>8} {:>10.1}%",
+            label,
+            t,
+            takes,
+            reuses,
+            allocs,
+            reuses as f64 / (takes as f64).max(1.0) * 100.0
+        );
+    }
+    let af = typed(&rmat_graph(12, 16, 7), 1.0f64);
+    mxm_runs("sequential", &af, seq_ctx());
+    mxm_runs("parallel", &af, par_ctx(host_threads()));
+    mxm_runs("cuda-sim", &af, cuda_ctx());
+
+    let ws = gbtl_core::workspace::stats();
+    println!(
+        "\nkernel workspaces (process-wide): takes {}  reuses {}  allocs {}  reuse rate {:.1}%",
+        ws.takes,
+        ws.reuses,
+        ws.allocs,
+        ws.reuse_rate() * 100.0
+    );
 }
 
 /// R-T2: overhead of the gbtl-trace instrumentation (EXPERIMENTS.md).

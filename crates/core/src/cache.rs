@@ -1,0 +1,325 @@
+//! The per-context transpose cache: `Aᵀ` built once per matrix version.
+//!
+//! Pull-direction traversal (`mxv` with `desc.transpose_a`, the pull half
+//! of direction-optimized BFS) needs the transposed adjacency on **every
+//! iteration**, but the matrix itself almost never changes between
+//! iterations. Gunrock's direction-optimized traversal and GraphBLAST's
+//! operand-reuse design both presume CSR and CSC (= `Aᵀ` in CSR form) stay
+//! resident across iterations; this cache is the frontend mechanism that
+//! makes the same true here, for every backend at once.
+//!
+//! Entries are keyed by `(matrix id, matrix version, element TypeId)` —
+//! versions are process-globally unique per content (see
+//! [`crate::types::Matrix::version`]), so a stale transpose can never be
+//! served: a mutated matrix presents a version no cache entry carries.
+//! Values are type-erased `Arc<CsrMatrix<T>>`, shared directly with every
+//! consumer (no copies on hit). The store is a small LRU guarded by a
+//! mutex; the `O(nnz)` transpose build happens **outside** the lock.
+//!
+//! The cache is internally shared: cloning a `TransposeCache` yields a
+//! handle to the same store, which is how `gbtl-serve` gives all worker
+//! engines (and all three backends) one pre-warmed cache. Cross-backend
+//! sharing is sound because `transpose` is bit-identical across backends
+//! (the backend-equivalence suite asserts it).
+//!
+//! Knobs: `GBTL_TRANSPOSE_CACHE` (`on`/`off`, default on) and
+//! `GBTL_TRANSPOSE_CACHE_CAP` (entries, default 8) — both following the
+//! [`gbtl_util::env`] warn-once fallback contract.
+
+use std::any::{Any, TypeId};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use gbtl_algebra::Scalar;
+use gbtl_sparse::CsrMatrix;
+
+/// Default maximum number of cached transposes.
+pub const DEFAULT_CAPACITY: usize = 8;
+
+/// One cached transpose: the source matrix's `(id, version)`, the element
+/// type, and the shared transposed CSR.
+struct Entry {
+    id: u64,
+    version: u64,
+    ty: TypeId,
+    value: Arc<dyn Any + Send + Sync>,
+}
+
+#[derive(Default)]
+struct Counters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    invalidations: AtomicU64,
+}
+
+struct Inner {
+    enabled: bool,
+    capacity: usize,
+    /// LRU order: least-recently-used first, most-recent last.
+    entries: Mutex<Vec<Entry>>,
+    counters: Counters,
+}
+
+/// A shared, versioned, bounded cache of matrix transposes.
+///
+/// `Clone` shares the underlying store (and counters) — see the module
+/// docs for the serving-layer sharing pattern.
+#[derive(Clone)]
+pub struct TransposeCache {
+    inner: Arc<Inner>,
+}
+
+impl std::fmt::Debug for TransposeCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.stats();
+        f.debug_struct("TransposeCache")
+            .field("enabled", &s.enabled)
+            .field("capacity", &s.capacity)
+            .field("entries", &s.entries)
+            .field("hits", &s.hits)
+            .field("misses", &s.misses)
+            .finish()
+    }
+}
+
+/// Point-in-time counters of a [`TransposeCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransposeCacheStats {
+    /// Whether lookups consult the store at all.
+    pub enabled: bool,
+    /// Maximum resident entries.
+    pub capacity: usize,
+    /// Currently resident entries.
+    pub entries: usize,
+    /// Lookups served from the store (no transpose built).
+    pub hits: u64,
+    /// Lookups that had to build the transpose.
+    pub misses: u64,
+    /// Entries dropped by the LRU capacity bound.
+    pub evictions: u64,
+    /// Stale generations dropped because their matrix changed.
+    pub invalidations: u64,
+}
+
+impl TransposeCacheStats {
+    /// Fraction of lookups served from the store, in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+impl Default for TransposeCache {
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+impl TransposeCache {
+    /// A cache configured from `GBTL_TRANSPOSE_CACHE` /
+    /// `GBTL_TRANSPOSE_CACHE_CAP` (defaults: enabled, capacity 8).
+    pub fn from_env() -> Self {
+        let enabled = gbtl_util::env::bool_var("GBTL_TRANSPOSE_CACHE").unwrap_or(true);
+        let capacity =
+            gbtl_util::env::usize_var("GBTL_TRANSPOSE_CACHE_CAP", 1).unwrap_or(DEFAULT_CAPACITY);
+        Self::new(enabled, capacity)
+    }
+
+    /// An enabled cache holding at most `capacity` transposes.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self::new(true, capacity.max(1))
+    }
+
+    /// A cache that never stores anything: every lookup builds fresh.
+    /// This is the `GBTL_TRANSPOSE_CACHE=off` behavior, and what the
+    /// differential tests use as the memoization-free reference.
+    pub fn disabled() -> Self {
+        Self::new(false, DEFAULT_CAPACITY)
+    }
+
+    fn new(enabled: bool, capacity: usize) -> Self {
+        TransposeCache {
+            inner: Arc::new(Inner {
+                enabled,
+                capacity,
+                entries: Mutex::new(Vec::new()),
+                counters: Counters::default(),
+            }),
+        }
+    }
+
+    /// Whether lookups consult the store.
+    pub fn enabled(&self) -> bool {
+        self.inner.enabled
+    }
+
+    /// The transpose of the matrix identified by `(id, version)`, served
+    /// shared from the store when present, else built with `build` (outside
+    /// the store lock) and inserted.
+    pub fn get_or_build<T: Scalar>(
+        &self,
+        id: u64,
+        version: u64,
+        build: impl FnOnce() -> CsrMatrix<T>,
+    ) -> Arc<CsrMatrix<T>> {
+        let c = &self.inner.counters;
+        if !self.inner.enabled {
+            c.misses.fetch_add(1, Ordering::Relaxed);
+            return Arc::new(build());
+        }
+        let ty = TypeId::of::<T>();
+        {
+            let mut entries = self.inner.entries.lock().unwrap();
+            if let Some(pos) = entries
+                .iter()
+                .position(|e| e.id == id && e.version == version && e.ty == ty)
+            {
+                let entry = entries.remove(pos);
+                let value = Arc::clone(&entry.value);
+                entries.push(entry); // most-recently-used at the back
+                c.hits.fetch_add(1, Ordering::Relaxed);
+                return value
+                    .downcast::<CsrMatrix<T>>()
+                    .expect("entry type matches its TypeId key");
+            }
+        }
+        c.misses.fetch_add(1, Ordering::Relaxed);
+        let built = Arc::new(build());
+        let mut entries = self.inner.entries.lock().unwrap();
+        // Any resident generation of this matrix is now stale (or, if a
+        // racing thread inserted this same version, redundant) — drop it.
+        let before = entries.len();
+        entries.retain(|e| !(e.id == id && e.ty == ty));
+        c.invalidations
+            .fetch_add((before - entries.len()) as u64, Ordering::Relaxed);
+        entries.push(Entry {
+            id,
+            version,
+            ty,
+            value: Arc::clone(&built) as Arc<dyn Any + Send + Sync>,
+        });
+        while entries.len() > self.inner.capacity {
+            entries.remove(0);
+            c.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        built
+    }
+
+    /// Drop every resident entry (counters are preserved).
+    pub fn clear(&self) {
+        self.inner.entries.lock().unwrap().clear();
+    }
+
+    /// Snapshot the cache counters.
+    pub fn stats(&self) -> TransposeCacheStats {
+        let c = &self.inner.counters;
+        TransposeCacheStats {
+            enabled: self.inner.enabled,
+            capacity: self.inner.capacity,
+            entries: self.inner.entries.lock().unwrap().len(),
+            hits: c.hits.load(Ordering::Relaxed),
+            misses: c.misses.load(Ordering::Relaxed),
+            evictions: c.evictions.load(Ordering::Relaxed),
+            invalidations: c.invalidations.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gbtl_sparse::CooMatrix;
+
+    fn csr(n: usize, entries: &[(usize, usize, i64)]) -> CsrMatrix<i64> {
+        let mut coo = CooMatrix::new(n, n);
+        for &(i, j, v) in entries {
+            coo.push(i, j, v);
+        }
+        CsrMatrix::from_coo(coo, |a, _| a)
+    }
+
+    #[test]
+    fn second_lookup_hits_and_shares() {
+        let cache = TransposeCache::with_capacity(4);
+        let built = cache.get_or_build(1, 1, || csr(3, &[(0, 1, 5)]).transpose());
+        let again = cache.get_or_build::<i64>(1, 1, || panic!("must not rebuild on hit"));
+        assert!(Arc::ptr_eq(&built, &again));
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn new_version_invalidates_old_generation() {
+        let cache = TransposeCache::with_capacity(4);
+        let v1 = cache.get_or_build(7, 1, || csr(2, &[(0, 1, 1)]));
+        let v2 = cache.get_or_build(7, 2, || csr(2, &[(1, 0, 9)]));
+        assert!(!Arc::ptr_eq(&v1, &v2));
+        let s = cache.stats();
+        assert_eq!(s.entries, 1, "stale generation must be dropped");
+        assert_eq!(s.invalidations, 1);
+        // the old version is gone: looking it up again rebuilds
+        let rebuilt = cache.get_or_build(7, 1, || csr(2, &[(0, 1, 1)]));
+        assert!(!Arc::ptr_eq(&v1, &rebuilt));
+    }
+
+    #[test]
+    fn capacity_evicts_least_recently_used() {
+        let cache = TransposeCache::with_capacity(2);
+        cache.get_or_build(1, 1, || csr(2, &[]));
+        cache.get_or_build(2, 1, || csr(2, &[]));
+        // touch id=1 so id=2 is the LRU
+        cache.get_or_build::<i64>(1, 1, || panic!("hit expected"));
+        cache.get_or_build(3, 1, || csr(2, &[]));
+        let s = cache.stats();
+        assert_eq!((s.entries, s.evictions), (2, 1));
+        // id=2 was evicted; id=1 survived
+        cache.get_or_build::<i64>(1, 1, || panic!("id=1 must still be resident"));
+        assert_eq!(cache.stats().hits, 2);
+        let mut rebuilt = false;
+        cache.get_or_build(2, 1, || {
+            rebuilt = true;
+            csr(2, &[])
+        });
+        assert!(rebuilt, "id=2 must have been evicted");
+    }
+
+    #[test]
+    fn distinct_element_types_do_not_collide() {
+        let cache = TransposeCache::with_capacity(4);
+        cache.get_or_build(1, 1, || csr(2, &[(0, 0, 3)]));
+        // same (id, version) but f64: must build, not downcast the i64 entry
+        let f = cache.get_or_build(1, 1, || {
+            let mut coo = CooMatrix::new(2, 2);
+            coo.push(0, 0, 1.5f64);
+            CsrMatrix::from_coo(coo, |a, _| a)
+        });
+        assert_eq!(f.get(0, 0), Some(1.5));
+        assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn disabled_cache_always_builds() {
+        let cache = TransposeCache::disabled();
+        assert!(!cache.enabled());
+        let a = cache.get_or_build(1, 1, || csr(2, &[(0, 1, 1)]));
+        let b = cache.get_or_build(1, 1, || csr(2, &[(0, 1, 1)]));
+        assert!(!Arc::ptr_eq(&a, &b));
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (0, 2, 0));
+    }
+
+    #[test]
+    fn clone_shares_the_store() {
+        let cache = TransposeCache::with_capacity(4);
+        let handle = cache.clone();
+        cache.get_or_build(1, 1, || csr(2, &[]));
+        handle.get_or_build::<i64>(1, 1, || panic!("clone must see the entry"));
+        assert_eq!(cache.stats().hits, 1);
+    }
+}

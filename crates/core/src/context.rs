@@ -7,6 +7,7 @@ use gbtl_sparse::CooMatrix;
 use gbtl_trace::{SpanFields, SpanStart, TraceMode, TraceReport, Tracer};
 
 use crate::backend::{Backend, CudaBackend, ParBackend, SeqBackend, SpmvKernel};
+use crate::cache::{TransposeCache, TransposeCacheStats};
 use crate::types::Matrix;
 
 /// A GraphBLAS execution context bound to one backend.
@@ -26,6 +27,7 @@ use crate::types::Matrix;
 pub struct Context<B: Backend> {
     backend: B,
     tracer: Tracer,
+    transpose_cache: TransposeCache,
 }
 
 impl Context<SeqBackend> {
@@ -74,6 +76,7 @@ impl Context<CudaBackend> {
         Context {
             backend: self.backend.with_spmv_kernel(k),
             tracer: self.tracer,
+            transpose_cache: self.transpose_cache,
         }
     }
 
@@ -120,10 +123,49 @@ impl Context<CudaBackend> {
 
 impl<B: Backend> Context<B> {
     /// Wrap an arbitrary backend. Trace mode comes from `GBTL_TRACE`
-    /// (default off).
+    /// (default off); the transpose cache from `GBTL_TRANSPOSE_CACHE` /
+    /// `GBTL_TRANSPOSE_CACHE_CAP` (default on, capacity 8).
     pub fn with_backend(backend: B) -> Self {
         let tracer = Tracer::from_env(backend.name());
-        Context { backend, tracer }
+        Context {
+            backend,
+            tracer,
+            transpose_cache: TransposeCache::from_env(),
+        }
+    }
+
+    /// Replace the transpose cache (builder form). `gbtl-serve` uses this
+    /// to share one pre-warmed cache across every worker engine and
+    /// backend; tests use it with [`TransposeCache::disabled`] for the
+    /// memoization-free reference run.
+    pub fn with_transpose_cache(mut self, cache: TransposeCache) -> Self {
+        self.transpose_cache = cache;
+        self
+    }
+
+    /// The context's transpose cache handle (shared; cloning it yields a
+    /// handle to the same store).
+    #[inline]
+    pub fn transpose_cache(&self) -> &TransposeCache {
+        &self.transpose_cache
+    }
+
+    /// Snapshot of the transpose-cache counters.
+    pub fn transpose_cache_stats(&self) -> TransposeCacheStats {
+        self.transpose_cache.stats()
+    }
+
+    /// Build (or refresh) `a`'s transpose in the cache so the first pull
+    /// query pays nothing. No-op when the cache is disabled.
+    ///
+    /// `gbtl-serve` calls this from the catalog on graph load/reload.
+    pub fn prewarm_transpose<T: Scalar>(&self, a: &Matrix<T>) {
+        if !self.transpose_cache.enabled() {
+            return;
+        }
+        let _ = self
+            .transpose_cache
+            .get_or_build(a.id(), a.version(), || self.backend.transpose(a.csr()));
     }
 
     /// The backend.
@@ -154,10 +196,38 @@ impl<B: Backend> Context<B> {
     }
 
     /// Snapshot everything the tracer recorded, with this backend's
-    /// detail section (pool counters / device statistics) attached.
+    /// detail section (pool counters / device statistics), the
+    /// transpose-cache counters, and the workspace-reuse counters attached.
     pub fn trace(&self) -> TraceReport {
-        self.tracer
-            .report(self.backend.trace_section().into_iter().collect())
+        let mut sections: Vec<gbtl_trace::Section> =
+            self.backend.trace_section().into_iter().collect();
+        let cs = self.transpose_cache.stats();
+        sections.push(gbtl_trace::Section {
+            title: "transpose cache".into(),
+            entries: vec![
+                ("enabled".into(), cs.enabled.to_string()),
+                ("entries".into(), format!("{}/{}", cs.entries, cs.capacity)),
+                ("hits".into(), cs.hits.to_string()),
+                ("misses".into(), cs.misses.to_string()),
+                ("evictions".into(), cs.evictions.to_string()),
+                ("invalidations".into(), cs.invalidations.to_string()),
+                ("hit rate".into(), format!("{:.1}%", cs.hit_rate() * 100.0)),
+            ],
+        });
+        let ws = gbtl_util::workspace::stats();
+        sections.push(gbtl_trace::Section {
+            title: "kernel workspaces".into(),
+            entries: vec![
+                ("takes".into(), ws.takes.to_string()),
+                ("reuses".into(), ws.reuses.to_string()),
+                ("allocs".into(), ws.allocs.to_string()),
+                (
+                    "reuse rate".into(),
+                    format!("{:.1}%", ws.reuse_rate() * 100.0),
+                ),
+            ],
+        });
+        self.tracer.report(sections)
     }
 
     /// Drop all recorded spans and aggregates (mode is unchanged).

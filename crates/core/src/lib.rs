@@ -41,17 +41,21 @@
 //! ```
 
 mod backend;
+pub mod cache;
 mod context;
 mod descriptor;
 mod error;
 pub mod ops;
+mod resolve;
 mod stitch;
 mod types;
 
 pub use backend::{Backend, CudaBackend, ParBackend, SeqBackend, SpmvKernel};
+pub use cache::{TransposeCache, TransposeCacheStats};
 pub use context::Context;
 pub use descriptor::Descriptor;
 pub use error::{GblasError, Result};
+pub use resolve::OperandRef;
 pub use types::{Matrix, Vector};
 
 // Re-export the pieces callers constantly need alongside the API.
@@ -59,6 +63,7 @@ pub use gbtl_algebra as algebra;
 pub use gbtl_gpu_sim::{GpuConfig, GpuStats};
 pub use gbtl_trace as trace;
 pub use gbtl_trace::{TraceMode, TraceReport};
+pub use gbtl_util::workspace;
 
 /// A typed "no accumulator" for the `accum` parameter of any operation.
 ///

@@ -7,7 +7,7 @@ use crate::backend::Backend;
 use crate::descriptor::Descriptor;
 use crate::error::{dim_err, Result};
 use crate::stitch::{resolve_vec_mask, stitch_mat, stitch_sparse_vec, MatMask};
-use crate::types::{Matrix, Vector};
+use crate::types::{Matrix, Vector, VectorRepr};
 use crate::Context;
 
 impl<B: Backend> Context<B> {
@@ -26,7 +26,7 @@ impl<B: Backend> Context<B> {
         U: UnaryOp<T, Output = T>,
         Acc: BinaryOp<T>,
     {
-        let a_csr = self.resolve_transpose(a.csr(), desc.transpose_a);
+        let a_csr = self.resolve_operand(a, desc.transpose_a);
         if (c.nrows(), c.ncols()) != (a_csr.nrows(), a_csr.ncols()) {
             return Err(dim_err(
                 "apply",
@@ -107,7 +107,7 @@ impl<B: Backend> Context<B> {
         let (masked, has_accum) = (mask.is_some(), accum.is_some());
         let t = self.backend().apply_sparse_vec(&u.to_sparse_repr(), f);
         let keep = resolve_vec_mask(mask, desc.complement_mask, w.len());
-        *w = Vector::Sparse(stitch_sparse_vec(
+        *w = Vector::from(stitch_sparse_vec(
             w,
             t,
             keep.as_deref(),
@@ -135,9 +135,9 @@ impl<B: Backend> Context<B> {
         U: UnaryOp<A>,
     {
         let t0 = self.span();
-        let out = match u {
-            Vector::Sparse(s) => Vector::Sparse(self.backend().apply_sparse_vec(s, f)),
-            Vector::Dense(d) => Vector::Dense(self.backend().apply_dense_vec(d, f)),
+        let out = match u.repr() {
+            VectorRepr::Sparse(s) => Vector::from(self.backend().apply_sparse_vec(s, f)),
+            VectorRepr::Dense(d) => Vector::from(self.backend().apply_dense_vec(d, f)),
         };
         let (len, nnz_in, nnz_out) = (out.len(), u.nnz() as u64, out.nnz() as u64);
         self.span_end(t0, || SpanFields {
@@ -184,9 +184,9 @@ impl<B: Backend> Context<B> {
         M: Monoid<T>,
     {
         let t0 = self.span();
-        let out = match u {
-            Vector::Sparse(s) => self.backend().reduce_sparse_vec(s, monoid),
-            Vector::Dense(d) => self.backend().reduce_dense_vec(d, monoid),
+        let out = match u.repr() {
+            VectorRepr::Sparse(s) => self.backend().reduce_sparse_vec(s, monoid),
+            VectorRepr::Dense(d) => self.backend().reduce_dense_vec(d, monoid),
         };
         let (len, nnz_in) = (u.len(), u.nnz() as u64);
         let nnz_out = out.is_some() as u64;
@@ -219,7 +219,7 @@ impl<B: Backend> Context<B> {
         M: Monoid<T>,
         Acc: BinaryOp<T>,
     {
-        let a_csr = self.resolve_transpose(a.csr(), desc.transpose_a);
+        let a_csr = self.resolve_operand(a, desc.transpose_a);
         if w.len() != a_csr.nrows() {
             return Err(dim_err(
                 "reduce_rows",
@@ -231,7 +231,7 @@ impl<B: Backend> Context<B> {
         let (masked, has_accum) = (mask.is_some(), accum.is_some());
         let t = self.backend().reduce_rows(&a_csr, monoid);
         let keep = resolve_vec_mask(mask, desc.complement_mask, w.len());
-        *w = Vector::Sparse(stitch_sparse_vec(
+        *w = Vector::from(stitch_sparse_vec(
             w,
             t,
             keep.as_deref(),

@@ -72,8 +72,8 @@ impl<B: Backend> Context<B> {
     {
         let which = if union { "eWiseAdd" } else { "eWiseMult" };
         let t0 = self.span();
-        let a_csr = self.resolve_transpose(a.csr(), desc.transpose_a);
-        let b_csr = self.resolve_transpose(b.csr(), desc.transpose_b);
+        let a_csr = self.resolve_operand(a, desc.transpose_a);
+        let b_csr = self.resolve_operand(b, desc.transpose_b);
         if (a_csr.nrows(), a_csr.ncols()) != (b_csr.nrows(), b_csr.ncols()) {
             return Err(dim_err(
                 "ewise",
@@ -149,7 +149,7 @@ impl<B: Backend> Context<B> {
             .backend()
             .ewise_add_vec(&u.to_sparse_repr(), &v.to_sparse_repr(), op);
         let keep = resolve_vec_mask(mask, desc.complement_mask, w.len());
-        *w = Vector::Sparse(stitch_sparse_vec(
+        *w = Vector::from(stitch_sparse_vec(
             w,
             t,
             keep.as_deref(),
@@ -194,7 +194,7 @@ impl<B: Backend> Context<B> {
             .backend()
             .ewise_mult_vec(&u.to_dense_repr(), &v.to_dense_repr(), op);
         let keep = resolve_vec_mask(mask, desc.complement_mask, w.len());
-        *w = Vector::Dense(stitch_dense_vec(w, t, keep.as_deref(), accum, desc.replace));
+        *w = Vector::from(stitch_dense_vec(w, t, keep.as_deref(), accum, desc.replace));
         let (len, nnz_out) = (w.len(), w.nnz() as u64);
         self.span_end(t0, || SpanFields {
             op: "ewise_mult_vec",

@@ -4,6 +4,8 @@
 // inputs, descriptor) are fixed by the spec.
 #![allow(clippy::too_many_arguments)]
 
+use std::sync::Arc;
+
 use gbtl_algebra::{BinaryOp, Scalar, Semiring};
 use gbtl_sparse::CsrMatrix;
 use gbtl_trace::SpanFields;
@@ -11,6 +13,7 @@ use gbtl_trace::SpanFields;
 use crate::backend::Backend;
 use crate::descriptor::Descriptor;
 use crate::error::{dim_err, Result};
+use crate::resolve::OperandRef;
 use crate::stitch::{stitch_mat, MatMask};
 use crate::types::Matrix;
 use crate::Context;
@@ -38,8 +41,8 @@ impl<B: Backend> Context<B> {
         Acc: BinaryOp<T>,
     {
         let t0 = self.span();
-        let a_csr = self.resolve_transpose(a.csr(), desc.transpose_a);
-        let b_csr = self.resolve_transpose(b.csr(), desc.transpose_b);
+        let a_csr = self.resolve_operand(a, desc.transpose_a);
+        let b_csr = self.resolve_operand(b, desc.transpose_b);
         let (m, k1) = (a_csr.nrows(), a_csr.ncols());
         let (k2, n) = (b_csr.nrows(), b_csr.ncols());
         if k1 != k2 {
@@ -85,16 +88,29 @@ impl<B: Backend> Context<B> {
         Ok(())
     }
 
-    pub(crate) fn resolve_transpose<T: Scalar>(
+    /// Resolve a matrix operand for dispatch without copying it.
+    ///
+    /// Untransposed: borrow straight from the caller's matrix — the hot
+    /// path allocates and copies nothing. Transposed: share `Aᵀ` out of
+    /// the context's [`crate::TransposeCache`], building it at most once
+    /// per `(matrix, version)` — every later pull iteration is a cache hit.
+    pub(crate) fn resolve_operand<'a, T: Scalar>(
         &self,
-        a: &CsrMatrix<T>,
+        a: &'a Matrix<T>,
         transpose: bool,
-    ) -> CsrMatrix<T> {
+    ) -> OperandRef<'a, T> {
         if transpose {
-            self.backend().transpose(a)
+            OperandRef::Shared(self.resolve_transposed_shared(a))
         } else {
-            a.clone()
+            OperandRef::Borrowed(a.csr())
         }
+    }
+
+    /// `Aᵀ` as a shared buffer, served from the transpose cache when
+    /// resident (also the `Context::transpose` result path).
+    pub(crate) fn resolve_transposed_shared<T: Scalar>(&self, a: &Matrix<T>) -> Arc<CsrMatrix<T>> {
+        self.transpose_cache()
+            .get_or_build(a.id(), a.version(), || self.backend().transpose(a.csr()))
     }
 }
 

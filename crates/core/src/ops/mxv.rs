@@ -36,7 +36,7 @@ impl<B: Backend> Context<B> {
         Acc: BinaryOp<T>,
     {
         let t0 = self.span();
-        let a_csr = self.resolve_transpose(a.csr(), desc.transpose_a);
+        let a_csr = self.resolve_operand(a, desc.transpose_a);
         if a_csr.ncols() != u.len() {
             return Err(dim_err(
                 "mxv",
@@ -63,7 +63,7 @@ impl<B: Backend> Context<B> {
         let u_dense = u.to_dense_repr();
         let t = self.backend().mxv(&a_csr, &u_dense, sr, keep.as_deref());
         let out = stitch_dense_vec(w, t, keep.as_deref(), accum, desc.replace);
-        *w = Vector::Dense(out);
+        *w = Vector::from(out);
         let nnz_out = w.nnz() as u64;
         let (nr, nc) = (a_csr.nrows(), a_csr.ncols());
         self.span_end(t0, || SpanFields {
@@ -99,7 +99,7 @@ impl<B: Backend> Context<B> {
         // For vxm the descriptor's transpose_a transposes the matrix, i.e.
         // `w = uᵀAᵀ`, which is the pull form of `A u`.
         let t0 = self.span();
-        let a_csr = self.resolve_transpose(a.csr(), desc.transpose_a);
+        let a_csr = self.resolve_operand(a, desc.transpose_a);
         if u.len() != a_csr.nrows() {
             return Err(dim_err(
                 "vxm",
@@ -126,7 +126,7 @@ impl<B: Backend> Context<B> {
         let u_sparse = u.to_sparse_repr();
         let t = self.backend().vxm(&u_sparse, &a_csr, sr, keep.as_deref());
         let out = stitch_sparse_vec(w, t, keep.as_deref(), accum, desc.replace);
-        *w = Vector::Sparse(out);
+        *w = Vector::from(out);
         let nnz_out = w.nnz() as u64;
         let (nr, nc) = (a_csr.nrows(), a_csr.ncols());
         self.span_end(t0, || SpanFields {

@@ -31,7 +31,7 @@ impl<B: Backend> Context<B> {
         Acc: BinaryOp<T>,
     {
         let t0 = self.span();
-        let a_csr = self.resolve_transpose(a.csr(), desc.transpose_a);
+        let a_csr = self.resolve_operand(a, desc.transpose_a);
         if (c.nrows(), c.ncols()) != (a_csr.nrows(), a_csr.ncols()) {
             return Err(dim_err(
                 "select",
@@ -112,7 +112,7 @@ impl<B: Backend> Context<B> {
         let (masked, has_accum) = (mask.is_some(), accum.is_some());
         let t = self.backend().select_vec(&u.to_sparse_repr(), op);
         let keep = resolve_vec_mask(mask, desc.complement_mask, w.len());
-        *w = Vector::Sparse(stitch_sparse_vec(
+        *w = Vector::from(stitch_sparse_vec(
             w,
             t,
             keep.as_deref(),
@@ -152,8 +152,8 @@ impl<B: Backend> Context<B> {
         Acc: BinaryOp<T>,
     {
         let t0 = self.span();
-        let a_csr = self.resolve_transpose(a.csr(), desc.transpose_a);
-        let b_csr = self.resolve_transpose(b.csr(), desc.transpose_b);
+        let a_csr = self.resolve_operand(a, desc.transpose_a);
+        let b_csr = self.resolve_operand(b, desc.transpose_b);
         let (m, n) = (a_csr.nrows() * b_csr.nrows(), a_csr.ncols() * b_csr.ncols());
         if (c.nrows(), c.ncols()) != (m, n) {
             return Err(dim_err(

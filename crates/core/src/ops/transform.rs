@@ -1,7 +1,9 @@
 //! `transpose`, `extract`, and `assign`.
 
+use std::sync::Arc;
+
 use gbtl_algebra::{BinaryOp, Scalar};
-use gbtl_sparse::Index;
+use gbtl_sparse::{CsrMatrix, Index};
 use gbtl_trace::SpanFields;
 
 use crate::backend::Backend;
@@ -25,12 +27,14 @@ impl<B: Backend> Context<B> {
         T: Scalar,
         Acc: BinaryOp<T>,
     {
-        // transpose_a on a transpose op yields A back (GraphBLAS quirk).
+        // transpose_a on a transpose op yields A back (GraphBLAS quirk) —
+        // share the caller's buffer instead of copying it. The real
+        // transpose is served shared out of the context's transpose cache.
         let t0 = self.span();
-        let t = if desc.transpose_a {
-            a.csr().clone()
+        let t: Arc<CsrMatrix<T>> = if desc.transpose_a {
+            a.shared_csr()
         } else {
-            self.backend().transpose(a.csr())
+            self.resolve_transposed_shared(a)
         };
         if (c.nrows(), c.ncols()) != (t.nrows(), t.ncols()) {
             return Err(dim_err(
@@ -46,8 +50,14 @@ impl<B: Backend> Context<B> {
         }
         let nnz_in = a.nnz() as u64;
         let (masked, has_accum) = (mask.is_some(), accum.is_some());
-        let mat_mask = mask.map(|mk| MatMask::new(mk, desc.complement_mask));
-        *c = Matrix::from_csr(stitch_mat(c.csr(), t, mat_mask, accum, desc.replace));
+        *c = if mask.is_none() && !has_accum {
+            // Pure overwrite: adopt the shared buffer, zero copies.
+            Matrix::from_shared(t)
+        } else {
+            let mat_mask = mask.map(|mk| MatMask::new(mk, desc.complement_mask));
+            let t = Arc::try_unwrap(t).unwrap_or_else(|shared| (*shared).clone());
+            Matrix::from_csr(stitch_mat(c.csr(), t, mat_mask, accum, desc.replace))
+        };
         let (nr, nc, nnz_out) = (c.nrows(), c.ncols(), c.nnz() as u64);
         self.span_end(t0, || SpanFields {
             op: "transpose",
@@ -177,7 +187,7 @@ impl<B: Backend> Context<B> {
             }
         }
         let t0 = self.span();
-        let out = Vector::Dense(self.backend().extract_vec(&u.to_dense_repr(), indices));
+        let out = Vector::from(self.backend().extract_vec(&u.to_dense_repr(), indices));
         let (len, nnz_in, nnz_out) = (out.len(), u.nnz() as u64, out.nnz() as u64);
         self.span_end(t0, || SpanFields {
             op: "extract_vec",
@@ -214,7 +224,7 @@ impl<B: Backend> Context<B> {
         }
         let t0 = self.span();
         let nnz_in = (w.nnz() + u.nnz()) as u64;
-        *w = Vector::Dense(self.backend().assign_vec(
+        *w = Vector::from(self.backend().assign_vec(
             &w.to_dense_repr(),
             &u.to_dense_repr(),
             indices,

@@ -1,0 +1,90 @@
+//! Zero-copy operand resolution.
+//!
+//! Every matrix-operand op goes through
+//! [`Context::resolve_operand`](crate::Context::resolve_operand), which
+//! used to *clone the entire CSR* when no transpose was requested and
+//! rebuild `Aᵀ` from scratch when one was. [`OperandRef`] is the
+//! borrowed-or-shared replacement: the untransposed hot path borrows the
+//! operand (zero copies, zero allocation), and the transposed path shares
+//! an `Arc` out of the per-context transpose cache. Backends are oblivious
+//! — `OperandRef` derefs to `CsrMatrix`, so kernel signatures are
+//! unchanged.
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+use gbtl_sparse::CsrMatrix;
+
+/// A resolved matrix operand: borrowed straight from the caller's matrix,
+/// or shared out of the transpose cache. Derefs to [`CsrMatrix`], so call
+/// sites use it exactly like an owned CSR — without the copy.
+#[derive(Debug)]
+pub enum OperandRef<'a, T> {
+    /// The operand as the caller holds it (the untransposed fast path).
+    Borrowed(&'a CsrMatrix<T>),
+    /// A cache-resident (or freshly built) derived operand.
+    Shared(Arc<CsrMatrix<T>>),
+}
+
+impl<T> Deref for OperandRef<'_, T> {
+    type Target = CsrMatrix<T>;
+
+    #[inline]
+    fn deref(&self) -> &CsrMatrix<T> {
+        match self {
+            OperandRef::Borrowed(m) => m,
+            OperandRef::Shared(m) => m,
+        }
+    }
+}
+
+impl<T: Clone> OperandRef<'_, T> {
+    /// Materialise an owned CSR. Free only when this is the sole handle to
+    /// a shared buffer; otherwise one copy — callers on the hot path should
+    /// keep the `OperandRef` instead.
+    pub fn into_owned(self) -> CsrMatrix<T> {
+        match self {
+            OperandRef::Borrowed(m) => m.clone(),
+            OperandRef::Shared(m) => Arc::try_unwrap(m).unwrap_or_else(|m| (*m).clone()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gbtl_sparse::CooMatrix;
+
+    fn csr() -> CsrMatrix<i64> {
+        let mut coo = CooMatrix::new(2, 3);
+        coo.push(0, 2, 4);
+        coo.push(1, 0, 7);
+        CsrMatrix::from_coo(coo, |a, _| a)
+    }
+
+    #[test]
+    fn deref_reaches_the_matrix_in_both_variants() {
+        let m = csr();
+        let borrowed = OperandRef::Borrowed(&m);
+        assert_eq!(borrowed.nnz(), 2);
+        assert_eq!(borrowed.get(0, 2), Some(4));
+        let shared = OperandRef::Shared(Arc::new(m.clone()));
+        assert_eq!(shared.ncols(), 3);
+        // &OperandRef coerces where &CsrMatrix is expected
+        fn takes_csr(c: &CsrMatrix<i64>) -> usize {
+            c.nnz()
+        }
+        assert_eq!(takes_csr(&borrowed), 2);
+        assert_eq!(takes_csr(&shared), 2);
+    }
+
+    #[test]
+    fn into_owned_avoids_copy_for_unique_arc() {
+        let unique = OperandRef::Shared(Arc::new(csr()));
+        assert_eq!(unique.into_owned().nnz(), 2);
+        let arc = Arc::new(csr());
+        let kept = Arc::clone(&arc);
+        let copied = OperandRef::Shared(arc).into_owned();
+        assert_eq!(copied, *kept);
+    }
+}

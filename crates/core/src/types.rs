@@ -1,9 +1,28 @@
 //! The user-facing `Matrix` and `Vector` types.
+//!
+//! Both containers carry an **identity** (`id`) and a **version** stamp so
+//! the operand-resolution layer can memoize derived forms (today: the
+//! per-context transpose cache, [`crate::cache::TransposeCache`]). Stamps
+//! are drawn from one process-global monotonic counter: a container's
+//! version strictly increases on every mutation, and two handles that ever
+//! diverge in content can never share a `(id, version)` pair — so a cache
+//! keyed on the pair can never serve stale data.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use gbtl_algebra::{BinaryOp, Scalar};
 use gbtl_sparse::{CooMatrix, CsrMatrix, DenseVector, Index, SparseVector};
 
 use crate::error::{GblasError, Result};
+
+/// Process-global stamp source for container ids and versions. Starts at 1
+/// so 0 can act as a "never" sentinel in tests and caches.
+static NEXT_STAMP: AtomicU64 = AtomicU64::new(1);
+
+fn fresh_stamp() -> u64 {
+    NEXT_STAMP.fetch_add(1, Ordering::Relaxed)
+}
 
 /// A GraphBLAS matrix.
 ///
@@ -11,17 +30,43 @@ use crate::error::{GblasError, Result};
 /// from triples ([`Matrix::build`]), and inspected with
 /// [`Matrix::extract_tuples`], matching `GrB_Matrix_build` /
 /// `GrB_Matrix_extractTuples`.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// The CSR buffer is shared (`Arc`): cloning a matrix is O(1), and results
+/// produced by zero-copy paths (e.g. `transpose` with no mask/accumulator)
+/// can alias a cached buffer. Mutating methods replace the buffer wholesale
+/// and advance the version stamp, so sharing is never observable.
+#[derive(Debug)]
 pub struct Matrix<T> {
-    csr: CsrMatrix<T>,
+    csr: Arc<CsrMatrix<T>>,
+    id: u64,
+    version: u64,
+}
+
+impl<T> Clone for Matrix<T> {
+    /// O(1): shares the CSR buffer and keeps the `(id, version)` pair —
+    /// the clone's content is identical, so cached derived forms (its
+    /// transpose) remain valid for both handles. The first mutation of
+    /// either handle re-stamps that handle's version.
+    fn clone(&self) -> Self {
+        Matrix {
+            csr: Arc::clone(&self.csr),
+            id: self.id,
+            version: self.version,
+        }
+    }
+}
+
+impl<T: Scalar> PartialEq for Matrix<T> {
+    /// Structural + value equality; identity and version are ignored.
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.csr, &other.csr) || *self.csr == *other.csr
+    }
 }
 
 impl<T: Scalar> Matrix<T> {
     /// An empty `nrows x ncols` matrix.
     pub fn new(nrows: Index, ncols: Index) -> Self {
-        Self {
-            csr: CsrMatrix::new(nrows, ncols),
-        }
+        Self::from_csr(CsrMatrix::new(nrows, ncols))
     }
 
     /// Build from `(row, col, value)` triples, merging duplicates with
@@ -36,21 +81,49 @@ impl<T: Scalar> Matrix<T> {
         for (i, j, v) in triples {
             coo.try_push(i, j, v).map_err(GblasError::from)?;
         }
-        Ok(Self {
-            csr: CsrMatrix::from_coo(coo, |a, b| dup.apply(a, b)),
-        })
+        Ok(Self::from_csr(CsrMatrix::from_coo(coo, |a, b| {
+            dup.apply(a, b)
+        })))
     }
 
     /// Wrap an existing CSR matrix.
     pub fn from_csr(csr: CsrMatrix<T>) -> Self {
-        Self { csr }
+        Self::from_shared(Arc::new(csr))
+    }
+
+    /// Wrap an already-shared CSR buffer without copying it (the zero-copy
+    /// result path: the new matrix may alias a cache entry or another
+    /// matrix's storage).
+    pub fn from_shared(csr: Arc<CsrMatrix<T>>) -> Self {
+        Self {
+            csr,
+            id: fresh_stamp(),
+            version: fresh_stamp(),
+        }
     }
 
     /// Wrap COO triples (duplicates merged with `dup`).
     pub fn from_coo<D: BinaryOp<T>>(coo: CooMatrix<T>, dup: D) -> Self {
-        Self {
-            csr: CsrMatrix::from_coo(coo, |a, b| dup.apply(a, b)),
-        }
+        Self::from_csr(CsrMatrix::from_coo(coo, |a, b| dup.apply(a, b)))
+    }
+
+    /// Stable identity of this logical matrix (shared by clones).
+    #[inline]
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Version stamp: strictly increases on every mutation of this handle.
+    /// `(id(), version())` uniquely determines content process-wide.
+    #[inline]
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Replace the storage after a mutation: new buffer, new version.
+    fn replace_csr(&mut self, csr: CsrMatrix<T>) {
+        self.csr = Arc::new(csr);
+        self.version = fresh_stamp();
     }
 
     /// Number of rows.
@@ -98,10 +171,17 @@ impl<T: Scalar> Matrix<T> {
         &self.csr
     }
 
-    /// Consume into the underlying CSR.
+    /// Share the underlying CSR buffer (O(1); no copy).
+    #[inline]
+    pub fn shared_csr(&self) -> Arc<CsrMatrix<T>> {
+        Arc::clone(&self.csr)
+    }
+
+    /// Consume into the underlying CSR (copies only when the buffer is
+    /// shared with another handle or a cache entry).
     #[inline]
     pub fn into_csr(self) -> CsrMatrix<T> {
-        self.csr
+        Arc::try_unwrap(self.csr).unwrap_or_else(|shared| (*shared).clone())
     }
 
     /// Iterate stored `(row, col, value)` triples in row-major order.
@@ -128,7 +208,7 @@ impl<T: Scalar> Matrix<T> {
         }
         let mut coo = self.csr.to_coo();
         coo.push(i, j, v);
-        self.csr = CsrMatrix::from_coo(coo, |_, b| b); // last write wins
+        self.replace_csr(CsrMatrix::from_coo(coo, |_, b| b)); // last write wins
         Ok(())
     }
 
@@ -144,18 +224,19 @@ impl<T: Scalar> Matrix<T> {
             .zip(vals)
             .filter(|&((r, c), _)| (r, c) != (i, j))
             .map(|((r, c), v)| (r, c, v));
-        *self = Matrix::build(
+        let rebuilt = Matrix::build(
             self.nrows(),
             self.ncols(),
             triples,
             gbtl_algebra::Second::new(),
         )
         .expect("indices from valid matrix");
+        self.replace_csr(rebuilt.into_csr());
     }
 
     /// Remove all stored entries (`GrB_Matrix_clear`); dimensions unchanged.
     pub fn clear(&mut self) {
-        self.csr = CsrMatrix::new(self.nrows(), self.ncols());
+        self.replace_csr(CsrMatrix::new(self.nrows(), self.ncols()));
     }
 
     /// Change dimensions (`GrB_Matrix_resize`): entries outside the new
@@ -168,38 +249,58 @@ impl<T: Scalar> Matrix<T> {
             .zip(vals)
             .filter(|&((r, c), _)| r < nrows && c < ncols)
             .map(|((r, c), v)| (r, c, v));
-        *self = Matrix::build(nrows, ncols, triples, gbtl_algebra::Second::new())
+        let rebuilt = Matrix::build(nrows, ncols, triples, gbtl_algebra::Second::new())
             .expect("filtered indices in bounds");
+        self.replace_csr(rebuilt.into_csr());
     }
 }
 
-/// A GraphBLAS vector.
-///
-/// Internally either a sorted coordinate list (frontier-shaped) or a
-/// bitmap+values array (dense-shaped); operations convert as needed and the
-/// representation is observable only through [`Vector::is_sparse`].
+/// The physical layout of a [`Vector`]: a sorted coordinate list
+/// (frontier-shaped) or a bitmap+values array (dense-shaped).
 #[derive(Debug, Clone)]
-pub enum Vector<T> {
+pub(crate) enum VectorRepr<T> {
     /// Coordinate-list representation.
     Sparse(SparseVector<T>),
     /// Bitmap representation.
     Dense(DenseVector<T>),
 }
 
+/// A GraphBLAS vector.
+///
+/// Internally either a sorted coordinate list (frontier-shaped) or a
+/// bitmap+values array (dense-shaped); operations convert as needed and the
+/// representation is observable only through [`Vector::is_sparse`]. Like
+/// [`Matrix`], every vector carries an `(id, version)` stamp pair advanced
+/// on mutation, for the same operand-memoization contract.
+#[derive(Debug, Clone)]
+pub struct Vector<T> {
+    repr: VectorRepr<T>,
+    id: u64,
+    version: u64,
+}
+
 impl<T: Scalar> Vector<T> {
+    fn from_repr(repr: VectorRepr<T>) -> Self {
+        Vector {
+            repr,
+            id: fresh_stamp(),
+            version: fresh_stamp(),
+        }
+    }
+
     /// An empty sparse vector of dimension `n`.
     pub fn new(n: Index) -> Self {
-        Vector::Sparse(SparseVector::new(n))
+        Self::from_repr(VectorRepr::Sparse(SparseVector::new(n)))
     }
 
     /// An empty dense-representation vector of dimension `n`.
     pub fn new_dense(n: Index) -> Self {
-        Vector::Dense(DenseVector::new(n))
+        Self::from_repr(VectorRepr::Dense(DenseVector::new(n)))
     }
 
     /// A vector with every position set to `fill`.
     pub fn filled(n: Index, fill: T) -> Self {
-        Vector::Dense(DenseVector::filled(n, fill))
+        Self::from_repr(VectorRepr::Dense(DenseVector::filled(n, fill)))
     }
 
     /// Build from `(index, value)` pairs, merging duplicates with `dup`.
@@ -209,14 +310,36 @@ impl<T: Scalar> Vector<T> {
         dup: D,
     ) -> Result<Self> {
         let v = SparseVector::from_pairs(n, pairs.into_iter().collect(), |a, b| dup.apply(a, b))?;
-        Ok(Vector::Sparse(v))
+        Ok(Self::from_repr(VectorRepr::Sparse(v)))
+    }
+
+    /// Stable identity of this logical vector (shared by clones).
+    #[inline]
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Version stamp: strictly increases on every mutation of this handle.
+    #[inline]
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Borrow the physical representation (frontend dispatch only).
+    #[inline]
+    pub(crate) fn repr(&self) -> &VectorRepr<T> {
+        &self.repr
+    }
+
+    fn touch(&mut self) {
+        self.version = fresh_stamp();
     }
 
     /// Dimension.
     pub fn len(&self) -> Index {
-        match self {
-            Vector::Sparse(v) => v.len(),
-            Vector::Dense(v) => v.len(),
+        match &self.repr {
+            VectorRepr::Sparse(v) => v.len(),
+            VectorRepr::Dense(v) => v.len(),
         }
     }
 
@@ -227,15 +350,15 @@ impl<T: Scalar> Vector<T> {
 
     /// Number of stored entries.
     pub fn nnz(&self) -> usize {
-        match self {
-            Vector::Sparse(v) => v.nnz(),
-            Vector::Dense(v) => v.nnz(),
+        match &self.repr {
+            VectorRepr::Sparse(v) => v.nnz(),
+            VectorRepr::Dense(v) => v.nnz(),
         }
     }
 
     /// True when currently in the coordinate-list representation.
     pub fn is_sparse(&self) -> bool {
-        matches!(self, Vector::Sparse(_))
+        matches!(self.repr, VectorRepr::Sparse(_))
     }
 
     /// Value at `i`, or `None` when absent (or out of bounds).
@@ -243,54 +366,57 @@ impl<T: Scalar> Vector<T> {
         if i >= self.len() {
             return None;
         }
-        match self {
-            Vector::Sparse(v) => v.get(i),
-            Vector::Dense(v) => v.get(i),
+        match &self.repr {
+            VectorRepr::Sparse(v) => v.get(i),
+            VectorRepr::Dense(v) => v.get(i),
         }
     }
 
     /// True when position `i` holds a value.
     pub fn contains(&self, i: Index) -> bool {
         i < self.len()
-            && match self {
-                Vector::Sparse(v) => v.contains(i),
-                Vector::Dense(v) => v.contains(i),
+            && match &self.repr {
+                VectorRepr::Sparse(v) => v.contains(i),
+                VectorRepr::Dense(v) => v.contains(i),
             }
     }
 
     /// Set the value at `i`.
     pub fn set(&mut self, i: Index, v: T) {
-        match self {
-            Vector::Sparse(s) => s.set(i, v),
-            Vector::Dense(d) => d.set(i, v),
+        match &mut self.repr {
+            VectorRepr::Sparse(s) => s.set(i, v),
+            VectorRepr::Dense(d) => d.set(i, v),
         }
+        self.touch();
     }
 
     /// Remove the value at `i` (no-op when absent).
     pub fn remove(&mut self, i: Index) {
-        match self {
-            Vector::Sparse(s) => {
+        match &mut self.repr {
+            VectorRepr::Sparse(s) => {
                 s.remove(i);
             }
-            Vector::Dense(d) => {
+            VectorRepr::Dense(d) => {
                 d.unset(i);
             }
         }
+        self.touch();
     }
 
     /// Remove all stored entries (dimension unchanged).
     pub fn clear(&mut self) {
-        match self {
-            Vector::Sparse(s) => s.clear(),
-            Vector::Dense(d) => *d = DenseVector::new(d.len()),
+        match &mut self.repr {
+            VectorRepr::Sparse(s) => s.clear(),
+            VectorRepr::Dense(d) => *d = DenseVector::new(d.len()),
         }
+        self.touch();
     }
 
     /// Iterate stored `(index, value)` pairs in index order.
     pub fn iter(&self) -> Box<dyn Iterator<Item = (Index, T)> + '_> {
-        match self {
-            Vector::Sparse(v) => Box::new(v.iter()),
-            Vector::Dense(v) => Box::new(v.iter()),
+        match &self.repr {
+            VectorRepr::Sparse(v) => Box::new(v.iter()),
+            VectorRepr::Dense(v) => Box::new(v.iter()),
         }
     }
 
@@ -307,17 +433,17 @@ impl<T: Scalar> Vector<T> {
 
     /// Materialise a dense-representation copy.
     pub fn to_dense_repr(&self) -> DenseVector<T> {
-        match self {
-            Vector::Sparse(v) => v.to_dense(),
-            Vector::Dense(v) => v.clone(),
+        match &self.repr {
+            VectorRepr::Sparse(v) => v.to_dense(),
+            VectorRepr::Dense(v) => v.clone(),
         }
     }
 
     /// Materialise a coordinate-list copy.
     pub fn to_sparse_repr(&self) -> SparseVector<T> {
-        match self {
-            Vector::Sparse(v) => v.clone(),
-            Vector::Dense(v) => v.to_sparse(),
+        match &self.repr {
+            VectorRepr::Sparse(v) => v.clone(),
+            VectorRepr::Dense(v) => v.to_sparse(),
         }
     }
 
@@ -325,11 +451,12 @@ impl<T: Scalar> Vector<T> {
     /// the new length are dropped.
     pub fn resize(&mut self, n: Index) {
         let pairs: Vec<(Index, T)> = self.iter().filter(|&(i, _)| i < n).collect();
-        let mut out = Vector::new(n);
+        let mut out = SparseVector::new(n);
         for (i, v) in pairs {
             out.set(i, v);
         }
-        *self = out;
+        self.repr = VectorRepr::Sparse(out);
+        self.touch();
     }
 
     /// The fraction of positions holding values (`nnz / n`); 0 for a
@@ -344,7 +471,8 @@ impl<T: Scalar> Vector<T> {
 }
 
 impl<T: Scalar> PartialEq for Vector<T> {
-    /// Equality is structural + value-wise, independent of representation.
+    /// Equality is structural + value-wise, independent of representation
+    /// (and of identity/version).
     fn eq(&self, other: &Self) -> bool {
         self.len() == other.len()
             && self.nnz() == other.nnz()
@@ -354,13 +482,13 @@ impl<T: Scalar> PartialEq for Vector<T> {
 
 impl<T: Scalar> From<SparseVector<T>> for Vector<T> {
     fn from(v: SparseVector<T>) -> Self {
-        Vector::Sparse(v)
+        Self::from_repr(VectorRepr::Sparse(v))
     }
 }
 
 impl<T: Scalar> From<DenseVector<T>> for Vector<T> {
     fn from(v: DenseVector<T>) -> Self {
-        Vector::Dense(v)
+        Self::from_repr(VectorRepr::Dense(v))
     }
 }
 
@@ -479,5 +607,72 @@ mod tests {
         v.set(0, 1i64);
         v.set(1, 1);
         assert!((v.density() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matrix_versions_advance_on_every_mutation() {
+        let mut m = Matrix::build(3, 3, [(0usize, 1usize, 1i64)], Plus::new()).unwrap();
+        let (id0, v0) = (m.id(), m.version());
+        m.set(1, 1, 2).unwrap();
+        assert_eq!(m.id(), id0, "identity is stable across mutation");
+        let v1 = m.version();
+        assert!(v1 > v0, "set must advance the version");
+        m.remove(1, 1);
+        let v2 = m.version();
+        assert!(v2 > v1, "remove must advance the version");
+        m.resize(2, 2);
+        let v3 = m.version();
+        assert!(v3 > v2, "resize must advance the version");
+        m.clear();
+        assert!(m.version() > v3, "clear must advance the version");
+    }
+
+    #[test]
+    fn matrix_clone_shares_identity_until_mutated() {
+        let m = Matrix::build(2, 2, [(0usize, 0usize, 1i64)], Plus::new()).unwrap();
+        let mut c = m.clone();
+        assert_eq!((c.id(), c.version()), (m.id(), m.version()));
+        c.set(1, 1, 9).unwrap();
+        assert_eq!(c.id(), m.id());
+        assert_ne!(c.version(), m.version(), "diverged clone re-stamps");
+        assert_eq!(m.get(1, 1), None, "original is unaffected");
+    }
+
+    #[test]
+    fn distinct_matrices_have_distinct_ids() {
+        let a = Matrix::<i64>::new(2, 2);
+        let b = Matrix::<i64>::new(2, 2);
+        assert_ne!(a.id(), b.id());
+        assert_eq!(a, b, "identity does not participate in equality");
+    }
+
+    #[test]
+    fn vector_versions_advance_on_every_mutation() {
+        let mut v = Vector::<i64>::new(4);
+        let (id0, v0) = (v.id(), v.version());
+        v.set(1, 5);
+        assert_eq!(v.id(), id0);
+        let v1 = v.version();
+        assert!(v1 > v0);
+        v.remove(1);
+        let v2 = v.version();
+        assert!(v2 > v1);
+        v.resize(8);
+        let v3 = v.version();
+        assert!(v3 > v2);
+        v.clear();
+        assert!(v.version() > v3);
+    }
+
+    #[test]
+    fn shared_csr_aliases_until_mutation() {
+        let m = Matrix::build(2, 2, [(0usize, 1usize, 3i64)], Plus::new()).unwrap();
+        let shared = m.shared_csr();
+        let aliased = Matrix::from_shared(shared.clone());
+        assert!(Arc::ptr_eq(&aliased.shared_csr(), &m.shared_csr()));
+        let mut d = aliased.clone();
+        d.set(1, 0, 7).unwrap();
+        assert!(!Arc::ptr_eq(&d.shared_csr(), &shared));
+        assert_eq!(m.get(1, 0), None);
     }
 }

@@ -31,6 +31,28 @@ where
     out
 }
 
+/// [`gather`] into a caller-provided buffer — same cost model, but the
+/// output allocation is reused when `out` already has the capacity (the
+/// ESC pipeline's per-call staging buffers).
+pub fn gather_into<T>(gpu: &Gpu, idx: &[usize], src: &[T], out: &mut Vec<T>)
+where
+    T: Copy + Send + Sync,
+{
+    out.clear();
+    out.extend(idx.iter().map(|&i| src[i]));
+    let n = idx.len();
+    let elem = std::mem::size_of::<T>();
+    let txn = gpu.config().mem_transaction_bytes as u64;
+    let tally = KernelTally {
+        warp_instructions: 3 * stream_instrs(gpu, n),
+        mem_transactions: ((n * std::mem::size_of::<usize>()) as u64).div_ceil(txn)
+            + gather_transactions(gpu, idx, elem)
+            + ((n * elem) as u64).div_ceil(txn),
+        atomic_ops: 0,
+    };
+    gpu.charge_kernel("gather", n.div_ceil(CHUNK).max(1), tally);
+}
+
 /// `dst[idx[i]] = src[i]` — Thrust `scatter`.
 ///
 /// Indices must be unique (the CUDA kernel would otherwise be racy); this is

@@ -73,6 +73,29 @@ where
     out
 }
 
+/// [`zip_transform`] into a caller-provided buffer — same cost model,
+/// reusing `out`'s allocation when its capacity suffices.
+pub fn zip_transform_into<A, B, C, F>(gpu: &Gpu, a: &[A], b: &[B], f: F, out: &mut Vec<C>)
+where
+    A: Sync,
+    B: Sync,
+    C: Send,
+    F: Fn(&A, &B) -> C + Sync,
+{
+    assert_eq!(a.len(), b.len(), "zip_transform requires equal lengths");
+    out.clear();
+    out.extend(a.iter().zip(b.iter()).map(|(x, y)| f(x, y)));
+    let n = a.len();
+    charge_streaming(
+        gpu,
+        "zip_transform",
+        n.div_ceil(super::CHUNK).max(1),
+        (n * (std::mem::size_of::<A>() + std::mem::size_of::<B>())) as u64,
+        (n * std::mem::size_of::<C>()) as u64,
+        3 * stream_instrs(gpu, n),
+    );
+}
+
 /// `out[i] = start + i` — Thrust `sequence`/counting iterator materialised.
 pub fn sequence(gpu: &Gpu, start: usize, n: usize) -> Vec<usize> {
     let out: Vec<usize> = (start..start + n).into_par_iter().collect();

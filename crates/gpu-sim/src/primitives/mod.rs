@@ -27,9 +27,9 @@ pub mod scan;
 pub mod sort;
 
 pub use compact::{copy_if, copy_if_indexed, count_if};
-pub use gather::{gather, lower_bound, scatter};
+pub use gather::{gather, gather_into, lower_bound, scatter};
 pub use histogram::histogram;
-pub use map::{fill, sequence, transform, transform_inplace, zip_transform};
+pub use map::{fill, sequence, transform, transform_inplace, zip_transform, zip_transform_into};
 pub use reduce::{reduce, reduce_by_key, segmented_reduce};
 pub use scan::{exclusive_scan, inclusive_scan};
 pub use sort::{sort_keys, sort_pairs};

@@ -211,6 +211,15 @@ fn main() {
                     report.percentile_us(99.0),
                     report.latencies_us.last().copied().unwrap_or(0)
                 );
+                // first query per client pays the cold path (graph + Aᵀ not
+                // yet resident server-side); later requests are steady state
+                println!(
+                    "  first-query p50 {}us max {}us  |  steady-state p50 {}us p95 {}us",
+                    report.first_percentile_us(50.0),
+                    report.first_us.last().copied().unwrap_or(0),
+                    report.steady_percentile_us(50.0),
+                    report.steady_percentile_us(95.0)
+                );
                 for (code, n) in &report.errors {
                     println!("  rejected {code}: {n}");
                 }

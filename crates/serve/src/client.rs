@@ -114,6 +114,13 @@ pub struct LoadgenReport {
     pub elapsed: Duration,
     /// Per-request client-observed latencies, sorted ascending, microseconds.
     pub latencies_us: Vec<u64>,
+    /// Each client's *first*-request latency (the cold path: first touch of
+    /// the result cache and, server-side, the transpose cache), sorted
+    /// ascending, microseconds.
+    pub first_us: Vec<u64>,
+    /// Every subsequent request's latency (steady state), sorted ascending,
+    /// microseconds.
+    pub steady_us: Vec<u64>,
 }
 
 impl LoadgenReport {
@@ -132,6 +139,16 @@ impl LoadgenReport {
     /// histogram snapshots use, so the two sides are comparable).
     pub fn percentile_us(&self, p: f64) -> u64 {
         gbtl_util::stats::percentile_sorted(&self.latencies_us, p)
+    }
+
+    /// Percentile over the per-client first requests only (cold path).
+    pub fn first_percentile_us(&self, p: f64) -> u64 {
+        gbtl_util::stats::percentile_sorted(&self.first_us, p)
+    }
+
+    /// Percentile over every non-first request (steady state).
+    pub fn steady_percentile_us(&self, p: f64) -> u64 {
+        gbtl_util::stats::percentile_sorted(&self.steady_us, p)
     }
 }
 
@@ -188,6 +205,8 @@ pub fn run_loadgen(opts: &LoadgenOptions) -> std::io::Result<LoadgenReport> {
     let ok = Arc::new(AtomicU64::new(0));
     let errors: Arc<Mutex<std::collections::HashMap<String, u64>>> = Arc::default();
     let latencies: Arc<Mutex<Vec<u64>>> = Arc::default();
+    let firsts: Arc<Mutex<Vec<u64>>> = Arc::default();
+    let steady: Arc<Mutex<Vec<u64>>> = Arc::default();
 
     let t0 = Instant::now();
     let mut handles = Vec::new();
@@ -195,6 +214,7 @@ pub fn run_loadgen(opts: &LoadgenOptions) -> std::io::Result<LoadgenReport> {
         let opts = opts.clone();
         let (corrupted, cached, ok) = (corrupted.clone(), cached.clone(), ok.clone());
         let (errors, latencies) = (errors.clone(), latencies.clone());
+        let (firsts, steady) = (firsts.clone(), steady.clone());
         handles.push(std::thread::spawn(move || -> std::io::Result<()> {
             let mut client = Client::connect(&opts.addr)?;
             for r in 0..opts.requests_per_client {
@@ -224,6 +244,11 @@ pub fn run_loadgen(opts: &LoadgenOptions) -> std::io::Result<LoadgenReport> {
                                 cached.fetch_add(1, Ordering::Relaxed);
                             }
                             latencies.lock().unwrap().push(us);
+                            if r == 0 {
+                                firsts.lock().unwrap().push(us);
+                            } else {
+                                steady.lock().unwrap().push(us);
+                            }
                         } else if v.bool_field("ok") == Some(false) && id_ok {
                             let code = v.str_field("code").unwrap_or("unknown").to_string();
                             *errors.lock().unwrap().entry(code).or_insert(0) += 1;
@@ -253,6 +278,10 @@ pub fn run_loadgen(opts: &LoadgenOptions) -> std::io::Result<LoadgenReport> {
 
     let mut latencies_us = std::mem::take(&mut *latencies.lock().unwrap());
     latencies_us.sort_unstable();
+    let mut first_us = std::mem::take(&mut *firsts.lock().unwrap());
+    first_us.sort_unstable();
+    let mut steady_us = std::mem::take(&mut *steady.lock().unwrap());
+    steady_us.sort_unstable();
     let mut errors: Vec<(String, u64)> = errors.lock().unwrap().drain().collect();
     errors.sort();
     Ok(LoadgenReport {
@@ -262,6 +291,8 @@ pub fn run_loadgen(opts: &LoadgenOptions) -> std::io::Result<LoadgenReport> {
         corrupted: corrupted.load(Ordering::Relaxed),
         elapsed,
         latencies_us,
+        first_us,
+        steady_us,
     })
 }
 

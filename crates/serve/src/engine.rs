@@ -19,7 +19,8 @@ use gbtl_algorithms::{
     mis::verify_mis, pagerank, pagerank::PageRankOptions, sssp, triangle_count, Direction,
 };
 use gbtl_core::{
-    Backend, Context, CudaBackend, ParBackend, SeqBackend, TraceMode, TraceReport, Vector,
+    Backend, Context, CudaBackend, ParBackend, SeqBackend, TraceMode, TraceReport, TransposeCache,
+    Vector,
 };
 
 use crate::catalog::GraphEntry;
@@ -65,13 +66,36 @@ pub struct EngineSnapshot {
 }
 
 impl Engine {
-    /// An engine whose parallel context uses `par_threads` workers.
+    /// An engine whose parallel context uses `par_threads` workers, with a
+    /// per-engine transpose cache configured from the environment.
     pub fn new(par_threads: usize) -> Self {
+        Engine::with_transpose_cache(par_threads, TransposeCache::from_env())
+    }
+
+    /// An engine whose three contexts all share `cache` (a
+    /// [`TransposeCache`] handle clones to the same store). The server
+    /// passes one cache to every worker engine, so a transpose built by any
+    /// query — or pre-warmed at graph load — is a hit for all of them.
+    pub fn with_transpose_cache(par_threads: usize, cache: TransposeCache) -> Self {
         Engine {
-            seq: Context::sequential().with_trace_mode(TraceMode::Summary),
-            par: Context::parallel_with_threads(par_threads).with_trace_mode(TraceMode::Summary),
-            cuda: Context::cuda_default().with_trace_mode(TraceMode::Summary),
+            seq: Context::sequential()
+                .with_trace_mode(TraceMode::Summary)
+                .with_transpose_cache(cache.clone()),
+            par: Context::parallel_with_threads(par_threads)
+                .with_trace_mode(TraceMode::Summary)
+                .with_transpose_cache(cache.clone()),
+            cuda: Context::cuda_default()
+                .with_trace_mode(TraceMode::Summary)
+                .with_transpose_cache(cache),
         }
+    }
+
+    /// Build the transposes pull-direction queries need (boolean adjacency
+    /// for BFS/PageRank, weights for SSSP) into the shared cache, so the
+    /// first query after a load/reload pays no transpose cost.
+    pub fn prewarm(&self, g: &GraphEntry) {
+        self.seq.prewarm_transpose(&g.adj);
+        self.seq.prewarm_transpose(&g.weights);
     }
 
     /// Total GraphBLAS ops this engine has dispatched, across backends.

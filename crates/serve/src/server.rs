@@ -51,6 +51,7 @@ use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
+use gbtl_core::TransposeCache;
 use gbtl_metrics::expose::{histogram_json, render_json, render_prometheus};
 use gbtl_metrics::{Counter, HistogramSnapshot, Registry, SlowLog};
 use gbtl_util::json::escape;
@@ -285,6 +286,9 @@ struct Shared {
     addr: SocketAddr,
     catalog: Catalog,
     cache: ResultCache,
+    /// One store shared by every engine and backend context; pre-warmed on
+    /// graph load so the first pull-direction query never builds Aᵀ inline.
+    transpose_cache: TransposeCache,
     queue: JobQueue,
     registry: Registry,
     stats: ServerStats,
@@ -348,22 +352,24 @@ pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
 
+    let transpose_cache = TransposeCache::from_env();
+    let engines: Vec<Engine> = (0..config.workers.max(1))
+        .map(|_| Engine::with_transpose_cache(config.par_threads, transpose_cache.clone()))
+        .collect();
+
     let catalog = Catalog::new();
     for (name, spec) in &config.preload {
-        let spec = GraphSpec::parse(spec)
-            .and_then(|s| catalog.load(name, &s).map(|_| s))
+        let entry = GraphSpec::parse(spec)
+            .and_then(|s| catalog.load(name, &s))
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e))?;
-        let _ = spec;
+        engines[0].prewarm(&entry);
     }
-
-    let engines: Vec<Engine> = (0..config.workers.max(1))
-        .map(|_| Engine::new(config.par_threads))
-        .collect();
 
     let registry = Registry::new(config.metrics);
     let stats = ServerStats::new(&registry);
     let shared = Arc::new(Shared {
         cache: ResultCache::new(config.cache_capacity),
+        transpose_cache,
         queue: JobQueue::new(config.queue_capacity),
         slow_log: SlowLog::new(config.slow_log_capacity),
         next_request_id: AtomicU64::new(1),
@@ -487,15 +493,21 @@ fn dispatch_line(line: &str, shared: &Arc<Shared>) -> String {
                 return error_response("shutting_down", "server is shutting down", None);
             }
             match GraphSpec::parse(&spec).and_then(|s| shared.catalog.load(&name, &s)) {
-                Ok(entry) => format!(
-                    "{{\"ok\":true,\"graph\":\"{}\",\"epoch\":{},\"n\":{},\"nnz\":{},\
-                     \"spec\":\"{}\"}}",
-                    escape(&entry.name),
-                    entry.epoch,
-                    entry.n(),
-                    entry.nnz(),
-                    escape(&entry.spec)
-                ),
+                Ok(entry) => {
+                    // build the new entry's transposes into the shared cache
+                    // before acknowledging the load: a reload's stale entries
+                    // are unreachable (fresh matrix ids) and age out
+                    shared.engines[0].prewarm(&entry);
+                    format!(
+                        "{{\"ok\":true,\"graph\":\"{}\",\"epoch\":{},\"n\":{},\"nnz\":{},\
+                         \"spec\":\"{}\"}}",
+                        escape(&entry.name),
+                        entry.epoch,
+                        entry.n(),
+                        entry.nnz(),
+                        escape(&entry.spec)
+                    )
+                }
                 Err(e) => {
                     shared.stats.bad_requests.inc();
                     error_response("bad_request", &e, None)
@@ -793,6 +805,9 @@ fn render_list(shared: &Arc<Shared>) -> String {
 
 /// Overwrite the point-in-time gauges just before a snapshot is taken, so
 /// every exposition reports current depth/occupancy rather than stale sets.
+/// The transpose-cache and workspace-pool counters accumulate in the core
+/// crates (shared across engines / thread-local, respectively), so they are
+/// mirrored into gauges here rather than counted on the request path.
 fn refresh_gauges(shared: &Arc<Shared>) {
     shared
         .registry
@@ -802,6 +817,17 @@ fn refresh_gauges(shared: &Arc<Shared>) {
         .registry
         .gauge("gbtl_cache_entries", &[])
         .set(shared.cache.len() as i64);
+    let ts = shared.transpose_cache.stats();
+    let g = |name, v: u64| shared.registry.gauge(name, &[]).set(v as i64);
+    g("gbtl_transpose_cache_entries", ts.entries as u64);
+    g("gbtl_transpose_cache_hits", ts.hits);
+    g("gbtl_transpose_cache_misses", ts.misses);
+    g("gbtl_transpose_cache_evictions", ts.evictions);
+    g("gbtl_transpose_cache_invalidations", ts.invalidations);
+    let ws = gbtl_core::workspace::stats();
+    g("gbtl_workspace_takes", ws.takes);
+    g("gbtl_workspace_reuses", ws.reuses);
+    g("gbtl_workspace_allocs", ws.allocs);
 }
 
 /// Per-algorithm execute-latency aggregates, merged across backends (and
@@ -875,6 +901,8 @@ fn render_stats(shared: &Arc<Shared>) -> String {
         );
     }
     algos.push(']');
+    let ts = shared.transpose_cache.stats();
+    let ws = gbtl_core::workspace::stats();
     format!(
         "{{\"ok\":true,\"stats\":{{\
          \"uptime_ms\":{},\"workers\":{},\"par_threads\":{},\
@@ -884,6 +912,11 @@ fn render_stats(shared: &Arc<Shared>) -> String {
          \"deadline_expired\":{}}},\
          \"cache\":{{\"capacity\":{},\"entries\":{},\"hits\":{},\"misses\":{},\
          \"hit_rate\":{hit_rate:.4}}},\
+         \"transpose_cache\":{{\"enabled\":{},\"capacity\":{},\"entries\":{},\
+         \"hits\":{},\"misses\":{},\"evictions\":{},\"invalidations\":{},\
+         \"hit_rate\":{:.4}}},\
+         \"workspaces\":{{\"takes\":{},\"reuses\":{},\"allocs\":{},\
+         \"reuse_rate\":{:.4}}},\
          \"backend_ops\":{{\"total\":{},\"sequential\":{},\"parallel\":{},\"cuda_sim\":{}}},\
          \"pool\":{{\"tasks\":{},\"steals\":{}}},\
          \"gpu\":{{\"kernels\":{},\"modeled_ms\":{:.3}}},\
@@ -905,6 +938,18 @@ fn render_stats(shared: &Arc<Shared>) -> String {
         shared.cache.len(),
         hits,
         misses,
+        ts.enabled,
+        ts.capacity,
+        ts.entries,
+        ts.hits,
+        ts.misses,
+        ts.evictions,
+        ts.invalidations,
+        ts.hit_rate(),
+        ws.takes,
+        ws.reuses,
+        ws.allocs,
+        ws.reuse_rate(),
         snap.seq_ops + snap.par_ops + snap.cuda_ops,
         snap.seq_ops,
         snap.par_ops,

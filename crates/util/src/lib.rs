@@ -18,6 +18,9 @@
 //!   loadgen latency report and the `gbtl-metrics` histogram snapshots, so
 //!   client-side and server-side percentiles are comparable by
 //!   construction.
+//! * [`workspace`] — thread-local reusable kernel scratch (dense
+//!   accumulators, touched lists, flag arrays) shared by all three
+//!   backends, with process-wide reuse counters.
 //!
 //! The crate is std-only, consistent with the offline-shim dependency
 //! policy (DESIGN.md).
@@ -25,3 +28,4 @@
 pub mod env;
 pub mod json;
 pub mod stats;
+pub mod workspace;

@@ -1,0 +1,236 @@
+//! Reusable per-thread kernel workspaces.
+//!
+//! The Gustavson SpGEMM/SpMV kernels in every backend need the same three
+//! scratch shapes per call: a dense `Vec<Option<T>>` accumulator, a
+//! `Vec<usize>` index list (`touched` columns, gather offsets), and a
+//! `Vec<bool>` flag array (mask membership, symbolic `seen` marks). Before
+//! this module each call allocated and zeroed them from scratch — for an
+//! iterative algorithm that is an `O(ncols)` allocation + memset per
+//! operation, paid thousands of times per BFS/PageRank run.
+//!
+//! The pools here are **thread-local**, so they need no locks and work
+//! unchanged from the work-stealing pool's persistent worker threads (each
+//! worker warms its own set). Buffers are handed out in a *known-clean*
+//! state and must be returned clean:
+//!
+//! * accumulator — every slot `None`, `len >= n`;
+//! * flags — every slot `false`, `len >= n`;
+//! * index buffer — empty.
+//!
+//! The borrower restores the invariant in `O(touched)` by draining the
+//! positions it wrote (the kernels already do exactly this to reset between
+//! rows); debug builds re-verify the whole buffer on return, so a kernel
+//! that leaks state fails loudly in the test suite rather than corrupting a
+//! later call.
+//!
+//! Cumulative take/reuse/alloc counters (process-global, relaxed atomics)
+//! are exported through [`stats`] for the trace report, the
+//! `gbtl-serve` stats/metrics endpoints, and the R-W5 experiment.
+
+use std::any::{Any, TypeId};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static TAKES: AtomicU64 = AtomicU64::new(0);
+static REUSES: AtomicU64 = AtomicU64::new(0);
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+/// Cumulative workspace counters since process start.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkspaceStats {
+    /// Buffers handed out (one per `with_*` call).
+    pub takes: u64,
+    /// Takes satisfied from a pool (no allocation).
+    pub reuses: u64,
+    /// Takes that had to allocate a fresh buffer.
+    pub allocs: u64,
+}
+
+impl WorkspaceStats {
+    /// Fraction of takes served without allocating, in `[0, 1]`.
+    pub fn reuse_rate(&self) -> f64 {
+        if self.takes == 0 {
+            0.0
+        } else {
+            self.reuses as f64 / self.takes as f64
+        }
+    }
+}
+
+/// Snapshot the process-wide workspace counters.
+pub fn stats() -> WorkspaceStats {
+    WorkspaceStats {
+        takes: TAKES.load(Ordering::Relaxed),
+        reuses: REUSES.load(Ordering::Relaxed),
+        allocs: ALLOCS.load(Ordering::Relaxed),
+    }
+}
+
+fn count_take(reused: bool) {
+    TAKES.fetch_add(1, Ordering::Relaxed);
+    if reused {
+        REUSES.fetch_add(1, Ordering::Relaxed);
+    } else {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+thread_local! {
+    // One stack of buffers per accumulator element type; a stack (not a
+    // single slot) so nested takes of the same type still reuse.
+    static ACC_POOL: RefCell<HashMap<TypeId, Vec<Box<dyn Any>>>> =
+        RefCell::new(HashMap::new());
+    static IDX_POOL: RefCell<Vec<Vec<usize>>> = const { RefCell::new(Vec::new()) };
+    static FLAG_POOL: RefCell<Vec<Vec<bool>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Run `f` with a dense accumulator of at least `n` all-`None` slots.
+///
+/// `f` must leave every slot it wrote back at `None` (drain via the touched
+/// list, as the Gustavson kernels do per row); debug builds assert this
+/// when the buffer is returned to the pool.
+pub fn with_accumulator<T: 'static, R>(n: usize, f: impl FnOnce(&mut Vec<Option<T>>) -> R) -> R {
+    let mut acc: Vec<Option<T>> = ACC_POOL.with(|pool| {
+        let taken = pool
+            .borrow_mut()
+            .get_mut(&TypeId::of::<T>())
+            .and_then(|stack| stack.pop());
+        match taken {
+            Some(boxed) => {
+                count_take(true);
+                *boxed.downcast().expect("pool entry keyed by TypeId")
+            }
+            None => {
+                count_take(false);
+                Vec::new()
+            }
+        }
+    });
+    if acc.len() < n {
+        acc.resize_with(n, || None);
+    }
+    let out = f(&mut acc);
+    debug_assert!(
+        acc.iter().all(Option::is_none),
+        "accumulator returned to the workspace pool with live entries"
+    );
+    ACC_POOL.with(|pool| {
+        pool.borrow_mut()
+            .entry(TypeId::of::<T>())
+            .or_default()
+            .push(Box::new(acc));
+    });
+    out
+}
+
+/// Run `f` with an empty `Vec<usize>` scratch (touched lists, offset
+/// buffers). The buffer is cleared on hand-out, so `f` may leave anything
+/// in it.
+pub fn with_index_buffer<R>(f: impl FnOnce(&mut Vec<usize>) -> R) -> R {
+    let mut buf = IDX_POOL.with(|pool| match pool.borrow_mut().pop() {
+        Some(b) => {
+            count_take(true);
+            b
+        }
+        None => {
+            count_take(false);
+            Vec::new()
+        }
+    });
+    buf.clear();
+    let out = f(&mut buf);
+    IDX_POOL.with(|pool| pool.borrow_mut().push(buf));
+    out
+}
+
+/// Run `f` with an all-`false` flag array of at least `n` slots.
+///
+/// `f` must clear every flag it set before returning (the masked kernels
+/// reset flags from the mask row that set them); debug builds assert this
+/// on return to the pool.
+pub fn with_flags<R>(n: usize, f: impl FnOnce(&mut Vec<bool>) -> R) -> R {
+    let mut flags = FLAG_POOL.with(|pool| match pool.borrow_mut().pop() {
+        Some(b) => {
+            count_take(true);
+            b
+        }
+        None => {
+            count_take(false);
+            Vec::new()
+        }
+    });
+    if flags.len() < n {
+        flags.resize(n, false);
+    }
+    let out = f(&mut flags);
+    debug_assert!(
+        flags.iter().all(|&b| !b),
+        "flag buffer returned to the workspace pool with set flags"
+    );
+    FLAG_POOL.with(|pool| pool.borrow_mut().push(flags));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulator_reuses_and_grows() {
+        let before = stats();
+        with_accumulator::<i64, _>(4, |acc| {
+            assert!(acc.len() >= 4);
+            assert!(acc.iter().all(Option::is_none));
+            acc[2] = Some(7);
+            assert_eq!(acc[2].take(), Some(7)); // restore the invariant
+        });
+        // Second take on this thread reuses the buffer, even when larger.
+        with_accumulator::<i64, _>(8, |acc| {
+            assert!(acc.len() >= 8);
+            assert!(acc.iter().all(Option::is_none));
+        });
+        let after = stats();
+        assert!(after.takes >= before.takes + 2);
+        assert!(after.reuses > before.reuses, "second take must reuse");
+    }
+
+    #[test]
+    fn distinct_types_get_distinct_buffers() {
+        with_accumulator::<i64, _>(2, |a| {
+            a[0] = Some(1);
+            with_accumulator::<f64, _>(2, |b| {
+                assert!(b.iter().all(Option::is_none));
+            });
+            a[0] = None;
+        });
+    }
+
+    #[test]
+    fn index_buffer_always_starts_empty() {
+        with_index_buffer(|b| {
+            b.extend_from_slice(&[9, 9, 9]);
+        });
+        with_index_buffer(|b| assert!(b.is_empty()));
+    }
+
+    #[test]
+    fn flags_start_false_and_nest() {
+        with_flags(3, |f1| {
+            f1[1] = true;
+            with_flags(5, |f2| {
+                assert!(f2.iter().all(|&b| !b));
+            });
+            f1[1] = false;
+        });
+    }
+
+    #[test]
+    fn reuse_rate_is_bounded() {
+        with_index_buffer(|_| {});
+        with_index_buffer(|_| {});
+        let s = stats();
+        assert!(s.reuse_rate() >= 0.0 && s.reuse_rate() <= 1.0);
+        assert_eq!(s.takes, s.reuses + s.allocs);
+    }
+}
