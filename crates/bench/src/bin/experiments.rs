@@ -79,6 +79,9 @@ fn main() {
     if want("ws") {
         ws_operand_resolution();
     }
+    if want("nt") {
+        nt_evented();
+    }
 
     if traced {
         println!("\n== traced appendix: BFS + triangles (rmat12), per-op report per backend");
@@ -119,6 +122,7 @@ fn sv_serve() {
                 metrics: true,
                 slow_log_capacity: 16,
                 preload: vec![("rmat".into(), "rmat:10:8:7".into())],
+                ..ServerConfig::default()
             };
             let handle = start(config).expect("start experiment server");
             let opts = LoadgenOptions {
@@ -129,6 +133,7 @@ fn sv_serve() {
                 algos: vec![Algo::Bfs, Algo::Pagerank, Algo::TriangleCount],
                 backend: "par".into(),
                 source_count: 8,
+                ..LoadgenOptions::default()
             };
             let report = run_loadgen(&opts).expect("run loadgen");
             assert_eq!(report.corrupted, 0, "corrupted responses under load");
@@ -173,6 +178,7 @@ fn mx_metrics_overhead() {
         metrics,
         slow_log_capacity: 16,
         preload: vec![("g".into(), "rmat:9:8:7".into())],
+        ..ServerConfig::default()
     };
     let mk_opts = |addr: String, clients: usize| LoadgenOptions {
         addr,
@@ -182,6 +188,7 @@ fn mx_metrics_overhead() {
         algos: vec![Algo::Bfs, Algo::TriangleCount],
         backend: "par".into(),
         source_count: 8,
+        ..LoadgenOptions::default()
     };
 
     println!(
@@ -262,6 +269,275 @@ fn mx_metrics_overhead() {
             share
         );
     }
+}
+
+/// R-N6: the evented front-end — idle-connection scalability with flat
+/// memory, pipelined throughput vs the threaded closed-loop baseline, and
+/// cross-front-end response identity (EXPERIMENTS.md).
+fn nt_evented() {
+    use std::io::{Read as _, Write as _};
+    use std::net::TcpStream;
+
+    use gbtl_serve::protocol::Algo;
+    use gbtl_serve::{
+        raise_nofile_limit, run_loadgen, start, Client, FrontendMode, LoadgenOptions, ServerConfig,
+    };
+
+    print_title(
+        "R-N6: evented front-end (gbtl-net) — idle flood, pipelining, identity",
+        "a single poll(2) thread holds 1k+ silent connections for the cost of a \
+         few hundred bytes each, where the threaded front-end would pin a stack \
+         per socket; with requests pipelined the evented loop matches or beats \
+         the threaded closed-loop qps; and both front-ends drive the same \
+         EnginePool, so responses are byte-identical (FNV-1a over the result)",
+    );
+
+    let nofile = raise_nofile_limit();
+    let mk_config = |mode: FrontendMode| ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        mode,
+        workers: 4,
+        queue_capacity: 256,
+        cache_capacity: 256,
+        default_deadline_ms: 60_000,
+        par_threads: 2,
+        metrics: true,
+        slow_log_capacity: 16,
+        idle_timeout_ms: 0, // the idle flood must survive the sampling pauses
+        preload: vec![("rmat".into(), "rmat:10:8:7".into())],
+        ..ServerConfig::default()
+    };
+
+    // -- part 1: idle-connection flood ------------------------------------
+    println!(
+        "part 1: idle-connection flood (evented, RLIMIT_NOFILE {nofile}, \
+         VmRSS of this process — it hosts both server and clients)"
+    );
+    println!(
+        "{:<8} {:>12} {:>11} {:>14}",
+        "conns", "open(gauge)", "VmRSS KiB", "KiB/conn(cum)"
+    );
+    let handle = start(mk_config(FrontendMode::Evented)).expect("start evented server");
+    let addr = handle.addr().to_string();
+    let mut stats_client = Client::connect(&addr).expect("stats connection");
+    let mut idle: Vec<TcpStream> = Vec::new();
+    let mut base_rss = 0u64;
+    let mut last_rss = 0u64;
+    for &target in &[0usize, 256, 512, 1024] {
+        while idle.len() < target {
+            idle.push(TcpStream::connect(&addr).expect("idle connect"));
+        }
+        // the poller accepts asynchronously: wait for the gauge to agree
+        // (+1 for the stats connection itself)
+        let open = wait_for_open_connections(&mut stats_client, (target + 1) as u64);
+        let rss = vm_rss_kib();
+        if target == 0 {
+            base_rss = rss;
+        }
+        last_rss = rss;
+        let per_conn = if target > 0 {
+            format!("{:.2}", rss.saturating_sub(base_rss) as f64 / target as f64)
+        } else {
+            "-".into()
+        };
+        println!("{target:<8} {open:>12} {rss:>11} {per_conn:>14}");
+    }
+    let per_conn_kib = last_rss.saturating_sub(base_rss) as f64 / idle.len() as f64;
+    assert!(
+        per_conn_kib < 64.0,
+        "idle connections are not flat in memory: {per_conn_kib:.1} KiB/conn"
+    );
+    // every idle connection is still alive: ping a stripe of them
+    for (i, conn) in idle.iter_mut().enumerate().step_by(64) {
+        conn.write_all(b"{\"op\":\"ping\"}\n")
+            .expect("idle ping write");
+        let mut byte = [0u8; 1];
+        conn.read_exact(&mut byte)
+            .unwrap_or_else(|e| panic!("idle conn {i} died: {e}"));
+    }
+    println!(
+        "1024 idle connections held: {:.2} KiB/conn cumulative RSS growth, \
+         sampled stripe still answers pings",
+        per_conn_kib
+    );
+    drop(idle);
+    drop(stats_client);
+    handle.shutdown_and_join();
+
+    // -- part 2: pipelined evented vs closed-loop threaded ----------------
+    // The cache is pre-warmed (all 24 distinct keys) so the measurement is
+    // front-end-bound — connection handling and framing, not graph compute:
+    // cold, a depth-8 window piles 64 misses onto the 4 workers and the run
+    // measures queue wait instead of the connection layer.
+    println!("\npart 2: throughput (rmat10, par, 8 clients x 200, cache warm, best of 2)");
+    println!(
+        "{:<22} {:>6} {:>9} {:>9} {:>9}",
+        "front-end", "ok", "qps", "p50 us", "p95 us"
+    );
+    let algos = [Algo::Bfs, Algo::Pagerank, Algo::TriangleCount];
+    let mut qps = Vec::new();
+    for &(label, mode, depth) in &[
+        ("threaded closed-loop", FrontendMode::Threaded, 1usize),
+        ("evented closed-loop", FrontendMode::Evented, 1),
+        ("evented pipeline=8", FrontendMode::Evented, 8),
+    ] {
+        let mut best_qps = 0.0f64;
+        let mut best = None;
+        for _ in 0..2 {
+            let handle = start(mk_config(mode)).expect("start experiment server");
+            let mut warm = Client::connect(&handle.addr().to_string()).expect("warm connect");
+            for algo in algos {
+                for source in 0..8 {
+                    let v = warm
+                        .request_json(&format!(
+                            "{{\"op\":\"query\",\"graph\":\"rmat\",\"algo\":\"{}\",\
+                             \"backend\":\"par\",\"source\":{source}}}",
+                            algo.as_str()
+                        ))
+                        .expect("warm query");
+                    assert_eq!(v.bool_field("ok"), Some(true), "warm query failed");
+                }
+            }
+            drop(warm);
+            let opts = LoadgenOptions {
+                addr: handle.addr().to_string(),
+                clients: 8,
+                requests_per_client: 200,
+                graph: "rmat".into(),
+                algos: algos.to_vec(),
+                backend: "par".into(),
+                source_count: 8,
+                pipeline: depth,
+                ..LoadgenOptions::default()
+            };
+            let report = run_loadgen(&opts).expect("run loadgen");
+            assert_eq!(report.corrupted, 0, "{label}: corrupted responses");
+            assert_eq!(report.ok, 8 * 200, "{label}: every request answered");
+            handle.shutdown_and_join();
+            if report.qps() > best_qps {
+                best_qps = report.qps();
+                best = Some(report);
+            }
+        }
+        let best = best.unwrap();
+        println!(
+            "{label:<22} {:>6} {:>9.1} {:>9} {:>9}",
+            best.ok,
+            best.qps(),
+            best.percentile_us(50.0),
+            best.percentile_us(95.0),
+        );
+        qps.push(best_qps);
+    }
+    let ratio = qps[2] / qps[0].max(1e-9);
+    println!("pipelined evented vs threaded closed-loop: {ratio:.2}x (target >= 1.0x)");
+    assert!(
+        ratio >= 1.0,
+        "pipelined evented throughput fell below the threaded closed-loop baseline"
+    );
+
+    // -- part 3: cross-front-end response identity ------------------------
+    println!("\npart 3: response identity (FNV-1a 64 over the result object, per algo)");
+    println!(
+        "{:<16} {:>18} {:>18} {:>6}",
+        "algo", "threaded", "evented", "match"
+    );
+    let threaded = start(mk_config(FrontendMode::Threaded)).expect("start threaded server");
+    let evented = start(mk_config(FrontendMode::Evented)).expect("start evented server");
+    let mut ct = Client::connect(&threaded.addr().to_string()).expect("connect threaded");
+    let mut ce = Client::connect(&evented.addr().to_string()).expect("connect evented");
+    let mut all_match = true;
+    for algo in Algo::ALL {
+        let line = format!(
+            "{{\"op\":\"query\",\"graph\":\"rmat\",\"algo\":\"{}\",\
+             \"backend\":\"par\",\"source\":1}}",
+            algo.as_str()
+        );
+        let rt = ct.request(&line).expect("threaded round-trip");
+        let re = ce.request(&line).expect("evented round-trip");
+        let (ht, he) = (
+            fnv1a64(result_span(&rt).as_bytes()),
+            fnv1a64(result_span(&re).as_bytes()),
+        );
+        let matched = ht == he;
+        all_match &= matched;
+        println!(
+            "{:<16} {ht:>18x} {he:>18x} {:>6}",
+            algo.as_str(),
+            if matched { "yes" } else { "NO" }
+        );
+    }
+    assert!(all_match, "front-ends disagree on some result payload");
+    drop(ct);
+    drop(ce);
+    threaded.shutdown_and_join();
+    evented.shutdown_and_join();
+}
+
+/// Poll the `stats` op until the evented front-end's open-connection gauge
+/// reaches `want` (accepts happen on the poller thread, asynchronously).
+fn wait_for_open_connections(c: &mut gbtl_serve::Client, want: u64) -> u64 {
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let v = c.request_json("{\"op\":\"stats\"}").expect("stats op");
+        let open = v
+            .get("stats")
+            .and_then(|s| s.get("net"))
+            .and_then(|n| n.u64_field("open_connections"))
+            .expect("stats.net.open_connections on the evented front-end");
+        if open >= want || std::time::Instant::now() >= deadline {
+            return open;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// `VmRSS` of this process in KiB, from `/proc/self/status`.
+fn vm_rss_kib() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines().find_map(|l| {
+                l.strip_prefix("VmRSS:")
+                    .and_then(|r| r.trim().trim_end_matches("kB").trim().parse().ok())
+            })
+        })
+        .unwrap_or(0)
+}
+
+/// The `"result":{...}` span of a raw response line — the deterministic
+/// payload, excluding per-request fields like `micros`.
+fn result_span(raw: &str) -> &str {
+    let start = raw
+        .find("\"result\":")
+        .expect("response has a result object");
+    let body = &raw[start..];
+    let open = body.find('{').expect("result object opens");
+    let mut depth = 0usize;
+    for (i, b) in body.as_bytes().iter().enumerate().skip(open) {
+        match b {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return &body[..=i];
+                }
+            }
+            _ => {}
+        }
+    }
+    panic!("unterminated result object in {raw:?}");
+}
+
+/// FNV-1a 64 over a byte stream (the same fingerprint gbtl-serve embeds in
+/// result checksums).
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
 }
 
 /// R-W5: zero-copy operand resolution + versioned transpose cache +

@@ -1,0 +1,141 @@
+//! The **Engine contract**: the formal boundary between a connection
+//! front-end (this crate's event loop, or gbtl-serve's legacy
+//! thread-per-connection listener) and the compute back-end that answers
+//! requests.
+//!
+//! # What crosses the boundary
+//!
+//! * **Down** (front-end → engine): one complete, newline-stripped,
+//!   non-empty request line per [`Engine::submit`] call, plus a [`Reply`]
+//!   the engine may keep for asynchronous completion. Lines are UTF-8
+//!   (invalid bytes arrive lossily replaced — the engine answers them as a
+//!   parse error like any other malformed request).
+//! * **Up** (engine → front-end): exactly **one** response per submitted
+//!   line — either inline, as [`Submission::Inline`], or later, by invoking
+//!   the [`Reply`] (the [`Submission::Accepted`] case). A response is one
+//!   line of JSON with **no trailing newline**; framing is the front-end's
+//!   job. An engine must never answer both ways, never invoke a [`Reply`]
+//!   twice (the type makes that unrepresentable), and never drop an
+//!   accepted request silently — dropping the `Reply` un-sent strands the
+//!   client until its deadline.
+//!
+//! # What never crosses
+//!
+//! * Sockets, fds, buffers, or any connection identity: the engine cannot
+//!   tell which connection a request came from, so it cannot special-case
+//!   one — the property that makes responses bit-identical across
+//!   front-ends testable.
+//! * Threads: the engine must not assume which thread calls `submit`
+//!   (listener thread, poller thread, or a connection thread) nor block it
+//!   beyond admission control — `submit` is on the event loop's critical
+//!   path, so anything slower than a bounded queue push belongs behind the
+//!   `Accepted` path.
+//! * Ordering: engines may complete accepted requests in any order.
+//!   **Per-connection response order is the front-end's obligation** (the
+//!   event loop holds completed responses until every earlier response on
+//!   that connection has been emitted).
+//!
+//! # Deadlines and drain semantics
+//!
+//! `Accepted { deadline, .. }` is the engine's promise to invoke the
+//! `Reply` — normally by `deadline` (plus a small grace period), with one
+//! documented exception: work that was already mid-execution when the
+//! deadline passed may complete late, and its response is still delivered.
+//! Requests that expire while still queued must be answered with an error
+//! by the engine itself. A front-end that enforces the deadline at the
+//! wait site (the threaded listener does; the event loop does not) must
+//! tolerate — and discard — a late reply after synthesizing its own
+//! timeout response.
+//!
+//! [`Engine::drain`] begins shutdown: new compute submissions are rejected
+//! inline from then on, but every previously accepted request still gets
+//! its real response. Front-ends stop accepting connections once
+//! [`Engine::is_draining`] turns true, flush what remains, and only then
+//! tear down. `drain` must be idempotent.
+//!
+//! # Diagnostics obligations
+//!
+//! Per-mode, so a `stats` endpoint never lies about the front-end in use:
+//!
+//! * Every front-end reports connection lifecycle through
+//!   [`Engine::connection_opened`] / [`Engine::connection_closed`] — the
+//!   engine owns the cross-mode connection counters.
+//! * The engine renders protocol-level rejections the front-end needs
+//!   ([`Engine::oversized_line_response`]) so wire bytes for the same fault
+//!   are identical in every mode, and counts them.
+//! * Transport-level diagnostics that only exist in one mode (backpressure
+//!   events, poll timeouts, pipelined depth) stay on the front-end side —
+//!   see [`crate::NetStats`] — and are surfaced by whoever owns the metrics
+//!   registry.
+
+use std::time::Instant;
+
+/// A single-use completion channel for one accepted request. Invoking
+/// [`Reply::send`] consumes it, so an engine cannot answer twice.
+pub struct Reply {
+    inner: Box<dyn FnOnce(String) + Send>,
+}
+
+impl Reply {
+    /// Wrap the front-end's delivery function.
+    pub fn new(deliver: impl FnOnce(String) + Send + 'static) -> Reply {
+        Reply {
+            inner: Box::new(deliver),
+        }
+    }
+
+    /// Deliver the response line (no trailing newline). May be called from
+    /// any thread.
+    pub fn send(self, response: String) {
+        (self.inner)(response)
+    }
+}
+
+impl std::fmt::Debug for Reply {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Reply")
+    }
+}
+
+/// What [`Engine::submit`] did with a request line.
+#[derive(Debug)]
+pub enum Submission {
+    /// Answered synchronously; the [`Reply`] was dropped unused. Control
+    /// ops, cache hits, and every rejection (parse errors, admission
+    /// control, drain) take this path.
+    Inline(String),
+    /// Queued for asynchronous execution; the [`Reply`] will be invoked
+    /// exactly once (see the module docs for the deadline fine print).
+    Accepted {
+        /// When the engine stops considering this request worth running.
+        deadline: Instant,
+        /// The client's correlation id, if the request carried one — so a
+        /// front-end that synthesizes its own timeout response can still
+        /// echo it.
+        correlation: Option<u64>,
+    },
+}
+
+/// The compute back-end behind a connection front-end. See the module docs
+/// for the full contract; the trait itself is deliberately small.
+pub trait Engine: Send + Sync + 'static {
+    /// Handle one complete request line (newline-stripped, non-empty).
+    fn submit(&self, line: &str, reply: Reply) -> Submission;
+
+    /// A connection was accepted (any front-end).
+    fn connection_opened(&self) {}
+
+    /// A connection was closed or reaped (any front-end).
+    fn connection_closed(&self) {}
+
+    /// Render the response for a request line that exceeded `max_line`
+    /// bytes before a newline arrived. The engine also counts the fault.
+    fn oversized_line_response(&self, max_line: usize) -> String;
+
+    /// Begin shutdown: reject new compute work, finish accepted work.
+    /// Idempotent.
+    fn drain(&self);
+
+    /// True once [`Engine::drain`] has been called (by anyone).
+    fn is_draining(&self) -> bool;
+}

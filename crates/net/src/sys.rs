@@ -1,0 +1,171 @@
+//! Minimal in-crate bindings to the two syscalls the event loop needs:
+//! `poll(2)` for readiness and `setrlimit(2)` for raising the open-file
+//! cap in fd-heavy experiments. Declared here directly (no `libc` crate),
+//! consistent with the workspace's dependency policy — crates.io is
+//! unavailable, and the shim-crate policy says to bind exactly the surface
+//! we use.
+//!
+//! Linux/Unix only; the whole crate is gated on `cfg(unix)` at the root.
+
+use std::io;
+use std::os::raw::{c_int, c_ulong};
+use std::os::unix::io::RawFd;
+
+/// One entry of the `poll(2)` fd set. Field order and sizes match the
+/// kernel ABI (`struct pollfd`): fd, requested events, returned events.
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub struct PollFd {
+    /// The file descriptor to watch (negative entries are ignored by the
+    /// kernel — handy for masking a slot without reshuffling the array).
+    pub fd: RawFd,
+    /// Requested event mask ([`POLLIN`] | [`POLLOUT`]).
+    pub events: i16,
+    /// Kernel-filled result mask (may include [`POLLERR`], [`POLLHUP`],
+    /// [`POLLNVAL`] even when not requested).
+    pub revents: i16,
+}
+
+impl PollFd {
+    /// Watch `fd` for `events`.
+    pub fn new(fd: RawFd, events: i16) -> PollFd {
+        PollFd {
+            fd,
+            events,
+            revents: 0,
+        }
+    }
+
+    /// Any readable-ish readiness: data, peer hangup, or error (all three
+    /// mean "calling read will not block").
+    pub fn readable(&self) -> bool {
+        self.revents & (POLLIN | POLLHUP | POLLERR | POLLNVAL) != 0
+    }
+
+    /// Writable readiness (or an error that write will surface).
+    pub fn writable(&self) -> bool {
+        self.revents & (POLLOUT | POLLERR | POLLNVAL) != 0
+    }
+}
+
+/// There is data to read.
+pub const POLLIN: i16 = 0x001;
+/// Writing is possible without blocking.
+pub const POLLOUT: i16 = 0x004;
+/// Error condition (returned only).
+pub const POLLERR: i16 = 0x008;
+/// Peer hung up (returned only).
+pub const POLLHUP: i16 = 0x010;
+/// Invalid fd (returned only).
+pub const POLLNVAL: i16 = 0x020;
+
+/// `RLIMIT_NOFILE` on Linux (`resource.h`).
+const RLIMIT_NOFILE: c_int = 7;
+
+#[repr(C)]
+struct RLimit {
+    rlim_cur: u64,
+    rlim_max: u64,
+}
+
+extern "C" {
+    // int poll(struct pollfd *fds, nfds_t nfds, int timeout);
+    // nfds_t is unsigned long on Linux.
+    fn poll(fds: *mut PollFd, nfds: c_ulong, timeout: c_int) -> c_int;
+    // int getrlimit(int resource, struct rlimit *rlim);
+    fn getrlimit(resource: c_int, rlim: *mut RLimit) -> c_int;
+    // int setrlimit(int resource, const struct rlimit *rlim);
+    fn setrlimit(resource: c_int, rlim: *const RLimit) -> c_int;
+}
+
+/// Block until any entry in `fds` is ready, `timeout_ms` elapses (negative
+/// waits forever, 0 polls), or a signal arrives — `EINTR` is retried here,
+/// so callers never see it. Returns how many entries have non-zero
+/// `revents`.
+pub fn poll_fds(fds: &mut [PollFd], timeout_ms: i32) -> io::Result<usize> {
+    loop {
+        // SAFETY: `fds` is a valid, exclusively borrowed slice whose layout
+        // matches `struct pollfd[]` (repr(C), field-for-field); the kernel
+        // writes only `revents` within the slice bounds.
+        let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as c_ulong, timeout_ms) };
+        if rc >= 0 {
+            return Ok(rc as usize);
+        }
+        let err = io::Error::last_os_error();
+        if err.kind() != io::ErrorKind::Interrupted {
+            return Err(err);
+        }
+    }
+}
+
+/// Raise the soft open-file limit to the hard limit and return the
+/// resulting soft value. The idle-connection experiments open thousands of
+/// sockets in one process; a conservative soft default would otherwise turn
+/// `accept` into `EMFILE`. Best-effort: on any error the current (or a
+/// pessimistic) value is returned and nothing changes.
+pub fn raise_nofile_limit() -> u64 {
+    let mut lim = RLimit {
+        rlim_cur: 0,
+        rlim_max: 0,
+    };
+    // SAFETY: `lim` is a valid repr(C) rlimit the kernel fills.
+    if unsafe { getrlimit(RLIMIT_NOFILE, &mut lim) } != 0 {
+        return 1024;
+    }
+    if lim.rlim_cur < lim.rlim_max {
+        let want = RLimit {
+            rlim_cur: lim.rlim_max,
+            rlim_max: lim.rlim_max,
+        };
+        // SAFETY: passing a valid, initialized rlimit by const pointer.
+        if unsafe { setrlimit(RLIMIT_NOFILE, &want) } == 0 {
+            return want.rlim_cur;
+        }
+    }
+    lim.rlim_cur
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::os::unix::io::AsRawFd;
+    use std::os::unix::net::UnixStream;
+
+    #[test]
+    fn poll_reports_readability_exactly_when_data_is_pending() {
+        let (mut a, b) = UnixStream::pair().unwrap();
+        let mut fds = [PollFd::new(b.as_raw_fd(), POLLIN)];
+        // nothing written yet: a zero-timeout poll sees nothing
+        assert_eq!(poll_fds(&mut fds, 0).unwrap(), 0);
+        assert!(!fds[0].readable());
+        a.write_all(b"x").unwrap();
+        let n = poll_fds(&mut fds, 1000).unwrap();
+        assert_eq!(n, 1);
+        assert!(fds[0].readable());
+        assert!(!fds[0].writable(), "POLLOUT was not requested");
+    }
+
+    #[test]
+    fn poll_reports_writability_and_hangup() {
+        let (a, b) = UnixStream::pair().unwrap();
+        let mut fds = [PollFd::new(a.as_raw_fd(), POLLOUT)];
+        assert_eq!(poll_fds(&mut fds, 1000).unwrap(), 1);
+        assert!(fds[0].writable(), "fresh socket has buffer space");
+        drop(b);
+        let mut fds = [PollFd::new(a.as_raw_fd(), POLLIN)];
+        assert_eq!(poll_fds(&mut fds, 1000).unwrap(), 1);
+        assert!(fds[0].readable(), "hangup counts as readable (read -> 0)");
+    }
+
+    #[test]
+    fn negative_fd_entries_are_ignored() {
+        let mut fds = [PollFd::new(-1, POLLIN)];
+        assert_eq!(poll_fds(&mut fds, 0).unwrap(), 0);
+    }
+
+    #[test]
+    fn nofile_limit_is_sane_after_raise() {
+        assert!(raise_nofile_limit() >= 256);
+    }
+}

@@ -1,8 +1,9 @@
 //! The `gbtl-serve` binary: bind, preload graphs, serve until shutdown.
 //!
 //! ```text
-//! gbtl-serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]
-//!            [--deadline-ms N] [--par-threads N] [--metrics on|off]
+//! gbtl-serve [--addr HOST:PORT] [--mode threaded|evented] [--workers N]
+//!            [--queue N] [--cache N] [--deadline-ms N] [--max-line BYTES]
+//!            [--idle-timeout-ms N] [--par-threads N] [--metrics on|off]
 //!            [--slowlog N] [--load NAME=SPEC]...
 //! ```
 //!
@@ -13,12 +14,13 @@
 
 use std::io::Write;
 
-use gbtl_serve::{start, ServerConfig};
+use gbtl_serve::{start, FrontendMode, ServerConfig};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: gbtl-serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]\n\
-         \x20                 [--deadline-ms N] [--par-threads N] [--metrics on|off]\n\
+        "usage: gbtl-serve [--addr HOST:PORT] [--mode threaded|evented] [--workers N]\n\
+         \x20                 [--queue N] [--cache N] [--deadline-ms N] [--max-line BYTES]\n\
+         \x20                 [--idle-timeout-ms N] [--par-threads N] [--metrics on|off]\n\
          \x20                 [--slowlog N] [--load NAME=SPEC]..."
     );
     std::process::exit(2);
@@ -36,10 +38,19 @@ fn main() {
         };
         match arg.as_str() {
             "--addr" => config.addr = value("HOST:PORT"),
+            "--mode" => {
+                let raw = value("threaded|evented");
+                config.mode = FrontendMode::parse(&raw).unwrap_or_else(|| {
+                    eprintln!("gbtl-serve: --mode wants threaded|evented, got {raw:?}");
+                    usage()
+                })
+            }
             "--workers" => config.workers = parse_num(&value("count")),
             "--queue" => config.queue_capacity = parse_num(&value("count")),
             "--cache" => config.cache_capacity = parse_num(&value("count")),
             "--deadline-ms" => config.default_deadline_ms = parse_num::<u64>(&value("ms")),
+            "--max-line" => config.max_line = parse_num(&value("bytes")),
+            "--idle-timeout-ms" => config.idle_timeout_ms = parse_num::<u64>(&value("ms")),
             "--par-threads" => config.par_threads = parse_num(&value("count")),
             "--metrics" => {
                 config.metrics = match value("on|off").as_str() {
@@ -76,8 +87,10 @@ fn main() {
         }
     };
     println!(
-        "gbtl-serve listening on {} ({} workers, queue {}, cache {}, {} graphs preloaded)",
+        "gbtl-serve listening on {} ({} front-end, {} workers, queue {}, cache {}, \
+         {} graphs preloaded)",
         handle.addr(),
+        config.mode.as_str(),
         config.workers,
         config.queue_capacity,
         config.cache_capacity,

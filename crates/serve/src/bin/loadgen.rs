@@ -4,6 +4,7 @@
 //! ```text
 //! loadgen [--addr HOST:PORT] [--clients N] [--requests N] [--graph NAME]
 //!         [--algos a,b,c] [--backend seq|par|cuda] [--sources N]
+//!         [--pipeline DEPTH] [--idle N]
 //!         [--load NAME=SPEC]... [--wait-ms N] [--smoke] [--shutdown]
 //! ```
 //!
@@ -11,6 +12,11 @@
 //! scripts that just forked it). `--smoke` runs one query per algorithm and
 //! exits non-zero unless every response is well-formed — the CI smoke step.
 //! `--shutdown` sends `{"op":"shutdown"}` after the run.
+//!
+//! `--pipeline DEPTH` keeps up to DEPTH requests in flight per connection
+//! and verifies in-order responses (the evented front-end's specialty);
+//! `--idle N` holds N silent extra connections through the run and fails
+//! the run unless every one still answers a ping afterwards.
 
 use gbtl_serve::protocol::Algo;
 use gbtl_serve::{fetch_server_latency, run_loadgen, Client, LoadgenOptions};
@@ -19,6 +25,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: loadgen [--addr HOST:PORT] [--clients N] [--requests N] [--graph NAME]\n\
          \x20              [--algos a,b,c] [--backend seq|par|cuda] [--sources N]\n\
+         \x20              [--pipeline DEPTH] [--idle N]\n\
          \x20              [--load NAME=SPEC]... [--wait-ms N] [--smoke] [--shutdown]"
     );
     std::process::exit(2);
@@ -55,6 +62,8 @@ fn parse_cli() -> Cli {
             "--graph" => cli.opts.graph = value("NAME"),
             "--backend" => cli.opts.backend = value("name"),
             "--sources" => cli.opts.source_count = parse_num(&value("count")),
+            "--pipeline" => cli.opts.pipeline = parse_num(&value("depth")),
+            "--idle" => cli.opts.idle_conns = parse_num(&value("count")),
             "--algos" => {
                 let list = value("a,b,c");
                 cli.opts.algos = list
@@ -222,6 +231,25 @@ fn main() {
                 );
                 for (code, n) in &report.errors {
                     println!("  rejected {code}: {n}");
+                }
+                if cli.opts.pipeline > 1 {
+                    println!(
+                        "  pipelined depth {} (responses verified in order)",
+                        cli.opts.pipeline
+                    );
+                }
+                if cli.opts.idle_conns > 0 {
+                    println!(
+                        "  idle flood: {}/{} connections alive after the run",
+                        report.idle_alive, cli.opts.idle_conns
+                    );
+                    if report.idle_alive < cli.opts.idle_conns as u64 {
+                        eprintln!(
+                            "loadgen: {} idle connections died during the run",
+                            cli.opts.idle_conns as u64 - report.idle_alive
+                        );
+                        failed = true;
+                    }
                 }
                 if report.corrupted > 0 {
                     eprintln!("loadgen: {} corrupted responses", report.corrupted);

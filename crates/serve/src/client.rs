@@ -82,6 +82,15 @@ pub struct LoadgenOptions {
     /// Number of distinct BFS/SSSP sources to cycle through (1 makes every
     /// request identical — the cache-friendly extreme).
     pub source_count: usize,
+    /// Pipeline depth: with `> 1`, each client keeps up to this many
+    /// requests in flight on one connection and verifies the responses come
+    /// back **in request order**; `0`/`1` is the classic closed loop (one
+    /// request, one response).
+    pub pipeline: usize,
+    /// Idle-connection flood: open this many extra connections *before*
+    /// the query phase, hold them silent throughout, and ping each
+    /// afterwards — [`LoadgenReport::idle_alive`] counts the survivors.
+    pub idle_conns: usize,
 }
 
 impl Default for LoadgenOptions {
@@ -94,6 +103,8 @@ impl Default for LoadgenOptions {
             algos: vec![Algo::Bfs, Algo::Pagerank, Algo::TriangleCount],
             backend: "par".into(),
             source_count: 8,
+            pipeline: 1,
+            idle_conns: 0,
         }
     }
 }
@@ -121,6 +132,9 @@ pub struct LoadgenReport {
     /// Every subsequent request's latency (steady state), sorted ascending,
     /// microseconds.
     pub steady_us: Vec<u64>,
+    /// Of [`LoadgenOptions::idle_conns`] idle connections held through the
+    /// run, how many still answered a ping afterwards.
+    pub idle_alive: u64,
 }
 
 impl LoadgenReport {
@@ -196,72 +210,176 @@ pub fn fetch_server_latency(client: &mut Client) -> std::io::Result<ServerLatenc
     })
 }
 
-/// Drive `clients` concurrent closed-loop clients and aggregate the result.
-/// Every response is validated: parsed, `ok` checked, and matched back to
-/// its request id — anything else counts as corrupted.
+/// Shared tallies every client thread reports into.
+#[derive(Debug, Default, Clone)]
+struct Tallies {
+    corrupted: Arc<AtomicU64>,
+    cached: Arc<AtomicU64>,
+    ok: Arc<AtomicU64>,
+    errors: Arc<Mutex<std::collections::HashMap<String, u64>>>,
+    latencies: Arc<Mutex<Vec<u64>>>,
+    firsts: Arc<Mutex<Vec<u64>>>,
+    steady: Arc<Mutex<Vec<u64>>>,
+}
+
+impl Tallies {
+    /// Validate one raw response against the id it must answer; `first`
+    /// marks a client's cold-path request.
+    fn score(&self, raw: &str, expected_id: u64, us: u64, first: bool) {
+        match parse(raw) {
+            Ok(v) => {
+                let id_ok = v.u64_field("id") == Some(expected_id);
+                if v.bool_field("ok") == Some(true) && id_ok {
+                    self.ok.fetch_add(1, Ordering::Relaxed);
+                    if v.bool_field("cached") == Some(true) {
+                        self.cached.fetch_add(1, Ordering::Relaxed);
+                    }
+                    self.latencies.lock().unwrap().push(us);
+                    if first {
+                        self.firsts.lock().unwrap().push(us);
+                    } else {
+                        self.steady.lock().unwrap().push(us);
+                    }
+                } else if v.bool_field("ok") == Some(false) && id_ok {
+                    let code = v.str_field("code").unwrap_or("unknown").to_string();
+                    *self.errors.lock().unwrap().entry(code).or_insert(0) += 1;
+                } else {
+                    self.corrupted.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            Err(_) => {
+                self.corrupted.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// Build client `c`'s `r`-th request line.
+fn request_line(opts: &LoadgenOptions, c: usize, r: usize) -> (u64, String) {
+    let algo = opts.algos[r % opts.algos.len().max(1)];
+    let id = (c as u64) * 1_000_000 + r as u64;
+    let source = (c * 31 + r * 17) % opts.source_count.max(1);
+    let line = format!(
+        "{{\"op\":\"query\",\"id\":{id},\"graph\":\"{}\",\"algo\":\"{}\",\
+         \"backend\":\"{}\",\"source\":{source}}}",
+        opts.graph,
+        algo.as_str(),
+        opts.backend
+    );
+    (id, line)
+}
+
+/// The classic closed loop: one request, wait for its response, repeat.
+fn closed_loop_client(opts: &LoadgenOptions, c: usize, tallies: &Tallies) -> std::io::Result<()> {
+    let mut client = Client::connect(&opts.addr)?;
+    for r in 0..opts.requests_per_client {
+        let (id, line) = request_line(opts, c, r);
+        let q0 = Instant::now();
+        let response = client.request(&line);
+        let us = q0.elapsed().as_micros() as u64;
+        let Ok(raw) = response else {
+            tallies.corrupted.fetch_add(1, Ordering::Relaxed);
+            continue;
+        };
+        tallies.score(&raw, id, us, r == 0);
+    }
+    Ok(())
+}
+
+/// The pipelined loop: keep up to `depth` requests in flight on one
+/// connection, and require the responses to come back **in request order**
+/// (the wire contract both front-ends uphold) — an out-of-order or missing
+/// response counts as corrupted. Per-request latency runs from that
+/// request's send to its response, so it includes time spent queued behind
+/// earlier responses in the window.
+fn pipelined_client(
+    opts: &LoadgenOptions,
+    c: usize,
+    depth: usize,
+    tallies: &Tallies,
+) -> std::io::Result<()> {
+    let stream = TcpStream::connect(&opts.addr)?;
+    stream.set_nodelay(true)?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    // (id, sent-at, is-the-client's-first-request), oldest first
+    let mut inflight: std::collections::VecDeque<(u64, Instant, bool)> =
+        std::collections::VecDeque::with_capacity(depth);
+
+    let mut read_one = |inflight: &mut std::collections::VecDeque<(u64, Instant, bool)>| -> bool {
+        let Some((id, sent, first)) = inflight.pop_front() else {
+            return false;
+        };
+        let mut raw = String::new();
+        match reader.read_line(&mut raw) {
+            Ok(n) if n > 0 => {
+                let us = sent.elapsed().as_micros() as u64;
+                tallies.score(raw.trim_end(), id, us, first);
+                true
+            }
+            _ => {
+                // connection died: this and every other in-flight request is
+                // unanswered
+                tallies
+                    .corrupted
+                    .fetch_add(1 + inflight.len() as u64, Ordering::Relaxed);
+                inflight.clear();
+                false
+            }
+        }
+    };
+
+    for r in 0..opts.requests_per_client {
+        let (id, mut line) = request_line(opts, c, r);
+        line.push('\n');
+        if writer.write_all(line.as_bytes()).is_err() {
+            tallies.corrupted.fetch_add(
+                (opts.requests_per_client - r) as u64 + inflight.len() as u64,
+                Ordering::Relaxed,
+            );
+            return Ok(());
+        }
+        inflight.push_back((id, Instant::now(), r == 0));
+        while inflight.len() >= depth {
+            if !read_one(&mut inflight) {
+                return Ok(());
+            }
+        }
+    }
+    while !inflight.is_empty() {
+        if !read_one(&mut inflight) {
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// Drive `clients` concurrent clients — closed-loop or pipelined per
+/// [`LoadgenOptions::pipeline`], optionally alongside an idle-connection
+/// flood — and aggregate the result. Every response is validated: parsed,
+/// `ok` checked, and matched back to its request id — anything else counts
+/// as corrupted.
 pub fn run_loadgen(opts: &LoadgenOptions) -> std::io::Result<LoadgenReport> {
-    let corrupted = Arc::new(AtomicU64::new(0));
-    let cached = Arc::new(AtomicU64::new(0));
-    let ok = Arc::new(AtomicU64::new(0));
-    let errors: Arc<Mutex<std::collections::HashMap<String, u64>>> = Arc::default();
-    let latencies: Arc<Mutex<Vec<u64>>> = Arc::default();
-    let firsts: Arc<Mutex<Vec<u64>>> = Arc::default();
-    let steady: Arc<Mutex<Vec<u64>>> = Arc::default();
+    let tallies = Tallies::default();
+
+    // the idle flood connects before the query phase and stays silent
+    let mut idle: Vec<Client> = Vec::with_capacity(opts.idle_conns);
+    for _ in 0..opts.idle_conns {
+        idle.push(Client::connect(&opts.addr)?);
+    }
 
     let t0 = Instant::now();
     let mut handles = Vec::new();
     for c in 0..opts.clients {
         let opts = opts.clone();
-        let (corrupted, cached, ok) = (corrupted.clone(), cached.clone(), ok.clone());
-        let (errors, latencies) = (errors.clone(), latencies.clone());
-        let (firsts, steady) = (firsts.clone(), steady.clone());
+        let tallies = tallies.clone();
         handles.push(std::thread::spawn(move || -> std::io::Result<()> {
-            let mut client = Client::connect(&opts.addr)?;
-            for r in 0..opts.requests_per_client {
-                let algo = opts.algos[r % opts.algos.len().max(1)];
-                let id = (c as u64) * 1_000_000 + r as u64;
-                let source = (c * 31 + r * 17) % opts.source_count.max(1);
-                let line = format!(
-                    "{{\"op\":\"query\",\"id\":{id},\"graph\":\"{}\",\"algo\":\"{}\",\
-                     \"backend\":\"{}\",\"source\":{source}}}",
-                    opts.graph,
-                    algo.as_str(),
-                    opts.backend
-                );
-                let q0 = Instant::now();
-                let response = client.request(&line);
-                let us = q0.elapsed().as_micros() as u64;
-                let Ok(raw) = response else {
-                    corrupted.fetch_add(1, Ordering::Relaxed);
-                    continue;
-                };
-                match parse(&raw) {
-                    Ok(v) => {
-                        let id_ok = v.u64_field("id") == Some(id);
-                        if v.bool_field("ok") == Some(true) && id_ok {
-                            ok.fetch_add(1, Ordering::Relaxed);
-                            if v.bool_field("cached") == Some(true) {
-                                cached.fetch_add(1, Ordering::Relaxed);
-                            }
-                            latencies.lock().unwrap().push(us);
-                            if r == 0 {
-                                firsts.lock().unwrap().push(us);
-                            } else {
-                                steady.lock().unwrap().push(us);
-                            }
-                        } else if v.bool_field("ok") == Some(false) && id_ok {
-                            let code = v.str_field("code").unwrap_or("unknown").to_string();
-                            *errors.lock().unwrap().entry(code).or_insert(0) += 1;
-                        } else {
-                            corrupted.fetch_add(1, Ordering::Relaxed);
-                        }
-                    }
-                    Err(_) => {
-                        corrupted.fetch_add(1, Ordering::Relaxed);
-                    }
-                }
+            let depth = opts.pipeline.max(1);
+            if depth > 1 {
+                pipelined_client(&opts, c, depth, &tallies)
+            } else {
+                closed_loop_client(&opts, c, &tallies)
             }
-            Ok(())
         }));
     }
     for h in handles {
@@ -270,29 +388,45 @@ pub fn run_loadgen(opts: &LoadgenOptions) -> std::io::Result<LoadgenReport> {
             // a client that could not even connect counts all its requests
             // as corrupted
             Ok(Err(_)) | Err(_) => {
-                corrupted.fetch_add(opts.requests_per_client as u64, Ordering::Relaxed);
+                tallies
+                    .corrupted
+                    .fetch_add(opts.requests_per_client as u64, Ordering::Relaxed);
             }
         }
     }
     let elapsed = t0.elapsed();
 
-    let mut latencies_us = std::mem::take(&mut *latencies.lock().unwrap());
+    // now that the query phase is over, every idle connection must still be
+    // answering — the flood proves idle connections survive load untouched
+    let mut idle_alive = 0u64;
+    for c in idle.iter_mut() {
+        let alive = c
+            .request_json("{\"op\":\"ping\"}")
+            .map(|v| v.bool_field("pong") == Some(true))
+            .unwrap_or(false);
+        if alive {
+            idle_alive += 1;
+        }
+    }
+
+    let mut latencies_us = std::mem::take(&mut *tallies.latencies.lock().unwrap());
     latencies_us.sort_unstable();
-    let mut first_us = std::mem::take(&mut *firsts.lock().unwrap());
+    let mut first_us = std::mem::take(&mut *tallies.firsts.lock().unwrap());
     first_us.sort_unstable();
-    let mut steady_us = std::mem::take(&mut *steady.lock().unwrap());
+    let mut steady_us = std::mem::take(&mut *tallies.steady.lock().unwrap());
     steady_us.sort_unstable();
-    let mut errors: Vec<(String, u64)> = errors.lock().unwrap().drain().collect();
+    let mut errors: Vec<(String, u64)> = tallies.errors.lock().unwrap().drain().collect();
     errors.sort();
     Ok(LoadgenReport {
-        ok: ok.load(Ordering::Relaxed),
-        cached: cached.load(Ordering::Relaxed),
+        ok: tallies.ok.load(Ordering::Relaxed),
+        cached: tallies.cached.load(Ordering::Relaxed),
         errors,
-        corrupted: corrupted.load(Ordering::Relaxed),
+        corrupted: tallies.corrupted.load(Ordering::Relaxed),
         elapsed,
         latencies_us,
         first_us,
         steady_us,
+        idle_alive,
     })
 }
 

@@ -13,8 +13,14 @@
 //! * [`catalog`] — named, epoch-stamped resident graphs;
 //! * [`protocol`] — the wire grammar (requests, params, error codes);
 //! * [`cache`] — the LRU result cache keyed by `(graph, epoch, params)`;
-//! * [`engine`] + [`server`] — per-worker backend contexts behind a bounded
-//!   job queue with admission control, deadlines, and graceful shutdown.
+//! * [`engine`] + [`pool`] — per-worker backend contexts behind a bounded
+//!   job queue with admission control, deadlines, and graceful shutdown,
+//!   packaged as an [`EnginePool`] that implements the formal
+//!   [`gbtl_net::Engine`] contract;
+//! * [`server`] — the connection front-ends: the legacy
+//!   thread-per-connection listener and the `gbtl-net` evented `poll(2)`
+//!   loop (`GBTL_SERVE_MODE`), both driving the same pool through the same
+//!   trait with bit-identical responses.
 //!
 //! [`client`] has the matching client and the closed-loop load generator.
 //!
@@ -37,10 +43,16 @@ pub mod cache;
 pub mod catalog;
 pub mod client;
 pub mod engine;
+pub mod pool;
 pub mod protocol;
 pub mod server;
 
 pub use client::{
     fetch_server_latency, run_loadgen, Client, LoadgenOptions, LoadgenReport, ServerLatencySummary,
 };
-pub use server::{start, ServerConfig, ServerHandle};
+pub use pool::EnginePool;
+pub use server::{start, FrontendMode, ServerConfig, ServerHandle};
+
+// Re-exported so tools driving many connections (loadgen, the experiment
+// harness) can lift `RLIMIT_NOFILE` without depending on gbtl-net directly.
+pub use gbtl_net::raise_nofile_limit;

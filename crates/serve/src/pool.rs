@@ -1,0 +1,986 @@
+//! The compute side of the server — everything behind the
+//! [`gbtl_net::Engine`] contract.
+//!
+//! [`EnginePool`] owns the graph catalog, the result cache, the bounded job
+//! queue, the per-worker backend engines, the metrics registry, and every
+//! cumulative counter. It implements [`gbtl_net::Engine`], so the two
+//! connection front-ends — the legacy thread-per-connection listener and
+//! the evented `poll(2)` loop, both in [`crate::server`] — drive the *same*
+//! object through the *same* trait and produce bit-identical responses (the
+//! integration tests prove it via the result checksums).
+//!
+//! What the contract maps to here:
+//!
+//! * [`Engine::submit`] is the old per-line dispatch: control ops (`ping`,
+//!   `list`, `stats`, `metrics`, `load`, `shutdown`), cache hits, and every
+//!   rejection (parse errors, `overloaded`, `shutting_down`) answer
+//!   [`Submission::Inline`]; `query` misses and `sleep` push onto the
+//!   bounded queue and answer [`Submission::Accepted`], with the worker
+//!   pool invoking the [`Reply`] when done.
+//! * Admission control is what keeps `submit` safe to call from the evented
+//!   poller thread: a full queue rejects in O(1) instead of blocking.
+//! * Deadlines: jobs that expire while queued are answered with a
+//!   `deadline` error by the worker that pops them; a job already executing
+//!   when its deadline passes completes and replies late (the threaded
+//!   front-end stops waiting and synthesizes its own timeout — the evented
+//!   loop just delivers the late response).
+//! * [`Engine::drain`] closes the queue to new work, after which workers
+//!   finish every admitted job and park; both front-ends watch
+//!   [`Engine::is_draining`] to stop accepting connections.
+
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+use gbtl_core::TransposeCache;
+use gbtl_metrics::expose::{histogram_json, render_json, render_prometheus};
+use gbtl_metrics::{Counter, HistogramSnapshot, Registry, SlowLog};
+use gbtl_net::{NetStats, Reply, Submission};
+use gbtl_util::json::escape;
+
+use crate::cache::{cache_key, CachedResult, ResultCache};
+use crate::catalog::{Catalog, GraphEntry, GraphSpec};
+use crate::engine::{Engine as QueryEngine, EngineSnapshot};
+use crate::protocol::{error_response, oversized_response, parse_request, QueryParams, Request};
+use crate::server::ServerConfig;
+
+/// The `ok:true` prefix every successful response starts with — the
+/// completed-counter predicate, applied in one place for both front-ends.
+const OK_PREFIX: &str = "{\"ok\":true";
+
+/// One queued compute job.
+#[derive(Debug)]
+struct Job {
+    kind: JobKind,
+    id: Option<u64>,
+    request_id: u64,
+    deadline: Instant,
+    enqueued: Instant,
+    reply: Reply,
+}
+
+#[derive(Debug)]
+enum JobKind {
+    Query {
+        params: QueryParams,
+        graph: Arc<GraphEntry>,
+        key: String,
+    },
+    Sleep {
+        ms: u64,
+    },
+}
+
+#[derive(Debug)]
+enum PushError {
+    Full,
+    ShuttingDown,
+}
+
+/// The bounded job queue (Mutex + Condvar; `pop` blocks, `push` never does).
+#[derive(Debug)]
+struct JobQueue {
+    capacity: usize,
+    inner: Mutex<QueueInner>,
+    cond: Condvar,
+}
+
+#[derive(Debug, Default)]
+struct QueueInner {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+impl JobQueue {
+    fn new(capacity: usize) -> Self {
+        JobQueue {
+            capacity: capacity.max(1),
+            inner: Mutex::new(QueueInner::default()),
+            cond: Condvar::new(),
+        }
+    }
+
+    fn push(&self, job: Job) -> Result<(), PushError> {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.shutdown {
+            return Err(PushError::ShuttingDown);
+        }
+        if inner.jobs.len() >= self.capacity {
+            return Err(PushError::Full);
+        }
+        inner.jobs.push_back(job);
+        drop(inner);
+        self.cond.notify_one();
+        Ok(())
+    }
+
+    /// Blocks for the next job; `None` once the queue is shut down *and*
+    /// drained (so admitted work always completes).
+    fn pop(&self) -> Option<Job> {
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            if let Some(job) = inner.jobs.pop_front() {
+                return Some(job);
+            }
+            if inner.shutdown {
+                return None;
+            }
+            inner = self.cond.wait(inner).unwrap();
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.inner.lock().unwrap().jobs.len()
+    }
+
+    fn shutdown(&self) {
+        self.inner.lock().unwrap().shutdown = true;
+        self.cond.notify_all();
+    }
+}
+
+/// Cumulative server counters, held as registry handles: the hot path is a
+/// relaxed atomic add, and the `stats` and `metrics` endpoints read the
+/// exact same cells (so the two expositions can never disagree).
+#[derive(Debug)]
+pub(crate) struct ServerStats {
+    pub(crate) connections: Arc<Counter>,
+    pub(crate) connections_closed: Arc<Counter>,
+    pub(crate) received: Arc<Counter>,
+    pub(crate) completed: Arc<Counter>,
+    pub(crate) bad_requests: Arc<Counter>,
+    pub(crate) rejected_overloaded: Arc<Counter>,
+    pub(crate) rejected_shutdown: Arc<Counter>,
+    pub(crate) deadline_expired: Arc<Counter>,
+}
+
+impl ServerStats {
+    fn new(registry: &Registry) -> Self {
+        let c = |name| registry.counter(name, &[]);
+        ServerStats {
+            connections: c("gbtl_connections_total"),
+            connections_closed: c("gbtl_connections_closed_total"),
+            received: c("gbtl_requests_received_total"),
+            completed: c("gbtl_requests_completed_total"),
+            bad_requests: c("gbtl_bad_requests_total"),
+            rejected_overloaded: c("gbtl_rejected_overloaded_total"),
+            rejected_shutdown: c("gbtl_rejected_shutdown_total"),
+            deadline_expired: c("gbtl_deadline_expired_total"),
+        }
+    }
+}
+
+/// One slow-query log payload (the log's ranking key is the total latency).
+#[derive(Debug, Clone)]
+struct SlowQuery {
+    request_id: u64,
+    graph: String,
+    params: String,
+    queue_us: u64,
+    execute_us: u64,
+    serialize_us: u64,
+}
+
+/// Per-request stage timings, microseconds.
+#[derive(Debug, Clone, Copy, Default)]
+struct StageTiming {
+    queue_us: u64,
+    execute_us: u64,
+    serialize_us: u64,
+}
+
+impl StageTiming {
+    fn total_us(self) -> u64 {
+        self.queue_us + self.execute_us + self.serialize_us
+    }
+}
+
+/// The compute back-end: catalog, cache, bounded queue, worker engines,
+/// metrics. Implements [`gbtl_net::Engine`]; see the module docs for how
+/// the contract maps onto these pieces. Always used behind an `Arc` —
+/// worker threads and both front-ends share one instance.
+#[derive(Debug)]
+pub struct EnginePool {
+    pub(crate) config: ServerConfig,
+    catalog: Catalog,
+    cache: ResultCache,
+    /// One store shared by every engine and backend context; pre-warmed on
+    /// graph load so the first pull-direction query never builds Aᵀ inline.
+    transpose_cache: TransposeCache,
+    queue: JobQueue,
+    registry: Registry,
+    pub(crate) stats: ServerStats,
+    slow_log: SlowLog<SlowQuery>,
+    next_request_id: AtomicU64,
+    engines: Vec<QueryEngine>,
+    start: Instant,
+    shutdown: AtomicBool,
+    /// Set once the listener is bound: lets [`gbtl_net::Engine::drain`]
+    /// poke a blocking `accept()` awake in threaded mode.
+    listen_addr: OnceLock<SocketAddr>,
+    /// Set when the evented front-end starts: its connection-layer counters,
+    /// mirrored into gauges and the stats endpoint.
+    net: OnceLock<Arc<NetStats>>,
+}
+
+impl EnginePool {
+    /// Build the pool: backend engines, catalog (preloads applied and
+    /// pre-warmed), cache, queue, registry. Fails only on a bad preload.
+    pub fn new(config: ServerConfig) -> std::io::Result<Arc<EnginePool>> {
+        let transpose_cache = TransposeCache::from_env();
+        let engines: Vec<QueryEngine> = (0..config.workers.max(1))
+            .map(|_| QueryEngine::with_transpose_cache(config.par_threads, transpose_cache.clone()))
+            .collect();
+
+        let catalog = Catalog::new();
+        for (name, spec) in &config.preload {
+            let entry = GraphSpec::parse(spec)
+                .and_then(|s| catalog.load(name, &s))
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e))?;
+            engines[0].prewarm(&entry);
+        }
+
+        let registry = Registry::new(config.metrics);
+        let stats = ServerStats::new(&registry);
+        Ok(Arc::new(EnginePool {
+            cache: ResultCache::new(config.cache_capacity),
+            transpose_cache,
+            queue: JobQueue::new(config.queue_capacity),
+            slow_log: SlowLog::new(config.slow_log_capacity),
+            next_request_id: AtomicU64::new(1),
+            registry,
+            stats,
+            catalog,
+            engines,
+            start: Instant::now(),
+            shutdown: AtomicBool::new(false),
+            listen_addr: OnceLock::new(),
+            net: OnceLock::new(),
+            config,
+        }))
+    }
+
+    /// Record where the front-end listens (for the drain poke).
+    pub(crate) fn set_listen_addr(&self, addr: SocketAddr) {
+        let _ = self.listen_addr.set(addr);
+    }
+
+    /// Adopt the evented front-end's connection-layer counters.
+    pub(crate) fn set_net_stats(&self, stats: Arc<NetStats>) {
+        let _ = self.net.set(stats);
+    }
+
+    /// Spawn one worker thread per backend engine. Workers exit when
+    /// [`gbtl_net::Engine::drain`] closes the queue and it empties.
+    pub(crate) fn spawn_workers(self: &Arc<Self>) -> Vec<std::thread::JoinHandle<()>> {
+        (0..self.engines.len())
+            .map(|i| {
+                let pool = self.clone();
+                std::thread::Builder::new()
+                    .name(format!("gbtl-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&pool, i))
+                    .expect("spawn worker")
+            })
+            .collect()
+    }
+
+    /// The threaded front-end timed out waiting on an accepted request:
+    /// count it and render the synthesized `deadline` error (the late real
+    /// response, if any, is discarded by the dropped channel).
+    pub(crate) fn deadline_timeout_response(&self, correlation: Option<u64>) -> String {
+        self.stats.deadline_expired.inc();
+        error_response(
+            "deadline",
+            "no result within the request deadline",
+            correlation,
+        )
+    }
+
+    /// Count an inline response as completed when it is a success, exactly
+    /// like the wrapped [`Reply`] does for queued responses.
+    fn finish_inline(&self, response: String) -> Submission {
+        if response.starts_with(OK_PREFIX) {
+            self.stats.completed.inc();
+        }
+        Submission::Inline(response)
+    }
+
+    /// Allocate the next server-wide request id (starts at 1; 0 never
+    /// appears, so integration assertions can treat it as "unassigned").
+    fn next_request_id(&self) -> u64 {
+        self.next_request_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Push a compute job; inline rejection if the queue is full or closed.
+    fn submit_job(
+        &self,
+        kind: JobKind,
+        id: Option<u64>,
+        request_id: u64,
+        deadline_ms: Option<u64>,
+        reply: Reply,
+    ) -> Submission {
+        let deadline_ms = deadline_ms.unwrap_or(self.config.default_deadline_ms);
+        let now = Instant::now();
+        let deadline = now + Duration::from_millis(deadline_ms);
+        // wrap the front-end's reply so queued completions hit the same
+        // completed counter as inline ones, whichever front-end delivers
+        let completed = self.stats.completed.clone();
+        let reply = Reply::new(move |response: String| {
+            if response.starts_with(OK_PREFIX) {
+                completed.inc();
+            }
+            reply.send(response);
+        });
+        let job = Job {
+            kind,
+            id,
+            request_id,
+            deadline,
+            enqueued: now,
+            reply,
+        };
+        match self.queue.push(job) {
+            Ok(()) => Submission::Accepted {
+                deadline,
+                correlation: id,
+            },
+            Err(PushError::Full) => {
+                self.stats.rejected_overloaded.inc();
+                self.finish_inline(error_response(
+                    "overloaded",
+                    &format!(
+                        "queue full ({} queued, {} workers busy)",
+                        self.config.queue_capacity, self.config.workers
+                    ),
+                    id,
+                ))
+            }
+            Err(PushError::ShuttingDown) => {
+                self.stats.rejected_shutdown.inc();
+                self.finish_inline(error_response(
+                    "shutting_down",
+                    "server is shutting down",
+                    id,
+                ))
+            }
+        }
+    }
+}
+
+impl gbtl_net::Engine for EnginePool {
+    fn submit(&self, line: &str, reply: Reply) -> Submission {
+        self.stats.received.inc();
+        let request = match parse_request(line) {
+            Ok(r) => r,
+            Err(e) => {
+                self.stats.bad_requests.inc();
+                return self.finish_inline(error_response("bad_request", &e, None));
+            }
+        };
+        match request {
+            Request::Ping => self.finish_inline("{\"ok\":true,\"pong\":true}".into()),
+            Request::List => {
+                let r = render_list(self);
+                self.finish_inline(r)
+            }
+            Request::Stats => {
+                let r = render_stats(self);
+                self.finish_inline(r)
+            }
+            Request::Metrics => {
+                let r = render_metrics(self);
+                self.finish_inline(r)
+            }
+            Request::Shutdown => {
+                self.drain();
+                self.finish_inline("{\"ok\":true,\"shutting_down\":true}".into())
+            }
+            Request::Load { name, spec } => {
+                if self.is_draining() {
+                    return self.finish_inline(error_response(
+                        "shutting_down",
+                        "server is shutting down",
+                        None,
+                    ));
+                }
+                match GraphSpec::parse(&spec).and_then(|s| self.catalog.load(&name, &s)) {
+                    Ok(entry) => {
+                        // build the new entry's transposes into the shared
+                        // cache before acknowledging the load: a reload's
+                        // stale entries are unreachable (fresh matrix ids)
+                        // and age out
+                        self.engines[0].prewarm(&entry);
+                        self.finish_inline(format!(
+                            "{{\"ok\":true,\"graph\":\"{}\",\"epoch\":{},\"n\":{},\"nnz\":{},\
+                             \"spec\":\"{}\"}}",
+                            escape(&entry.name),
+                            entry.epoch,
+                            entry.n(),
+                            entry.nnz(),
+                            escape(&entry.spec)
+                        ))
+                    }
+                    Err(e) => {
+                        self.stats.bad_requests.inc();
+                        self.finish_inline(error_response("bad_request", &e, None))
+                    }
+                }
+            }
+            Request::Sleep {
+                ms,
+                id,
+                deadline_ms,
+            } => {
+                let request_id = self.next_request_id();
+                self.submit_job(JobKind::Sleep { ms }, id, request_id, deadline_ms, reply)
+            }
+            Request::Query(params) => {
+                let Some(graph) = self.catalog.get(&params.graph) else {
+                    return self.finish_inline(error_response(
+                        "not_found",
+                        &format!("no graph named {:?} (use the load op)", params.graph),
+                        params.id,
+                    ));
+                };
+                let request_id = self.next_request_id();
+                let key = cache_key(&graph.name, graph.epoch, &params.cache_params());
+                if let Some(hit) = self.cache.get(&key) {
+                    let t0 = self.registry.enabled().then(Instant::now);
+                    let response = query_response(
+                        &params,
+                        &graph,
+                        request_id,
+                        true,
+                        hit.compute_micros,
+                        &hit.result_json,
+                        None,
+                    );
+                    let timing = StageTiming {
+                        serialize_us: t0.map_or(0, |t| t.elapsed().as_micros() as u64),
+                        ..StageTiming::default()
+                    };
+                    record_query(self, &params, "hit", request_id, &graph.name, timing);
+                    return self.finish_inline(response);
+                }
+                let id = params.id;
+                let deadline_ms = params.deadline_ms;
+                self.submit_job(
+                    JobKind::Query { params, graph, key },
+                    id,
+                    request_id,
+                    deadline_ms,
+                    reply,
+                )
+            }
+        }
+    }
+
+    fn connection_opened(&self) {
+        self.stats.connections.inc();
+    }
+
+    fn connection_closed(&self) {
+        self.stats.connections_closed.inc();
+    }
+
+    fn oversized_line_response(&self, max_line: usize) -> String {
+        self.stats.bad_requests.inc();
+        oversized_response(max_line)
+    }
+
+    fn drain(&self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.queue.shutdown();
+        // poke a threaded front-end's blocking accept() so it notices the
+        // flag; harmless for the evented loop (it polls the flag each tick)
+        if let Some(addr) = self.listen_addr.get() {
+            let _ = TcpStream::connect(addr);
+        }
+    }
+
+    fn is_draining(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+}
+
+/// Count a served query, and — when metrics are on — record its total and
+/// per-stage latency histograms and offer it to the slow-query log.
+/// Cache hits skip the queue/execute stage histograms (they never queue)
+/// and the slow log (serving a cached line is never the slow path).
+fn record_query(
+    pool: &EnginePool,
+    params: &QueryParams,
+    cache: &'static str,
+    request_id: u64,
+    graph: &str,
+    t: StageTiming,
+) {
+    let labels = [
+        ("algo", params.algo.as_str()),
+        ("backend", params.backend.as_str()),
+        ("cache", cache),
+    ];
+    pool.registry.counter("gbtl_requests_total", &labels).inc();
+    if !pool.registry.enabled() {
+        return;
+    }
+    pool.registry
+        .histogram("gbtl_request_latency_us", &labels)
+        .observe(t.total_us());
+    let stages: &[(&str, u64)] = if cache == "hit" {
+        &[("serialize", t.serialize_us)]
+    } else {
+        &[
+            ("queue", t.queue_us),
+            ("execute", t.execute_us),
+            ("serialize", t.serialize_us),
+        ]
+    };
+    for &(stage, v) in stages {
+        pool.registry
+            .histogram(
+                "gbtl_stage_latency_us",
+                &[labels[0], labels[1], labels[2], ("stage", stage)],
+            )
+            .observe(v);
+    }
+    if cache == "miss" {
+        pool.slow_log.offer(
+            t.total_us(),
+            SlowQuery {
+                request_id,
+                graph: graph.to_string(),
+                params: params.cache_params(),
+                queue_us: t.queue_us,
+                execute_us: t.execute_us,
+                serialize_us: t.serialize_us,
+            },
+        );
+    }
+}
+
+fn worker_loop(pool: &Arc<EnginePool>, index: usize) {
+    let engine = &pool.engines[index];
+    while let Some(job) = pool.queue.pop() {
+        let picked_up = Instant::now();
+        if picked_up > job.deadline {
+            pool.stats.deadline_expired.inc();
+            job.reply.send(error_response(
+                "deadline",
+                "deadline expired while queued",
+                job.id,
+            ));
+            continue;
+        }
+        let queue_us = picked_up.duration_since(job.enqueued).as_micros() as u64;
+        let response = match job.kind {
+            JobKind::Sleep { ms } => {
+                std::thread::sleep(Duration::from_millis(ms));
+                if pool.registry.enabled() {
+                    pool.registry
+                        .histogram(
+                            "gbtl_stage_latency_us",
+                            &[
+                                ("algo", "sleep"),
+                                ("backend", "none"),
+                                ("cache", "miss"),
+                                ("stage", "execute"),
+                            ],
+                        )
+                        .observe(ms * 1000);
+                }
+                let id_part = job.id.map(|i| format!("\"id\":{i},")).unwrap_or_default();
+                format!("{{\"ok\":true,{id_part}\"slept_ms\":{ms}}}")
+            }
+            JobKind::Query { params, graph, key } => {
+                let t0 = Instant::now();
+                match engine.run(&graph, &params, Some(job.request_id)) {
+                    Ok(outcome) => {
+                        let execute_us = t0.elapsed().as_micros() as u64;
+                        pool.cache.put(
+                            key,
+                            CachedResult {
+                                result_json: outcome.result_json.clone(),
+                                compute_micros: execute_us,
+                            },
+                        );
+                        let t1 = pool.registry.enabled().then(Instant::now);
+                        let response = query_response(
+                            &params,
+                            &graph,
+                            job.request_id,
+                            false,
+                            execute_us,
+                            &outcome.result_json,
+                            outcome.trace_json.as_deref(),
+                        );
+                        let timing = StageTiming {
+                            queue_us,
+                            execute_us,
+                            serialize_us: t1.map_or(0, |t| t.elapsed().as_micros() as u64),
+                        };
+                        record_query(pool, &params, "miss", job.request_id, &graph.name, timing);
+                        response
+                    }
+                    Err(e) => {
+                        pool.stats.bad_requests.inc();
+                        error_response("bad_request", &e, params.id)
+                    }
+                }
+            }
+        };
+        job.reply.send(response);
+    }
+}
+
+fn query_response(
+    params: &QueryParams,
+    graph: &GraphEntry,
+    request_id: u64,
+    cached: bool,
+    micros: u64,
+    result_json: &str,
+    trace_json: Option<&str>,
+) -> String {
+    let id_part = params
+        .id
+        .map(|i| format!("\"id\":{i},"))
+        .unwrap_or_default();
+    let trace_part = trace_json
+        .map(|t| format!(",\"trace\":{t}"))
+        .unwrap_or_default();
+    format!(
+        "{{\"ok\":true,{id_part}\"request_id\":{request_id},\"graph\":\"{}\",\
+         \"epoch\":{},\"algo\":\"{}\",\
+         \"backend\":\"{}\",\"cached\":{cached},\"micros\":{micros},\
+         \"result\":{result_json}{trace_part}}}",
+        escape(&graph.name),
+        graph.epoch,
+        params.algo.as_str(),
+        params.backend.as_str(),
+    )
+}
+
+fn render_list(pool: &EnginePool) -> String {
+    let mut s = String::from("{\"ok\":true,\"graphs\":[");
+    for (i, g) in pool.catalog.list().iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "{{\"name\":\"{}\",\"epoch\":{},\"n\":{},\"nnz\":{},\"spec\":\"{}\"}}",
+            escape(&g.name),
+            g.epoch,
+            g.n(),
+            g.nnz(),
+            escape(&g.spec)
+        ));
+    }
+    s.push_str("]}");
+    s
+}
+
+/// Overwrite the point-in-time gauges just before a snapshot is taken, so
+/// every exposition reports current depth/occupancy rather than stale sets.
+/// The transpose-cache and workspace-pool counters accumulate in the core
+/// crates (shared across engines / thread-local, respectively), so they are
+/// mirrored into gauges here rather than counted on the request path — and
+/// the evented front-end's connection-layer counters ([`NetStats`]) are
+/// mirrored the same way when that mode is active.
+fn refresh_gauges(pool: &EnginePool) {
+    pool.registry
+        .gauge("gbtl_queue_depth", &[])
+        .set(pool.queue.len() as i64);
+    pool.registry
+        .gauge("gbtl_cache_entries", &[])
+        .set(pool.cache.len() as i64);
+    let ts = pool.transpose_cache.stats();
+    let g = |name, v: u64| pool.registry.gauge(name, &[]).set(v as i64);
+    g("gbtl_transpose_cache_entries", ts.entries as u64);
+    g("gbtl_transpose_cache_hits", ts.hits);
+    g("gbtl_transpose_cache_misses", ts.misses);
+    g("gbtl_transpose_cache_evictions", ts.evictions);
+    g("gbtl_transpose_cache_invalidations", ts.invalidations);
+    let ws = gbtl_core::workspace::stats();
+    g("gbtl_workspace_takes", ws.takes);
+    g("gbtl_workspace_reuses", ws.reuses);
+    g("gbtl_workspace_allocs", ws.allocs);
+    if let Some(net) = pool.net.get() {
+        let r = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        g("gbtl_net_open_connections", net.open());
+        g("gbtl_net_backpressure_events", r(&net.backpressure_events));
+        g("gbtl_net_idle_timeouts", r(&net.idle_timeouts));
+        g("gbtl_net_oversized_lines", r(&net.oversized_lines));
+        g("gbtl_net_pipelined_depth_hwm", r(&net.pipelined_depth_hwm));
+        g("gbtl_net_completions", r(&net.completions));
+        g("gbtl_net_bytes_in", r(&net.bytes_in));
+        g("gbtl_net_bytes_out", r(&net.bytes_out));
+    }
+}
+
+/// Per-algorithm execute-latency aggregates, merged across backends (and
+/// the sleep diagnostic), from the registry's `stage="execute"` histograms.
+/// Empty when metrics are disabled — the stats endpoint documents this.
+fn algo_aggregates(pool: &EnginePool) -> Vec<(String, HistogramSnapshot)> {
+    let mut aggs: Vec<(String, HistogramSnapshot)> = Vec::new();
+    for (key, h) in pool.registry.snapshot().histograms {
+        if key.name != "gbtl_stage_latency_us"
+            || !key
+                .labels
+                .iter()
+                .any(|(k, v)| k == "stage" && v == "execute")
+        {
+            continue;
+        }
+        let Some(algo) = key
+            .labels
+            .iter()
+            .find(|(k, _)| k == "algo")
+            .map(|(_, v)| v.clone())
+        else {
+            continue;
+        };
+        match aggs.iter_mut().find(|(a, _)| *a == algo) {
+            Some((_, agg)) => agg.merge(&h),
+            None => aggs.push((algo, h)),
+        }
+    }
+    aggs.sort_by(|a, b| a.0.cmp(&b.0));
+    aggs
+}
+
+fn render_stats(pool: &EnginePool) -> String {
+    refresh_gauges(pool);
+    let st = &pool.stats;
+    let snap: EngineSnapshot = pool
+        .engines
+        .iter()
+        .fold(EngineSnapshot::default(), |acc, e| {
+            let s = e.snapshot();
+            EngineSnapshot {
+                seq_ops: acc.seq_ops + s.seq_ops,
+                par_ops: acc.par_ops + s.par_ops,
+                cuda_ops: acc.cuda_ops + s.cuda_ops,
+                pool_tasks: acc.pool_tasks + s.pool_tasks,
+                pool_steals: acc.pool_steals + s.pool_steals,
+                gpu_kernels: acc.gpu_kernels + s.gpu_kernels,
+                gpu_modeled_s: acc.gpu_modeled_s + s.gpu_modeled_s,
+            }
+        });
+    let hits = pool.cache.hits();
+    let misses = pool.cache.misses();
+    let hit_rate = if hits + misses > 0 {
+        hits as f64 / (hits + misses) as f64
+    } else {
+        0.0
+    };
+    let mut algos = String::from("[");
+    for (i, (algo, h)) in algo_aggregates(pool).iter().enumerate() {
+        if i > 0 {
+            algos.push(',');
+        }
+        let _ = write!(
+            algos,
+            "{{\"algo\":\"{}\",\"count\":{},\"mean_us\":{},\"max_us\":{}}}",
+            escape(algo),
+            h.count,
+            h.sum.checked_div(h.count).unwrap_or(0),
+            h.max
+        );
+    }
+    algos.push(']');
+    let net = match pool.net.get() {
+        None => "null".to_string(),
+        Some(n) => {
+            let r = |a: &AtomicU64| a.load(Ordering::Relaxed);
+            format!(
+                "{{\"open_connections\":{},\"accepted\":{},\"closed\":{},\
+                 \"backpressure_events\":{},\"idle_timeouts\":{},\
+                 \"oversized_lines\":{},\"pipelined_depth_hwm\":{},\
+                 \"completions\":{},\"bytes_in\":{},\"bytes_out\":{}}}",
+                n.open(),
+                r(&n.accepted),
+                r(&n.closed),
+                r(&n.backpressure_events),
+                r(&n.idle_timeouts),
+                r(&n.oversized_lines),
+                r(&n.pipelined_depth_hwm),
+                r(&n.completions),
+                r(&n.bytes_in),
+                r(&n.bytes_out),
+            )
+        }
+    };
+    let ts = pool.transpose_cache.stats();
+    let ws = gbtl_core::workspace::stats();
+    format!(
+        "{{\"ok\":true,\"stats\":{{\
+         \"uptime_ms\":{},\"frontend\":\"{}\",\"workers\":{},\"par_threads\":{},\
+         \"queue_capacity\":{},\"queue_depth\":{},\"graphs\":{},\
+         \"requests\":{{\"connections\":{},\"connections_closed\":{},\
+         \"received\":{},\"completed\":{},\
+         \"bad\":{},\"rejected_overloaded\":{},\"rejected_shutdown\":{},\
+         \"deadline_expired\":{}}},\
+         \"cache\":{{\"capacity\":{},\"entries\":{},\"hits\":{},\"misses\":{},\
+         \"hit_rate\":{hit_rate:.4}}},\
+         \"transpose_cache\":{{\"enabled\":{},\"capacity\":{},\"entries\":{},\
+         \"hits\":{},\"misses\":{},\"evictions\":{},\"invalidations\":{},\
+         \"hit_rate\":{:.4}}},\
+         \"workspaces\":{{\"takes\":{},\"reuses\":{},\"allocs\":{},\
+         \"reuse_rate\":{:.4}}},\
+         \"backend_ops\":{{\"total\":{},\"sequential\":{},\"parallel\":{},\"cuda_sim\":{}}},\
+         \"pool\":{{\"tasks\":{},\"steals\":{}}},\
+         \"gpu\":{{\"kernels\":{},\"modeled_ms\":{:.3}}},\
+         \"net\":{net},\
+         \"algos\":{algos}}}}}",
+        pool.start.elapsed().as_millis(),
+        pool.config.mode.as_str(),
+        pool.config.workers,
+        pool.config.par_threads,
+        pool.config.queue_capacity,
+        pool.queue.len(),
+        pool.catalog.len(),
+        st.connections.get(),
+        st.connections_closed.get(),
+        st.received.get(),
+        st.completed.get(),
+        st.bad_requests.get(),
+        st.rejected_overloaded.get(),
+        st.rejected_shutdown.get(),
+        st.deadline_expired.get(),
+        pool.cache.capacity(),
+        pool.cache.len(),
+        hits,
+        misses,
+        ts.enabled,
+        ts.capacity,
+        ts.entries,
+        ts.hits,
+        ts.misses,
+        ts.evictions,
+        ts.invalidations,
+        ts.hit_rate(),
+        ws.takes,
+        ws.reuses,
+        ws.allocs,
+        ws.reuse_rate(),
+        snap.seq_ops + snap.par_ops + snap.cuda_ops,
+        snap.seq_ops,
+        snap.par_ops,
+        snap.cuda_ops,
+        snap.pool_tasks,
+        snap.pool_steals,
+        snap.gpu_kernels,
+        snap.gpu_modeled_s * 1e3,
+    )
+}
+
+/// The `metrics` response: the registry as JSON (counters, gauges,
+/// per-label histograms with bucket arrays and percentiles), the all-label
+/// request-latency aggregate, the slow-query log, and a Prometheus-style
+/// text exposition escaped into the `exposition` field.
+fn render_metrics(pool: &EnginePool) -> String {
+    refresh_gauges(pool);
+    let snap = pool.registry.snapshot();
+    let overall = pool.registry.merged_histogram("gbtl_request_latency_us");
+    let mut slow = String::from("[");
+    for (i, (total_us, q)) in pool.slow_log.entries().into_iter().enumerate() {
+        if i > 0 {
+            slow.push(',');
+        }
+        let _ = write!(
+            slow,
+            "{{\"request_id\":{},\"graph\":\"{}\",\"params\":\"{}\",\"total_us\":{total_us},\
+             \"queue_us\":{},\"execute_us\":{},\"serialize_us\":{}}}",
+            q.request_id,
+            escape(&q.graph),
+            escape(&q.params),
+            q.queue_us,
+            q.execute_us,
+            q.serialize_us
+        );
+    }
+    slow.push(']');
+    format!(
+        "{{\"ok\":true,\"metrics\":{{\"enabled\":{},\"overall\":{},\"registry\":{},\
+         \"slow_queries\":{slow}}},\"exposition\":\"{}\"}}",
+        pool.registry.enabled(),
+        histogram_json(&overall),
+        render_json(&snap),
+        escape(&render_prometheus(&snap)),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noop_reply() -> Reply {
+        Reply::new(|_| {})
+    }
+
+    #[test]
+    fn queue_caps_and_drains_on_shutdown() {
+        let q = JobQueue::new(2);
+        let mk = || Job {
+            kind: JobKind::Sleep { ms: 0 },
+            id: None,
+            request_id: 0,
+            deadline: Instant::now() + Duration::from_secs(1),
+            enqueued: Instant::now(),
+            reply: noop_reply(),
+        };
+        q.push(mk()).unwrap();
+        q.push(mk()).unwrap();
+        assert!(matches!(q.push(mk()), Err(PushError::Full)));
+        assert_eq!(q.len(), 2);
+        q.shutdown();
+        assert!(matches!(q.push(mk()), Err(PushError::ShuttingDown)));
+        // admitted jobs still drain after shutdown
+        assert!(q.pop().is_some());
+        assert!(q.pop().is_some());
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn submit_answers_control_ops_inline_and_counts_completions() {
+        use gbtl_net::Engine as _;
+        let pool = EnginePool::new(ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let before = pool.stats.completed.get();
+        match pool.submit("{\"op\":\"ping\"}", noop_reply()) {
+            Submission::Inline(r) => assert!(r.starts_with(OK_PREFIX)),
+            other => panic!("ping must answer inline, got {other:?}"),
+        }
+        match pool.submit("not json", noop_reply()) {
+            Submission::Inline(r) => assert!(r.starts_with("{\"ok\":false")),
+            other => panic!("parse errors answer inline, got {other:?}"),
+        }
+        assert_eq!(pool.stats.completed.get(), before + 1, "only the ping");
+        assert_eq!(pool.stats.received.get(), 2);
+        assert_eq!(pool.stats.bad_requests.get(), 1);
+    }
+
+    #[test]
+    fn oversized_response_counts_bad_request_and_renders_the_knob() {
+        use gbtl_net::Engine as _;
+        let pool = EnginePool::new(ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let r = pool.oversized_line_response(4096);
+        assert!(r.contains("4096"), "{r}");
+        assert!(r.contains("GBTL_SERVE_MAX_LINE"), "{r}");
+        assert_eq!(pool.stats.bad_requests.get(), 1);
+    }
+}

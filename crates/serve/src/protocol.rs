@@ -300,6 +300,19 @@ pub fn error_response(code: &str, msg: &str, id: Option<u64>) -> String {
     )
 }
 
+/// The error for a request line that exceeded the configured length bound
+/// (`GBTL_SERVE_MAX_LINE`) before a newline arrived. Rendered here — not in
+/// the front-ends — so the wire bytes for this fault are identical whether
+/// the threaded listener or the evented loop detected it. No `id`: the line
+/// was never parsed, so any correlation id inside it is unreadable.
+pub fn oversized_response(max_line: usize) -> String {
+    error_response(
+        "bad_request",
+        &format!("request line exceeds {max_line} bytes (GBTL_SERVE_MAX_LINE)"),
+        None,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

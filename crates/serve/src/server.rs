@@ -1,69 +1,73 @@
-//! The TCP server: listener, bounded worker pool, admission control,
-//! deadlines, graceful shutdown.
+//! The connection front-ends and server lifecycle.
 //!
-//! ## Threading model
+//! Since the gbtl-net refactor this module owns only what faces the
+//! network; everything that *answers* requests — catalog, cache, bounded
+//! job queue, worker pool, metrics — lives in [`crate::pool::EnginePool`],
+//! reached exclusively through the [`gbtl_net::Engine`] contract. Two
+//! front-ends drive the same pool, selected by [`ServerConfig::mode`]
+//! (`GBTL_SERVE_MODE`):
 //!
-//! One listener thread accepts connections; each connection gets a cheap
-//! handler thread that reads request lines, answers control ops (`ping`,
-//! `list`, `stats`, `load`, `shutdown`) inline, and pushes compute ops
-//! (`query`, `sleep`) onto a **bounded job queue**. A fixed pool of worker
-//! threads drains the queue; worker `i` owns engine `i` (three resident,
-//! trace-enabled backend contexts), so at most `workers` queries execute at
-//! once no matter how many clients are connected.
+//! * **threaded** (default) — one listener thread accepts connections and
+//!   gives each its own handler thread; handler threads read bounded
+//!   request lines, call [`gbtl_net::Engine::submit`], and block on an
+//!   mpsc channel for accepted (queued) work, enforcing the request
+//!   deadline at the wait site. Simple, and still the best fit for a few
+//!   long-lived trusted clients.
+//! * **evented** — the [`gbtl_net`] `poll(2)` event loop: every connection
+//!   multiplexed on one poller thread, request pipelining with in-order
+//!   responses, write backpressure, and idle/slow-loris reaping. Thousands
+//!   of idle connections cost fds, not threads.
 //!
-//! ## Admission control and deadlines
-//!
-//! A push onto a full queue is rejected immediately with an `overloaded`
-//! response — the connection thread never blocks on admission, so an
-//! overloaded server stays responsive instead of building an unbounded
-//! backlog. Every job carries a deadline (request `deadline_ms`, else the
-//! configured default): jobs that expire while queued are dropped with a
-//! `deadline` response, and connection threads stop waiting shortly after
-//! the deadline passes even if a worker is still grinding.
-//!
-//! ## Graceful shutdown
-//!
-//! `shutdown` (request or [`ServerHandle::begin_shutdown`]) flips the
-//! shutdown flag, closes the queue to new pushes, and pokes the listener
-//! awake. Workers drain every already-admitted job — in-flight requests
-//! complete and their clients get real responses — then exit;
-//! [`ServerHandle::join`] returns once the pool is parked.
-//!
-//! ## Observability
-//!
-//! Every query is assigned a server-wide **request id**, echoed in the
-//! response and stamped on the backend trace spans it dispatches (so a
-//! JSON trace captured during a serve run groups per request). Unless
-//! `GBTL_METRICS=off`, each served query is also timed per stage — queue
-//! wait, execute, serialize — into log₂ latency histograms keyed by
-//! (algorithm, backend, cache hit|miss) in a shared
-//! [`gbtl_metrics::Registry`], and offered to a bounded top-K slow-query
-//! log. The `metrics` op renders the registry as JSON and
-//! Prometheus-style text; the `stats` endpoint reads the same counters,
-//! so the two expositions can never disagree.
+//! Both front-ends share the line-length bound (`GBTL_SERVE_MAX_LINE`,
+//! answered with the same JSON error rendered by the engine) and the idle
+//! timeout (`GBTL_SERVE_IDLE_TIMEOUT`; the threaded listener applies it as
+//! a per-read socket timeout, the evented loop as a last-activity sweep).
+//! Responses are bit-identical across modes — the integration tests prove
+//! it with the result checksums — because no connection state ever crosses
+//! the Engine boundary.
 
-use std::collections::VecDeque;
-use std::fmt::Write as _;
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use gbtl_core::TransposeCache;
-use gbtl_metrics::expose::{histogram_json, render_json, render_prometheus};
-use gbtl_metrics::{Counter, HistogramSnapshot, Registry, SlowLog};
-use gbtl_util::json::escape;
+use gbtl_net::{Engine as _, EventedConfig, EventedHandle, Reply, Submission};
 
-use crate::cache::{cache_key, CachedResult, ResultCache};
-use crate::catalog::{Catalog, GraphEntry, GraphSpec};
-use crate::engine::{Engine, EngineSnapshot};
-use crate::protocol::{error_response, parse_request, QueryParams, Request};
+use crate::pool::EnginePool;
 
 /// Extra wait past the deadline before a connection gives up on a worker
-/// that is mid-computation.
+/// that is mid-computation (threaded front-end only; the evented loop
+/// delivers late responses instead of synthesizing timeouts).
 const DEADLINE_GRACE: Duration = Duration::from_millis(250);
+
+/// Which connection front-end serves the socket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrontendMode {
+    /// Thread per connection, blocking reads (the legacy default).
+    Threaded,
+    /// Single-threaded `poll(2)` event loop from [`gbtl_net`].
+    Evented,
+}
+
+impl FrontendMode {
+    /// The knob spelling (`threaded` / `evented`), case-insensitive.
+    pub fn parse(s: &str) -> Option<FrontendMode> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "threaded" => Some(FrontendMode::Threaded),
+            "evented" => Some(FrontendMode::Evented),
+            _ => None,
+        }
+    }
+
+    /// The canonical knob spelling, echoed by the stats endpoint.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FrontendMode::Threaded => "threaded",
+            FrontendMode::Evented => "evented",
+        }
+    }
+}
 
 /// Server configuration. [`ServerConfig::from_env`] reads the
 /// `GBTL_SERVE_*` knobs (invalid values warn and fall back, like every
@@ -72,6 +76,8 @@ const DEADLINE_GRACE: Duration = Duration::from_millis(250);
 pub struct ServerConfig {
     /// Bind address (`GBTL_SERVE_ADDR`); port 0 picks an ephemeral port.
     pub addr: String,
+    /// Connection front-end (`GBTL_SERVE_MODE`, `threaded`/`evented`).
+    pub mode: FrontendMode,
     /// Worker threads = max concurrent queries (`GBTL_SERVE_WORKERS`).
     pub workers: usize,
     /// Bounded job-queue capacity (`GBTL_SERVE_QUEUE`); pushes beyond it
@@ -81,6 +87,14 @@ pub struct ServerConfig {
     pub cache_capacity: usize,
     /// Default per-request deadline, ms (`GBTL_SERVE_DEADLINE_MS`).
     pub default_deadline_ms: u64,
+    /// Longest accepted request line in bytes (`GBTL_SERVE_MAX_LINE`);
+    /// longer lines get a JSON `bad_request` error and are discarded to the
+    /// next newline, in both front-ends.
+    pub max_line: usize,
+    /// Disconnect connections idle this long, ms
+    /// (`GBTL_SERVE_IDLE_TIMEOUT`); 0 disables. Applied in both
+    /// front-ends.
+    pub idle_timeout_ms: u64,
     /// Threads inside each worker's parallel-backend context
     /// (`GBTL_SERVE_PAR_THREADS`).
     pub par_threads: usize,
@@ -101,10 +115,13 @@ impl Default for ServerConfig {
         let host = std::thread::available_parallelism().map_or(1, |n| n.get());
         ServerConfig {
             addr: "127.0.0.1:7411".into(),
+            mode: FrontendMode::Threaded,
             workers: host.min(8),
             queue_capacity: 64,
             cache_capacity: 128,
             default_deadline_ms: 10_000,
+            max_line: 65_536,
+            idle_timeout_ms: 60_000,
             par_threads: host,
             metrics: true,
             slow_log_capacity: 16,
@@ -120,11 +137,27 @@ impl ServerConfig {
         let d = ServerConfig::default();
         ServerConfig {
             addr: env::string_var("GBTL_SERVE_ADDR").unwrap_or(d.addr),
+            mode: env::string_var("GBTL_SERVE_MODE")
+                .and_then(|s| {
+                    let m = FrontendMode::parse(&s);
+                    if m.is_none() {
+                        eprintln!(
+                            "gbtl: ignoring invalid GBTL_SERVE_MODE={s:?}; \
+                             falling back to the default"
+                        );
+                    }
+                    m
+                })
+                .unwrap_or(d.mode),
             workers: env::usize_var("GBTL_SERVE_WORKERS", 1).unwrap_or(d.workers),
             queue_capacity: env::usize_var("GBTL_SERVE_QUEUE", 1).unwrap_or(d.queue_capacity),
             cache_capacity: env::usize_var("GBTL_SERVE_CACHE", 0).unwrap_or(d.cache_capacity),
             default_deadline_ms: env::u64_var("GBTL_SERVE_DEADLINE_MS", 1)
                 .unwrap_or(d.default_deadline_ms),
+            max_line: env::usize_var("GBTL_SERVE_MAX_LINE", 64).unwrap_or(d.max_line),
+            idle_timeout_ms: env::duration_ms_var("GBTL_SERVE_IDLE_TIMEOUT")
+                .map(|t| t.map_or(0, |t| t.as_millis() as u64))
+                .unwrap_or(d.idle_timeout_ms),
             par_threads: env::usize_var("GBTL_SERVE_PAR_THREADS", 1).unwrap_or(d.par_threads),
             metrics: env::bool_var("GBTL_METRICS").unwrap_or(d.metrics),
             slow_log_capacity: env::usize_var("GBTL_METRICS_SLOWLOG", 0)
@@ -132,199 +165,51 @@ impl ServerConfig {
             preload: Vec::new(),
         }
     }
-}
 
-/// One queued compute job.
-#[derive(Debug)]
-struct Job {
-    kind: JobKind,
-    id: Option<u64>,
-    request_id: u64,
-    deadline: Instant,
-    enqueued: Instant,
-    reply: mpsc::Sender<String>,
-}
-
-#[derive(Debug)]
-enum JobKind {
-    Query {
-        params: QueryParams,
-        graph: Arc<GraphEntry>,
-        key: String,
-    },
-    Sleep {
-        ms: u64,
-    },
-}
-
-#[derive(Debug)]
-enum PushError {
-    Full,
-    ShuttingDown,
-}
-
-/// The bounded job queue (Mutex + Condvar; `pop` blocks, `push` never does).
-#[derive(Debug)]
-struct JobQueue {
-    capacity: usize,
-    inner: Mutex<QueueInner>,
-    cond: Condvar,
-}
-
-#[derive(Debug, Default)]
-struct QueueInner {
-    jobs: VecDeque<Job>,
-    shutdown: bool,
-}
-
-impl JobQueue {
-    fn new(capacity: usize) -> Self {
-        JobQueue {
-            capacity: capacity.max(1),
-            inner: Mutex::new(QueueInner::default()),
-            cond: Condvar::new(),
-        }
+    /// The idle timeout as a duration; `None` when disabled (0).
+    pub fn idle_timeout(&self) -> Option<Duration> {
+        (self.idle_timeout_ms > 0).then(|| Duration::from_millis(self.idle_timeout_ms))
     }
-
-    fn push(&self, job: Job) -> Result<(), PushError> {
-        let mut inner = self.inner.lock().unwrap();
-        if inner.shutdown {
-            return Err(PushError::ShuttingDown);
-        }
-        if inner.jobs.len() >= self.capacity {
-            return Err(PushError::Full);
-        }
-        inner.jobs.push_back(job);
-        drop(inner);
-        self.cond.notify_one();
-        Ok(())
-    }
-
-    /// Blocks for the next job; `None` once the queue is shut down *and*
-    /// drained (so admitted work always completes).
-    fn pop(&self) -> Option<Job> {
-        let mut inner = self.inner.lock().unwrap();
-        loop {
-            if let Some(job) = inner.jobs.pop_front() {
-                return Some(job);
-            }
-            if inner.shutdown {
-                return None;
-            }
-            inner = self.cond.wait(inner).unwrap();
-        }
-    }
-
-    fn len(&self) -> usize {
-        self.inner.lock().unwrap().jobs.len()
-    }
-
-    fn shutdown(&self) {
-        self.inner.lock().unwrap().shutdown = true;
-        self.cond.notify_all();
-    }
-}
-
-/// Cumulative server counters, held as registry handles: the hot path is a
-/// relaxed atomic add, and the `stats` and `metrics` endpoints read the
-/// exact same cells (so the two expositions can never disagree).
-#[derive(Debug)]
-struct ServerStats {
-    connections: Arc<Counter>,
-    received: Arc<Counter>,
-    completed: Arc<Counter>,
-    bad_requests: Arc<Counter>,
-    rejected_overloaded: Arc<Counter>,
-    rejected_shutdown: Arc<Counter>,
-    deadline_expired: Arc<Counter>,
-}
-
-impl ServerStats {
-    fn new(registry: &Registry) -> Self {
-        let c = |name| registry.counter(name, &[]);
-        ServerStats {
-            connections: c("gbtl_connections_total"),
-            received: c("gbtl_requests_received_total"),
-            completed: c("gbtl_requests_completed_total"),
-            bad_requests: c("gbtl_bad_requests_total"),
-            rejected_overloaded: c("gbtl_rejected_overloaded_total"),
-            rejected_shutdown: c("gbtl_rejected_shutdown_total"),
-            deadline_expired: c("gbtl_deadline_expired_total"),
-        }
-    }
-}
-
-/// One slow-query log payload (the log's ranking key is the total latency).
-#[derive(Debug, Clone)]
-struct SlowQuery {
-    request_id: u64,
-    graph: String,
-    params: String,
-    queue_us: u64,
-    execute_us: u64,
-    serialize_us: u64,
-}
-
-/// Per-request stage timings, microseconds.
-#[derive(Debug, Clone, Copy, Default)]
-struct StageTiming {
-    queue_us: u64,
-    execute_us: u64,
-    serialize_us: u64,
-}
-
-impl StageTiming {
-    fn total_us(self) -> u64 {
-        self.queue_us + self.execute_us + self.serialize_us
-    }
-}
-
-/// Everything the listener, connection, and worker threads share.
-#[derive(Debug)]
-struct Shared {
-    config: ServerConfig,
-    addr: SocketAddr,
-    catalog: Catalog,
-    cache: ResultCache,
-    /// One store shared by every engine and backend context; pre-warmed on
-    /// graph load so the first pull-direction query never builds Aᵀ inline.
-    transpose_cache: TransposeCache,
-    queue: JobQueue,
-    registry: Registry,
-    stats: ServerStats,
-    slow_log: SlowLog<SlowQuery>,
-    next_request_id: AtomicU64,
-    engines: Vec<Engine>,
-    start: Instant,
-    shutdown: AtomicBool,
 }
 
 /// A running server. Dropping the handle does **not** stop the server;
 /// call [`ServerHandle::shutdown_and_join`] (or send a `shutdown` request).
 #[derive(Debug)]
 pub struct ServerHandle {
-    shared: Arc<Shared>,
+    pool: Arc<EnginePool>,
+    addr: SocketAddr,
     listener_thread: Option<std::thread::JoinHandle<()>>,
+    evented: Option<EventedHandle>,
     workers: Vec<std::thread::JoinHandle<()>>,
 }
 
 impl ServerHandle {
     /// The bound address (resolves port 0 to the real ephemeral port).
     pub fn addr(&self) -> SocketAddr {
-        self.shared.addr
+        self.addr
     }
 
-    /// Flip the shutdown flag, close the queue, and poke the listener.
+    /// Begin a graceful shutdown: drain the engine (reject new compute
+    /// work, finish admitted work) and stop the front-end accepting.
     /// Idempotent; returns immediately.
     pub fn begin_shutdown(&self) {
-        begin_shutdown(&self.shared);
+        self.pool.drain();
+        if let Some(ev) = &self.evented {
+            ev.begin_shutdown();
+        }
     }
 
-    /// Wait for the listener and every worker to exit (workers drain all
-    /// admitted jobs first).
+    /// Wait for the front-end and every worker to exit (workers drain all
+    /// admitted jobs first; the evented loop flushes every pending
+    /// response). Blocks until something initiates shutdown — a
+    /// `{"op":"shutdown"}` request or [`ServerHandle::begin_shutdown`] —
+    /// which is how the binary serves until told to stop.
     pub fn join(mut self) {
         if let Some(t) = self.listener_thread.take() {
             let _ = t.join();
+        }
+        if let Some(ev) = self.evented.take() {
+            ev.join();
         }
         for w in self.workers.drain(..) {
             let _ = w.join();
@@ -338,95 +223,71 @@ impl ServerHandle {
     }
 }
 
-fn begin_shutdown(shared: &Arc<Shared>) {
-    if shared.shutdown.swap(true, Ordering::SeqCst) {
-        return;
-    }
-    shared.queue.shutdown();
-    // poke the blocking accept() so the listener notices the flag
-    let _ = TcpStream::connect(shared.addr);
-}
-
-/// Bind, preload, and spawn the worker pool + listener.
+/// Bind, preload, spawn the worker pool, and start the configured
+/// front-end.
 pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
+    let mode = config.mode;
+    let pool = EnginePool::new(config)?;
+    pool.set_listen_addr(addr);
+    let workers = pool.spawn_workers();
 
-    let transpose_cache = TransposeCache::from_env();
-    let engines: Vec<Engine> = (0..config.workers.max(1))
-        .map(|_| Engine::with_transpose_cache(config.par_threads, transpose_cache.clone()))
-        .collect();
-
-    let catalog = Catalog::new();
-    for (name, spec) in &config.preload {
-        let entry = GraphSpec::parse(spec)
-            .and_then(|s| catalog.load(name, &s))
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e))?;
-        engines[0].prewarm(&entry);
-    }
-
-    let registry = Registry::new(config.metrics);
-    let stats = ServerStats::new(&registry);
-    let shared = Arc::new(Shared {
-        cache: ResultCache::new(config.cache_capacity),
-        transpose_cache,
-        queue: JobQueue::new(config.queue_capacity),
-        slow_log: SlowLog::new(config.slow_log_capacity),
-        next_request_id: AtomicU64::new(1),
-        registry,
-        stats,
-        catalog,
-        engines,
-        addr,
-        start: Instant::now(),
-        shutdown: AtomicBool::new(false),
-        config,
-    });
-
-    let workers = (0..shared.engines.len())
-        .map(|i| {
-            let shared = shared.clone();
-            std::thread::Builder::new()
-                .name(format!("gbtl-serve-worker-{i}"))
-                .spawn(move || worker_loop(&shared, i))
-                .expect("spawn worker")
-        })
-        .collect();
-
-    let listener_thread = {
-        let shared = shared.clone();
-        Some(
-            std::thread::Builder::new()
-                .name("gbtl-serve-listener".into())
-                .spawn(move || listener_loop(listener, &shared))
-                .expect("spawn listener"),
-        )
+    let (listener_thread, evented) = match mode {
+        FrontendMode::Threaded => {
+            let thread = {
+                let pool = pool.clone();
+                std::thread::Builder::new()
+                    .name("gbtl-serve-listener".into())
+                    .spawn(move || listener_loop(listener, &pool))
+                    .expect("spawn listener")
+            };
+            (Some(thread), None)
+        }
+        FrontendMode::Evented => {
+            let evented = gbtl_net::serve(
+                listener,
+                pool.clone(),
+                EventedConfig {
+                    max_line: pool.config.max_line,
+                    idle_timeout: pool.config.idle_timeout(),
+                    ..EventedConfig::default()
+                },
+            )?;
+            pool.set_net_stats(evented.stats());
+            (None, Some(evented))
+        }
     };
 
     Ok(ServerHandle {
-        shared,
+        pool,
+        addr,
         listener_thread,
+        evented,
         workers,
     })
 }
 
-fn listener_loop(listener: TcpListener, shared: &Arc<Shared>) {
+fn listener_loop(listener: TcpListener, pool: &Arc<EnginePool>) {
     loop {
         match listener.accept() {
             Ok((stream, _)) => {
-                if shared.shutdown.load(Ordering::SeqCst) {
+                if pool.is_draining() {
                     break;
                 }
-                shared.stats.connections.inc();
-                let shared = shared.clone();
+                pool.connection_opened();
+                let pool = pool.clone();
                 // connection threads are cheap (they block on I/O and the
                 // reply channel); they exit when the client disconnects
                 let _ = std::thread::Builder::new()
                     .name("gbtl-serve-conn".into())
-                    .spawn(move || handle_connection(stream, &shared));
+                    .spawn(move || {
+                        handle_connection(stream, &pool);
+                        pool.connection_closed();
+                    });
             }
             Err(_) => {
-                if shared.shutdown.load(Ordering::SeqCst) {
+                if pool.is_draining() {
                     break;
                 }
             }
@@ -434,32 +295,145 @@ fn listener_loop(listener: TcpListener, shared: &Arc<Shared>) {
     }
 }
 
-fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
+/// One `next()` result from [`BoundedLineReader`].
+enum ReadOutcome {
+    /// A complete line, newline (and trailing `\r`) stripped, invalid
+    /// UTF-8 lossily replaced — same normalization as the evented framer.
+    Line(String),
+    /// The line exceeded `max_line`; the remainder (through the next
+    /// newline) is discarded on subsequent calls. Reported once per line.
+    Oversized,
+    /// EOF, idle timeout, or a read error: close the connection.
+    Closed,
+}
+
+/// The threaded front-end's bounded line reader: the blocking counterpart
+/// of [`gbtl_net::LineFramer`], with the same `max_line` semantics, so an
+/// unterminated multi-gigabyte "line" can no longer grow an unbounded
+/// `String` in a handler thread.
+struct BoundedLineReader {
+    reader: BufReader<TcpStream>,
+    max_line: usize,
+    discarding: bool,
+}
+
+impl BoundedLineReader {
+    fn new(stream: TcpStream, max_line: usize) -> Self {
+        BoundedLineReader {
+            reader: BufReader::new(stream),
+            max_line,
+            discarding: false,
+        }
+    }
+
+    fn next(&mut self) -> ReadOutcome {
+        let mut line: Vec<u8> = Vec::new();
+        loop {
+            // (bytes to consume, what we decided) — computed while the
+            // borrow of the internal buffer is live, applied after
+            let (consume, decision) = {
+                let chunk = match self.reader.fill_buf() {
+                    Ok([]) => return ReadOutcome::Closed, // EOF
+                    Ok(c) => c,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                    // WouldBlock/TimedOut = the idle read timeout expired
+                    Err(_) => return ReadOutcome::Closed,
+                };
+                match chunk.iter().position(|&b| b == b'\n') {
+                    Some(i) => {
+                        if self.discarding {
+                            (i + 1, Some(None)) // finished skipping
+                        } else if line.len() + i > self.max_line {
+                            (i + 1, Some(Some(ReadOutcome::Oversized)))
+                        } else {
+                            line.extend_from_slice(&chunk[..i]);
+                            (i + 1, Some(Some(ReadOutcome::Line(String::new()))))
+                        }
+                    }
+                    None => {
+                        let n = chunk.len();
+                        if !self.discarding {
+                            if line.len() + n > self.max_line {
+                                line.clear();
+                                self.discarding = true;
+                                // report now; keep skipping on later calls
+                                (n, Some(Some(ReadOutcome::Oversized)))
+                            } else {
+                                line.extend_from_slice(chunk);
+                                (n, None)
+                            }
+                        } else {
+                            (n, None)
+                        }
+                    }
+                }
+            };
+            self.reader.consume(consume);
+            match decision {
+                None => continue, // need more bytes
+                Some(None) => {
+                    self.discarding = false; // newline ended the skip
+                    continue;
+                }
+                Some(Some(ReadOutcome::Line(_))) => {
+                    if line.last() == Some(&b'\r') {
+                        line.pop();
+                    }
+                    return ReadOutcome::Line(String::from_utf8_lossy(&line).into_owned());
+                }
+                Some(Some(outcome)) => return outcome,
+            }
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, pool: &Arc<EnginePool>) {
     // small request/response frames: without nodelay, Nagle + delayed ACK
     // costs tens of ms per round-trip
     let _ = stream.set_nodelay(true);
+    // the idle timeout as a per-read socket timeout: a silent client is
+    // disconnected, a dribbling one resets the clock with each byte —
+    // matching the evented loop's last-activity semantics
+    let _ = stream.set_read_timeout(pool.config.idle_timeout());
     let mut writer = match stream.try_clone() {
         Ok(w) => w,
         Err(_) => return,
     };
-    let mut reader = BufReader::new(stream);
-    let mut line = String::new();
+    let max_line = pool.config.max_line;
+    let mut reader = BoundedLineReader::new(stream, max_line);
     loop {
-        line.clear();
-        match reader.read_line(&mut line) {
-            Ok(0) | Err(_) => return, // client closed
-            Ok(_) => {}
-        }
-        if line.trim().is_empty() {
-            continue;
-        }
-        shared.stats.received.inc();
-        let mut response = dispatch_line(line.trim(), shared);
-        // every ok:true answer counts as completed — cache hits and inline
-        // control ops included (see the Stats field docs in protocol.rs)
-        if response.starts_with("{\"ok\":true") {
-            shared.stats.completed.inc();
-        }
+        let line = match reader.next() {
+            ReadOutcome::Closed => return,
+            ReadOutcome::Oversized => pool.oversized_line_response(max_line),
+            ReadOutcome::Line(l) => {
+                if l.trim().is_empty() {
+                    continue;
+                }
+                let (tx, rx) = mpsc::channel();
+                let reply = Reply::new(move |response: String| {
+                    let _ = tx.send(response);
+                });
+                match pool.submit(l.trim(), reply) {
+                    Submission::Inline(response) => response,
+                    Submission::Accepted {
+                        deadline,
+                        correlation,
+                    } => {
+                        let wait = deadline
+                            .saturating_duration_since(Instant::now())
+                            .saturating_add(DEADLINE_GRACE);
+                        match rx.recv_timeout(wait) {
+                            Ok(response) => response,
+                            // a worker still mid-grind past the deadline:
+                            // synthesize the timeout; the late real reply
+                            // lands in a dropped channel
+                            Err(_) => pool.deadline_timeout_response(correlation),
+                        }
+                    }
+                }
+            }
+        };
+        let mut response = line;
         response.push('\n');
         if writer
             .write_all(response.as_bytes())
@@ -471,559 +445,9 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
     }
 }
 
-fn dispatch_line(line: &str, shared: &Arc<Shared>) -> String {
-    let request = match parse_request(line) {
-        Ok(r) => r,
-        Err(e) => {
-            shared.stats.bad_requests.inc();
-            return error_response("bad_request", &e, None);
-        }
-    };
-    match request {
-        Request::Ping => "{\"ok\":true,\"pong\":true}".into(),
-        Request::List => render_list(shared),
-        Request::Stats => render_stats(shared),
-        Request::Metrics => render_metrics(shared),
-        Request::Shutdown => {
-            begin_shutdown(shared);
-            "{\"ok\":true,\"shutting_down\":true}".into()
-        }
-        Request::Load { name, spec } => {
-            if shared.shutdown.load(Ordering::SeqCst) {
-                return error_response("shutting_down", "server is shutting down", None);
-            }
-            match GraphSpec::parse(&spec).and_then(|s| shared.catalog.load(&name, &s)) {
-                Ok(entry) => {
-                    // build the new entry's transposes into the shared cache
-                    // before acknowledging the load: a reload's stale entries
-                    // are unreachable (fresh matrix ids) and age out
-                    shared.engines[0].prewarm(&entry);
-                    format!(
-                        "{{\"ok\":true,\"graph\":\"{}\",\"epoch\":{},\"n\":{},\"nnz\":{},\
-                         \"spec\":\"{}\"}}",
-                        escape(&entry.name),
-                        entry.epoch,
-                        entry.n(),
-                        entry.nnz(),
-                        escape(&entry.spec)
-                    )
-                }
-                Err(e) => {
-                    shared.stats.bad_requests.inc();
-                    error_response("bad_request", &e, None)
-                }
-            }
-        }
-        Request::Sleep {
-            ms,
-            id,
-            deadline_ms,
-        } => {
-            let request_id = next_request_id(shared);
-            submit_job(shared, JobKind::Sleep { ms }, id, request_id, deadline_ms)
-        }
-        Request::Query(params) => {
-            let Some(graph) = shared.catalog.get(&params.graph) else {
-                return error_response(
-                    "not_found",
-                    &format!("no graph named {:?} (use the load op)", params.graph),
-                    params.id,
-                );
-            };
-            let request_id = next_request_id(shared);
-            let key = cache_key(&graph.name, graph.epoch, &params.cache_params());
-            if let Some(hit) = shared.cache.get(&key) {
-                let t0 = shared.registry.enabled().then(Instant::now);
-                let response = query_response(
-                    &params,
-                    &graph,
-                    request_id,
-                    true,
-                    hit.compute_micros,
-                    &hit.result_json,
-                    None,
-                );
-                let timing = StageTiming {
-                    serialize_us: t0.map_or(0, |t| t.elapsed().as_micros() as u64),
-                    ..StageTiming::default()
-                };
-                record_query(shared, &params, "hit", request_id, &graph.name, timing);
-                return response;
-            }
-            let id = params.id;
-            let deadline_ms = params.deadline_ms;
-            submit_job(
-                shared,
-                JobKind::Query { params, graph, key },
-                id,
-                request_id,
-                deadline_ms,
-            )
-        }
-    }
-}
-
-/// Allocate the next server-wide request id (starts at 1; 0 never appears,
-/// so integration assertions can treat it as "unassigned").
-fn next_request_id(shared: &Arc<Shared>) -> u64 {
-    shared.next_request_id.fetch_add(1, Ordering::Relaxed)
-}
-
-/// Count a served query, and — when metrics are on — record its total and
-/// per-stage latency histograms and offer it to the slow-query log.
-/// Cache hits skip the queue/execute stage histograms (they never queue)
-/// and the slow log (serving a cached line is never the slow path).
-fn record_query(
-    shared: &Arc<Shared>,
-    params: &QueryParams,
-    cache: &'static str,
-    request_id: u64,
-    graph: &str,
-    t: StageTiming,
-) {
-    let labels = [
-        ("algo", params.algo.as_str()),
-        ("backend", params.backend.as_str()),
-        ("cache", cache),
-    ];
-    shared
-        .registry
-        .counter("gbtl_requests_total", &labels)
-        .inc();
-    if !shared.registry.enabled() {
-        return;
-    }
-    shared
-        .registry
-        .histogram("gbtl_request_latency_us", &labels)
-        .observe(t.total_us());
-    let stages: &[(&str, u64)] = if cache == "hit" {
-        &[("serialize", t.serialize_us)]
-    } else {
-        &[
-            ("queue", t.queue_us),
-            ("execute", t.execute_us),
-            ("serialize", t.serialize_us),
-        ]
-    };
-    for &(stage, v) in stages {
-        shared
-            .registry
-            .histogram(
-                "gbtl_stage_latency_us",
-                &[labels[0], labels[1], labels[2], ("stage", stage)],
-            )
-            .observe(v);
-    }
-    if cache == "miss" {
-        shared.slow_log.offer(
-            t.total_us(),
-            SlowQuery {
-                request_id,
-                graph: graph.to_string(),
-                params: params.cache_params(),
-                queue_us: t.queue_us,
-                execute_us: t.execute_us,
-                serialize_us: t.serialize_us,
-            },
-        );
-    }
-}
-
-/// Push a compute job and wait for the worker's response (or the deadline).
-fn submit_job(
-    shared: &Arc<Shared>,
-    kind: JobKind,
-    id: Option<u64>,
-    request_id: u64,
-    deadline_ms: Option<u64>,
-) -> String {
-    let deadline_ms = deadline_ms.unwrap_or(shared.config.default_deadline_ms);
-    let now = Instant::now();
-    let deadline = now + Duration::from_millis(deadline_ms);
-    let (tx, rx) = mpsc::channel();
-    let job = Job {
-        kind,
-        id,
-        request_id,
-        deadline,
-        enqueued: now,
-        reply: tx,
-    };
-    match shared.queue.push(job) {
-        Ok(()) => {
-            let wait = deadline
-                .saturating_duration_since(Instant::now())
-                .saturating_add(DEADLINE_GRACE);
-            match rx.recv_timeout(wait) {
-                Ok(line) => line,
-                Err(_) => {
-                    shared.stats.deadline_expired.inc();
-                    error_response("deadline", &format!("no result within {deadline_ms}ms"), id)
-                }
-            }
-        }
-        Err(PushError::Full) => {
-            shared.stats.rejected_overloaded.inc();
-            error_response(
-                "overloaded",
-                &format!(
-                    "queue full ({} queued, {} workers busy)",
-                    shared.config.queue_capacity, shared.config.workers
-                ),
-                id,
-            )
-        }
-        Err(PushError::ShuttingDown) => {
-            shared.stats.rejected_shutdown.inc();
-            error_response("shutting_down", "server is shutting down", id)
-        }
-    }
-}
-
-fn worker_loop(shared: &Arc<Shared>, index: usize) {
-    let engine = &shared.engines[index];
-    while let Some(job) = shared.queue.pop() {
-        let picked_up = Instant::now();
-        if picked_up > job.deadline {
-            shared.stats.deadline_expired.inc();
-            let _ = job.reply.send(error_response(
-                "deadline",
-                "deadline expired while queued",
-                job.id,
-            ));
-            continue;
-        }
-        let queue_us = picked_up.duration_since(job.enqueued).as_micros() as u64;
-        let response = match job.kind {
-            JobKind::Sleep { ms } => {
-                std::thread::sleep(Duration::from_millis(ms));
-                if shared.registry.enabled() {
-                    shared
-                        .registry
-                        .histogram(
-                            "gbtl_stage_latency_us",
-                            &[
-                                ("algo", "sleep"),
-                                ("backend", "none"),
-                                ("cache", "miss"),
-                                ("stage", "execute"),
-                            ],
-                        )
-                        .observe(ms * 1000);
-                }
-                let id_part = job.id.map(|i| format!("\"id\":{i},")).unwrap_or_default();
-                format!("{{\"ok\":true,{id_part}\"slept_ms\":{ms}}}")
-            }
-            JobKind::Query { params, graph, key } => {
-                let t0 = Instant::now();
-                match engine.run(&graph, &params, Some(job.request_id)) {
-                    Ok(outcome) => {
-                        let execute_us = t0.elapsed().as_micros() as u64;
-                        shared.cache.put(
-                            key,
-                            CachedResult {
-                                result_json: outcome.result_json.clone(),
-                                compute_micros: execute_us,
-                            },
-                        );
-                        let t1 = shared.registry.enabled().then(Instant::now);
-                        let response = query_response(
-                            &params,
-                            &graph,
-                            job.request_id,
-                            false,
-                            execute_us,
-                            &outcome.result_json,
-                            outcome.trace_json.as_deref(),
-                        );
-                        let timing = StageTiming {
-                            queue_us,
-                            execute_us,
-                            serialize_us: t1.map_or(0, |t| t.elapsed().as_micros() as u64),
-                        };
-                        record_query(shared, &params, "miss", job.request_id, &graph.name, timing);
-                        response
-                    }
-                    Err(e) => {
-                        shared.stats.bad_requests.inc();
-                        error_response("bad_request", &e, params.id)
-                    }
-                }
-            }
-        };
-        let _ = job.reply.send(response);
-    }
-}
-
-fn query_response(
-    params: &QueryParams,
-    graph: &GraphEntry,
-    request_id: u64,
-    cached: bool,
-    micros: u64,
-    result_json: &str,
-    trace_json: Option<&str>,
-) -> String {
-    let id_part = params
-        .id
-        .map(|i| format!("\"id\":{i},"))
-        .unwrap_or_default();
-    let trace_part = trace_json
-        .map(|t| format!(",\"trace\":{t}"))
-        .unwrap_or_default();
-    format!(
-        "{{\"ok\":true,{id_part}\"request_id\":{request_id},\"graph\":\"{}\",\
-         \"epoch\":{},\"algo\":\"{}\",\
-         \"backend\":\"{}\",\"cached\":{cached},\"micros\":{micros},\
-         \"result\":{result_json}{trace_part}}}",
-        escape(&graph.name),
-        graph.epoch,
-        params.algo.as_str(),
-        params.backend.as_str(),
-    )
-}
-
-fn render_list(shared: &Arc<Shared>) -> String {
-    let mut s = String::from("{\"ok\":true,\"graphs\":[");
-    for (i, g) in shared.catalog.list().iter().enumerate() {
-        if i > 0 {
-            s.push(',');
-        }
-        s.push_str(&format!(
-            "{{\"name\":\"{}\",\"epoch\":{},\"n\":{},\"nnz\":{},\"spec\":\"{}\"}}",
-            escape(&g.name),
-            g.epoch,
-            g.n(),
-            g.nnz(),
-            escape(&g.spec)
-        ));
-    }
-    s.push_str("]}");
-    s
-}
-
-/// Overwrite the point-in-time gauges just before a snapshot is taken, so
-/// every exposition reports current depth/occupancy rather than stale sets.
-/// The transpose-cache and workspace-pool counters accumulate in the core
-/// crates (shared across engines / thread-local, respectively), so they are
-/// mirrored into gauges here rather than counted on the request path.
-fn refresh_gauges(shared: &Arc<Shared>) {
-    shared
-        .registry
-        .gauge("gbtl_queue_depth", &[])
-        .set(shared.queue.len() as i64);
-    shared
-        .registry
-        .gauge("gbtl_cache_entries", &[])
-        .set(shared.cache.len() as i64);
-    let ts = shared.transpose_cache.stats();
-    let g = |name, v: u64| shared.registry.gauge(name, &[]).set(v as i64);
-    g("gbtl_transpose_cache_entries", ts.entries as u64);
-    g("gbtl_transpose_cache_hits", ts.hits);
-    g("gbtl_transpose_cache_misses", ts.misses);
-    g("gbtl_transpose_cache_evictions", ts.evictions);
-    g("gbtl_transpose_cache_invalidations", ts.invalidations);
-    let ws = gbtl_core::workspace::stats();
-    g("gbtl_workspace_takes", ws.takes);
-    g("gbtl_workspace_reuses", ws.reuses);
-    g("gbtl_workspace_allocs", ws.allocs);
-}
-
-/// Per-algorithm execute-latency aggregates, merged across backends (and
-/// the sleep diagnostic), from the registry's `stage="execute"` histograms.
-/// Empty when metrics are disabled — the stats endpoint documents this.
-fn algo_aggregates(shared: &Arc<Shared>) -> Vec<(String, HistogramSnapshot)> {
-    let mut aggs: Vec<(String, HistogramSnapshot)> = Vec::new();
-    for (key, h) in shared.registry.snapshot().histograms {
-        if key.name != "gbtl_stage_latency_us"
-            || !key
-                .labels
-                .iter()
-                .any(|(k, v)| k == "stage" && v == "execute")
-        {
-            continue;
-        }
-        let Some(algo) = key
-            .labels
-            .iter()
-            .find(|(k, _)| k == "algo")
-            .map(|(_, v)| v.clone())
-        else {
-            continue;
-        };
-        match aggs.iter_mut().find(|(a, _)| *a == algo) {
-            Some((_, agg)) => agg.merge(&h),
-            None => aggs.push((algo, h)),
-        }
-    }
-    aggs.sort_by(|a, b| a.0.cmp(&b.0));
-    aggs
-}
-
-fn render_stats(shared: &Arc<Shared>) -> String {
-    refresh_gauges(shared);
-    let st = &shared.stats;
-    let snap: EngineSnapshot = shared
-        .engines
-        .iter()
-        .fold(EngineSnapshot::default(), |acc, e| {
-            let s = e.snapshot();
-            EngineSnapshot {
-                seq_ops: acc.seq_ops + s.seq_ops,
-                par_ops: acc.par_ops + s.par_ops,
-                cuda_ops: acc.cuda_ops + s.cuda_ops,
-                pool_tasks: acc.pool_tasks + s.pool_tasks,
-                pool_steals: acc.pool_steals + s.pool_steals,
-                gpu_kernels: acc.gpu_kernels + s.gpu_kernels,
-                gpu_modeled_s: acc.gpu_modeled_s + s.gpu_modeled_s,
-            }
-        });
-    let hits = shared.cache.hits();
-    let misses = shared.cache.misses();
-    let hit_rate = if hits + misses > 0 {
-        hits as f64 / (hits + misses) as f64
-    } else {
-        0.0
-    };
-    let mut algos = String::from("[");
-    for (i, (algo, h)) in algo_aggregates(shared).iter().enumerate() {
-        if i > 0 {
-            algos.push(',');
-        }
-        let _ = write!(
-            algos,
-            "{{\"algo\":\"{}\",\"count\":{},\"mean_us\":{},\"max_us\":{}}}",
-            escape(algo),
-            h.count,
-            h.sum.checked_div(h.count).unwrap_or(0),
-            h.max
-        );
-    }
-    algos.push(']');
-    let ts = shared.transpose_cache.stats();
-    let ws = gbtl_core::workspace::stats();
-    format!(
-        "{{\"ok\":true,\"stats\":{{\
-         \"uptime_ms\":{},\"workers\":{},\"par_threads\":{},\
-         \"queue_capacity\":{},\"queue_depth\":{},\"graphs\":{},\
-         \"requests\":{{\"connections\":{},\"received\":{},\"completed\":{},\
-         \"bad\":{},\"rejected_overloaded\":{},\"rejected_shutdown\":{},\
-         \"deadline_expired\":{}}},\
-         \"cache\":{{\"capacity\":{},\"entries\":{},\"hits\":{},\"misses\":{},\
-         \"hit_rate\":{hit_rate:.4}}},\
-         \"transpose_cache\":{{\"enabled\":{},\"capacity\":{},\"entries\":{},\
-         \"hits\":{},\"misses\":{},\"evictions\":{},\"invalidations\":{},\
-         \"hit_rate\":{:.4}}},\
-         \"workspaces\":{{\"takes\":{},\"reuses\":{},\"allocs\":{},\
-         \"reuse_rate\":{:.4}}},\
-         \"backend_ops\":{{\"total\":{},\"sequential\":{},\"parallel\":{},\"cuda_sim\":{}}},\
-         \"pool\":{{\"tasks\":{},\"steals\":{}}},\
-         \"gpu\":{{\"kernels\":{},\"modeled_ms\":{:.3}}},\
-         \"algos\":{algos}}}}}",
-        shared.start.elapsed().as_millis(),
-        shared.config.workers,
-        shared.config.par_threads,
-        shared.config.queue_capacity,
-        shared.queue.len(),
-        shared.catalog.len(),
-        st.connections.get(),
-        st.received.get(),
-        st.completed.get(),
-        st.bad_requests.get(),
-        st.rejected_overloaded.get(),
-        st.rejected_shutdown.get(),
-        st.deadline_expired.get(),
-        shared.cache.capacity(),
-        shared.cache.len(),
-        hits,
-        misses,
-        ts.enabled,
-        ts.capacity,
-        ts.entries,
-        ts.hits,
-        ts.misses,
-        ts.evictions,
-        ts.invalidations,
-        ts.hit_rate(),
-        ws.takes,
-        ws.reuses,
-        ws.allocs,
-        ws.reuse_rate(),
-        snap.seq_ops + snap.par_ops + snap.cuda_ops,
-        snap.seq_ops,
-        snap.par_ops,
-        snap.cuda_ops,
-        snap.pool_tasks,
-        snap.pool_steals,
-        snap.gpu_kernels,
-        snap.gpu_modeled_s * 1e3,
-    )
-}
-
-/// The `metrics` response: the registry as JSON (counters, gauges,
-/// per-label histograms with bucket arrays and percentiles), the all-label
-/// request-latency aggregate, the slow-query log, and a Prometheus-style
-/// text exposition escaped into the `exposition` field.
-fn render_metrics(shared: &Arc<Shared>) -> String {
-    refresh_gauges(shared);
-    let snap = shared.registry.snapshot();
-    let overall = shared.registry.merged_histogram("gbtl_request_latency_us");
-    let mut slow = String::from("[");
-    for (i, (total_us, q)) in shared.slow_log.entries().into_iter().enumerate() {
-        if i > 0 {
-            slow.push(',');
-        }
-        let _ = write!(
-            slow,
-            "{{\"request_id\":{},\"graph\":\"{}\",\"params\":\"{}\",\"total_us\":{total_us},\
-             \"queue_us\":{},\"execute_us\":{},\"serialize_us\":{}}}",
-            q.request_id,
-            escape(&q.graph),
-            escape(&q.params),
-            q.queue_us,
-            q.execute_us,
-            q.serialize_us
-        );
-    }
-    slow.push(']');
-    format!(
-        "{{\"ok\":true,\"metrics\":{{\"enabled\":{},\"overall\":{},\"registry\":{},\
-         \"slow_queries\":{slow}}},\"exposition\":\"{}\"}}",
-        shared.registry.enabled(),
-        histogram_json(&overall),
-        render_json(&snap),
-        escape(&render_prometheus(&snap)),
-    )
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn queue_caps_and_drains_on_shutdown() {
-        let q = JobQueue::new(2);
-        let (tx, _rx) = mpsc::channel();
-        let mk = |tx: &mpsc::Sender<String>| Job {
-            kind: JobKind::Sleep { ms: 0 },
-            id: None,
-            request_id: 0,
-            deadline: Instant::now() + Duration::from_secs(1),
-            enqueued: Instant::now(),
-            reply: tx.clone(),
-        };
-        q.push(mk(&tx)).unwrap();
-        q.push(mk(&tx)).unwrap();
-        assert!(matches!(q.push(mk(&tx)), Err(PushError::Full)));
-        assert_eq!(q.len(), 2);
-        q.shutdown();
-        assert!(matches!(q.push(mk(&tx)), Err(PushError::ShuttingDown)));
-        // admitted jobs still drain after shutdown
-        assert!(q.pop().is_some());
-        assert!(q.pop().is_some());
-        assert!(q.pop().is_none());
-    }
 
     #[test]
     fn config_defaults_are_sane() {
@@ -1031,13 +455,18 @@ mod tests {
         assert!(c.workers >= 1);
         assert!(c.queue_capacity >= 1);
         assert!(c.default_deadline_ms >= 1);
+        assert!(c.max_line >= 1024);
+        assert_eq!(c.mode, FrontendMode::Threaded);
         // from_env with nothing set equals the defaults
         for k in [
             "GBTL_SERVE_ADDR",
+            "GBTL_SERVE_MODE",
             "GBTL_SERVE_WORKERS",
             "GBTL_SERVE_QUEUE",
             "GBTL_SERVE_CACHE",
             "GBTL_SERVE_DEADLINE_MS",
+            "GBTL_SERVE_MAX_LINE",
+            "GBTL_SERVE_IDLE_TIMEOUT",
             "GBTL_SERVE_PAR_THREADS",
             "GBTL_METRICS",
             "GBTL_METRICS_SLOWLOG",
@@ -1046,9 +475,26 @@ mod tests {
         }
         let e = ServerConfig::from_env();
         assert_eq!(e.addr, c.addr);
+        assert_eq!(e.mode, c.mode);
         assert_eq!(e.workers, c.workers);
         assert_eq!(e.cache_capacity, c.cache_capacity);
+        assert_eq!(e.max_line, c.max_line);
+        assert_eq!(e.idle_timeout_ms, c.idle_timeout_ms);
         assert!(e.metrics, "metrics default on");
         assert_eq!(e.slow_log_capacity, c.slow_log_capacity);
+    }
+
+    #[test]
+    fn frontend_mode_parses_the_documented_spellings() {
+        assert_eq!(
+            FrontendMode::parse("threaded"),
+            Some(FrontendMode::Threaded)
+        );
+        assert_eq!(
+            FrontendMode::parse(" Evented "),
+            Some(FrontendMode::Evented)
+        );
+        assert_eq!(FrontendMode::parse("epoll"), None);
+        assert_eq!(FrontendMode::Evented.as_str(), "evented");
     }
 }

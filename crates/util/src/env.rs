@@ -51,6 +51,18 @@ pub fn bool_var(name: &str) -> Option<bool> {
     }
 }
 
+/// [`parsed_var`] for duration knobs given in **milliseconds** where `0`
+/// means "disabled" — the shared grammar for `GBTL_SERVE_IDLE_TIMEOUT` and
+/// friends, so every front-end parses timeout knobs identically.
+///
+/// * unset or invalid → `None` (the caller applies its default);
+/// * `0` → `Some(None)` — the user explicitly disabled the timeout;
+/// * `n > 0` → `Some(Some(n ms))`.
+pub fn duration_ms_var(name: &str) -> Option<Option<std::time::Duration>> {
+    let ms: u64 = parsed_var(name, |_| true)?;
+    Some((ms > 0).then(|| std::time::Duration::from_millis(ms)))
+}
+
 /// Read `name` as a non-empty string (empty/whitespace-only counts as
 /// invalid and warns).
 pub fn string_var(name: &str) -> Option<String> {
@@ -134,6 +146,23 @@ mod tests {
         std::env::set_var("GBTL_UTIL_TEST_BOOL", "maybe");
         assert_eq!(bool_var("GBTL_UTIL_TEST_BOOL"), None);
         std::env::remove_var("GBTL_UTIL_TEST_BOOL");
+    }
+
+    #[test]
+    fn duration_ms_knobs_distinguish_disabled_from_unset() {
+        let _g = env_lock().lock().unwrap();
+        std::env::remove_var("GBTL_UTIL_TEST_DUR");
+        assert_eq!(duration_ms_var("GBTL_UTIL_TEST_DUR"), None);
+        std::env::set_var("GBTL_UTIL_TEST_DUR", "0");
+        assert_eq!(duration_ms_var("GBTL_UTIL_TEST_DUR"), Some(None));
+        std::env::set_var("GBTL_UTIL_TEST_DUR", "1500");
+        assert_eq!(
+            duration_ms_var("GBTL_UTIL_TEST_DUR"),
+            Some(Some(std::time::Duration::from_millis(1500)))
+        );
+        std::env::set_var("GBTL_UTIL_TEST_DUR", "soon");
+        assert_eq!(duration_ms_var("GBTL_UTIL_TEST_DUR"), None);
+        std::env::remove_var("GBTL_UTIL_TEST_DUR");
     }
 
     #[test]

@@ -20,6 +20,7 @@ fn test_config() -> ServerConfig {
         metrics: true,
         slow_log_capacity: 8,
         preload: vec![("karate".into(), "karate".into())],
+        ..ServerConfig::default()
     }
 }
 

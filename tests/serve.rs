@@ -23,6 +23,7 @@ fn test_config() -> ServerConfig {
             ("karate".into(), "karate".into()),
             ("rmat".into(), "rmat:7:6:42".into()),
         ],
+        ..ServerConfig::default()
     }
 }
 
