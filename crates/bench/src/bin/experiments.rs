@@ -82,6 +82,9 @@ fn main() {
     if want("nt") {
         nt_evented();
     }
+    if want("sh") {
+        sh_sharding();
+    }
 
     if traced {
         println!("\n== traced appendix: BFS + triangles (rmat12), per-op report per backend");
@@ -1370,4 +1373,280 @@ fn row(label: String, a: &Matrix<bool>, seq: Duration, wall: Duration, model: Du
         cuda_wall: wall,
         cuda_modeled: model,
     }
+}
+
+/// R-H7: sharded catalog — multi-graph qps scaling with shard count,
+/// snapshot restore+prewarm vs a cold Matrix Market reload, and exact
+/// scatter-gather stats agreement (EXPERIMENTS.md).
+fn sh_sharding() {
+    use std::collections::HashMap;
+    use std::time::Instant;
+
+    use gbtl_serve::protocol::Algo;
+    use gbtl_serve::{run_loadgen, start, Client, LoadgenOptions, ServerConfig};
+    use gbtl_shard::{start_sharded, ShardConfig};
+
+    print_title(
+        "R-H7: sharded catalog (gbtl-shard) — qps scaling, snapshot restore, merge",
+        "a multi-graph zipf workload over 8 graphs scales with shard count \
+         because every shard brings its own worker pool and queue; restoring a \
+         binary .gbsnap (with the transpose cache prewarmed on load) beats \
+         re-parsing the Matrix Market text of the same graph to first answer; \
+         and the router's merged stats agree exactly with the sum of the \
+         per-shard snapshots because both are rendered from one set of \
+         snapshots",
+    );
+
+    // -- part 1: qps vs shard count ---------------------------------------
+    // One worker per shard and par_threads 1; cache off so every request
+    // executes; zipf 0.5 keeps the hottest graph from dominating entirely.
+    // The win has two components: shard-level parallelism where the host
+    // has cores for it, and queue separation everywhere — with one shared
+    // queue, cheap BFS answers wait behind expensive triangle counts, and
+    // a closed-loop client can only issue its next request once the
+    // previous one drains the whole line.
+    let graph_names: Vec<String> = (0..8).map(|i| format!("g{i}")).collect();
+    let preload: Vec<(String, String)> = (0..8)
+        .map(|i| (format!("g{i}"), format!("rmat:7:8:{i}")))
+        .collect();
+    println!(
+        "part 1: throughput vs shards (8 x rmat7 graphs, zipf 0.5, 1 worker/shard, \
+         16 clients x 50, cache off, best of 3)"
+    );
+    println!(
+        "{:<8} {:>6} {:>9} {:>9} {:>9} {:>9}",
+        "shards", "ok", "best qps", "p50 us", "p95 us", "speedup"
+    );
+    let mut baseline_qps = 0.0f64;
+    let mut last_speedup = 0.0f64;
+    for &shards in &[1usize, 2, 4] {
+        let mut best: Option<gbtl_serve::LoadgenReport> = None;
+        for _ in 0..3 {
+            let handle = start_sharded(ShardConfig {
+                shards,
+                pins: HashMap::new(),
+                base: ServerConfig {
+                    addr: "127.0.0.1:0".into(),
+                    workers: 1,
+                    queue_capacity: 256,
+                    cache_capacity: 0,
+                    default_deadline_ms: 60_000,
+                    par_threads: 1,
+                    metrics: true,
+                    slow_log_capacity: 16,
+                    preload: preload.clone(),
+                    ..ServerConfig::default()
+                },
+            })
+            .expect("start sharded server");
+            let report = run_loadgen(&LoadgenOptions {
+                addr: handle.addr().to_string(),
+                clients: 16,
+                requests_per_client: 50,
+                graphs: graph_names.clone(),
+                zipf: 0.5,
+                algos: vec![Algo::Bfs, Algo::Pagerank, Algo::TriangleCount],
+                backend: "par".into(),
+                source_count: 8,
+                ..LoadgenOptions::default()
+            })
+            .expect("run loadgen");
+            assert_eq!(report.corrupted, 0, "corrupted responses through router");
+            if best.as_ref().is_none_or(|b| report.qps() > b.qps()) {
+                best = Some(report);
+            }
+            handle.shutdown_and_join();
+        }
+        let best = best.unwrap();
+        if shards == 1 {
+            baseline_qps = best.qps();
+        }
+        last_speedup = best.qps() / baseline_qps;
+        println!(
+            "{:<8} {:>6} {:>9.1} {:>9} {:>9} {:>8.2}x",
+            shards,
+            best.ok,
+            best.qps(),
+            best.percentile_us(50.0),
+            best.percentile_us(95.0),
+            last_speedup,
+        );
+    }
+    assert!(
+        last_speedup >= 1.5,
+        "4 shards should beat 1 shard by >= 1.5x on a multi-graph workload, \
+         got {last_speedup:.2}x"
+    );
+
+    // -- part 2: snapshot restore vs cold Matrix Market reload ------------
+    // The same rmat14 graph twice: once as Matrix Market text (the cold
+    // path re-parses and re-symmetrizes it), once as a binary .gbsnap
+    // (length-checked bulk CSR reads + transpose prewarm). Both timings
+    // run load/restore plus the first BFS answer on a fresh server.
+    println!("\npart 2: rmat14 to first BFS answer — .gbsnap restore vs mtx re-parse");
+    let dir = std::env::temp_dir().join(format!("gbtl_rh7_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create experiment dir");
+    let mtx_path = dir.join("big.mtx");
+    {
+        let a = rmat_graph(14, 32, 7);
+        let (r, c, v) = a.extract_tuples();
+        let coo = gbtl_sparse::CooMatrix::from_triples(a.nrows(), a.ncols(), r, c, v)
+            .expect("valid matrix");
+        gbtl_sparse::mmio::write_coo_file(&coo, &mtx_path).expect("write mtx");
+        println!(
+            "graph: n={}, nnz={}, mtx bytes={}",
+            a.nrows(),
+            a.nnz(),
+            std::fs::metadata(&mtx_path).unwrap().len()
+        );
+    }
+    let mk_config = |preload: Vec<(String, String)>| ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 1,
+        queue_capacity: 16,
+        cache_capacity: 0,
+        default_deadline_ms: 60_000,
+        par_threads: 2,
+        snapshot_dir: Some(dir.display().to_string()),
+        preload,
+        ..ServerConfig::default()
+    };
+    // seed the .gbsnap from a server that parsed the mtx once
+    {
+        let handle = start(mk_config(vec![(
+            "big".into(),
+            format!("mtx:{}", mtx_path.display()),
+        )]))
+        .expect("start seeding server");
+        let mut c = Client::connect(&handle.addr().to_string()).expect("connect");
+        let v = c
+            .request_json("{\"op\":\"snapshot\",\"graph\":\"big\"}")
+            .expect("snapshot");
+        assert_eq!(v.bool_field("ok"), Some(true), "{v:?}");
+        handle.shutdown_and_join();
+    }
+    let first_query =
+        "{\"op\":\"query\",\"graph\":\"big\",\"algo\":\"bfs\",\"backend\":\"seq\",\"source\":0}";
+    let time_to_answer = |load_line: &str| -> (Duration, u64, u64) {
+        let handle = start(mk_config(Vec::new())).expect("start measured server");
+        let mut c = Client::connect(&handle.addr().to_string()).expect("connect");
+        let t0 = Instant::now();
+        let v = c.request_json(load_line).expect("load/restore");
+        assert_eq!(v.bool_field("ok"), Some(true), "{v:?}");
+        let load_us = v.u64_field("micros").unwrap_or(0);
+        let v = c.request_json(first_query).expect("first query");
+        assert_eq!(v.bool_field("ok"), Some(true), "{v:?}");
+        let query_us = v.u64_field("micros").unwrap_or(0);
+        let elapsed = t0.elapsed();
+        handle.shutdown_and_join();
+        (elapsed, load_us, query_us)
+    };
+    let load_line = format!(
+        "{{\"op\":\"load\",\"name\":\"big\",\"spec\":\"mtx:{}\"}}",
+        mtx_path.display()
+    );
+    let mut cold = (Duration::MAX, 0, 0);
+    let mut warm = (Duration::MAX, 0, 0);
+    for _ in 0..3 {
+        let c = time_to_answer(&load_line);
+        if c.0 < cold.0 {
+            cold = c;
+        }
+        let w = time_to_answer("{\"op\":\"restore\",\"graph\":\"big\"}");
+        if w.0 < warm.0 {
+            warm = w;
+        }
+    }
+    let ratio = cold.0.as_secs_f64() / warm.0.as_secs_f64();
+    println!(
+        "{:<28} {:>10.1} ms  (load {:.1} ms, query {:.1} ms)\n\
+         {:<28} {:>10.1} ms  (restore {:.1} ms, query {:.1} ms)\n\
+         {:<28} {:>9.1}x",
+        "cold mtx parse + query",
+        cold.0.as_secs_f64() * 1e3,
+        cold.1 as f64 / 1e3,
+        cold.2 as f64 / 1e3,
+        ".gbsnap restore + query",
+        warm.0.as_secs_f64() * 1e3,
+        warm.1 as f64 / 1e3,
+        warm.2 as f64 / 1e3,
+        "restore speedup",
+        ratio
+    );
+    assert!(
+        ratio >= 10.0,
+        "snapshot restore should be >= 10x faster to first answer, got {ratio:.1}x"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // -- part 3: scatter-gather merge agreement ---------------------------
+    // After a mixed burst, the router's totals must equal the sum of its
+    // per-shard sections field for field — no drift, no sampling.
+    println!("\npart 3: merged stats vs sum of per-shard snapshots (4 shards, mixed burst)");
+    let handle = start_sharded(ShardConfig {
+        shards: 4,
+        pins: HashMap::new(),
+        base: ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            queue_capacity: 64,
+            cache_capacity: 16,
+            default_deadline_ms: 60_000,
+            par_threads: 1,
+            metrics: true,
+            slow_log_capacity: 16,
+            preload: preload.clone(),
+            ..ServerConfig::default()
+        },
+    })
+    .expect("start sharded server");
+    run_loadgen(&LoadgenOptions {
+        addr: handle.addr().to_string(),
+        clients: 4,
+        requests_per_client: 40,
+        graphs: graph_names,
+        zipf: 1.0,
+        algos: vec![Algo::Bfs, Algo::TriangleCount],
+        backend: "par".into(),
+        source_count: 4,
+        ..LoadgenOptions::default()
+    })
+    .expect("run loadgen");
+    let mut c = Client::connect(&handle.addr().to_string()).expect("connect");
+    let _ = c.request_json("{\"op\":\"query_all\",\"algo\":\"bfs\",\"source\":0}");
+    let v = c.request_json("{\"op\":\"stats\"}").expect("stats");
+    let stats = v.get("stats").expect("stats body");
+    let per_shard = stats
+        .get("per_shard")
+        .and_then(|p| p.as_arr())
+        .expect("per_shard");
+    let totals = stats.get("requests").expect("requests totals");
+    let mut checked = 0;
+    for field in [
+        "received",
+        "completed",
+        "bad",
+        "rejected_overloaded",
+        "rejected_shutdown",
+        "deadline_expired",
+    ] {
+        let sum: u64 = per_shard
+            .iter()
+            .map(|s| s.u64_field(field).expect("per-shard field"))
+            .sum();
+        assert_eq!(
+            totals.u64_field(field),
+            Some(sum),
+            "stats.requests.{field} drifted from sum(per_shard)"
+        );
+        checked += 1;
+    }
+    println!(
+        "{checked} counter fields agree exactly across {} shards \
+         (received total {})",
+        per_shard.len(),
+        totals.u64_field("received").unwrap()
+    );
+    handle.shutdown_and_join();
 }

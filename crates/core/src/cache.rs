@@ -210,6 +210,36 @@ impl TransposeCache {
         built
     }
 
+    /// Install `value` as the transpose of the matrix identified by
+    /// `(id, version)` without building anything — the zero-cost prewarm
+    /// path for matrices whose transpose is already at hand (e.g. a
+    /// symmetric matrix is its own transpose, so its buffer can be shared
+    /// straight into the store). Counts as neither hit nor miss; stale
+    /// generations of the same matrix are invalidated exactly as on a
+    /// built insert. No-op when the cache is disabled.
+    pub fn seed<T: Scalar>(&self, id: u64, version: u64, value: Arc<CsrMatrix<T>>) {
+        if !self.inner.enabled {
+            return;
+        }
+        let ty = TypeId::of::<T>();
+        let c = &self.inner.counters;
+        let mut entries = self.inner.entries.lock().unwrap();
+        let before = entries.len();
+        entries.retain(|e| !(e.id == id && e.ty == ty));
+        c.invalidations
+            .fetch_add((before - entries.len()) as u64, Ordering::Relaxed);
+        entries.push(Entry {
+            id,
+            version,
+            ty,
+            value: value as Arc<dyn Any + Send + Sync>,
+        });
+        while entries.len() > self.inner.capacity {
+            entries.remove(0);
+            c.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     /// Drop every resident entry (counters are preserved).
     pub fn clear(&self) {
         self.inner.entries.lock().unwrap().clear();

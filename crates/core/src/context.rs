@@ -168,6 +168,18 @@ impl<B: Backend> Context<B> {
             .get_or_build(a.id(), a.version(), || self.backend.transpose(a.csr()));
     }
 
+    /// Prewarm the transpose cache for a matrix the *caller asserts* is
+    /// symmetric (`a == aᵀ`): the matrix's own buffer is shared into the
+    /// cache as its transpose, so the warm is O(1) — no counting pass, no
+    /// copy. Callers must hold a real symmetry guarantee (e.g. the serve
+    /// catalog validates it on every install path); seeding an asymmetric
+    /// matrix would silently corrupt pull-direction results. No-op when
+    /// the cache is disabled.
+    pub fn seed_symmetric_transpose<T: Scalar>(&self, a: &Matrix<T>) {
+        self.transpose_cache
+            .seed(a.id(), a.version(), a.shared_csr());
+    }
+
     /// The backend.
     #[inline]
     pub fn backend(&self) -> &B {

@@ -180,6 +180,57 @@ pub struct RegistrySnapshot {
     pub histograms: Vec<(MetricKey, HistogramSnapshot)>,
 }
 
+impl RegistrySnapshot {
+    /// Return this snapshot with `(label, value)` added to every metric
+    /// key (re-canonicalized, so the result stays sorted). The
+    /// scatter-gather router uses this to stamp each shard's snapshot
+    /// with `shard="i"` before merging, which keeps per-shard series
+    /// distinct in the merged expositions.
+    pub fn with_label(mut self, label: &str, value: &str) -> RegistrySnapshot {
+        fn relabel(key: &mut MetricKey, label: &str, value: &str) {
+            key.labels.push((label.to_string(), value.to_string()));
+            key.labels.sort();
+        }
+        for (k, _) in &mut self.counters {
+            relabel(k, label, value);
+        }
+        for (k, _) in &mut self.gauges {
+            relabel(k, label, value);
+        }
+        for (k, _) in &mut self.histograms {
+            relabel(k, label, value);
+        }
+        self.counters.sort_by(|a, b| a.0.cmp(&b.0));
+        self.gauges.sort_by(|a, b| a.0.cmp(&b.0));
+        self.histograms.sort_by(|a, b| a.0.cmp(&b.0));
+        self
+    }
+
+    /// Fold `other` into `self`: metrics with identical keys combine
+    /// (counters and gauges sum, histograms merge bucket-wise); new keys
+    /// are inserted in sort order. Merging N relabeled shard snapshots
+    /// therefore yields exactly the concatenation of their series, and
+    /// merging *unlabeled* snapshots yields exact sums — both uses rely
+    /// on every entry surviving with nothing dropped.
+    pub fn merge(&mut self, other: &RegistrySnapshot) {
+        fn fold<V: Clone>(
+            into: &mut Vec<(MetricKey, V)>,
+            from: &[(MetricKey, V)],
+            combine: impl Fn(&mut V, &V),
+        ) {
+            for (k, v) in from {
+                match into.binary_search_by(|(ek, _)| ek.cmp(k)) {
+                    Ok(i) => combine(&mut into[i].1, v),
+                    Err(i) => into.insert(i, (k.clone(), v.clone())),
+                }
+            }
+        }
+        fold(&mut self.counters, &other.counters, |a, b| *a += *b);
+        fold(&mut self.gauges, &other.gauges, |a, b| *a += *b);
+        fold(&mut self.histograms, &other.histograms, |a, b| a.merge(b));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -228,6 +279,60 @@ mod tests {
         let c = r.counter("reqs", &[]);
         c.inc();
         assert_eq!(c.get(), 1, "counters stay live");
+    }
+
+    #[test]
+    fn with_label_stamps_every_key_canonically() {
+        let r = Registry::new(true);
+        r.counter("reqs", &[("zz", "1")]).add(7);
+        r.gauge("depth", &[]).set(3);
+        r.histogram("lat", &[("algo", "bfs")]).observe(10);
+        let s = r.snapshot().with_label("shard", "2");
+        assert_eq!(
+            s.counters[0].0.labels,
+            vec![("shard".into(), "2".into()), ("zz".into(), "1".into())],
+            "labels re-sorted after the stamp"
+        );
+        assert_eq!(s.gauges[0].0.labels, vec![("shard".into(), "2".into())]);
+        assert_eq!(
+            s.histograms[0].0.labels,
+            vec![("algo".into(), "bfs".into()), ("shard".into(), "2".into())]
+        );
+    }
+
+    #[test]
+    fn merge_sums_identical_keys_and_keeps_distinct_ones() {
+        let a = Registry::new(true);
+        a.counter("reqs", &[]).add(3);
+        a.gauge("depth", &[]).set(2);
+        a.histogram("lat", &[]).observe(10);
+        let b = Registry::new(true);
+        b.counter("reqs", &[]).add(4);
+        b.counter("only_b", &[]).add(1);
+        b.gauge("depth", &[]).set(5);
+        b.histogram("lat", &[]).observe(30);
+
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        assert_eq!(m.counters.len(), 2);
+        let reqs = m
+            .counters
+            .iter()
+            .find(|(k, _)| k.name == "reqs")
+            .expect("reqs survives");
+        assert_eq!(reqs.1, 7, "identical counter keys sum");
+        assert_eq!(m.gauges[0].1, 7, "gauges sum too");
+        assert_eq!(m.histograms[0].1.count, 2);
+        assert_eq!(m.histograms[0].1.sum, 40);
+
+        // relabeled snapshots have disjoint keys: merge = concatenation
+        let mut distinct = a.snapshot().with_label("shard", "0");
+        distinct.merge(&b.snapshot().with_label("shard", "1"));
+        assert_eq!(distinct.counters.len(), 3);
+        assert!(
+            distinct.counters.windows(2).all(|w| w[0].0 < w[1].0),
+            "merged snapshot stays sorted"
+        );
     }
 
     #[test]

@@ -53,6 +53,16 @@
 //! [`Engine::is_draining`] turns true, flush what remains, and only then
 //! tear down. `drain` must be idempotent.
 //!
+//! A **composite engine** (one that multiplexes several inner engines,
+//! like gbtl-shard's scatter-gather router) must fan `drain` out to every
+//! inner engine before returning, and report `is_draining` from its own
+//! flag — not by polling members — so a front-end observes one coherent
+//! drain transition even while individual shards finish at different
+//! times. Requests the composite had already scattered keep their
+//! per-member replies; the composite merges whatever arrives and labels
+//! the rest as partial, upholding the "never strand a Reply" rule
+//! transitively.
+//!
 //! # Diagnostics obligations
 //!
 //! Per-mode, so a `stats` endpoint never lies about the front-end in use:
@@ -131,6 +141,25 @@ pub trait Engine: Send + Sync + 'static {
     /// Render the response for a request line that exceeded `max_line`
     /// bytes before a newline arrived. The engine also counts the fault.
     fn oversized_line_response(&self, max_line: usize) -> String;
+
+    /// Render the response a front-end emits when it gives up waiting for
+    /// an accepted request at its deadline (the threaded listener's
+    /// synthesized timeout). Engine-rendered for the same reason as
+    /// [`Engine::oversized_line_response`]: wire bytes for the same fault
+    /// must be identical in every mode, and the engine may want to count
+    /// it. The default renders the workspace's standard `deadline` error
+    /// shape, echoing `correlation` when present.
+    fn deadline_timeout_response(&self, correlation: Option<u64>) -> String {
+        match correlation {
+            Some(id) => format!(
+                "{{\"ok\":false,\"id\":{id},\"code\":\"deadline\",\
+                 \"error\":\"no result within the request deadline\"}}"
+            ),
+            None => "{\"ok\":false,\"code\":\"deadline\",\
+                     \"error\":\"no result within the request deadline\"}"
+                .to_string(),
+        }
+    }
 
     /// Begin shutdown: reject new compute work, finish accepted work.
     /// Idempotent.

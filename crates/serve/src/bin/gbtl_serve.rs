@@ -4,7 +4,7 @@
 //! gbtl-serve [--addr HOST:PORT] [--mode threaded|evented] [--workers N]
 //!            [--queue N] [--cache N] [--deadline-ms N] [--max-line BYTES]
 //!            [--idle-timeout-ms N] [--par-threads N] [--metrics on|off]
-//!            [--slowlog N] [--load NAME=SPEC]...
+//!            [--slowlog N] [--snapshot-dir PATH] [--load NAME=SPEC]...
 //! ```
 //!
 //! Flags override the `GBTL_SERVE_*` / `GBTL_METRICS*` environment knobs,
@@ -21,7 +21,7 @@ fn usage() -> ! {
         "usage: gbtl-serve [--addr HOST:PORT] [--mode threaded|evented] [--workers N]\n\
          \x20                 [--queue N] [--cache N] [--deadline-ms N] [--max-line BYTES]\n\
          \x20                 [--idle-timeout-ms N] [--par-threads N] [--metrics on|off]\n\
-         \x20                 [--slowlog N] [--load NAME=SPEC]..."
+         \x20                 [--slowlog N] [--snapshot-dir PATH] [--load NAME=SPEC]..."
     );
     std::process::exit(2);
 }
@@ -63,6 +63,7 @@ fn main() {
                 }
             }
             "--slowlog" => config.slow_log_capacity = parse_num(&value("count")),
+            "--snapshot-dir" => config.snapshot_dir = Some(value("PATH")),
             "--load" => {
                 let spec = value("NAME=SPEC");
                 let Some((name, spec)) = spec.split_once('=') else {

@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! loadgen [--addr HOST:PORT] [--clients N] [--requests N] [--graph NAME]
+//!         [--graphs a,b,c] [--zipf S]
 //!         [--algos a,b,c] [--backend seq|par|cuda] [--sources N]
 //!         [--pipeline DEPTH] [--idle N]
 //!         [--load NAME=SPEC]... [--wait-ms N] [--smoke] [--shutdown]
@@ -17,6 +18,13 @@
 //! and verifies in-order responses (the evented front-end's specialty);
 //! `--idle N` holds N silent extra connections through the run and fails
 //! the run unless every one still answers a ping afterwards.
+//!
+//! `--graphs a,b,c` switches to the multi-graph workload: each request
+//! picks its graph from the list with a zipf-skewed distribution
+//! (`--zipf S`, weight `1/(rank+1)^S`, default 1.0; 0 = uniform). The
+//! report prints the per-graph request counts actually issued — against a
+//! sharded server (`gbtl-shard --shards N`) that shows how hard the hot
+//! shard was hit relative to the rest.
 
 use gbtl_serve::protocol::Algo;
 use gbtl_serve::{fetch_server_latency, run_loadgen, Client, LoadgenOptions};
@@ -24,6 +32,7 @@ use gbtl_serve::{fetch_server_latency, run_loadgen, Client, LoadgenOptions};
 fn usage() -> ! {
     eprintln!(
         "usage: loadgen [--addr HOST:PORT] [--clients N] [--requests N] [--graph NAME]\n\
+         \x20              [--graphs a,b,c] [--zipf S]\n\
          \x20              [--algos a,b,c] [--backend seq|par|cuda] [--sources N]\n\
          \x20              [--pipeline DEPTH] [--idle N]\n\
          \x20              [--load NAME=SPEC]... [--wait-ms N] [--smoke] [--shutdown]"
@@ -60,6 +69,18 @@ fn parse_cli() -> Cli {
             "--clients" => cli.opts.clients = parse_num(&value("count")),
             "--requests" => cli.opts.requests_per_client = parse_num(&value("count")),
             "--graph" => cli.opts.graph = value("NAME"),
+            "--graphs" => {
+                cli.opts.graphs = value("a,b,c")
+                    .split(',')
+                    .map(|g| g.trim().to_string())
+                    .filter(|g| !g.is_empty())
+                    .collect();
+                if cli.opts.graphs.is_empty() {
+                    eprintln!("loadgen: --graphs wants a non-empty list");
+                    usage()
+                }
+            }
+            "--zipf" => cli.opts.zipf = parse_num(&value("skew")),
             "--backend" => cli.opts.backend = value("name"),
             "--sources" => cli.opts.source_count = parse_num(&value("count")),
             "--pipeline" => cli.opts.pipeline = parse_num(&value("depth")),
@@ -192,11 +213,16 @@ fn main() {
     } else if !failed {
         match run_loadgen(&cli.opts) {
             Ok(report) => {
+                let workload = if cli.opts.graphs.is_empty() {
+                    format!("{:?}", cli.opts.graph)
+                } else {
+                    format!("{} graphs (zipf {})", cli.opts.graphs.len(), cli.opts.zipf)
+                };
                 println!(
-                    "{} clients x {} requests on {:?} [{}] against {}",
+                    "{} clients x {} requests on {} [{}] against {}",
                     cli.opts.clients,
                     cli.opts.requests_per_client,
-                    cli.opts.graph,
+                    workload,
                     cli.opts
                         .algos
                         .iter()
@@ -231,6 +257,18 @@ fn main() {
                 );
                 for (code, n) in &report.errors {
                     println!("  rejected {code}: {n}");
+                }
+                if !report.graph_counts.is_empty() {
+                    let total: u64 = report.graph_counts.iter().map(|(_, n)| n).sum();
+                    let dist = report
+                        .graph_counts
+                        .iter()
+                        .map(|(g, n)| {
+                            format!("{g} {:.1}%", *n as f64 * 100.0 / total.max(1) as f64)
+                        })
+                        .collect::<Vec<_>>()
+                        .join(", ");
+                    println!("  graph distribution: {dist}");
                 }
                 if cli.opts.pipeline > 1 {
                     println!(

@@ -218,6 +218,75 @@ impl Catalog {
         Ok(entry)
     }
 
+    /// Install a prebuilt entry under `name` — the snapshot-restore path,
+    /// where adjacency and weights come off disk instead of a generator.
+    /// Epoch semantics match [`Catalog::load`]: replacing an existing name
+    /// bumps the epoch (the restored file's recorded epoch is *not*
+    /// reused, so stale result-cache entries can never resurface).
+    pub fn install(
+        &self,
+        name: &str,
+        spec: String,
+        adj: Matrix<bool>,
+        weights: Matrix<u32>,
+    ) -> Result<Arc<GraphEntry>, String> {
+        if name.is_empty() {
+            return Err("graph name must be non-empty".into());
+        }
+        if adj.nrows() != adj.ncols() {
+            return Err(format!(
+                "adjacency must be square, got {}x{}",
+                adj.nrows(),
+                adj.ncols()
+            ));
+        }
+        if weights.nrows() != adj.nrows() || weights.ncols() != adj.ncols() {
+            return Err(format!(
+                "weights shape {}x{} disagrees with adjacency {}x{}",
+                weights.nrows(),
+                weights.ncols(),
+                adj.nrows(),
+                adj.ncols()
+            ));
+        }
+        if weights.nnz() != adj.nnz() {
+            return Err(format!(
+                "weights nnz {} disagrees with adjacency nnz {}",
+                weights.nnz(),
+                adj.nnz()
+            ));
+        }
+        // Entries promise a symmetric simple graph with weights over the
+        // same structure — the generator paths guarantee it by
+        // construction, but data arriving off disk must prove it. The
+        // transpose-cache prewarm depends on symmetry: it aliases each
+        // matrix as its own transpose. Checking the weights symmetric
+        // (structure and values) over a structure shared with an all-true
+        // adjacency covers the adjacency too, with one O(nnz) sweep.
+        if weights.csr().row_ptr() != adj.csr().row_ptr()
+            || weights.csr().col_idx() != adj.csr().col_idx()
+        {
+            return Err("weights do not share the adjacency structure".into());
+        }
+        if !adj.csr().vals().iter().all(|&v| v) {
+            return Err("adjacency values must all be true".into());
+        }
+        if !weights.csr().is_symmetric() {
+            return Err("graph is not symmetric".into());
+        }
+        let mut inner = self.inner.lock().unwrap();
+        let epoch = inner.get(name).map(|e| e.epoch + 1).unwrap_or(1);
+        let entry = Arc::new(GraphEntry {
+            name: name.to_string(),
+            epoch,
+            spec,
+            adj,
+            weights,
+        });
+        inner.insert(name.to_string(), entry.clone());
+        Ok(entry)
+    }
+
     /// The current entry for `name`.
     pub fn get(&self, name: &str) -> Option<Arc<GraphEntry>> {
         self.inner.lock().unwrap().get(name).cloned()
@@ -299,6 +368,31 @@ mod tests {
         assert_eq!(first.n(), 16);
         assert_eq!(cat.len(), 1);
         assert!(cat.get("missing").is_none());
+    }
+
+    #[test]
+    fn install_validates_shape_and_bumps_epoch() {
+        let cat = Catalog::new();
+        let e = cat.load("g", &GraphSpec::Karate).unwrap();
+        let adj = e.adj.clone();
+        let weights = e.weights.clone();
+        let installed = cat
+            .install("g", "karate".into(), adj.clone(), weights.clone())
+            .unwrap();
+        assert_eq!(installed.epoch, 2, "replacing bumps the epoch");
+        let fresh = cat
+            .install("g2", "karate".into(), adj.clone(), weights)
+            .unwrap();
+        assert_eq!(fresh.epoch, 1);
+        // mismatched weights are rejected
+        let wrong = derive_weights(
+            &cat.load("tiny", &GraphSpec::Grid { side: 2 }).unwrap().adj,
+            1,
+        );
+        assert!(cat.install("g", "karate".into(), adj, wrong).is_err());
+        assert!(cat
+            .install("", "karate".into(), e.adj.clone(), e.weights.clone())
+            .is_err());
     }
 
     #[test]

@@ -73,8 +73,19 @@ pub struct LoadgenOptions {
     pub clients: usize,
     /// Requests each client issues.
     pub requests_per_client: usize,
-    /// Catalog graph name to query.
+    /// Catalog graph name to query (single-graph mode).
     pub graph: String,
+    /// Multi-graph mode: when non-empty, each request picks its graph from
+    /// this list with a zipf-skewed distribution (see
+    /// [`LoadgenOptions::zipf`]) instead of using [`LoadgenOptions::graph`]
+    /// — the workload shape for exercising a sharded catalog, where a
+    /// skewed pick hits a hot shard harder than the others.
+    pub graphs: Vec<String>,
+    /// Zipf skew exponent `s` for multi-graph mode: graph `k` (0-based,
+    /// list order) is picked with weight `1/(k+1)^s`. `0` is uniform; `1`
+    /// the classic zipf; larger is hotter. Picks are a deterministic hash
+    /// of (client, request), so two runs issue identical workloads.
+    pub zipf: f64,
     /// Algorithms cycled round-robin per request.
     pub algos: Vec<Algo>,
     /// Backend name sent with every query (`seq`/`par`/`cuda`).
@@ -100,6 +111,8 @@ impl Default for LoadgenOptions {
             clients: 8,
             requests_per_client: 50,
             graph: "karate".into(),
+            graphs: Vec::new(),
+            zipf: 1.0,
             algos: vec![Algo::Bfs, Algo::Pagerank, Algo::TriangleCount],
             backend: "par".into(),
             source_count: 8,
@@ -135,6 +148,11 @@ pub struct LoadgenReport {
     /// Of [`LoadgenOptions::idle_conns`] idle connections held through the
     /// run, how many still answered a ping afterwards.
     pub idle_alive: u64,
+    /// Multi-graph mode only: how many requests targeted each graph, in
+    /// [`LoadgenOptions::graphs`] order (the zipf distribution actually
+    /// issued — deterministic for given options). Empty in single-graph
+    /// mode.
+    pub graph_counts: Vec<(String, u64)>,
 }
 
 impl LoadgenReport {
@@ -254,15 +272,39 @@ impl Tallies {
     }
 }
 
+/// The zipf-skewed graph pick for client `c`'s `r`-th request: index `k`
+/// with weight `1/(k+1)^s`, chosen by a deterministic FNV hash of `(c, r)`
+/// mapped to [0, 1) — same options, same workload, every run.
+fn zipf_pick(n: usize, s: f64, c: usize, r: usize) -> usize {
+    debug_assert!(n > 0);
+    let total: f64 = (0..n).map(|k| 1.0 / ((k + 1) as f64).powf(s)).sum();
+    let mut key = [0u8; 16];
+    key[..8].copy_from_slice(&(c as u64).to_le_bytes());
+    key[8..].copy_from_slice(&(r as u64).to_le_bytes());
+    let u = gbtl_sparse::snapshot::fnv1a(&key) as f64 / (u64::MAX as f64 + 1.0);
+    let mut acc = 0.0;
+    for k in 0..n {
+        acc += 1.0 / ((k + 1) as f64).powf(s) / total;
+        if u < acc {
+            return k;
+        }
+    }
+    n - 1
+}
+
 /// Build client `c`'s `r`-th request line.
 fn request_line(opts: &LoadgenOptions, c: usize, r: usize) -> (u64, String) {
     let algo = opts.algos[r % opts.algos.len().max(1)];
     let id = (c as u64) * 1_000_000 + r as u64;
     let source = (c * 31 + r * 17) % opts.source_count.max(1);
+    let graph = if opts.graphs.is_empty() {
+        opts.graph.as_str()
+    } else {
+        &opts.graphs[zipf_pick(opts.graphs.len(), opts.zipf, c, r)]
+    };
     let line = format!(
-        "{{\"op\":\"query\",\"id\":{id},\"graph\":\"{}\",\"algo\":\"{}\",\
+        "{{\"op\":\"query\",\"id\":{id},\"graph\":\"{graph}\",\"algo\":\"{}\",\
          \"backend\":\"{}\",\"source\":{source}}}",
-        opts.graph,
         algo.as_str(),
         opts.backend
     );
@@ -417,6 +459,17 @@ pub fn run_loadgen(opts: &LoadgenOptions) -> std::io::Result<LoadgenReport> {
     steady_us.sort_unstable();
     let mut errors: Vec<(String, u64)> = tallies.errors.lock().unwrap().drain().collect();
     errors.sort();
+    // the multi-graph distribution actually issued: recomputed (the pick is
+    // a pure function of the options) rather than tallied under a lock
+    let mut graph_counts: Vec<(String, u64)> =
+        opts.graphs.iter().map(|g| (g.clone(), 0u64)).collect();
+    if !opts.graphs.is_empty() {
+        for c in 0..opts.clients {
+            for r in 0..opts.requests_per_client {
+                graph_counts[zipf_pick(opts.graphs.len(), opts.zipf, c, r)].1 += 1;
+            }
+        }
+    }
     Ok(LoadgenReport {
         ok: tallies.ok.load(Ordering::Relaxed),
         cached: tallies.cached.load(Ordering::Relaxed),
@@ -427,6 +480,7 @@ pub fn run_loadgen(opts: &LoadgenOptions) -> std::io::Result<LoadgenReport> {
         first_us,
         steady_us,
         idle_alive,
+        graph_counts,
     })
 }
 
@@ -448,5 +502,31 @@ mod tests {
         let empty = LoadgenReport::default();
         assert_eq!(empty.percentile_us(99.0), 0);
         assert_eq!(empty.qps(), 0.0);
+    }
+
+    #[test]
+    fn zipf_picks_are_deterministic_skewed_and_in_range() {
+        let mut counts = [0u64; 4];
+        for c in 0..16 {
+            for r in 0..256 {
+                let k = zipf_pick(4, 1.0, c, r);
+                assert_eq!(k, zipf_pick(4, 1.0, c, r), "pure function of (c, r)");
+                counts[k] += 1;
+            }
+        }
+        assert!(counts.iter().all(|&n| n > 0), "{counts:?}");
+        assert!(counts[0] > counts[3], "rank 0 must be hottest: {counts:?}");
+        // s=0 is uniform-ish: no graph should dominate
+        let mut uniform = [0u64; 4];
+        for c in 0..16 {
+            for r in 0..256 {
+                uniform[zipf_pick(4, 0.0, c, r)] += 1;
+            }
+        }
+        let (min, max) = (
+            *uniform.iter().min().unwrap(),
+            *uniform.iter().max().unwrap(),
+        );
+        assert!(max < min * 2, "{uniform:?}");
     }
 }

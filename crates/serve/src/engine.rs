@@ -90,12 +90,17 @@ impl Engine {
         }
     }
 
-    /// Build the transposes pull-direction queries need (boolean adjacency
+    /// Warm the transposes pull-direction queries need (boolean adjacency
     /// for BFS/PageRank, weights for SSSP) into the shared cache, so the
-    /// first query after a load/reload pays no transpose cost.
+    /// first query after a load/reload/restore pays no transpose cost.
+    ///
+    /// Catalog graphs are symmetric by invariant (generators symmetrize,
+    /// [`crate::catalog::Catalog::install`] validates data off disk), so
+    /// `Aᵀ == A` and the warm is O(1): each matrix's own buffer is seeded
+    /// into the cache as its transpose — no counting pass, no copy.
     pub fn prewarm(&self, g: &GraphEntry) {
-        self.seq.prewarm_transpose(&g.adj);
-        self.seq.prewarm_transpose(&g.weights);
+        self.seq.seed_symmetric_transpose(&g.adj);
+        self.seq.seed_symmetric_transpose(&g.weights);
     }
 
     /// Total GraphBLAS ops this engine has dispatched, across backends.

@@ -20,7 +20,13 @@
 //! * [`server`] — the connection front-ends: the legacy
 //!   thread-per-connection listener and the `gbtl-net` evented `poll(2)`
 //!   loop (`GBTL_SERVE_MODE`), both driving the same pool through the same
-//!   trait with bit-identical responses.
+//!   trait with bit-identical responses;
+//! * [`snapshot`] — versioned `.gbsnap` snapshot files (`GBTL_SNAPSHOT_DIR`)
+//!   behind the `snapshot`/`restore` ops, restoring a catalog with two bulk
+//!   binary reads and a transpose prewarm instead of a re-parse;
+//! * [`scatter`] — scatter-gather for catalog-wide `query_all` requests,
+//!   shared between the single pool (scatters to itself) and gbtl-shard's
+//!   router (scatters to owning shards).
 //!
 //! [`client`] has the matching client and the closed-loop load generator.
 //!
@@ -45,13 +51,15 @@ pub mod client;
 pub mod engine;
 pub mod pool;
 pub mod protocol;
+pub mod scatter;
 pub mod server;
+pub mod snapshot;
 
 pub use client::{
     fetch_server_latency, run_loadgen, Client, LoadgenOptions, LoadgenReport, ServerLatencySummary,
 };
-pub use pool::EnginePool;
-pub use server::{start, FrontendMode, ServerConfig, ServerHandle};
+pub use pool::{EnginePool, ShardSnapshot};
+pub use server::{serve_threaded, start, FrontendMode, ServerConfig, ServerHandle};
 
 // Re-exported so tools driving many connections (loadgen, the experiment
 // harness) can lift `RLIMIT_NOFILE` without depending on gbtl-net directly.

@@ -45,7 +45,9 @@ use crate::cache::{cache_key, CachedResult, ResultCache};
 use crate::catalog::{Catalog, GraphEntry, GraphSpec};
 use crate::engine::{Engine as QueryEngine, EngineSnapshot};
 use crate::protocol::{error_response, oversized_response, parse_request, QueryParams, Request};
+use crate::scatter::{scatter_query_all, ScatterTarget};
 use crate::server::ServerConfig;
+use crate::snapshot as snapfile;
 
 /// The `ok:true` prefix every successful response starts with — the
 /// completed-counter predicate, applied in one place for both front-ends.
@@ -198,6 +200,48 @@ impl StageTiming {
     }
 }
 
+/// A point-in-time view of one pool's occupancy and cumulative counters,
+/// consumed by the sharded router's `stats` merge. Field meanings match
+/// the single-pool `stats` response.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ShardSnapshot {
+    /// Resident graphs.
+    pub graphs: usize,
+    /// Jobs currently queued.
+    pub queue_depth: usize,
+    /// Queue admission bound.
+    pub queue_capacity: usize,
+    /// Worker threads.
+    pub workers: usize,
+    /// Result-cache entries.
+    pub cache_entries: usize,
+    /// Request lines received.
+    pub received: u64,
+    /// Successful responses delivered.
+    pub completed: u64,
+    /// Malformed or failed requests.
+    pub bad: u64,
+    /// Admission-control rejections.
+    pub rejected_overloaded: u64,
+    /// Rejections after drain began.
+    pub rejected_shutdown: u64,
+    /// Requests that missed their deadline.
+    pub deadline_expired: u64,
+    /// Whether this pool has begun draining.
+    pub draining: bool,
+}
+
+impl ShardSnapshot {
+    /// Queue occupancy in [0, 1].
+    pub fn occupancy(&self) -> f64 {
+        if self.queue_capacity == 0 {
+            0.0
+        } else {
+            self.queue_depth as f64 / self.queue_capacity as f64
+        }
+    }
+}
+
 /// The compute back-end: catalog, cache, bounded queue, worker engines,
 /// metrics. Implements [`gbtl_net::Engine`]; see the module docs for how
 /// the contract maps onto these pieces. Always used behind an `Arc` —
@@ -275,7 +319,9 @@ impl EnginePool {
 
     /// Spawn one worker thread per backend engine. Workers exit when
     /// [`gbtl_net::Engine::drain`] closes the queue and it empties.
-    pub(crate) fn spawn_workers(self: &Arc<Self>) -> Vec<std::thread::JoinHandle<()>> {
+    /// Public so a sharded deployment (gbtl-shard) can start each member
+    /// pool's workers itself.
+    pub fn spawn_workers(self: &Arc<Self>) -> Vec<std::thread::JoinHandle<()>> {
         (0..self.engines.len())
             .map(|i| {
                 let pool = self.clone();
@@ -287,16 +333,179 @@ impl EnginePool {
             .collect()
     }
 
-    /// The threaded front-end timed out waiting on an accepted request:
-    /// count it and render the synthesized `deadline` error (the late real
-    /// response, if any, is discarded by the dropped channel).
-    pub(crate) fn deadline_timeout_response(&self, correlation: Option<u64>) -> String {
-        self.stats.deadline_expired.inc();
-        error_response(
-            "deadline",
-            "no result within the request deadline",
-            correlation,
-        )
+    /// Every resident graph, sorted by name — the router's merge input.
+    pub fn graphs(&self) -> Vec<Arc<GraphEntry>> {
+        self.catalog.list()
+    }
+
+    /// A point-in-time occupancy/counter snapshot of this pool, as one
+    /// shard of a sharded deployment sees it. The router renders per-shard
+    /// sections and computes catalog-wide totals from the *same* snapshots,
+    /// so the two can never disagree.
+    pub fn shard_snapshot(&self) -> ShardSnapshot {
+        ShardSnapshot {
+            graphs: self.catalog.len(),
+            queue_depth: self.queue.len(),
+            queue_capacity: self.config.queue_capacity,
+            workers: self.config.workers,
+            cache_entries: self.cache.len(),
+            received: self.stats.received.get(),
+            completed: self.stats.completed.get(),
+            bad: self.stats.bad_requests.get(),
+            rejected_overloaded: self.stats.rejected_overloaded.get(),
+            rejected_shutdown: self.stats.rejected_shutdown.get(),
+            deadline_expired: self.stats.deadline_expired.get(),
+            draining: self.shutdown.load(Ordering::SeqCst),
+        }
+    }
+
+    /// Refresh point-in-time gauges and snapshot the registry — the input
+    /// to a sharded deployment's merged exposition (each shard's snapshot
+    /// is relabeled `shard="i"` and merged).
+    pub fn registry_snapshot(&self) -> gbtl_metrics::RegistrySnapshot {
+        refresh_gauges(self);
+        self.registry.snapshot()
+    }
+
+    /// The all-label request-latency aggregate (the `overall` field of the
+    /// metrics response).
+    pub fn merged_request_latency(&self) -> HistogramSnapshot {
+        self.registry.merged_histogram("gbtl_request_latency_us")
+    }
+
+    /// Whether metrics recording is enabled on this pool.
+    pub fn metrics_enabled(&self) -> bool {
+        self.registry.enabled()
+    }
+
+    /// The slow-query log as `(total_us, rendered JSON object)` pairs,
+    /// worst first — the exact objects the metrics response embeds, so a
+    /// router can merge logs across shards byte-compatibly.
+    pub fn slow_entries_json(&self) -> Vec<(u64, String)> {
+        self.slow_log
+            .entries()
+            .into_iter()
+            .map(|(total_us, q)| {
+                (
+                    total_us,
+                    format!(
+                        "{{\"request_id\":{},\"graph\":\"{}\",\"params\":\"{}\",\
+                         \"total_us\":{total_us},\"queue_us\":{},\"execute_us\":{},\
+                         \"serialize_us\":{}}}",
+                        q.request_id,
+                        escape(&q.graph),
+                        escape(&q.params),
+                        q.queue_us,
+                        q.execute_us,
+                        q.serialize_us
+                    ),
+                )
+            })
+            .collect()
+    }
+
+    /// Write `.gbsnap` snapshots — one graph, or the whole catalog — into
+    /// the configured snapshot directory. Returns rendered per-graph JSON
+    /// fragments for the response (shared with the sharded router so merged
+    /// responses use identical item bytes), or `(code, message)` on error.
+    pub fn snapshot_graphs(
+        &self,
+        graph: Option<&str>,
+    ) -> Result<Vec<String>, (&'static str, String)> {
+        let Some(dir) = self.config.snapshot_dir.as_ref() else {
+            return Err((
+                "bad_request",
+                "no snapshot directory configured (set GBTL_SNAPSHOT_DIR or --snapshot-dir)"
+                    .to_string(),
+            ));
+        };
+        let dir = std::path::Path::new(dir);
+        let entries = match graph {
+            Some(name) => vec![self.catalog.get(name).ok_or_else(|| {
+                (
+                    "not_found",
+                    format!("no graph named {name:?} (use the load op)"),
+                )
+            })?],
+            None => self.catalog.list(),
+        };
+        let mut items = Vec::with_capacity(entries.len());
+        for g in entries {
+            let (path, bytes) = snapfile::write_snapshot(dir, &g).map_err(|e| ("internal", e))?;
+            items.push(format!(
+                "{{\"graph\":\"{}\",\"epoch\":{},\"bytes\":{bytes},\"path\":\"{}\"}}",
+                escape(&g.name),
+                g.epoch,
+                escape(&path.display().to_string())
+            ));
+        }
+        Ok(items)
+    }
+
+    /// Restore graphs from `.gbsnap` files — one graph, or every snapshot
+    /// in the directory (optionally filtered, so a sharded router can hand
+    /// each shard only the graphs it owns). Installed entries get a fresh
+    /// epoch and their transposes pre-warmed, so the first query after a
+    /// restore is already on the fast path. Returns rendered per-graph
+    /// items (the `list` item shape) or `(code, message)`.
+    pub fn restore_graphs(
+        &self,
+        graph: Option<&str>,
+        filter: Option<&dyn Fn(&str) -> bool>,
+    ) -> Result<Vec<String>, (&'static str, String)> {
+        let Some(dir) = self.config.snapshot_dir.as_ref() else {
+            return Err((
+                "bad_request",
+                "no snapshot directory configured (set GBTL_SNAPSHOT_DIR or --snapshot-dir)"
+                    .to_string(),
+            ));
+        };
+        let dir = std::path::Path::new(dir);
+        let mut snaps = Vec::new();
+        match graph {
+            Some(name) => {
+                let path = snapfile::snapshot_path(dir, name);
+                if !path.exists() {
+                    return Err((
+                        "not_found",
+                        format!("no snapshot for graph {name:?} under {}", dir.display()),
+                    ));
+                }
+                // a corrupt or truncated file on disk is the server's data
+                // problem, not the client's request
+                snaps.push(snapfile::read_snapshot(&path).map_err(|e| ("internal", e))?);
+            }
+            None => {
+                for path in snapfile::list_snapshots(dir).map_err(|e| ("internal", e))? {
+                    let snap = snapfile::read_snapshot(&path).map_err(|e| ("internal", e))?;
+                    if filter.is_none_or(|keep| keep(&snap.name)) {
+                        snaps.push(snap);
+                    }
+                }
+            }
+        }
+        let mut items = Vec::with_capacity(snaps.len());
+        for snap in snaps {
+            let snapfile::SnapshotFile {
+                name,
+                spec,
+                adj,
+                weights,
+                ..
+            } = snap;
+            let entry = self
+                .catalog
+                .install(
+                    &name,
+                    spec,
+                    gbtl_core::Matrix::from_csr(adj),
+                    gbtl_core::Matrix::from_csr(weights),
+                )
+                .map_err(|e| ("bad_request", e))?;
+            self.engines[0].prewarm(&entry);
+            items.push(render_graph_item(&entry));
+        }
+        Ok(items)
     }
 
     /// Count an inline response as completed when it is a success, exactly
@@ -438,6 +647,87 @@ impl gbtl_net::Engine for EnginePool {
                 let request_id = self.next_request_id();
                 self.submit_job(JobKind::Sleep { ms }, id, request_id, deadline_ms, reply)
             }
+            Request::QueryAll(params) => {
+                let deadline_ms = params
+                    .deadline_ms
+                    .unwrap_or(self.config.default_deadline_ms);
+                let targets: Vec<ScatterTarget> = self
+                    .catalog
+                    .list()
+                    .iter()
+                    .map(|g| ScatterTarget {
+                        graph: g.name.clone(),
+                        shard: 0,
+                    })
+                    .collect();
+                // count the merged response as completed exactly like a
+                // queued single query's wrapped reply does
+                let completed = self.stats.completed.clone();
+                let reply = Reply::new(move |response: String| {
+                    if response.starts_with(OK_PREFIX) {
+                        completed.inc();
+                    }
+                    reply.send(response);
+                });
+                scatter_query_all(
+                    targets,
+                    &params,
+                    deadline_ms,
+                    |_, line, sub_reply| self.submit(line, sub_reply),
+                    reply,
+                )
+            }
+            Request::Snapshot { graph, id } => {
+                let t0 = Instant::now();
+                match self.snapshot_graphs(graph.as_deref()) {
+                    Ok(items) => {
+                        let id_part = id.map(|i| format!("\"id\":{i},")).unwrap_or_default();
+                        let dir = self.config.snapshot_dir.clone().unwrap_or_default();
+                        self.finish_inline(format!(
+                            "{{\"ok\":true,{id_part}\"snapshot_dir\":\"{}\",\
+                             \"snapshots\":[{}],\"micros\":{}}}",
+                            escape(&dir),
+                            items.join(","),
+                            t0.elapsed().as_micros()
+                        ))
+                    }
+                    Err((code, msg)) => {
+                        if code == "bad_request" {
+                            self.stats.bad_requests.inc();
+                        }
+                        self.finish_inline(error_response(code, &msg, id))
+                    }
+                }
+            }
+            Request::Restore { graph, id } => {
+                if self.is_draining() {
+                    return self.finish_inline(error_response(
+                        "shutting_down",
+                        "server is shutting down",
+                        id,
+                    ));
+                }
+                let t0 = Instant::now();
+                match self.restore_graphs(graph.as_deref(), None) {
+                    Ok(items) => {
+                        let id_part = id.map(|i| format!("\"id\":{i},")).unwrap_or_default();
+                        let dir = self.config.snapshot_dir.clone().unwrap_or_default();
+                        self.finish_inline(format!(
+                            "{{\"ok\":true,{id_part}\"snapshot_dir\":\"{}\",\
+                             \"restored\":[{}],\"micros\":{}}}",
+                            escape(&dir),
+                            items.join(","),
+                            t0.elapsed().as_micros()
+                        ))
+                    }
+                    Err((code, msg)) => {
+                        if code == "bad_request" {
+                            self.stats.bad_requests.inc();
+                        }
+                        self.finish_inline(error_response(code, &msg, id))
+                    }
+                }
+            }
             Request::Query(params) => {
                 let Some(graph) = self.catalog.get(&params.graph) else {
                     return self.finish_inline(error_response(
@@ -490,6 +780,18 @@ impl gbtl_net::Engine for EnginePool {
     fn oversized_line_response(&self, max_line: usize) -> String {
         self.stats.bad_requests.inc();
         oversized_response(max_line)
+    }
+
+    fn deadline_timeout_response(&self, correlation: Option<u64>) -> String {
+        // the threaded front-end gave up waiting: count it and render the
+        // synthesized `deadline` error (the late real response, if any, is
+        // discarded by the dropped channel)
+        self.stats.deadline_expired.inc();
+        error_response(
+            "deadline",
+            "no result within the request deadline",
+            correlation,
+        )
     }
 
     fn drain(&self) {
@@ -667,20 +969,26 @@ fn query_response(
     )
 }
 
+/// Render one catalog entry as the `list` item object. Shared with the
+/// sharded router so a merged catalog listing uses identical item bytes.
+pub fn render_graph_item(g: &GraphEntry) -> String {
+    format!(
+        "{{\"name\":\"{}\",\"epoch\":{},\"n\":{},\"nnz\":{},\"spec\":\"{}\"}}",
+        escape(&g.name),
+        g.epoch,
+        g.n(),
+        g.nnz(),
+        escape(&g.spec)
+    )
+}
+
 fn render_list(pool: &EnginePool) -> String {
     let mut s = String::from("{\"ok\":true,\"graphs\":[");
     for (i, g) in pool.catalog.list().iter().enumerate() {
         if i > 0 {
             s.push(',');
         }
-        s.push_str(&format!(
-            "{{\"name\":\"{}\",\"epoch\":{},\"n\":{},\"nnz\":{},\"spec\":\"{}\"}}",
-            escape(&g.name),
-            g.epoch,
-            g.n(),
-            g.nnz(),
-            escape(&g.spec)
-        ));
+        s.push_str(&render_graph_item(g));
     }
     s.push_str("]}");
     s
@@ -890,21 +1198,11 @@ fn render_metrics(pool: &EnginePool) -> String {
     let snap = pool.registry.snapshot();
     let overall = pool.registry.merged_histogram("gbtl_request_latency_us");
     let mut slow = String::from("[");
-    for (i, (total_us, q)) in pool.slow_log.entries().into_iter().enumerate() {
+    for (i, (_, entry)) in pool.slow_entries_json().into_iter().enumerate() {
         if i > 0 {
             slow.push(',');
         }
-        let _ = write!(
-            slow,
-            "{{\"request_id\":{},\"graph\":\"{}\",\"params\":\"{}\",\"total_us\":{total_us},\
-             \"queue_us\":{},\"execute_us\":{},\"serialize_us\":{}}}",
-            q.request_id,
-            escape(&q.graph),
-            escape(&q.params),
-            q.queue_us,
-            q.execute_us,
-            q.serialize_us
-        );
+        let _ = write!(slow, "{entry}");
     }
     slow.push(']');
     format!(

@@ -17,6 +17,9 @@
 //! {"op":"load","name":"r10","spec":"rmat:10:8:7"}
 //! {"op":"query","graph":"r10","algo":"bfs","backend":"par","source":0,
 //!  "id":7,"full":false,"trace":false,"deadline_ms":500}
+//! {"op":"query_all","algo":"bfs","backend":"par","source":0}   # every resident graph
+//! {"op":"snapshot","graph":"r10"}               # omit "graph" to snapshot all
+//! {"op":"restore","graph":"r10"}                # omit "graph" to restore all
 //! ```
 //!
 //! Every response carries `"ok"`; failures add `"code"` (`bad_request`,
@@ -228,6 +231,30 @@ pub enum Request {
     },
     /// Run an algorithm on a resident graph.
     Query(QueryParams),
+    /// Run one algorithm over **every** resident graph (scatter-gather):
+    /// the server fans one query per graph out to the owning worker pool
+    /// (or shard, behind gbtl-shard's router), gathers until the deadline,
+    /// and answers with per-graph results plus a `partial` flag listing
+    /// whatever missed the deadline. `params.graph` is unused.
+    QueryAll(QueryParams),
+    /// Persist resident graphs as versioned `.gbsnap` files under the
+    /// configured snapshot directory (`GBTL_SNAPSHOT_DIR`). `graph:None`
+    /// snapshots every resident graph.
+    Snapshot {
+        /// Which graph; `None` = all resident graphs.
+        graph: Option<String>,
+        /// Correlation id.
+        id: Option<u64>,
+    },
+    /// Load graphs back from `.gbsnap` files (bulk binary read + transpose
+    /// prewarm — the milliseconds-restart path). `graph:None` restores
+    /// every snapshot file in the directory.
+    Restore {
+        /// Which graph; `None` = every `.gbsnap` in the directory.
+        graph: Option<String>,
+        /// Correlation id.
+        id: Option<u64>,
+    },
 }
 
 /// Parse one request line.
@@ -259,35 +286,52 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 .to_string(),
         }),
         "query" => {
-            let algo = Algo::parse(v.str_field("algo").ok_or("query: missing \"algo\"")?)?;
-            let backend = match v.str_field("backend") {
-                Some(b) => BackendChoice::parse(b)?,
-                None => BackendChoice::default(),
-            };
-            if let Some(Value::Num(d)) = v.get("damping") {
-                if !(0.0..1.0).contains(d) {
-                    return Err(format!("query: damping {d} outside [0, 1)"));
-                }
-            }
-            Ok(Request::Query(QueryParams {
-                id: v.u64_field("id"),
-                graph: v
-                    .str_field("graph")
-                    .ok_or("query: missing \"graph\"")?
-                    .to_string(),
-                algo,
-                backend,
-                source: v.get("source").and_then(|s| s.as_usize()).unwrap_or(0),
-                damping: v.f64_field("damping").unwrap_or(0.85),
-                max_iters: v.get("max_iters").and_then(|s| s.as_usize()).unwrap_or(100),
-                seed: v.u64_field("seed").unwrap_or(7),
-                full: v.bool_field("full").unwrap_or(false),
-                trace: v.bool_field("trace").unwrap_or(false),
-                deadline_ms: v.u64_field("deadline_ms"),
-            }))
+            let graph = v
+                .str_field("graph")
+                .ok_or("query: missing \"graph\"")?
+                .to_string();
+            Ok(Request::Query(parse_query_params(&v, graph)?))
         }
+        // graph-less: the server substitutes every resident graph name
+        "query_all" => Ok(Request::QueryAll(parse_query_params(&v, String::new())?)),
+        "snapshot" => Ok(Request::Snapshot {
+            graph: v.str_field("graph").map(str::to_string),
+            id: v.u64_field("id"),
+        }),
+        "restore" => Ok(Request::Restore {
+            graph: v.str_field("graph").map(str::to_string),
+            id: v.u64_field("id"),
+        }),
         other => Err(format!("unknown op {other:?}")),
     }
+}
+
+/// The shared `query` / `query_all` parameter grammar (everything but the
+/// graph name, which `query` requires and `query_all` forbids meaning to).
+fn parse_query_params(v: &Value, graph: String) -> Result<QueryParams, String> {
+    let algo = Algo::parse(v.str_field("algo").ok_or("query: missing \"algo\"")?)?;
+    let backend = match v.str_field("backend") {
+        Some(b) => BackendChoice::parse(b)?,
+        None => BackendChoice::default(),
+    };
+    if let Some(Value::Num(d)) = v.get("damping") {
+        if !(0.0..1.0).contains(d) {
+            return Err(format!("query: damping {d} outside [0, 1)"));
+        }
+    }
+    Ok(QueryParams {
+        id: v.u64_field("id"),
+        graph,
+        algo,
+        backend,
+        source: v.get("source").and_then(|s| s.as_usize()).unwrap_or(0),
+        damping: v.f64_field("damping").unwrap_or(0.85),
+        max_iters: v.get("max_iters").and_then(|s| s.as_usize()).unwrap_or(100),
+        seed: v.u64_field("seed").unwrap_or(7),
+        full: v.bool_field("full").unwrap_or(false),
+        trace: v.bool_field("trace").unwrap_or(false),
+        deadline_ms: v.u64_field("deadline_ms"),
+    })
 }
 
 /// Render an error response line (no trailing newline).
@@ -354,6 +398,37 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+        match parse_request(r#"{"op":"snapshot","graph":"k","id":4}"#).unwrap() {
+            Request::Snapshot { graph, id } => {
+                assert_eq!(graph.as_deref(), Some("k"));
+                assert_eq!(id, Some(4));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(
+            parse_request(r#"{"op":"snapshot"}"#),
+            Ok(Request::Snapshot {
+                graph: None,
+                id: None
+            })
+        ));
+        assert!(matches!(
+            parse_request(r#"{"op":"restore","graph":"k"}"#),
+            Ok(Request::Restore { graph: Some(_), .. })
+        ));
+        match parse_request(r#"{"op":"query_all","algo":"bfs","source":2,"id":9}"#).unwrap() {
+            Request::QueryAll(p) => {
+                assert_eq!(p.graph, "", "query_all carries no graph");
+                assert_eq!(p.algo, Algo::Bfs);
+                assert_eq!(p.source, 2);
+                assert_eq!(p.id, Some(9));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(
+            parse_request(r#"{"op":"query_all"}"#).is_err(),
+            "algo required"
+        );
     }
 
     #[test]

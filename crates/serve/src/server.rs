@@ -106,6 +106,10 @@ pub struct ServerConfig {
     /// Slow-query log retention in entries (`GBTL_METRICS_SLOWLOG`);
     /// 0 disables the log.
     pub slow_log_capacity: usize,
+    /// Directory for `.gbsnap` snapshot files (`GBTL_SNAPSHOT_DIR`);
+    /// `None` disables the `snapshot`/`restore` ops with a `bad_request`
+    /// that names the knob.
+    pub snapshot_dir: Option<String>,
     /// Graphs to load before accepting connections (`name`, `spec`).
     pub preload: Vec<(String, String)>,
 }
@@ -125,6 +129,7 @@ impl Default for ServerConfig {
             par_threads: host,
             metrics: true,
             slow_log_capacity: 16,
+            snapshot_dir: None,
             preload: Vec::new(),
         }
     }
@@ -162,6 +167,7 @@ impl ServerConfig {
             metrics: env::bool_var("GBTL_METRICS").unwrap_or(d.metrics),
             slow_log_capacity: env::usize_var("GBTL_METRICS_SLOWLOG", 0)
                 .unwrap_or(d.slow_log_capacity),
+            snapshot_dir: env::path_var("GBTL_SNAPSHOT_DIR").map(|p| p.display().to_string()),
             preload: Vec::new(),
         }
     }
@@ -235,13 +241,12 @@ pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
 
     let (listener_thread, evented) = match mode {
         FrontendMode::Threaded => {
-            let thread = {
-                let pool = pool.clone();
-                std::thread::Builder::new()
-                    .name("gbtl-serve-listener".into())
-                    .spawn(move || listener_loop(listener, &pool))
-                    .expect("spawn listener")
-            };
+            let thread = serve_threaded(
+                listener,
+                pool.clone(),
+                pool.config.max_line,
+                pool.config.idle_timeout(),
+            );
             (Some(thread), None)
         }
         FrontendMode::Evented => {
@@ -268,26 +273,48 @@ pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
     })
 }
 
-fn listener_loop(listener: TcpListener, pool: &Arc<EnginePool>) {
+/// Start the thread-per-connection front-end over any [`gbtl_net::Engine`]
+/// — the single [`EnginePool`] here, or gbtl-shard's scatter-gather router.
+/// Returns the listener thread; it exits once the engine reports draining
+/// (poke the listener with a throwaway connection to wake a blocked
+/// `accept()`, as [`gbtl_net::Engine::drain`] implementations do).
+pub fn serve_threaded<E: gbtl_net::Engine + ?Sized>(
+    listener: TcpListener,
+    engine: Arc<E>,
+    max_line: usize,
+    idle_timeout: Option<Duration>,
+) -> std::thread::JoinHandle<()> {
+    std::thread::Builder::new()
+        .name("gbtl-serve-listener".into())
+        .spawn(move || listener_loop(listener, &engine, max_line, idle_timeout))
+        .expect("spawn listener")
+}
+
+fn listener_loop<E: gbtl_net::Engine + ?Sized>(
+    listener: TcpListener,
+    engine: &Arc<E>,
+    max_line: usize,
+    idle_timeout: Option<Duration>,
+) {
     loop {
         match listener.accept() {
             Ok((stream, _)) => {
-                if pool.is_draining() {
+                if engine.is_draining() {
                     break;
                 }
-                pool.connection_opened();
-                let pool = pool.clone();
+                engine.connection_opened();
+                let engine = engine.clone();
                 // connection threads are cheap (they block on I/O and the
                 // reply channel); they exit when the client disconnects
                 let _ = std::thread::Builder::new()
                     .name("gbtl-serve-conn".into())
                     .spawn(move || {
-                        handle_connection(stream, &pool);
-                        pool.connection_closed();
+                        handle_connection(stream, &*engine, max_line, idle_timeout);
+                        engine.connection_closed();
                     });
             }
             Err(_) => {
-                if pool.is_draining() {
+                if engine.is_draining() {
                     break;
                 }
             }
@@ -387,24 +414,28 @@ impl BoundedLineReader {
     }
 }
 
-fn handle_connection(stream: TcpStream, pool: &Arc<EnginePool>) {
+fn handle_connection<E: gbtl_net::Engine + ?Sized>(
+    stream: TcpStream,
+    engine: &E,
+    max_line: usize,
+    idle_timeout: Option<Duration>,
+) {
     // small request/response frames: without nodelay, Nagle + delayed ACK
     // costs tens of ms per round-trip
     let _ = stream.set_nodelay(true);
     // the idle timeout as a per-read socket timeout: a silent client is
     // disconnected, a dribbling one resets the clock with each byte —
     // matching the evented loop's last-activity semantics
-    let _ = stream.set_read_timeout(pool.config.idle_timeout());
+    let _ = stream.set_read_timeout(idle_timeout);
     let mut writer = match stream.try_clone() {
         Ok(w) => w,
         Err(_) => return,
     };
-    let max_line = pool.config.max_line;
     let mut reader = BoundedLineReader::new(stream, max_line);
     loop {
         let line = match reader.next() {
             ReadOutcome::Closed => return,
-            ReadOutcome::Oversized => pool.oversized_line_response(max_line),
+            ReadOutcome::Oversized => engine.oversized_line_response(max_line),
             ReadOutcome::Line(l) => {
                 if l.trim().is_empty() {
                     continue;
@@ -413,7 +444,7 @@ fn handle_connection(stream: TcpStream, pool: &Arc<EnginePool>) {
                 let reply = Reply::new(move |response: String| {
                     let _ = tx.send(response);
                 });
-                match pool.submit(l.trim(), reply) {
+                match engine.submit(l.trim(), reply) {
                     Submission::Inline(response) => response,
                     Submission::Accepted {
                         deadline,
@@ -427,7 +458,7 @@ fn handle_connection(stream: TcpStream, pool: &Arc<EnginePool>) {
                             // a worker still mid-grind past the deadline:
                             // synthesize the timeout; the late real reply
                             // lands in a dropped channel
-                            Err(_) => pool.deadline_timeout_response(correlation),
+                            Err(_) => engine.deadline_timeout_response(correlation),
                         }
                     }
                 }
@@ -470,10 +501,12 @@ mod tests {
             "GBTL_SERVE_PAR_THREADS",
             "GBTL_METRICS",
             "GBTL_METRICS_SLOWLOG",
+            "GBTL_SNAPSHOT_DIR",
         ] {
             std::env::remove_var(k);
         }
         let e = ServerConfig::from_env();
+        assert_eq!(e.snapshot_dir, None);
         assert_eq!(e.addr, c.addr);
         assert_eq!(e.mode, c.mode);
         assert_eq!(e.workers, c.workers);

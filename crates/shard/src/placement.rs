@@ -1,0 +1,158 @@
+//! Consistent-hash graph placement.
+//!
+//! Each shard contributes [`VNODES`] virtual nodes to a hash ring; a graph
+//! lives on the shard owning the first virtual node clockwise of the
+//! graph-name hash. The properties the proptests pin down:
+//!
+//! * **Deterministic** — placement depends only on `(name, shard_count,
+//!   pins)`, never on load order or process state, so a restarted router
+//!   (or a peer router over the same catalog) routes identically.
+//! * **Stable under growth** — adding one shard to `n` moves roughly
+//!   `K/(n+1)` of `K` graphs (only the keys falling into the new shard's
+//!   arcs), not a full reshuffle like `hash % n` would.
+//! * **Stable under removal** — removing a shard moves *only* that shard's
+//!   graphs; everyone else's arcs are untouched.
+//!
+//! Explicit **pins** (`graph → shard`) override the ring for operator
+//! control — keeping a hot graph on a dedicated shard, or co-locating two
+//! graphs a client queries together.
+
+use std::collections::HashMap;
+
+/// Virtual nodes per shard. 256 keeps every shard's expected share close
+/// to uniform for small shard counts (arc-length variance falls as
+/// 1/vnodes) while the ring stays tiny — N×256 entries, binary-searched.
+pub const VNODES: usize = 256;
+
+/// FNV-1a 64 — the same hash primitive the `.gbsnap` codec uses for
+/// checksums; here it digests names and virtual-node labels.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Murmur3's 64-bit finalizer. Ring position is decided by the full u64
+/// ordering — dominated by the *high* bits — and raw FNV-1a of short
+/// sequential labels has poor high-bit avalanche (measured: a 2-shard ring
+/// split 45%/55% even at 1024 vnodes). Finalizing restores uniformity.
+fn mix(mut h: u64) -> u64 {
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    h ^= h >> 33;
+    h
+}
+
+/// The ring-point hash: FNV-1a digest, then the finalizer.
+fn point(bytes: &[u8]) -> u64 {
+    mix(fnv1a(bytes))
+}
+
+/// The placement function: hash ring + pin table.
+#[derive(Debug, Clone)]
+pub struct Placement {
+    shards: usize,
+    /// `(point, shard)` sorted by point; ties broken by shard index (stable
+    /// for any insertion order).
+    ring: Vec<(u64, usize)>,
+    pins: HashMap<String, usize>,
+}
+
+impl Placement {
+    /// Build the ring for `shards` shards with explicit `pins`. Fails on
+    /// zero shards or a pin referencing a shard that does not exist.
+    pub fn new(shards: usize, pins: HashMap<String, usize>) -> Result<Placement, String> {
+        if shards == 0 {
+            return Err("shard count must be at least 1".into());
+        }
+        for (graph, &shard) in &pins {
+            if shard >= shards {
+                return Err(format!(
+                    "pin {graph:?}={shard} references a shard >= the shard count {shards}"
+                ));
+            }
+        }
+        let mut ring = Vec::with_capacity(shards * VNODES);
+        for shard in 0..shards {
+            for vnode in 0..VNODES {
+                ring.push((
+                    point(format!("shard-{shard}-vnode-{vnode}").as_bytes()),
+                    shard,
+                ));
+            }
+        }
+        ring.sort_unstable();
+        Ok(Placement { shards, ring, pins })
+    }
+
+    /// Number of shards in this placement.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The pin table (graph → shard overrides).
+    pub fn pins(&self) -> &HashMap<String, usize> {
+        &self.pins
+    }
+
+    /// The shard owning `name`: its pin if present, else the ring.
+    pub fn shard_for(&self, name: &str) -> usize {
+        if let Some(&shard) = self.pins.get(name) {
+            return shard;
+        }
+        let h = point(name.as_bytes());
+        // first vnode clockwise of h, wrapping past the top of the ring
+        let idx = self.ring.partition_point(|&(point, _)| point < h);
+        self.ring[if idx == self.ring.len() { 0 } else { idx }].1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_zero_shards_and_bad_pins() {
+        assert!(Placement::new(0, HashMap::new()).is_err());
+        let mut pins = HashMap::new();
+        pins.insert("g".to_string(), 4);
+        let err = Placement::new(4, pins).unwrap_err();
+        assert!(err.contains("shard count"), "{err}");
+    }
+
+    #[test]
+    fn pins_override_the_ring() {
+        let mut pins = HashMap::new();
+        pins.insert("hot".to_string(), 3);
+        let p = Placement::new(4, pins).unwrap();
+        assert_eq!(p.shard_for("hot"), 3);
+        assert!(p.shard_for("cold") < 4);
+    }
+
+    #[test]
+    fn single_shard_owns_everything() {
+        let p = Placement::new(1, HashMap::new()).unwrap();
+        for name in ["a", "b", "rmat14", ""] {
+            assert_eq!(p.shard_for(name), 0);
+        }
+    }
+
+    #[test]
+    fn spread_is_roughly_uniform() {
+        let p = Placement::new(4, HashMap::new()).unwrap();
+        let mut counts = [0usize; 4];
+        for i in 0..4096 {
+            counts[p.shard_for(&format!("graph-{i}"))] += 1;
+        }
+        // each shard expects 1024; the finalized ring keeps every shard
+        // within a modest band of that
+        for &c in &counts {
+            assert!(c > 800 && c < 1300, "{counts:?}");
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Property tests for consistent-hash placement (ISSUE 7 satellite):
+//! determinism, pin override, bounded movement under shard addition, and
+//! exact single-shard movement under shard removal.
+
+use std::collections::HashMap;
+
+use gbtl_shard::Placement;
+use proptest::prelude::*;
+
+/// A deterministic name set: `K` distinct graph names derived from a seed
+/// so every property exercises a different slice of the hash space.
+fn names(seed: u64, k: usize) -> Vec<String> {
+    (0..k).map(|i| format!("graph-{seed:x}-{i}")).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Placement is a pure function of (name, shard count, pins): two
+    /// independently constructed placements route every name identically.
+    #[test]
+    fn placement_is_deterministic(seed: u64, n in 1usize..9, k in 1usize..257) {
+        let a = Placement::new(n, HashMap::new()).unwrap();
+        let b = Placement::new(n, HashMap::new()).unwrap();
+        for name in names(seed, k) {
+            let s = a.shard_for(&name);
+            prop_assert!(s < n, "shard_for out of range: {s} >= {n}");
+            prop_assert_eq!(s, b.shard_for(&name));
+        }
+    }
+
+    /// Pins always win over the ring, and never affect unpinned names.
+    #[test]
+    fn pins_override_without_disturbing_others(seed: u64, n in 2usize..9, pin_shard_raw: u64) {
+        let pin_shard = (pin_shard_raw as usize) % n;
+        let all = names(seed, 64);
+        let pinned = all[0].clone();
+        let mut pins = HashMap::new();
+        pins.insert(pinned.clone(), pin_shard);
+        let with_pin = Placement::new(n, pins).unwrap();
+        let without = Placement::new(n, HashMap::new()).unwrap();
+        prop_assert_eq!(with_pin.shard_for(&pinned), pin_shard);
+        for name in &all[1..] {
+            prop_assert_eq!(with_pin.shard_for(name), without.shard_for(name));
+        }
+    }
+
+    /// Growing n shards to n+1 moves roughly K/(n+1) of K graphs — only
+    /// the keys captured by the new shard's arcs — never a full reshuffle.
+    /// The bound allows generous slack for vnode arc-length variance.
+    #[test]
+    fn adding_a_shard_moves_a_bounded_fraction(seed: u64, n in 1usize..8) {
+        let k = 512usize;
+        let before = Placement::new(n, HashMap::new()).unwrap();
+        let after = Placement::new(n + 1, HashMap::new()).unwrap();
+        let mut moved = 0usize;
+        for name in names(seed, k) {
+            let old = before.shard_for(&name);
+            let new = after.shard_for(&name);
+            if old != new {
+                // a key only moves by being captured by the new shard
+                prop_assert_eq!(new, n, "key moved between surviving shards");
+                moved += 1;
+            }
+        }
+        let expected = k / (n + 1);
+        prop_assert!(
+            moved <= 2 * expected + 32,
+            "adding shard {n} moved {moved} of {k} graphs (expected ~{expected})"
+        );
+    }
+
+    /// Shrinking n shards to n-1 (dropping the highest-indexed shard)
+    /// moves ONLY that shard's graphs: every other shard's arcs are
+    /// untouched, so its residents stay exactly where they were.
+    #[test]
+    fn removing_a_shard_moves_only_its_graphs(seed: u64, n in 2usize..9) {
+        let before = Placement::new(n, HashMap::new()).unwrap();
+        let after = Placement::new(n - 1, HashMap::new()).unwrap();
+        for name in names(seed, 512) {
+            let old = before.shard_for(&name);
+            if old < n - 1 {
+                prop_assert_eq!(
+                    after.shard_for(&name),
+                    old,
+                    "surviving shard's graph moved on removal"
+                );
+            } else {
+                prop_assert!(after.shard_for(&name) < n - 1);
+            }
+        }
+    }
+}

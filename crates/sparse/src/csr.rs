@@ -244,6 +244,63 @@ impl<T: Scalar> CsrMatrix<T> {
         coo
     }
 
+    /// A matrix sharing `self`'s (already validated) structure with new
+    /// values — only the value count needs checking, so this skips the
+    /// full invariant sweep [`CsrMatrix::from_parts`] would repeat. This
+    /// is the snapshot-restore path for value layers stored without their
+    /// own copy of the structure.
+    pub fn with_same_structure<U: Scalar>(
+        &self,
+        vals: Vec<U>,
+    ) -> Result<CsrMatrix<U>, SparseError> {
+        if vals.len() != self.nnz() {
+            return Err(SparseError::InvalidStructure {
+                detail: format!(
+                    "value count {} does not match structure nnz {}",
+                    vals.len(),
+                    self.nnz()
+                ),
+            });
+        }
+        Ok(CsrMatrix {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            row_ptr: self.row_ptr.clone(),
+            col_idx: self.col_idx.clone(),
+            vals,
+        })
+    }
+
+    /// Whether this matrix equals its own transpose (structure *and*
+    /// values), in `O(nnz + nrows)` without building the transpose.
+    ///
+    /// Single sweep: rows are visited in ascending order, so for a
+    /// symmetric matrix the mirrors `(j, i)` demanded of each row `j`
+    /// arrive in ascending column order — exactly the order row `j`
+    /// stores its entries. One cursor per row therefore matches every
+    /// edge to its mirror (the diagonal matches itself); any mismatch is
+    /// an asymmetry. Since each of the `nnz` demands consumes a distinct
+    /// slot and there are exactly `nnz` slots, a full pass implies a
+    /// perfect edge/mirror bijection.
+    pub fn is_symmetric(&self) -> bool {
+        if self.nrows != self.ncols {
+            return false;
+        }
+        let mut cursor: Vec<usize> = self.row_ptr[..self.nrows].to_vec();
+        for i in 0..self.nrows {
+            for k in self.row_ptr[i]..self.row_ptr[i + 1] {
+                let j = self.col_idx[k];
+                let c = cursor[j];
+                if c >= self.row_ptr[j + 1] || self.col_idx[c] != i || self.vals[c] != self.vals[k]
+                {
+                    return false;
+                }
+                cursor[j] = c + 1;
+            }
+        }
+        true
+    }
+
     /// Transpose via a counting pass (a.k.a. the sequential "atomic-free
     /// scatter" transpose). `O(nnz + nrows + ncols)`.
     pub fn transpose(&self) -> CsrMatrix<T> {
@@ -342,6 +399,39 @@ mod tests {
         assert_eq!(t.get(0, 2), Some(30.0));
         assert_eq!(t.get(2, 0), Some(20.0));
         assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn is_symmetric_agrees_with_transpose_equality() {
+        // symmetric with a diagonal entry and distinct off-diagonal values
+        let s = CsrMatrix::from_parts(
+            3,
+            3,
+            vec![0, 2, 4, 6],
+            vec![1, 2, 0, 1, 0, 2],
+            vec![5.0, 7.0, 5.0, 9.0, 7.0, 1.0],
+        )
+        .unwrap();
+        assert!(s.is_symmetric());
+        assert_eq!(s.transpose(), s);
+
+        // same structure, one mirrored value differs
+        let v = CsrMatrix::from_parts(
+            3,
+            3,
+            vec![0, 2, 4, 6],
+            vec![1, 2, 0, 1, 0, 2],
+            vec![5.0, 7.0, 5.0, 9.0, 8.0, 1.0],
+        )
+        .unwrap();
+        assert!(!v.is_symmetric());
+
+        // structurally asymmetric
+        assert!(!sample().is_symmetric());
+        // non-square
+        assert!(!CsrMatrix::<f64>::new(2, 3).is_symmetric());
+        // trivially symmetric
+        assert!(CsrMatrix::<f64>::new(4, 4).is_symmetric());
     }
 
     #[test]

@@ -19,7 +19,8 @@
 //! * [`SparseVector`] — sorted coordinate list; frontier-style vectors.
 //! * [`DenseVector`] — bitmap + values; dense iterate-everything vectors.
 //!
-//! Plus [`mmio`] for Matrix Market interchange.
+//! Plus [`mmio`] for Matrix Market interchange and [`snapshot`] for the
+//! binary `.gbsnap` bulk-load format.
 
 mod coo;
 mod csc;
@@ -27,6 +28,7 @@ mod csr;
 mod ell;
 mod hyb;
 pub mod mmio;
+pub mod snapshot;
 mod vector;
 
 pub use coo::CooMatrix;

@@ -76,6 +76,14 @@ pub fn string_var(name: &str) -> Option<String> {
     }
 }
 
+/// [`string_var`] for filesystem-path knobs (`GBTL_SNAPSHOT_DIR`): a
+/// non-empty value becomes a [`std::path::PathBuf`] verbatim — existence
+/// is *not* checked here, because consumers like the snapshot writer
+/// create the directory on first use.
+pub fn path_var(name: &str) -> Option<std::path::PathBuf> {
+    string_var(name).map(std::path::PathBuf::from)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -121,7 +129,19 @@ mod tests {
         assert_eq!(usize_var("GBTL_UTIL_TEST_BAD", 0), Some(0));
         std::env::set_var("GBTL_UTIL_TEST_BAD", "   ");
         assert_eq!(string_var("GBTL_UTIL_TEST_BAD"), None);
+        assert_eq!(path_var("GBTL_UTIL_TEST_BAD"), None);
         std::env::remove_var("GBTL_UTIL_TEST_BAD");
+    }
+
+    #[test]
+    fn path_knobs_pass_values_through() {
+        let _g = env_lock().lock().unwrap();
+        std::env::set_var("GBTL_UTIL_TEST_PATH", " /tmp/snapdir ");
+        assert_eq!(
+            path_var("GBTL_UTIL_TEST_PATH"),
+            Some(std::path::PathBuf::from("/tmp/snapdir"))
+        );
+        std::env::remove_var("GBTL_UTIL_TEST_PATH");
     }
 
     #[test]

@@ -1,0 +1,237 @@
+//! Snapshot persistence integration (ISSUE 7 satellite): a differential
+//! round-trip over every example graph family and all three backends —
+//! snapshot a live catalog to `.gbsnap` files, restore it into a fresh
+//! server, and require bit-identical BFS/SSSP/PageRank checksums against
+//! the in-memory originals. Corrupt and truncated snapshot files must
+//! fail with clean diagnostics, never a panic, and leave the server
+//! serving.
+
+use std::path::{Path, PathBuf};
+
+use gbtl_serve::{start, Client, ServerConfig, ServerHandle};
+
+/// One example graph per generator family the catalog supports.
+const GRAPHS: &[(&str, &str)] = &[
+    ("karate", "karate"),
+    ("rmat", "rmat:7:6:42"),
+    ("er", "er:500:2000:1"),
+    ("grid", "grid:12"),
+];
+
+const ALGOS: &[&str] = &["bfs", "sssp", "pagerank"];
+const BACKENDS: &[&str] = &["seq", "par", "cuda"];
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gbtl_snaptest_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn server(snapshot_dir: &Path, preload: bool) -> ServerHandle {
+    start(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        queue_capacity: 32,
+        cache_capacity: 0, // no result cache: every query really executes
+        default_deadline_ms: 30_000,
+        par_threads: 2,
+        snapshot_dir: Some(snapshot_dir.display().to_string()),
+        preload: if preload {
+            GRAPHS
+                .iter()
+                .map(|(n, s)| (n.to_string(), s.to_string()))
+                .collect()
+        } else {
+            Vec::new()
+        },
+        ..ServerConfig::default()
+    })
+    .unwrap()
+}
+
+fn connect(handle: &ServerHandle) -> Client {
+    Client::connect(&handle.addr().to_string()).expect("connect")
+}
+
+/// The checksum of one (graph, algo, backend) query.
+fn checksum(c: &mut Client, graph: &str, algo: &str, backend: &str) -> String {
+    let v = c
+        .request_json(&format!(
+            "{{\"op\":\"query\",\"graph\":\"{graph}\",\"algo\":\"{algo}\",\
+             \"backend\":\"{backend}\",\"source\":0}}"
+        ))
+        .expect("query round-trip");
+    assert_eq!(v.bool_field("ok"), Some(true), "query failed: {v:?}");
+    v.get("result")
+        .and_then(|r| r.str_field("checksum"))
+        .unwrap_or_else(|| panic!("no checksum for {graph}/{algo}/{backend}"))
+        .to_string()
+}
+
+#[test]
+fn snapshot_restore_is_bit_identical_across_backends() {
+    let dir = temp_dir("roundtrip");
+
+    // baseline checksums from the in-memory originals
+    let original = server(&dir, true);
+    let mut c = connect(&original);
+    let mut baseline = Vec::new();
+    for (name, _) in GRAPHS {
+        for algo in ALGOS {
+            for backend in BACKENDS {
+                baseline.push(checksum(&mut c, name, algo, backend));
+            }
+        }
+    }
+
+    // snapshot the whole catalog
+    let snap = c.request_json("{\"op\":\"snapshot\"}").unwrap();
+    assert_eq!(snap.bool_field("ok"), Some(true), "{snap:?}");
+    let items = snap.get("snapshots").and_then(|s| s.as_arr()).unwrap();
+    assert_eq!(items.len(), GRAPHS.len());
+    for item in items {
+        let path = PathBuf::from(item.str_field("path").unwrap());
+        assert!(path.exists(), "snapshot file missing: {path:?}");
+        assert!(item.u64_field("bytes").unwrap() > 0);
+    }
+    original.shutdown_and_join();
+
+    // restore into a fresh, empty server and re-run every query
+    let restored = server(&dir, false);
+    let mut c = connect(&restored);
+    let list = c.request_json("{\"op\":\"list\"}").unwrap();
+    assert_eq!(
+        list.get("graphs").and_then(|g| g.as_arr()).unwrap().len(),
+        0,
+        "fresh server should start empty"
+    );
+
+    let rest = c.request_json("{\"op\":\"restore\"}").unwrap();
+    assert_eq!(rest.bool_field("ok"), Some(true), "{rest:?}");
+    assert_eq!(
+        rest.get("restored").and_then(|r| r.as_arr()).unwrap().len(),
+        GRAPHS.len()
+    );
+
+    let mut idx = 0;
+    for (name, _) in GRAPHS {
+        for algo in ALGOS {
+            for backend in BACKENDS {
+                let after = checksum(&mut c, name, algo, backend);
+                assert_eq!(
+                    after, baseline[idx],
+                    "checksum drift: {name}/{algo}/{backend}"
+                );
+                idx += 1;
+            }
+        }
+    }
+    restored.shutdown_and_join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Restoring a single named graph works, and restoring a name with no
+/// snapshot is a clean `not_found`.
+#[test]
+fn single_graph_snapshot_and_restore() {
+    let dir = temp_dir("single");
+    let handle = server(&dir, true);
+    let mut c = connect(&handle);
+
+    let snap = c
+        .request_json("{\"op\":\"snapshot\",\"graph\":\"karate\"}")
+        .unwrap();
+    assert_eq!(snap.bool_field("ok"), Some(true), "{snap:?}");
+    assert_eq!(
+        snap.get("snapshots")
+            .and_then(|s| s.as_arr())
+            .unwrap()
+            .len(),
+        1
+    );
+
+    let rest = c
+        .request_json("{\"op\":\"restore\",\"graph\":\"karate\"}")
+        .unwrap();
+    assert_eq!(rest.bool_field("ok"), Some(true), "{rest:?}");
+
+    let missing = c
+        .request_json("{\"op\":\"restore\",\"graph\":\"nope\"}")
+        .unwrap();
+    assert_eq!(missing.bool_field("ok"), Some(false));
+    assert_eq!(missing.str_field("code"), Some("not_found"));
+
+    handle.shutdown_and_join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Corrupted and truncated snapshot files come back as clean error
+/// responses — specific diagnostics, no panic — and the server keeps
+/// serving afterwards.
+#[test]
+fn corrupt_and_truncated_snapshots_fail_cleanly() {
+    let dir = temp_dir("corrupt");
+    let handle = server(&dir, true);
+    let mut c = connect(&handle);
+    let snap = c
+        .request_json("{\"op\":\"snapshot\",\"graph\":\"karate\"}")
+        .unwrap();
+    let path = PathBuf::from(
+        snap.get("snapshots")
+            .and_then(|s| s.as_arr())
+            .and_then(|a| a.first())
+            .and_then(|i| i.str_field("path"))
+            .unwrap(),
+    );
+    let pristine = std::fs::read(&path).unwrap();
+
+    // flip a payload byte: checksum mismatch
+    let mut bad = pristine.clone();
+    let last = bad.len() - 1;
+    bad[last] ^= 0xff;
+    std::fs::write(&path, &bad).unwrap();
+    let r = c
+        .request_json("{\"op\":\"restore\",\"graph\":\"karate\"}")
+        .unwrap();
+    assert_eq!(r.bool_field("ok"), Some(false), "{r:?}");
+    assert_eq!(r.str_field("code"), Some("internal"));
+    assert!(
+        r.str_field("error").unwrap().contains("checksum"),
+        "diagnostic should name the checksum: {r:?}"
+    );
+
+    // wrong magic
+    let mut bad = pristine.clone();
+    bad[0] = b'X';
+    std::fs::write(&path, &bad).unwrap();
+    let r = c
+        .request_json("{\"op\":\"restore\",\"graph\":\"karate\"}")
+        .unwrap();
+    assert_eq!(r.bool_field("ok"), Some(false));
+    assert!(r.str_field("error").unwrap().contains("magic"), "{r:?}");
+
+    // truncation at several depths: header, checksum, mid-payload
+    for cut in [3usize, 10, pristine.len() / 2, pristine.len() - 4] {
+        std::fs::write(&path, &pristine[..cut]).unwrap();
+        let r = c
+            .request_json("{\"op\":\"restore\",\"graph\":\"karate\"}")
+            .unwrap();
+        assert_eq!(
+            r.bool_field("ok"),
+            Some(false),
+            "truncation at {cut} must fail: {r:?}"
+        );
+    }
+
+    // pristine bytes restore fine and the server still answers queries
+    std::fs::write(&path, &pristine).unwrap();
+    let r = c
+        .request_json("{\"op\":\"restore\",\"graph\":\"karate\"}")
+        .unwrap();
+    assert_eq!(r.bool_field("ok"), Some(true), "{r:?}");
+    let _ = checksum(&mut c, "karate", "bfs", "seq");
+
+    handle.shutdown_and_join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
