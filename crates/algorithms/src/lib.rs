@@ -16,6 +16,7 @@
 //! * [`coloring`] — greedy graph coloring (Luby MIS rounds)
 //! * [`mis`] — maximal independent set (Luby's algorithm)
 //! * [`mst`] — minimum-spanning-forest weight (Borůvka rounds)
+//! * [`multi`] — multi-source BFS/SSSP: k traversals, one `mxm` per level
 //! * [`bc`] — betweenness centrality (batch Brandes)
 //! * [`ktruss`] — k-truss decomposition
 //! * [`metrics`] — degrees, density, centrality helpers
@@ -53,6 +54,7 @@ pub mod ktruss;
 pub mod metrics;
 pub mod mis;
 pub mod mst;
+pub mod multi;
 pub mod pagerank;
 pub mod sssp;
 pub mod triangle;
@@ -68,6 +70,7 @@ pub use ktruss::{k_truss, max_truss};
 pub use metrics::{degree_centrality, graph_density, in_degrees, out_degrees};
 pub use mis::maximal_independent_set;
 pub use mst::mst_weight;
+pub use multi::{bfs_levels_multi, sssp_multi};
 pub use pagerank::pagerank;
 pub use sssp::sssp;
 pub use triangle::triangle_count;

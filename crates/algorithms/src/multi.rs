@@ -1,0 +1,273 @@
+//! Multi-source traversals: k concurrent searches batched into one
+//! matrix-matrix product per level.
+//!
+//! The classic GraphBLAS batching win: k frontier *vectors* stacked as the
+//! rows of a k×n frontier *matrix* `F` turn k `vxm` calls per level into a
+//! single `mxm` — `N = F ⊕.⊗ A` computes, for every batch member `r` at
+//! once, exactly the product the solo traversal computes for its frontier
+//! (`N[r, j] = ⊕_i F[r, i] ⊗ A[i, j]`). The per-level op count drops from
+//! k to 1, amortizing dispatch, trace, and workspace overhead across the
+//! batch; the arithmetic per member is unchanged.
+//!
+//! We stack **rows**, not columns: CSR storage is row-major and the push
+//! product `F · A` resolves both operands over the zero-copy path (no
+//! transpose of either side), so k×n is the natural layout — the
+//! transposed view of the paper's n×k formulation.
+//!
+//! Demultiplexing is row extraction: member `r`'s answer is row `r` of the
+//! accumulated state, returned as its own [`Vector`] so callers can compare
+//! it (bit-for-bit) against the solo kernel's output. The correctness bar
+//! for the whole subsystem is exactly that: for every member, the result
+//! equals [`bfs_levels`](crate::bfs_levels) / [`sssp`](crate::sssp) from
+//! that source — duplicate sources simply become identical rows, and `k=1`
+//! is the solo traversal written as a one-row matrix.
+//!
+//! Like the solo kernels, the visited / improvement bookkeeping runs
+//! host-side: the solo BFS's complemented mask computes the full product
+//! and filters during the stitch, so filtering the full product here keeps
+//! the set of discovered vertices — and therefore every level and distance
+//! value — identical by construction.
+
+use gbtl_algebra::{Bounded, LorLand, MinPlus, Scalar};
+use gbtl_core::{no_accum, Backend, Context, Descriptor, Matrix, Result, Vector};
+
+use crate::sssp::DefaultZero;
+
+/// Level-synchronous BFS from every source in `sources` at once; returns
+/// one per-vertex level vector per source (`sources[r]` maps to entry `r`),
+/// each bit-identical to [`bfs_levels`](crate::bfs_levels) from the same
+/// source.
+///
+/// One push-direction `mxm` over the boolean semiring per level, on the
+/// k×n row-stacked frontier matrix.
+pub fn bfs_levels_multi<B: Backend>(
+    ctx: &Context<B>,
+    a: &Matrix<bool>,
+    sources: &[usize],
+) -> Result<Vec<Vector<u64>>> {
+    assert_eq!(a.nrows(), a.ncols(), "adjacency must be square");
+    let n = a.nrows();
+    let k = sources.len();
+    for &src in sources {
+        assert!(src < n, "source out of range");
+    }
+    if k == 0 {
+        return Ok(Vec::new());
+    }
+
+    let mut levels: Vec<Vector<u64>> = (0..k).map(|_| Vector::new_dense(n)).collect();
+    // flat k×n visited bitmap, indexed [r * n + j]
+    let mut visited = vec![false; k * n];
+    let mut seeds: Vec<(usize, usize, bool)> = Vec::with_capacity(k);
+    for (r, &src) in sources.iter().enumerate() {
+        levels[r].set(src, 0);
+        visited[r * n + src] = true;
+        seeds.push((r, src, true));
+    }
+    let mut frontier = Matrix::from_row_major_triples(k, n, &seeds)?;
+
+    let desc = Descriptor::new();
+    let mut depth = 0u64;
+    while frontier.nnz() > 0 {
+        depth += 1;
+        let mut next: Matrix<bool> = Matrix::new(k, n);
+        ctx.mxm(
+            &mut next,
+            None,
+            no_accum(),
+            LorLand::new(),
+            &frontier,
+            a,
+            &desc,
+        )?;
+        // host-side visited filter (the solo kernel's complemented mask,
+        // applied across all k rows in one row-major pass); the surviving
+        // triples are produced in row-major order, so the next frontier
+        // assembles without a sort
+        let mut fresh: Vec<(usize, usize, bool)> = Vec::new();
+        for (r, j, _) in next.iter() {
+            if !visited[r * n + j] {
+                visited[r * n + j] = true;
+                levels[r].set(j, depth);
+                fresh.push((r, j, true));
+            }
+        }
+        if fresh.is_empty() {
+            break;
+        }
+        frontier = Matrix::from_row_major_triples(k, n, &fresh)?;
+    }
+    Ok(levels)
+}
+
+/// Delta Bellman–Ford SSSP from every source in `sources` at once; returns
+/// one per-vertex distance vector per source, each bit-identical to
+/// [`sssp`](crate::sssp) from the same source.
+///
+/// One unmasked `mxm` on the `(min, +)` semiring per round over the
+/// row-stacked frontier (frontier values are the members' current
+/// distances), followed by the same host-side improvement merge the solo
+/// kernel performs — run per row. Rows converge independently: a member
+/// whose frontier empties contributes an empty row and no further work.
+pub fn sssp_multi<B, T>(
+    ctx: &Context<B>,
+    a: &Matrix<T>,
+    sources: &[usize],
+) -> Result<Vec<Vector<T>>>
+where
+    B: Backend,
+    T: Scalar + PartialOrd + Bounded + DefaultZero + std::ops::Add<Output = T>,
+{
+    assert_eq!(a.nrows(), a.ncols(), "adjacency must be square");
+    let n = a.nrows();
+    let k = sources.len();
+    for &src in sources {
+        assert!(src < n, "source out of range");
+    }
+    if k == 0 {
+        return Ok(Vec::new());
+    }
+    let zero = T::default_zero();
+
+    let mut dist: Vec<Vector<T>> = (0..k).map(|_| Vector::new_dense(n)).collect();
+    let mut seeds: Vec<(usize, usize, T)> = Vec::with_capacity(k);
+    for (r, &src) in sources.iter().enumerate() {
+        dist[r].set(src, zero);
+        seeds.push((r, src, zero));
+    }
+    let mut frontier = Matrix::from_row_major_triples(k, n, &seeds)?;
+
+    let desc = Descriptor::new();
+    for _round in 0..n {
+        if frontier.nnz() == 0 {
+            break;
+        }
+        let mut relax: Matrix<T> = Matrix::new(k, n);
+        ctx.mxm(
+            &mut relax,
+            None,
+            no_accum(),
+            MinPlus::<T>::new(),
+            &frontier,
+            a,
+            &desc,
+        )?;
+        let mut fresh: Vec<(usize, usize, T)> = Vec::new();
+        for (r, j, cand) in relax.iter() {
+            let improved = match dist[r].get(j) {
+                Some(old) => cand < old,
+                None => true,
+            };
+            if improved {
+                dist[r].set(j, cand);
+                fresh.push((r, j, cand));
+            }
+        }
+        frontier = Matrix::from_row_major_triples(k, n, &fresh)?;
+    }
+    Ok(dist)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{bfs_levels, sssp, Direction};
+    use gbtl_algebra::Second;
+
+    /// 0-1-2-3 path plus a 4-5 disconnected pair; undirected.
+    fn path_graph() -> Matrix<bool> {
+        let edges = [(0usize, 1usize), (1, 2), (2, 3), (4, 5)];
+        let mut triples = Vec::new();
+        for &(a, b) in &edges {
+            triples.push((a, b, true));
+            triples.push((b, a, true));
+        }
+        Matrix::build(6, 6, triples, Second::new()).unwrap()
+    }
+
+    /// Weighted digraph matching the solo sssp tests.
+    fn weighted() -> Matrix<u32> {
+        Matrix::build(
+            5,
+            5,
+            [
+                (0usize, 1usize, 7u32),
+                (0, 2, 2),
+                (2, 1, 3),
+                (1, 3, 1),
+                (2, 3, 8),
+            ],
+            Second::new(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn bfs_multi_matches_solo_per_column() {
+        let a = path_graph();
+        let ctx = Context::sequential();
+        let sources = [0usize, 3, 4, 1];
+        let multi = bfs_levels_multi(&ctx, &a, &sources).unwrap();
+        assert_eq!(multi.len(), sources.len());
+        for (r, &src) in sources.iter().enumerate() {
+            let solo = bfs_levels(&ctx, &a, src, Direction::Push).unwrap();
+            assert_eq!(multi[r], solo, "source {src}");
+        }
+    }
+
+    #[test]
+    fn duplicate_sources_yield_identical_rows() {
+        let a = path_graph();
+        let ctx = Context::sequential();
+        let multi = bfs_levels_multi(&ctx, &a, &[2, 2, 2]).unwrap();
+        assert_eq!(multi[0], multi[1]);
+        assert_eq!(multi[1], multi[2]);
+        let solo = bfs_levels(&ctx, &a, 2, Direction::Push).unwrap();
+        assert_eq!(multi[0], solo);
+    }
+
+    #[test]
+    fn k1_degenerates_to_solo() {
+        let a = path_graph();
+        let ctx = Context::sequential();
+        let multi = bfs_levels_multi(&ctx, &a, &[1]).unwrap();
+        let solo = bfs_levels(&ctx, &a, 1, Direction::Push).unwrap();
+        assert_eq!(multi, vec![solo]);
+        assert!(bfs_levels_multi(&ctx, &a, &[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn sssp_multi_matches_solo_per_column() {
+        let a = weighted();
+        let ctx = Context::sequential();
+        let sources = [0usize, 2, 4, 0];
+        let multi = sssp_multi(&ctx, &a, &sources).unwrap();
+        for (r, &src) in sources.iter().enumerate() {
+            let solo = sssp(&ctx, &a, src).unwrap();
+            assert_eq!(multi[r], solo, "source {src}");
+        }
+        // known answers from the solo suite, through the batched path
+        assert_eq!(multi[0].get(1), Some(5));
+        assert_eq!(multi[0].get(3), Some(6));
+        assert_eq!(multi[2].nnz(), 1, "isolated source reaches only itself");
+    }
+
+    #[test]
+    fn backends_agree_on_multi() {
+        let a = path_graph();
+        let w = weighted();
+        let sources = [0usize, 1, 2];
+        let seq_b = bfs_levels_multi(&Context::sequential(), &a, &sources).unwrap();
+        let cuda_b = bfs_levels_multi(&Context::cuda_default(), &a, &sources).unwrap();
+        assert_eq!(seq_b, cuda_b);
+        let seq_s = sssp_multi(&Context::sequential(), &w, &sources).unwrap();
+        let cuda_s = sssp_multi(&Context::cuda_default(), &w, &sources).unwrap();
+        assert_eq!(seq_s, cuda_s);
+    }
+
+    #[test]
+    #[should_panic(expected = "source out of range")]
+    fn bad_source_panics() {
+        let _ = bfs_levels_multi(&Context::sequential(), &path_graph(), &[0, 99]);
+    }
+}

@@ -85,6 +85,9 @@ fn main() {
     if want("sh") {
         sh_sharding();
     }
+    if want("f8") {
+        f8_fusion();
+    }
 
     if traced {
         println!("\n== traced appendix: BFS + triangles (rmat12), per-op report per backend");
@@ -154,6 +157,138 @@ fn sv_serve() {
             );
             handle.shutdown_and_join();
         }
+    }
+}
+
+/// R-F8: multi-source query fusion — k concurrent same-graph traversals
+/// coalesced by the batching window into one k-row frontier `mxm` per
+/// level (EXPERIMENTS.md).
+fn f8_fusion() {
+    use gbtl_serve::protocol::Algo;
+    use gbtl_serve::{run_loadgen, start, Client, LoadgenOptions, ServerConfig};
+    use std::sync::{Arc, Barrier};
+
+    print_title(
+        "R-F8: query fusion — concurrent same-graph BFS, fused vs solo (rmat10)",
+        "with fusion on, a volley of k traversals coalesces inside the batching \
+         window and runs as one k-row frontier mxm per level; per-op dispatch \
+         and per-level host passes amortize across the batch, so throughput \
+         rises with k while every per-request answer stays byte-identical to \
+         the fusion-off path",
+    );
+    println!("host physical parallelism: {} core(s)", host_threads());
+
+    let mk_config = |fuse_on: bool, max_batch: usize| {
+        let mut config = ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            queue_capacity: 256,
+            cache_capacity: 0, // every request executes: fusion earns its keep or not
+            default_deadline_ms: 60_000,
+            par_threads: 2,
+            metrics: true,
+            slow_log_capacity: 16,
+            preload: vec![("rmat".into(), "rmat:10:8:7".into())],
+            ..ServerConfig::default()
+        };
+        config.fuse.enabled = fuse_on;
+        config.fuse.window = Duration::from_micros(3000);
+        config.fuse.max_batch = max_batch;
+        config
+    };
+
+    // -- part 1: response identity under fusion ---------------------------
+    // a 32-client barrier-released volley against fusion-on must hash
+    // per-request identically to a sequential fusion-off run
+    println!("\npart 1: response identity (FNV-1a 64 over the result object, 32 roots)");
+    let solo = start(mk_config(false, 32)).expect("start solo server");
+    let mut c = Client::connect(&solo.addr().to_string()).expect("connect solo");
+    let reference: Vec<u64> = (0..32)
+        .map(|s| {
+            let raw = c
+                .request(&format!(
+                    "{{\"op\":\"query\",\"graph\":\"rmat\",\"algo\":\"bfs\",\
+                     \"backend\":\"par\",\"source\":{s}}}"
+                ))
+                .expect("solo round-trip");
+            fnv1a64(result_span(&raw).as_bytes())
+        })
+        .collect();
+    drop(c);
+    solo.shutdown_and_join();
+
+    let fused = start(mk_config(true, 32)).expect("start fused server");
+    let barrier = Arc::new(Barrier::new(32));
+    let volley: Vec<_> = (0..32)
+        .map(|s| {
+            let addr = fused.addr().to_string();
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let mut c = Client::connect(&addr).expect("connect fused");
+                barrier.wait();
+                let raw = c
+                    .request(&format!(
+                        "{{\"op\":\"query\",\"graph\":\"rmat\",\"algo\":\"bfs\",\
+                         \"backend\":\"par\",\"source\":{s}}}"
+                    ))
+                    .expect("fused round-trip");
+                fnv1a64(result_span(&raw).as_bytes())
+            })
+        })
+        .collect();
+    let mut identical = 0usize;
+    for (s, t) in volley.into_iter().enumerate() {
+        if t.join().expect("volley thread") == reference[s] {
+            identical += 1;
+        }
+    }
+    fused.shutdown_and_join();
+    println!("fused vs solo checksums identical: {identical}/32");
+    assert_eq!(identical, 32, "fusion changed some response payload");
+
+    // -- part 2: throughput, fusion off vs on -----------------------------
+    println!(
+        "\npart 2: same-graph volleys, 24 rounds per client count (cache off, distinct roots)"
+    );
+    println!(
+        "{:<9} {:>6} {:>6} {:>9} {:>9} {:>9} {:>11}",
+        "clients", "fuse", "ok", "qps", "p50 us", "p95 us", "batch p50"
+    );
+    for &clients in &[8usize, 16, 32] {
+        let mut qps = [0.0f64; 2];
+        for (i, fuse_on) in [false, true].into_iter().enumerate() {
+            let handle = start(mk_config(fuse_on, clients)).expect("start experiment server");
+            let opts = LoadgenOptions {
+                addr: handle.addr().to_string(),
+                clients,
+                requests_per_client: 24,
+                graph: "rmat".into(),
+                algos: vec![Algo::Bfs],
+                backend: "par".into(),
+                source_count: 1024, // every request a distinct root: no cache crutch
+                same_graph: true,
+                ..LoadgenOptions::default()
+            };
+            let report = run_loadgen(&opts).expect("run loadgen");
+            assert_eq!(report.corrupted, 0, "corrupted responses under load");
+            assert!(report.errors.is_empty(), "rejections: {:?}", report.errors);
+            qps[i] = report.qps();
+            println!(
+                "{:<9} {:>6} {:>6} {:>9.1} {:>9} {:>9} {:>11}",
+                clients,
+                if fuse_on { "on" } else { "off" },
+                report.ok,
+                report.qps(),
+                report.percentile_us(50.0),
+                report.percentile_us(95.0),
+                report.batch_percentile_us(50.0),
+            );
+            handle.shutdown_and_join();
+        }
+        println!(
+            "fusion speedup at {clients} clients: {:.2}x (acceptance: >= 1.5x at 32)",
+            qps[1] / qps[0].max(1e-9)
+        );
     }
 }
 

@@ -5,6 +5,7 @@
 //!            [--queue N] [--cache N] [--deadline-ms N] [--max-line BYTES]
 //!            [--idle-timeout-ms N] [--par-threads N] [--metrics on|off]
 //!            [--slowlog N] [--snapshot-dir PATH] [--load NAME=SPEC]...
+//!            [--fuse on|off] [--fuse-window-us N] [--fuse-max-batch N]
 //! ```
 //!
 //! Flags override the `GBTL_SERVE_*` / `GBTL_METRICS*` environment knobs,
@@ -21,7 +22,8 @@ fn usage() -> ! {
         "usage: gbtl-serve [--addr HOST:PORT] [--mode threaded|evented] [--workers N]\n\
          \x20                 [--queue N] [--cache N] [--deadline-ms N] [--max-line BYTES]\n\
          \x20                 [--idle-timeout-ms N] [--par-threads N] [--metrics on|off]\n\
-         \x20                 [--slowlog N] [--snapshot-dir PATH] [--load NAME=SPEC]..."
+         \x20                 [--slowlog N] [--snapshot-dir PATH] [--load NAME=SPEC]...\n\
+         \x20                 [--fuse on|off] [--fuse-window-us N] [--fuse-max-batch N]"
     );
     std::process::exit(2);
 }
@@ -63,6 +65,23 @@ fn main() {
                 }
             }
             "--slowlog" => config.slow_log_capacity = parse_num(&value("count")),
+            "--fuse" => {
+                config.fuse.enabled = match value("on|off").as_str() {
+                    "on" | "true" | "1" => true,
+                    "off" | "false" | "0" => false,
+                    other => {
+                        eprintln!("gbtl-serve: --fuse wants on|off, got {other:?}");
+                        usage()
+                    }
+                }
+            }
+            "--fuse-window-us" => {
+                config.fuse.window =
+                    std::time::Duration::from_micros(parse_num::<u64>(&value("us")).max(1))
+            }
+            "--fuse-max-batch" => {
+                config.fuse.max_batch = parse_num::<usize>(&value("count")).max(1)
+            }
             "--snapshot-dir" => config.snapshot_dir = Some(value("PATH")),
             "--load" => {
                 let spec = value("NAME=SPEC");

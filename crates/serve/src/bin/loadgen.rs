@@ -5,7 +5,7 @@
 //! loadgen [--addr HOST:PORT] [--clients N] [--requests N] [--graph NAME]
 //!         [--graphs a,b,c] [--zipf S]
 //!         [--algos a,b,c] [--backend seq|par|cuda] [--sources N]
-//!         [--pipeline DEPTH] [--idle N]
+//!         [--pipeline DEPTH] [--idle N] [--same-graph]
 //!         [--load NAME=SPEC]... [--wait-ms N] [--smoke] [--shutdown]
 //! ```
 //!
@@ -25,6 +25,14 @@
 //! report prints the per-graph request counts actually issued — against a
 //! sharded server (`gbtl-shard --shards N`) that shows how hard the hot
 //! shard was hit relative to the rest.
+//!
+//! `--same-graph` switches to the query-fusion burst workload: all
+//! `--clients N` clients traverse ONE graph (`--graph`) with the first
+//! `--algos` entry, advancing in barrier-synchronized rounds so each
+//! round's N requests — each from a distinct root when `--sources` ≥ N —
+//! land concurrently. Against `gbtl-serve --fuse on` the rounds coalesce
+//! into multi-source batches; the report adds the per-batch (round
+//! wall-clock) latency split next to the usual per-request percentiles.
 
 use gbtl_serve::protocol::Algo;
 use gbtl_serve::{fetch_server_latency, run_loadgen, Client, LoadgenOptions};
@@ -34,7 +42,7 @@ fn usage() -> ! {
         "usage: loadgen [--addr HOST:PORT] [--clients N] [--requests N] [--graph NAME]\n\
          \x20              [--graphs a,b,c] [--zipf S]\n\
          \x20              [--algos a,b,c] [--backend seq|par|cuda] [--sources N]\n\
-         \x20              [--pipeline DEPTH] [--idle N]\n\
+         \x20              [--pipeline DEPTH] [--idle N] [--same-graph]\n\
          \x20              [--load NAME=SPEC]... [--wait-ms N] [--smoke] [--shutdown]"
     );
     std::process::exit(2);
@@ -85,6 +93,7 @@ fn parse_cli() -> Cli {
             "--sources" => cli.opts.source_count = parse_num(&value("count")),
             "--pipeline" => cli.opts.pipeline = parse_num(&value("depth")),
             "--idle" => cli.opts.idle_conns = parse_num(&value("count")),
+            "--same-graph" => cli.opts.same_graph = true,
             "--algos" => {
                 let list = value("a,b,c");
                 cli.opts.algos = list
@@ -269,6 +278,15 @@ fn main() {
                         .collect::<Vec<_>>()
                         .join(", ");
                     println!("  graph distribution: {dist}");
+                }
+                if !report.batch_us.is_empty() {
+                    println!(
+                        "  per-batch (round) p50 {}us  p95 {}us  max {}us over {} rounds",
+                        report.batch_percentile_us(50.0),
+                        report.batch_percentile_us(95.0),
+                        report.batch_us.last().copied().unwrap_or(0),
+                        report.batch_us.len()
+                    );
                 }
                 if cli.opts.pipeline > 1 {
                     println!(

@@ -102,6 +102,16 @@ pub struct LoadgenOptions {
     /// the query phase, hold them silent throughout, and ping each
     /// afterwards — [`LoadgenReport::idle_alive`] counts the survivors.
     pub idle_conns: usize,
+    /// Same-graph burst mode (`--same-graph`): every client queries
+    /// [`LoadgenOptions::graph`] with the *first* algorithm in
+    /// [`LoadgenOptions::algos`], and the clients advance in barrier-
+    /// synchronized rounds — all of round `r`'s requests hit the server
+    /// within microseconds of each other, each from a distinct root (when
+    /// [`LoadgenOptions::source_count`] ≥ clients). This is the query-
+    /// fusion workload: a fused server should coalesce each round into a
+    /// handful of multi-source batches. [`LoadgenReport::batch_us`] records
+    /// each round's wall-clock alongside the usual per-request latencies.
+    pub same_graph: bool,
 }
 
 impl Default for LoadgenOptions {
@@ -118,6 +128,7 @@ impl Default for LoadgenOptions {
             source_count: 8,
             pipeline: 1,
             idle_conns: 0,
+            same_graph: false,
         }
     }
 }
@@ -153,6 +164,11 @@ pub struct LoadgenReport {
     /// issued — deterministic for given options). Empty in single-graph
     /// mode.
     pub graph_counts: Vec<(String, u64)>,
+    /// Same-graph burst mode only: each round's wall-clock from barrier
+    /// release to the last member's response, sorted ascending,
+    /// microseconds — the per-batch half of the latency split (per-request
+    /// latencies stay in [`LoadgenReport::latencies_us`]). Empty otherwise.
+    pub batch_us: Vec<u64>,
 }
 
 impl LoadgenReport {
@@ -181,6 +197,11 @@ impl LoadgenReport {
     /// Percentile over every non-first request (steady state).
     pub fn steady_percentile_us(&self, p: f64) -> u64 {
         gbtl_util::stats::percentile_sorted(&self.steady_us, p)
+    }
+
+    /// Percentile over same-graph round wall-clocks (per-batch latency).
+    pub fn batch_percentile_us(&self, p: f64) -> u64 {
+        gbtl_util::stats::percentile_sorted(&self.batch_us, p)
     }
 }
 
@@ -311,6 +332,63 @@ fn request_line(opts: &LoadgenOptions, c: usize, r: usize) -> (u64, String) {
     (id, line)
 }
 
+/// One client of the same-graph burst workload: barrier-synchronized
+/// rounds against a single graph, one distinct root per client per round
+/// (root `r·clients + c` mod `source_count`, so consecutive rounds sweep
+/// fresh roots — cache misses — until the root space wraps). After each
+/// round the clients re-synchronize and the round leader records the
+/// round's wall-clock as one per-batch latency sample.
+fn same_graph_client(
+    opts: &LoadgenOptions,
+    c: usize,
+    barrier: &std::sync::Barrier,
+    tallies: &Tallies,
+    batch_us: &Mutex<Vec<u64>>,
+) -> std::io::Result<()> {
+    // a client that cannot connect must still show up at every barrier, or
+    // the remaining clients would wait on it forever; its requests are
+    // charged as corrupted by the caller's join handler
+    let mut client = match Client::connect(&opts.addr) {
+        Ok(c) => c,
+        Err(e) => {
+            for _ in 0..opts.requests_per_client {
+                barrier.wait();
+                barrier.wait();
+            }
+            return Err(e);
+        }
+    };
+    let algo = opts.algos.first().copied().unwrap_or(Algo::Bfs);
+    for r in 0..opts.requests_per_client {
+        let source = (r * opts.clients + c) % opts.source_count.max(1);
+        let id = (c as u64) * 1_000_000 + r as u64;
+        let line = format!(
+            "{{\"op\":\"query\",\"id\":{id},\"graph\":\"{}\",\"algo\":\"{}\",\
+             \"backend\":\"{}\",\"source\":{source}}}",
+            opts.graph,
+            algo.as_str(),
+            opts.backend
+        );
+        barrier.wait();
+        let q0 = Instant::now();
+        let response = client.request(&line);
+        let us = q0.elapsed().as_micros() as u64;
+        match response {
+            Ok(raw) => tallies.score(&raw, id, us, r == 0),
+            Err(_) => {
+                tallies.corrupted.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        if barrier.wait().is_leader() {
+            batch_us
+                .lock()
+                .unwrap()
+                .push(q0.elapsed().as_micros() as u64);
+        }
+    }
+    Ok(())
+}
+
 /// The classic closed loop: one request, wait for its response, repeat.
 fn closed_loop_client(opts: &LoadgenOptions, c: usize, tallies: &Tallies) -> std::io::Result<()> {
     let mut client = Client::connect(&opts.addr)?;
@@ -411,13 +489,19 @@ pub fn run_loadgen(opts: &LoadgenOptions) -> std::io::Result<LoadgenReport> {
     }
 
     let t0 = Instant::now();
+    let round_barrier = Arc::new(std::sync::Barrier::new(opts.clients.max(1)));
+    let round_us: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
     let mut handles = Vec::new();
     for c in 0..opts.clients {
         let opts = opts.clone();
         let tallies = tallies.clone();
+        let round_barrier = round_barrier.clone();
+        let round_us = round_us.clone();
         handles.push(std::thread::spawn(move || -> std::io::Result<()> {
             let depth = opts.pipeline.max(1);
-            if depth > 1 {
+            if opts.same_graph {
+                same_graph_client(&opts, c, &round_barrier, &tallies, &round_us)
+            } else if depth > 1 {
                 pipelined_client(&opts, c, depth, &tallies)
             } else {
                 closed_loop_client(&opts, c, &tallies)
@@ -470,6 +554,8 @@ pub fn run_loadgen(opts: &LoadgenOptions) -> std::io::Result<LoadgenReport> {
             }
         }
     }
+    let mut batch_us = std::mem::take(&mut *round_us.lock().unwrap());
+    batch_us.sort_unstable();
     Ok(LoadgenReport {
         ok: tallies.ok.load(Ordering::Relaxed),
         cached: tallies.cached.load(Ordering::Relaxed),
@@ -481,6 +567,7 @@ pub fn run_loadgen(opts: &LoadgenOptions) -> std::io::Result<LoadgenReport> {
         steady_us,
         idle_alive,
         graph_counts,
+        batch_us,
     })
 }
 

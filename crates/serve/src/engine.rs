@@ -15,8 +15,9 @@
 use std::fmt::Write as _;
 
 use gbtl_algorithms::{
-    bfs_levels, cc::component_count, connected_components, maximal_independent_set,
-    mis::verify_mis, pagerank, pagerank::PageRankOptions, sssp, triangle_count, Direction,
+    bfs_levels, bfs_levels_multi, cc::component_count, connected_components,
+    maximal_independent_set, mis::verify_mis, pagerank, pagerank::PageRankOptions, sssp,
+    sssp_multi, triangle_count, Direction,
 };
 use gbtl_core::{
     Backend, Context, CudaBackend, ParBackend, SeqBackend, TraceMode, TraceReport, TransposeCache,
@@ -138,6 +139,31 @@ impl Engine {
             BackendChoice::Cuda => run_on(&self.cuda, g, q, request_id),
         }
     }
+
+    /// Execute a fused batch: every member traverses `g` with `algo` on
+    /// `backend`, and the whole batch runs as **one** multi-source kernel —
+    /// one `mxm` per level instead of one `vxm` per level per member.
+    ///
+    /// Members are `(source, full)` pairs; the returned fragments are
+    /// positionally matched and **byte-identical** to what [`Engine::run`]
+    /// renders for the same query solo — same kernel results (the multi
+    /// kernels' correctness bar), same renderer ([`bfs_result_json`] /
+    /// [`sssp_result_json`] are shared by both paths), same out-of-range
+    /// error text. An out-of-range member gets its per-member `Err` without
+    /// failing the rest of the batch.
+    pub fn run_multi(
+        &self,
+        g: &GraphEntry,
+        algo: Algo,
+        backend: BackendChoice,
+        members: &[(usize, bool)],
+    ) -> Vec<Result<String, String>> {
+        match backend {
+            BackendChoice::Seq => run_multi_on(&self.seq, g, algo, members),
+            BackendChoice::Par => run_multi_on(&self.par, g, algo, members),
+            BackendChoice::Cuda => run_multi_on(&self.cuda, g, algo, members),
+        }
+    }
 }
 
 /// FNV-1a 64 over a byte stream.
@@ -189,6 +215,97 @@ fn entries_json<T: gbtl_algebra::Scalar>(
     s
 }
 
+/// The solo and fused paths share one renderer per algorithm, so fusion
+/// can only change *when* a result is computed, never what its bytes are.
+fn bfs_result_json(levels: &Vector<u64>, full: bool) -> String {
+    let reached = levels.nnz();
+    let max_level = levels.iter().map(|(_, v)| v).max().unwrap_or(0);
+    let checksum = checksum_vector(levels, |v| v);
+    let mut s = format!(
+        "{{\"reached\":{reached},\"max_level\":{max_level},\"checksum\":\"{checksum:016x}\""
+    );
+    if full {
+        let _ = write!(s, ",\"levels\":{}", entries_json(levels, |v| v.to_string()));
+    }
+    s.push('}');
+    s
+}
+
+/// See [`bfs_result_json`].
+fn sssp_result_json(dist: &Vector<u32>, full: bool) -> String {
+    let reached = dist.nnz();
+    let max_dist = dist.iter().map(|(_, v)| v).max().unwrap_or(0);
+    let checksum = checksum_vector(dist, |v| v as u64);
+    let mut s =
+        format!("{{\"reached\":{reached},\"max_dist\":{max_dist},\"checksum\":\"{checksum:016x}\"");
+    if full {
+        let _ = write!(s, ",\"dist\":{}", entries_json(dist, |v| v.to_string()));
+    }
+    s.push('}');
+    s
+}
+
+/// The out-of-range message both the solo and fused paths produce — one
+/// format string so a member rejected from a batch reads exactly like a
+/// solo rejection.
+fn source_range_error(source: usize, g: &GraphEntry) -> String {
+    format!(
+        "source {} out of range for graph {:?} ({} vertices)",
+        source,
+        g.name,
+        g.n()
+    )
+}
+
+fn run_multi_on<B: Backend>(
+    ctx: &Context<B>,
+    g: &GraphEntry,
+    algo: Algo,
+    members: &[(usize, bool)],
+) -> Vec<Result<String, String>> {
+    // out-of-range members get their solo-path error; the rest still fuse
+    let valid: Vec<usize> = members
+        .iter()
+        .map(|&(src, _)| src)
+        .filter(|&src| src < g.n())
+        .collect();
+    let answers = match algo {
+        Algo::Bfs => bfs_levels_multi(ctx, &g.adj, &valid)
+            .map(|vs| {
+                vs.iter()
+                    .zip(members.iter().filter(|&&(src, _)| src < g.n()))
+                    .map(|(levels, &(_, full))| bfs_result_json(levels, full))
+                    .collect::<Vec<_>>()
+            })
+            .map_err(|e| e.to_string()),
+        Algo::Sssp => sssp_multi(ctx, &g.weights, &valid)
+            .map(|vs| {
+                vs.iter()
+                    .zip(members.iter().filter(|&&(src, _)| src < g.n()))
+                    .map(|(dist, &(_, full))| sssp_result_json(dist, full))
+                    .collect::<Vec<_>>()
+            })
+            .map_err(|e| e.to_string()),
+        other => Err(format!("algo {:?} is not fusable", other)),
+    };
+    match answers {
+        Ok(fragments) => {
+            let mut it = fragments.into_iter();
+            members
+                .iter()
+                .map(|&(src, _)| {
+                    if src < g.n() {
+                        Ok(it.next().expect("one fragment per valid member"))
+                    } else {
+                        Err(source_range_error(src, g))
+                    }
+                })
+                .collect()
+        }
+        Err(e) => members.iter().map(|_| Err(e.clone())).collect(),
+    }
+}
+
 fn run_on<B: Backend>(
     ctx: &Context<B>,
     g: &GraphEntry,
@@ -197,12 +314,7 @@ fn run_on<B: Backend>(
 ) -> Result<QueryOutcome, String> {
     let needs_source = matches!(q.algo, Algo::Bfs | Algo::Sssp);
     if needs_source && q.source >= g.n() {
-        return Err(format!(
-            "source {} out of range for graph {:?} ({} vertices)",
-            q.source,
-            g.name,
-            g.n()
-        ));
+        return Err(source_range_error(q.source, g));
     }
 
     let spans_before = ctx.trace().total_spans;
@@ -235,35 +347,11 @@ fn execute<B: Backend>(
         Algo::Bfs => {
             let levels =
                 bfs_levels(ctx, &g.adj, q.source, Direction::Auto).map_err(|e| e.to_string())?;
-            let reached = levels.nnz();
-            let max_level = levels.iter().map(|(_, v)| v).max().unwrap_or(0);
-            let checksum = checksum_vector(&levels, |v| v);
-            let mut s = format!(
-                "{{\"reached\":{reached},\"max_level\":{max_level},\"checksum\":\"{checksum:016x}\""
-            );
-            if q.full {
-                let _ = write!(
-                    s,
-                    ",\"levels\":{}",
-                    entries_json(&levels, |v| v.to_string())
-                );
-            }
-            s.push('}');
-            s
+            bfs_result_json(&levels, q.full)
         }
         Algo::Sssp => {
             let dist = sssp(ctx, &g.weights, q.source).map_err(|e| e.to_string())?;
-            let reached = dist.nnz();
-            let max_dist = dist.iter().map(|(_, v)| v).max().unwrap_or(0);
-            let checksum = checksum_vector(&dist, |v| v as u64);
-            let mut s = format!(
-                "{{\"reached\":{reached},\"max_dist\":{max_dist},\"checksum\":\"{checksum:016x}\""
-            );
-            if q.full {
-                let _ = write!(s, ",\"dist\":{}", entries_json(&dist, |v| v.to_string()));
-            }
-            s.push('}');
-            s
+            sssp_result_json(&dist, q.full)
         }
         Algo::Pagerank => {
             let opts = PageRankOptions {

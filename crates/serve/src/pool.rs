@@ -36,6 +36,7 @@ use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 use gbtl_core::TransposeCache;
+use gbtl_fuse::{FuseQueue, PushOutcome};
 use gbtl_metrics::expose::{histogram_json, render_json, render_prometheus};
 use gbtl_metrics::{Counter, HistogramSnapshot, Registry, SlowLog};
 use gbtl_net::{NetStats, Reply, Submission};
@@ -44,7 +45,9 @@ use gbtl_util::json::escape;
 use crate::cache::{cache_key, CachedResult, ResultCache};
 use crate::catalog::{Catalog, GraphEntry, GraphSpec};
 use crate::engine::{Engine as QueryEngine, EngineSnapshot};
-use crate::protocol::{error_response, oversized_response, parse_request, QueryParams, Request};
+use crate::protocol::{
+    error_response, oversized_response, parse_request, Algo, QueryParams, Request,
+};
 use crate::scatter::{scatter_query_all, ScatterTarget};
 use crate::server::ServerConfig;
 use crate::snapshot as snapfile;
@@ -71,9 +74,39 @@ enum JobKind {
         graph: Arc<GraphEntry>,
         key: String,
     },
+    /// A fused group released by the batching window: every member shares
+    /// one graph epoch, algorithm, and backend (the compatibility key
+    /// guarantees it), and the worker runs them as one multi-source kernel.
+    /// The job-level deadline is the *latest* member deadline — expiry is
+    /// enforced per member inside [`run_fused`], so one stale member never
+    /// poisons the rest of the group.
+    FusedQuery {
+        members: Vec<FuseMember>,
+    },
     Sleep {
         ms: u64,
     },
+}
+
+/// One request held in (or released from) the fusion window. Carries
+/// everything the solo job path tracks per request — id, cache key,
+/// deadline, enqueue time, and the *already-wrapped* reply (the
+/// completed-counter wrap happens once, at submit-time intercept) — so
+/// de-multiplexing preserves per-request identity exactly.
+#[derive(Debug)]
+struct FuseMember {
+    params: QueryParams,
+    graph: Arc<GraphEntry>,
+    /// Result-cache key; fused results are cached per member, so a repeat
+    /// of any member is a cache hit regardless of how it was first computed.
+    key: String,
+    request_id: u64,
+    deadline: Instant,
+    enqueued: Instant,
+    /// Microseconds spent waiting in the batching window (stamped when the
+    /// group is released; the `stage="window"` histogram sample).
+    window_us: u64,
+    reply: Reply,
 }
 
 #[derive(Debug)]
@@ -105,13 +138,19 @@ impl JobQueue {
         }
     }
 
-    fn push(&self, job: Job) -> Result<(), PushError> {
+    /// Admit a job, or hand it back with the rejection reason — returning
+    /// the job lets callers answer its reply (or each fused member's reply)
+    /// instead of stranding them.
+    // The Err variant carries the whole Job back by design; it travels one
+    // stack frame on the rejection path only, so boxing would buy nothing.
+    #[allow(clippy::result_large_err)]
+    fn push(&self, job: Job) -> Result<(), (PushError, Job)> {
         let mut inner = self.inner.lock().unwrap();
         if inner.shutdown {
-            return Err(PushError::ShuttingDown);
+            return Err((PushError::ShuttingDown, job));
         }
         if inner.jobs.len() >= self.capacity {
-            return Err(PushError::Full);
+            return Err((PushError::Full, job));
         }
         inner.jobs.push_back(job);
         drop(inner);
@@ -255,6 +294,10 @@ pub struct EnginePool {
     /// graph load so the first pull-direction query never builds Aᵀ inline.
     transpose_cache: TransposeCache,
     queue: JobQueue,
+    /// The query-fusion window (`Some` iff `config.fuse.enabled`): cache
+    /// misses for fusable queries are held here briefly so compatible
+    /// concurrent traversals run as one multi-source kernel.
+    fuse: Option<FuseQueue<FuseMember>>,
     registry: Registry,
     pub(crate) stats: ServerStats,
     slow_log: SlowLog<SlowQuery>,
@@ -293,6 +336,10 @@ impl EnginePool {
             cache: ResultCache::new(config.cache_capacity),
             transpose_cache,
             queue: JobQueue::new(config.queue_capacity),
+            fuse: config
+                .fuse
+                .enabled
+                .then(|| FuseQueue::from_config(&config.fuse)),
             slow_log: SlowLog::new(config.slow_log_capacity),
             next_request_id: AtomicU64::new(1),
             registry,
@@ -322,7 +369,7 @@ impl EnginePool {
     /// Public so a sharded deployment (gbtl-shard) can start each member
     /// pool's workers itself.
     pub fn spawn_workers(self: &Arc<Self>) -> Vec<std::thread::JoinHandle<()>> {
-        (0..self.engines.len())
+        let mut handles: Vec<std::thread::JoinHandle<()>> = (0..self.engines.len())
             .map(|i| {
                 let pool = self.clone();
                 std::thread::Builder::new()
@@ -330,7 +377,25 @@ impl EnginePool {
                     .spawn(move || worker_loop(&pool, i))
                     .expect("spawn worker")
             })
-            .collect()
+            .collect();
+        if self.fuse.is_some() {
+            // the flusher: blocks on the fusion window's timer and moves
+            // each released group onto the job queue; exits when drain()
+            // closes the window
+            let pool = self.clone();
+            handles.push(
+                std::thread::Builder::new()
+                    .name("gbtl-serve-fuse-flusher".into())
+                    .spawn(move || {
+                        let fuse = pool.fuse.as_ref().expect("flusher spawned with fuse on");
+                        while let Some((_, members)) = fuse.pop_due() {
+                            pool.enqueue_fused(members);
+                        }
+                    })
+                    .expect("spawn fuse flusher"),
+            );
+        }
+        handles
     }
 
     /// Every resident graph, sorted by name — the router's merge input.
@@ -557,7 +622,7 @@ impl EnginePool {
                 deadline,
                 correlation: id,
             },
-            Err(PushError::Full) => {
+            Err((PushError::Full, _)) => {
                 self.stats.rejected_overloaded.inc();
                 self.finish_inline(error_response(
                     "overloaded",
@@ -568,13 +633,107 @@ impl EnginePool {
                     id,
                 ))
             }
-            Err(PushError::ShuttingDown) => {
+            Err((PushError::ShuttingDown, _)) => {
                 self.stats.rejected_shutdown.inc();
                 self.finish_inline(error_response(
                     "shutting_down",
                     "server is shutting down",
                     id,
                 ))
+            }
+        }
+    }
+
+    /// Move a group released from the fusion window onto the job queue.
+    ///
+    /// A group of one degenerates to the ordinary solo [`JobKind::Query`]
+    /// (identical execution to a never-fused request; only the window wait
+    /// folds into its queue time). Larger groups become one
+    /// [`JobKind::FusedQuery`]. Rejections (queue full / shutting down)
+    /// answer **every** member through its own reply, mirroring what
+    /// [`EnginePool::submit_job`] renders inline for unfused requests.
+    fn enqueue_fused(&self, mut members: Vec<FuseMember>) {
+        let now = Instant::now();
+        for m in &mut members {
+            m.window_us = now.duration_since(m.enqueued).as_micros() as u64;
+        }
+        let job = match members.len() {
+            0 => return,
+            1 => {
+                let m = members.pop().expect("one member");
+                let id = m.params.id;
+                self.registry
+                    .counter(
+                        "gbtl_fuse_requests_total",
+                        &[("algo", m.params.algo.as_str()), ("path", "solo")],
+                    )
+                    .inc();
+                Job {
+                    kind: JobKind::Query {
+                        params: m.params,
+                        graph: m.graph,
+                        key: m.key,
+                    },
+                    id,
+                    request_id: m.request_id,
+                    deadline: m.deadline,
+                    enqueued: m.enqueued,
+                    reply: m.reply,
+                }
+            }
+            k => {
+                let algo = members[0].params.algo.as_str();
+                self.registry
+                    .counter(
+                        "gbtl_fuse_requests_total",
+                        &[("algo", algo), ("path", "fused")],
+                    )
+                    .add(k as u64);
+                if self.registry.enabled() {
+                    self.registry
+                        .histogram("gbtl_fuse_batch_size", &[("algo", algo)])
+                        .observe(k as u64);
+                }
+                Job {
+                    // per-member identity lives in the members; job-level
+                    // deadline is the latest one so the queue never expires
+                    // a member early (run_fused checks each individually)
+                    deadline: members.iter().map(|m| m.deadline).max().expect("k >= 2"),
+                    enqueued: members.iter().map(|m| m.enqueued).min().expect("k >= 2"),
+                    request_id: members[0].request_id,
+                    id: None,
+                    reply: Reply::new(|_| {}),
+                    kind: JobKind::FusedQuery { members },
+                }
+            }
+        };
+        if let Err((err, job)) = self.queue.push(job) {
+            let (counter, code, msg) = match err {
+                PushError::Full => (
+                    &self.stats.rejected_overloaded,
+                    "overloaded",
+                    format!(
+                        "queue full ({} queued, {} workers busy)",
+                        self.config.queue_capacity, self.config.workers
+                    ),
+                ),
+                PushError::ShuttingDown => (
+                    &self.stats.rejected_shutdown,
+                    "shutting_down",
+                    "server is shutting down".to_string(),
+                ),
+            };
+            match job.kind {
+                JobKind::FusedQuery { members } => {
+                    for m in members {
+                        counter.inc();
+                        m.reply.send(error_response(code, &msg, m.params.id));
+                    }
+                }
+                _ => {
+                    counter.inc();
+                    job.reply.send(error_response(code, &msg, job.id));
+                }
             }
         }
     }
@@ -756,6 +915,72 @@ impl gbtl_net::Engine for EnginePool {
                     record_query(self, &params, "hit", request_id, &graph.name, timing);
                     return self.finish_inline(response);
                 }
+                // fusion intercept: fusable cache misses go to the batching
+                // window instead of straight onto the job queue. Traced
+                // queries bypass fusion (per-request span attribution needs
+                // exclusive context use); everything else is unchanged.
+                if let Some(fuse) = &self.fuse {
+                    if matches!(params.algo, Algo::Bfs | Algo::Sssp) && !params.trace {
+                        let id = params.id;
+                        let deadline_ms = params
+                            .deadline_ms
+                            .unwrap_or(self.config.default_deadline_ms);
+                        let now = Instant::now();
+                        let deadline = now + Duration::from_millis(deadline_ms);
+                        // wrap the reply with the completed counter ONCE,
+                        // here — every downstream path (fused exec, solo
+                        // degeneration, rejection) sends through it raw
+                        let completed = self.stats.completed.clone();
+                        let reply = Reply::new(move |response: String| {
+                            if response.starts_with(OK_PREFIX) {
+                                completed.inc();
+                            }
+                            reply.send(response);
+                        });
+                        let fuse_key = format!(
+                            "{}@{}|{}|{}",
+                            graph.name,
+                            graph.epoch,
+                            params.algo.as_str(),
+                            params.backend.as_str()
+                        );
+                        let member = FuseMember {
+                            params,
+                            graph,
+                            key,
+                            request_id,
+                            deadline,
+                            enqueued: now,
+                            window_us: 0,
+                            reply,
+                        };
+                        return match fuse.push(&fuse_key, member) {
+                            PushOutcome::Held => Submission::Accepted {
+                                deadline,
+                                correlation: id,
+                            },
+                            PushOutcome::Flush(members) => {
+                                // the push filled the group to max_batch:
+                                // release it now, skipping the window
+                                self.enqueue_fused(members);
+                                Submission::Accepted {
+                                    deadline,
+                                    correlation: id,
+                                }
+                            }
+                            PushOutcome::Closed(_member) => {
+                                // window already closed by drain(): reject
+                                // exactly like an unfused post-drain submit
+                                self.stats.rejected_shutdown.inc();
+                                self.finish_inline(error_response(
+                                    "shutting_down",
+                                    "server is shutting down",
+                                    id,
+                                ))
+                            }
+                        };
+                    }
+                }
                 let id = params.id;
                 let deadline_ms = params.deadline_ms;
                 self.submit_job(
@@ -797,6 +1022,15 @@ impl gbtl_net::Engine for EnginePool {
     fn drain(&self) {
         if self.shutdown.swap(true, Ordering::SeqCst) {
             return;
+        }
+        // close the fusion window FIRST and move every held group onto the
+        // job queue, then close the queue: members already admitted to the
+        // window complete like any admitted job, and the flusher thread
+        // (blocked in pop_due) wakes and exits
+        if let Some(fuse) = &self.fuse {
+            for (_, members) in fuse.close_and_drain() {
+                self.enqueue_fused(members);
+            }
         }
         self.queue.shutdown();
         // poke a threaded front-end's blocking accept() so it notices the
@@ -871,6 +1105,13 @@ fn worker_loop(pool: &Arc<EnginePool>, index: usize) {
     let engine = &pool.engines[index];
     while let Some(job) = pool.queue.pop() {
         let picked_up = Instant::now();
+        // fused groups skip the job-level expiry below: their deadline
+        // handling is per member (one expired member must not poison the
+        // group), and their job-level reply is a placeholder
+        if let JobKind::FusedQuery { members } = job.kind {
+            run_fused(pool, engine, members, picked_up);
+            continue;
+        }
         if picked_up > job.deadline {
             pool.stats.deadline_expired.inc();
             job.reply.send(error_response(
@@ -936,8 +1177,101 @@ fn worker_loop(pool: &Arc<EnginePool>, index: usize) {
                     }
                 }
             }
+            JobKind::FusedQuery { .. } => unreachable!("fused jobs are handled above"),
         };
         job.reply.send(response);
+    }
+}
+
+/// Execute one fused group on a worker's engine and de-multiplex the
+/// per-member answers.
+///
+/// Per-member deadline check first: an expired member gets the exact
+/// `deadline` rejection an expired solo job gets ("deadline expired while
+/// queued"), and the survivors run unaffected — the one-expired-of-k
+/// regression case. Survivors run as a single multi-source kernel; each
+/// member's result fragment is rendered by the same code as the solo path
+/// (byte-identical), cached under the member's own cache key, and answered
+/// with the member's own request id. The batch's execute time is reported
+/// as every member's `micros` (the members *shared* that one computation).
+fn run_fused(
+    pool: &Arc<EnginePool>,
+    engine: &QueryEngine,
+    members: Vec<FuseMember>,
+    picked_up: Instant,
+) {
+    let mut live: Vec<FuseMember> = Vec::with_capacity(members.len());
+    for m in members {
+        if picked_up > m.deadline {
+            pool.stats.deadline_expired.inc();
+            m.reply.send(error_response(
+                "deadline",
+                "deadline expired while queued",
+                m.params.id,
+            ));
+        } else {
+            live.push(m);
+        }
+    }
+    let Some(first) = live.first() else { return };
+    let graph = first.graph.clone();
+    let algo = first.params.algo;
+    let backend = first.params.backend;
+    let sources: Vec<(usize, bool)> = live
+        .iter()
+        .map(|m| (m.params.source, m.params.full))
+        .collect();
+
+    let t0 = Instant::now();
+    let results = engine.run_multi(&graph, algo, backend, &sources);
+    let execute_us = t0.elapsed().as_micros() as u64;
+
+    for (m, result) in live.into_iter().zip(results) {
+        match result {
+            Ok(result_json) => {
+                pool.cache.put(
+                    m.key,
+                    CachedResult {
+                        result_json: result_json.clone(),
+                        compute_micros: execute_us,
+                    },
+                );
+                let t1 = pool.registry.enabled().then(Instant::now);
+                let response = query_response(
+                    &m.params,
+                    &graph,
+                    m.request_id,
+                    false,
+                    execute_us,
+                    &result_json,
+                    None,
+                );
+                let timing = StageTiming {
+                    queue_us: picked_up.duration_since(m.enqueued).as_micros() as u64,
+                    execute_us,
+                    serialize_us: t1.map_or(0, |t| t.elapsed().as_micros() as u64),
+                };
+                record_query(pool, &m.params, "miss", m.request_id, &graph.name, timing);
+                if pool.registry.enabled() {
+                    pool.registry
+                        .histogram(
+                            "gbtl_stage_latency_us",
+                            &[
+                                ("algo", m.params.algo.as_str()),
+                                ("backend", m.params.backend.as_str()),
+                                ("cache", "miss"),
+                                ("stage", "window"),
+                            ],
+                        )
+                        .observe(m.window_us);
+                }
+                m.reply.send(response);
+            }
+            Err(e) => {
+                pool.stats.bad_requests.inc();
+                m.reply.send(error_response("bad_request", &e, m.params.id));
+            }
+        }
     }
 }
 
@@ -1019,6 +1353,9 @@ fn refresh_gauges(pool: &EnginePool) {
     g("gbtl_workspace_takes", ws.takes);
     g("gbtl_workspace_reuses", ws.reuses);
     g("gbtl_workspace_allocs", ws.allocs);
+    if let Some(fuse) = &pool.fuse {
+        g("gbtl_fuse_pending", fuse.pending() as u64);
+    }
     if let Some(net) = pool.net.get() {
         let r = |a: &AtomicU64| a.load(Ordering::Relaxed);
         g("gbtl_net_open_connections", net.open());
@@ -1127,6 +1464,15 @@ fn render_stats(pool: &EnginePool) -> String {
     };
     let ts = pool.transpose_cache.stats();
     let ws = gbtl_core::workspace::stats();
+    let fuse = match &pool.fuse {
+        None => "{\"enabled\":false}".to_string(),
+        Some(q) => format!(
+            "{{\"enabled\":true,\"window_us\":{},\"max_batch\":{},\"pending\":{}}}",
+            pool.config.fuse.window.as_micros(),
+            pool.config.fuse.max_batch,
+            q.pending()
+        ),
+    };
     format!(
         "{{\"ok\":true,\"stats\":{{\
          \"uptime_ms\":{},\"frontend\":\"{}\",\"workers\":{},\"par_threads\":{},\
@@ -1145,6 +1491,7 @@ fn render_stats(pool: &EnginePool) -> String {
          \"backend_ops\":{{\"total\":{},\"sequential\":{},\"parallel\":{},\"cuda_sim\":{}}},\
          \"pool\":{{\"tasks\":{},\"steals\":{}}},\
          \"gpu\":{{\"kernels\":{},\"modeled_ms\":{:.3}}},\
+         \"fuse\":{fuse},\
          \"net\":{net},\
          \"algos\":{algos}}}}}",
         pool.start.elapsed().as_millis(),
@@ -1236,10 +1583,10 @@ mod tests {
         };
         q.push(mk()).unwrap();
         q.push(mk()).unwrap();
-        assert!(matches!(q.push(mk()), Err(PushError::Full)));
+        assert!(matches!(q.push(mk()), Err((PushError::Full, _))));
         assert_eq!(q.len(), 2);
         q.shutdown();
-        assert!(matches!(q.push(mk()), Err(PushError::ShuttingDown)));
+        assert!(matches!(q.push(mk()), Err((PushError::ShuttingDown, _))));
         // admitted jobs still drain after shutdown
         assert!(q.pop().is_some());
         assert!(q.pop().is_some());

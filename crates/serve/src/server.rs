@@ -112,6 +112,12 @@ pub struct ServerConfig {
     pub snapshot_dir: Option<String>,
     /// Graphs to load before accepting connections (`name`, `spec`).
     pub preload: Vec<(String, String)>,
+    /// Query-fusion window (`GBTL_FUSE`, `GBTL_FUSE_WINDOW_US`,
+    /// `GBTL_FUSE_MAX_BATCH`): when enabled, compatible concurrent
+    /// BFS/SSSP queries are held briefly and executed as one multi-source
+    /// kernel. Off by default — fusion trades a bounded queueing delay for
+    /// batch throughput, which only pays under concurrency.
+    pub fuse: gbtl_fuse::FuseConfig,
 }
 
 impl Default for ServerConfig {
@@ -131,6 +137,7 @@ impl Default for ServerConfig {
             slow_log_capacity: 16,
             snapshot_dir: None,
             preload: Vec::new(),
+            fuse: gbtl_fuse::FuseConfig::default(),
         }
     }
 }
@@ -169,6 +176,7 @@ impl ServerConfig {
                 .unwrap_or(d.slow_log_capacity),
             snapshot_dir: env::path_var("GBTL_SNAPSHOT_DIR").map(|p| p.display().to_string()),
             preload: Vec::new(),
+            fuse: gbtl_fuse::FuseConfig::from_env(),
         }
     }
 

@@ -1,0 +1,364 @@
+//! Query-fusion integration: concurrent same-graph traversals against a
+//! fusion-on server come back byte-identical to the fusion-off path (the
+//! bit-identity bar of the batching subsystem), the batch-size metric
+//! proves real coalescing happened, one expired member of a batch is
+//! rejected without poisoning its groupmates, and differential proptests
+//! pin `bfs_levels_multi`/`sssp_multi` columns to the single-source
+//! kernels across all three backends — duplicate roots and k=1 included.
+
+use std::sync::{mpsc, Arc, Barrier};
+use std::time::Duration;
+
+use gbtl_net::{Engine as _, Reply, Submission};
+use gbtl_serve::{start, Client, EnginePool, ServerConfig, ServerHandle};
+
+use gbtl::algebra::Second;
+use gbtl::algorithms::{bfs_levels, bfs_levels_multi, sssp, sssp_multi, Direction};
+use gbtl::prelude::*;
+use gbtl::util::json::Value;
+use proptest::prelude::*;
+
+fn test_config(fuse_on: bool) -> ServerConfig {
+    let mut config = ServerConfig {
+        addr: "127.0.0.1:0".into(), // ephemeral port
+        workers: 2,
+        queue_capacity: 64,
+        cache_capacity: 64,
+        default_deadline_ms: 30_000,
+        par_threads: 2,
+        metrics: true,
+        slow_log_capacity: 8,
+        preload: vec![("karate".into(), "karate".into())],
+        ..ServerConfig::default()
+    };
+    config.fuse.enabled = fuse_on;
+    // wide enough that a barrier-released volley always lands inside one
+    // window, even on a loaded CI box
+    config.fuse.window = Duration::from_millis(150);
+    config.fuse.max_batch = 64;
+    config
+}
+
+fn connect(handle: &ServerHandle) -> Client {
+    Client::connect(&handle.addr().to_string()).expect("connect to test server")
+}
+
+/// The raw `{...}` bytes of the response's `result` field. It is the last
+/// field of a non-traced query response, so everything from `"result":` to
+/// the outer closing brace is the fragment — byte comparison here is the
+/// bit-identity check.
+fn result_fragment(raw: &str) -> &str {
+    let raw = raw.trim_end();
+    let (_, rest) = raw.split_once("\"result\":").expect("result field");
+    &rest[..rest.len() - 1]
+}
+
+/// Sum a named metric over every label set in the JSON registry section.
+fn sum_over_labels(metrics_response: &Value, section: &str, name: &str, field: &str) -> u64 {
+    metrics_response
+        .get("metrics")
+        .and_then(|m| m.get("registry"))
+        .and_then(|r| r.get(section))
+        .and_then(|s| s.as_arr())
+        .expect("registry section")
+        .iter()
+        .filter(|e| e.str_field("name") == Some(name))
+        .map(|e| e.u64_field(field).unwrap_or(0))
+        .sum()
+}
+
+#[test]
+fn fused_volley_byte_identical_to_solo_and_actually_batched() {
+    // duplicate roots on purpose: members 0/5 and 3/7 share a source
+    let sources = [0usize, 1, 2, 3, 12, 0, 33, 3];
+
+    // fusion-off baseline: the exact response fragments the solo path emits
+    let baseline = start(test_config(false)).unwrap();
+    let mut c = connect(&baseline);
+    let mut solo = std::collections::HashMap::new();
+    for (algo, backend) in [("bfs", "par"), ("sssp", "seq")] {
+        for &s in &sources {
+            let raw = c
+                .request(&format!(
+                    "{{\"op\":\"query\",\"graph\":\"karate\",\"algo\":\"{algo}\",\
+                     \"backend\":\"{backend}\",\"source\":{s}}}"
+                ))
+                .unwrap();
+            solo.insert((algo, s), result_fragment(&raw).to_string());
+        }
+    }
+    baseline.shutdown_and_join();
+
+    // fusion-on: one barrier-released volley per algo, every client its own
+    // connection so the requests are genuinely concurrent
+    let handle = start(test_config(true)).unwrap();
+    for (algo, backend) in [("bfs", "par"), ("sssp", "seq")] {
+        let barrier = Arc::new(Barrier::new(sources.len()));
+        let threads: Vec<_> = sources
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| {
+                let addr = handle.addr().to_string();
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    let mut c = Client::connect(&addr).unwrap();
+                    barrier.wait();
+                    let raw = c
+                        .request(&format!(
+                            "{{\"op\":\"query\",\"id\":{i},\"graph\":\"karate\",\
+                             \"algo\":\"{algo}\",\"backend\":\"{backend}\",\"source\":{s}}}"
+                        ))
+                        .unwrap();
+                    (i, s, raw)
+                })
+            })
+            .collect();
+        for t in threads {
+            let (i, s, raw) = t.join().unwrap();
+            let v = gbtl::util::json::parse(&raw).unwrap();
+            assert_eq!(v.bool_field("ok"), Some(true), "{algo} member {i}: {raw}");
+            assert_eq!(v.u64_field("id"), Some(i as u64), "ids survive the demux");
+            assert_eq!(v.bool_field("cached"), Some(false), "first volley misses");
+            assert_eq!(
+                result_fragment(&raw),
+                solo[&(algo, s)],
+                "{algo} source {s}: fused fragment differs from solo"
+            );
+        }
+    }
+
+    // the batch-size histogram proves the volleys really coalesced:
+    // mean batch size (sum/count) must exceed 1
+    let mut c = connect(&handle);
+    let m = c.request_json("{\"op\":\"metrics\"}").unwrap();
+    let batches = sum_over_labels(&m, "histograms", "gbtl_fuse_batch_size", "count");
+    let members = sum_over_labels(&m, "histograms", "gbtl_fuse_batch_size", "sum");
+    assert!(batches >= 1, "at least one fused batch ran");
+    assert!(
+        members > batches,
+        "mean batch size must exceed 1 (got {members} members over {batches} batches)"
+    );
+    assert!(
+        sum_over_labels(&m, "counters", "gbtl_fuse_requests_total", "value")
+            >= 2 * sources.len() as u64,
+        "every volley member was routed through the fusion window"
+    );
+    handle.shutdown_and_join();
+}
+
+#[test]
+fn single_member_window_degenerates_to_the_solo_path() {
+    let baseline = start(test_config(false)).unwrap();
+    let mut c = connect(&baseline);
+    let solo_raw = c
+        .request("{\"op\":\"query\",\"graph\":\"karate\",\"algo\":\"bfs\",\"source\":4}")
+        .unwrap();
+    baseline.shutdown_and_join();
+
+    let handle = start(test_config(true)).unwrap();
+    let mut c = connect(&handle);
+    let raw = c
+        .request("{\"op\":\"query\",\"graph\":\"karate\",\"algo\":\"bfs\",\"source\":4}")
+        .unwrap();
+    let v = gbtl::util::json::parse(&raw).unwrap();
+    assert_eq!(v.bool_field("ok"), Some(true), "{raw}");
+    assert_eq!(result_fragment(&raw), result_fragment(&solo_raw));
+
+    let m = c.request_json("{\"op\":\"metrics\"}").unwrap();
+    assert_eq!(
+        sum_over_labels(&m, "histograms", "gbtl_fuse_batch_size", "count"),
+        0,
+        "a lone member must not be recorded as a fused batch"
+    );
+    assert_eq!(
+        sum_over_labels(&m, "counters", "gbtl_fuse_requests_total", "value"),
+        1,
+        "…but it did pass through the window (solo path)"
+    );
+    handle.shutdown_and_join();
+}
+
+/// The satellite-1 regression: one member of a batch whose deadline expires
+/// inside the window gets the standard `deadline` rejection, and the other
+/// k-1 members still get real answers — the group is not poisoned.
+#[test]
+fn expired_member_rejected_without_poisoning_the_group() {
+    let pool = EnginePool::new(test_config(true)).unwrap();
+    let workers = pool.spawn_workers();
+
+    // four members of one compatibility key; member 2's deadline (1 ms) is
+    // shorter than the 150 ms window, so it must expire while held
+    let mut rxs = Vec::new();
+    for (i, source) in [0usize, 1, 2, 3].into_iter().enumerate() {
+        let deadline_ms = if i == 2 { 1 } else { 60_000 };
+        let (tx, rx) = mpsc::channel();
+        let reply = Reply::new(move |response: String| {
+            let _ = tx.send(response);
+        });
+        let line = format!(
+            "{{\"op\":\"query\",\"id\":{i},\"graph\":\"karate\",\"algo\":\"bfs\",\
+             \"source\":{source},\"deadline_ms\":{deadline_ms}}}"
+        );
+        match pool.submit(&line, reply) {
+            Submission::Accepted { .. } => rxs.push((i, rx)),
+            other => panic!("member {i} must be held by the window, got {other:?}"),
+        }
+    }
+
+    for (i, rx) in rxs {
+        let raw = rx.recv_timeout(Duration::from_secs(10)).expect("reply");
+        let v = gbtl::util::json::parse(&raw).unwrap();
+        assert_eq!(
+            v.u64_field("id"),
+            Some(i as u64),
+            "reply routed to member {i}"
+        );
+        if i == 2 {
+            assert_eq!(v.bool_field("ok"), Some(false), "{raw}");
+            assert_eq!(v.str_field("code"), Some("deadline"), "{raw}");
+        } else {
+            assert_eq!(v.bool_field("ok"), Some(true), "member {i} poisoned: {raw}");
+            assert_eq!(
+                v.get("result").and_then(|r| r.u64_field("reached")),
+                Some(34),
+                "member {i} got a real answer"
+            );
+        }
+    }
+
+    pool.drain();
+    for w in workers {
+        w.join().unwrap();
+    }
+}
+
+/// Shutdown mid-window: held members are flushed by `drain()` and answered
+/// (possibly with a rejection) — never stranded.
+#[test]
+fn drain_flushes_the_open_window() {
+    let pool = EnginePool::new(test_config(true)).unwrap();
+    let workers = pool.spawn_workers();
+
+    let (tx, rx) = mpsc::channel();
+    let reply = Reply::new(move |response: String| {
+        let _ = tx.send(response);
+    });
+    let line = "{\"op\":\"query\",\"id\":9,\"graph\":\"karate\",\"algo\":\"bfs\",\"source\":0}";
+    assert!(matches!(
+        pool.submit(line, reply),
+        Submission::Accepted { .. }
+    ));
+
+    // drain immediately — well inside the 150 ms window
+    pool.drain();
+    let raw = rx.recv_timeout(Duration::from_secs(10)).expect("reply");
+    let v = gbtl::util::json::parse(&raw).unwrap();
+    assert_eq!(v.u64_field("id"), Some(9));
+    assert_eq!(
+        v.bool_field("ok"),
+        Some(true),
+        "drained member answered: {raw}"
+    );
+    for w in workers {
+        w.join().unwrap();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// differential proptests: multi-source kernels vs the single-source kernels
+// ---------------------------------------------------------------------------
+
+fn arb_adjacency(n: usize, max_nnz: usize) -> impl Strategy<Value = Matrix<bool>> {
+    proptest::collection::vec((0..n, 0..n), 0..max_nnz).prop_map(move |pairs| {
+        let triples: Vec<(usize, usize, bool)> =
+            pairs.into_iter().map(|(i, j)| (i, j, true)).collect();
+        Matrix::build(n, n, triples, Second::new()).expect("in bounds")
+    })
+}
+
+fn arb_weighted(n: usize, max_nnz: usize) -> impl Strategy<Value = Matrix<u32>> {
+    proptest::collection::vec((0..n, 0..n, 1u32..16), 0..max_nnz).prop_map(move |triples| {
+        Matrix::build(n, n, triples, gbtl::algebra::Min::new()).expect("in bounds")
+    })
+}
+
+const N: usize = 16;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every column of a multi-source BFS equals the corresponding
+    /// single-source run, on every backend — duplicate roots included.
+    #[test]
+    fn bfs_multi_columns_match_solo(
+        a in arb_adjacency(N, 64),
+        roots in proptest::collection::vec(0..N, 1..6),
+    ) {
+        for (name, (multi, solos)) in [
+            ("seq", {
+                let ctx = Context::sequential();
+                (bfs_levels_multi(&ctx, &a, &roots).unwrap(),
+                 roots.iter().map(|&r| bfs_levels(&ctx, &a, r, Direction::Auto).unwrap())
+                      .collect::<Vec<_>>())
+            }),
+            ("par", {
+                let ctx = Context::parallel_with_threads(2);
+                (bfs_levels_multi(&ctx, &a, &roots).unwrap(),
+                 roots.iter().map(|&r| bfs_levels(&ctx, &a, r, Direction::Auto).unwrap())
+                      .collect::<Vec<_>>())
+            }),
+            ("cuda", {
+                let ctx = Context::cuda_default();
+                (bfs_levels_multi(&ctx, &a, &roots).unwrap(),
+                 roots.iter().map(|&r| bfs_levels(&ctx, &a, r, Direction::Auto).unwrap())
+                      .collect::<Vec<_>>())
+            }),
+        ] {
+            prop_assert_eq!(multi.len(), solos.len());
+            for (k, (m, s)) in multi.iter().zip(&solos).enumerate() {
+                prop_assert_eq!(m, s, "{} root #{} ({})", name, k, roots[k]);
+            }
+        }
+    }
+
+    /// Same contract for multi-source SSSP over `u32` weights.
+    #[test]
+    fn sssp_multi_columns_match_solo(
+        a in arb_weighted(N, 64),
+        roots in proptest::collection::vec(0..N, 1..6),
+    ) {
+        for (name, (multi, solos)) in [
+            ("seq", {
+                let ctx = Context::sequential();
+                (sssp_multi(&ctx, &a, &roots).unwrap(),
+                 roots.iter().map(|&r| sssp(&ctx, &a, r).unwrap()).collect::<Vec<_>>())
+            }),
+            ("par", {
+                let ctx = Context::parallel_with_threads(2);
+                (sssp_multi(&ctx, &a, &roots).unwrap(),
+                 roots.iter().map(|&r| sssp(&ctx, &a, r).unwrap()).collect::<Vec<_>>())
+            }),
+            ("cuda", {
+                let ctx = Context::cuda_default();
+                (sssp_multi(&ctx, &a, &roots).unwrap(),
+                 roots.iter().map(|&r| sssp(&ctx, &a, r).unwrap()).collect::<Vec<_>>())
+            }),
+        ] {
+            prop_assert_eq!(multi.len(), solos.len());
+            for (k, (m, s)) in multi.iter().zip(&solos).enumerate() {
+                prop_assert_eq!(m, s, "{} root #{} ({})", name, k, roots[k]);
+            }
+        }
+    }
+
+    /// k = 1 is exactly the solo result — the degenerate batch costs
+    /// nothing in fidelity.
+    #[test]
+    fn k1_multi_is_solo(a in arb_adjacency(N, 64), root in 0..N) {
+        let ctx = Context::sequential();
+        let multi = bfs_levels_multi(&ctx, &a, &[root]).unwrap();
+        let solo = bfs_levels(&ctx, &a, root, Direction::Auto).unwrap();
+        prop_assert_eq!(multi.len(), 1);
+        prop_assert_eq!(&multi[0], &solo);
+    }
+}
